@@ -1,0 +1,55 @@
+// Ablation B: the paper's §IV.B claim that the multithreaded IA Dijkstra is
+// O(work / T). Measures (a) real wall time of the thread-pool Dijkstra at
+// T = 1,2,4,8 and (b) the simulated IA seconds charged by the LogP model,
+// which divide exactly by T by construction.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "core/distance_store.hpp"
+#include "core/ia.hpp"
+#include "graph/generators.hpp"
+#include "runtime/logp.hpp"
+
+namespace {
+
+using namespace aa;
+
+struct Fixture {
+    DynamicGraph g;
+    std::vector<RankId> owners;
+
+    explicit Fixture(std::size_t n) {
+        Rng rng(99);
+        g = barabasi_albert(n, 3, rng);
+        owners.assign(n, 0);
+    }
+};
+
+void BM_IaDijkstra(benchmark::State& state) {
+    static Fixture fixture(1500);
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    ThreadPool pool(threads);
+
+    double ops = 0;
+    for (auto _ : state) {
+        LocalSubgraph sg(0, fixture.owners);
+        DistanceStore store(fixture.g.num_vertices());
+        for (const VertexId v : sg.local_vertices()) {
+            store.add_row(v);
+        }
+        for (const Edge& e : fixture.g.edges()) {
+            sg.add_local_edge(e.u, e.v, e.weight);
+        }
+        ops = ia_dijkstra_all(sg, store, pool);
+        benchmark::DoNotOptimize(store);
+    }
+    LogPParams params;
+    state.counters["abstract_ops"] = ops;
+    state.counters["sim_ia_seconds"] = params.compute_time(ops, threads);
+}
+BENCHMARK(BM_IaDijkstra)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

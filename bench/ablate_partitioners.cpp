@@ -1,0 +1,97 @@
+// Ablation A (design choice from DESIGN.md): the DD-phase partitioner.
+// Multilevel (METIS-style) vs BFS region growing vs round-robin vs random,
+// measured as google-benchmark timings with edge-cut / imbalance counters.
+//
+// The paper assumes a cut-minimizing partitioner (ParMETIS); this ablation
+// quantifies what that buys over structure-blind baselines on scale-free and
+// community graphs.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "partition/multilevel.hpp"
+#include "partition/simple.hpp"
+
+namespace {
+
+using namespace aa;
+
+DynamicGraph graph_for(int family, std::size_t n) {
+    Rng rng(1234);
+    switch (family) {
+        case 0: return barabasi_albert(n, 3, rng);
+        case 1: return planted_partition(n, 8, 40.0 / static_cast<double>(n),
+                                         2.0 / static_cast<double>(n), rng);
+        default: return watts_strogatz(n, 3, 0.1, rng);
+    }
+}
+
+void report(benchmark::State& state, const DynamicGraph& g, const Partitioning& p) {
+    const auto q = evaluate_partition(g, p);
+    state.counters["cut_edges"] = static_cast<double>(q.cut_edges);
+    state.counters["imbalance"] = q.imbalance;
+    state.counters["cut_frac"] =
+        static_cast<double>(q.cut_edges) / static_cast<double>(g.num_edges());
+}
+
+void BM_Multilevel(benchmark::State& state) {
+    const auto g = graph_for(static_cast<int>(state.range(0)), 4000);
+    const auto k = static_cast<std::uint32_t>(state.range(1));
+    Partitioning p;
+    for (auto _ : state) {
+        Rng rng(7);
+        p = multilevel_partition(g, k, rng);
+        benchmark::DoNotOptimize(p);
+    }
+    report(state, g, p);
+}
+BENCHMARK(BM_Multilevel)
+    ->ArgsProduct({{0, 1}, {4, 16}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BfsGrowing(benchmark::State& state) {
+    const auto g = graph_for(static_cast<int>(state.range(0)), 4000);
+    const auto k = static_cast<std::uint32_t>(state.range(1));
+    Partitioning p;
+    for (auto _ : state) {
+        Rng rng(7);
+        p = bfs_partition(g, k, rng);
+        benchmark::DoNotOptimize(p);
+    }
+    report(state, g, p);
+}
+BENCHMARK(BM_BfsGrowing)
+    ->ArgsProduct({{0, 1}, {4, 16}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RoundRobin(benchmark::State& state) {
+    const auto g = graph_for(static_cast<int>(state.range(0)), 4000);
+    const auto k = static_cast<std::uint32_t>(state.range(1));
+    Partitioning p;
+    for (auto _ : state) {
+        p = round_robin_partition(g.num_vertices(), k);
+        benchmark::DoNotOptimize(p);
+    }
+    report(state, g, p);
+}
+BENCHMARK(BM_RoundRobin)
+    ->ArgsProduct({{0, 1}, {4, 16}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Random(benchmark::State& state) {
+    const auto g = graph_for(static_cast<int>(state.range(0)), 4000);
+    const auto k = static_cast<std::uint32_t>(state.range(1));
+    Partitioning p;
+    for (auto _ : state) {
+        Rng rng(7);
+        p = random_partition(g.num_vertices(), k, rng);
+        benchmark::DoNotOptimize(p);
+    }
+    report(state, g, p);
+}
+BENCHMARK(BM_Random)
+    ->ArgsProduct({{0, 1}, {4, 16}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

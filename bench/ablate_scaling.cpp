@@ -1,0 +1,87 @@
+// Ablation F: validating the paper's §IV asymptotic analysis against the
+// simulated measurements.
+//
+// Claims checked:
+//   * static RC converges in O(P) steps (bounded by the longest processor
+//     chain, §IV.C);
+//   * total DV traffic — and with it the comm-dominated total time — grows
+//     ~quadratically in n (every boundary row eventually ships ~n entries);
+//   * the serialized all-to-all makes per-step comm grow with P at fixed n
+//     (more, smaller messages paying per-message costs).
+// The harness sweeps n and P, prints measured values plus the log-log slope
+// between consecutive sizes.
+#include <cmath>
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "harness.hpp"
+
+namespace {
+
+struct Measured {
+    double total_s;
+    std::size_t steps;
+    std::size_t bytes;
+};
+
+Measured run(std::size_t n, std::uint32_t ranks, std::uint64_t seed) {
+    aa::bench::Options options;
+    options.vertices = n;
+    options.ranks = ranks;
+    options.seed = seed;
+    const aa::EngineConfig config = aa::bench::engine_config(options);
+    const aa::DynamicGraph host = aa::bench::make_host_graph(options);
+    aa::AnytimeEngine engine(host, config);
+    engine.initialize();
+    const std::size_t steps = engine.run_to_quiescence();
+    return {engine.sim_seconds(), steps, engine.cluster().stats().total_bytes};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace aa::bench;
+
+    const Options options =
+        parse_options(argc, argv, "ablation: scaling vs the paper's analysis");
+
+    std::printf("Ablation F: measured scaling vs the paper's §IV analysis\n\n");
+
+    {
+        Table table({"n", "total_s", "bytes", "rc_steps", "slope_vs_prev"});
+        double prev_time = 0;
+        std::size_t prev_n = 0;
+        for (const std::size_t n : {300u, 600u, 1200u}) {
+            const Measured m = run(n, options.ranks, options.seed);
+            std::string slope = "-";
+            if (prev_n != 0) {
+                slope = fmt_double(std::log(m.total_s / prev_time) /
+                                       std::log(static_cast<double>(n) /
+                                                static_cast<double>(prev_n)),
+                                   2);
+            }
+            table.add_row({std::to_string(n), fmt_seconds(m.total_s),
+                           std::to_string(m.bytes), std::to_string(m.steps),
+                           slope});
+            prev_time = m.total_s;
+            prev_n = n;
+        }
+        std::printf("n sweep at P=%u (expect slope ~2: quadratic DV traffic):\n",
+                    options.ranks);
+        table.print();
+    }
+
+    {
+        Table table({"P", "total_s", "bytes", "rc_steps"});
+        for (const std::uint32_t p : {4u, 8u, 16u, 32u}) {
+            const Measured m = run(options.scaled_vertices(), p, options.seed);
+            table.add_row({std::to_string(p), fmt_seconds(m.total_s),
+                           std::to_string(m.bytes), std::to_string(m.steps)});
+        }
+        std::printf("\nP sweep at n=%zu (steps bounded ~O(P); serialized\n"
+                    "all-to-all per-message overhead grows with P):\n",
+                    options.scaled_vertices());
+        table.print();
+    }
+    return 0;
+}

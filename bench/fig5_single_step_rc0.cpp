@@ -1,0 +1,58 @@
+// Figure 5 reproduction: RoundRobin-PS vs CutEdge-PS vs Repartition-S for a
+// single community-structured batch (1%..12% of the host, the paper's
+// 500..6000 of 50,000) injected at RC0 (start of the analysis).
+//
+// Expected shape (paper §V.B.2): RoundRobin-PS and CutEdge-PS win for small
+// batches (low fixed overhead); the dynamic-update cost grows with the batch
+// until Repartition-S — whose repartition+migration cost is roughly flat —
+// crosses below them.
+#include <cstdio>
+
+#include "core/strategies.hpp"
+#include "harness.hpp"
+
+namespace {
+
+/// Simulated completion time of: initialize, progress to `inject_step`,
+/// apply `batch` with `strategy`, converge.
+double run_scenario(const aa::DynamicGraph& host, const aa::EngineConfig& config,
+                    std::size_t inject_step, const aa::GrowthBatch& batch,
+                    aa::VertexAdditionStrategy& strategy) {
+    aa::AnytimeEngine engine(host, config);
+    engine.initialize();
+    engine.run_rc_steps(inject_step);
+    engine.apply_addition(batch, strategy);
+    engine.run_to_quiescence();
+    return engine.sim_seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace aa;
+    using namespace aa::bench;
+
+    const Options options = parse_options(
+        argc, argv, "fig5: strategy comparison, single batch at RC0");
+    const EngineConfig config = engine_config(options);
+    const DynamicGraph host = make_host_graph(options);
+
+    std::printf("Figure 5: vertex additions at RC0 on a %zu-vertex graph, %u ranks\n\n",
+                host.num_vertices(), options.ranks);
+
+    Table table({"batch", "repartition_s", "cutedge_ps_s", "roundrobin_ps_s"});
+    for (const std::size_t batch_size : figure5_batch_sizes(options)) {
+        const GrowthBatch batch =
+            make_batch(host.num_vertices(), batch_size, options.seed + batch_size);
+        RepartitionS repartition;
+        CutEdgePS cut_edge(options.seed * 3 + 1);
+        RoundRobinPS round_robin;
+        table.add_row({std::to_string(batch_size),
+                       fmt_seconds(run_scenario(host, config, 0, batch, repartition)),
+                       fmt_seconds(run_scenario(host, config, 0, batch, cut_edge)),
+                       fmt_seconds(run_scenario(host, config, 0, batch, round_robin))});
+    }
+    table.print();
+    table.write_csv(options.csv);
+    return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 6 reproduction: same strategy sweep as Figure 5, but the batch is
+// injected at RC8 — a late stage of the analysis, when most partial results
+// already exist.
+//
+// Expected shape (paper §V.B.2): same ordering as Figure 5 — RoundRobin-PS /
+// CutEdge-PS for small batches, Repartition-S winning once the batch is
+// large — with overall higher times than RC0 since 8 refinement steps have
+// already been paid for.
+#include <cstdio>
+
+#include "core/strategies.hpp"
+#include "harness.hpp"
+
+namespace {
+
+double run_scenario(const aa::DynamicGraph& host, const aa::EngineConfig& config,
+                    std::size_t inject_step, const aa::GrowthBatch& batch,
+                    aa::VertexAdditionStrategy& strategy) {
+    aa::AnytimeEngine engine(host, config);
+    engine.initialize();
+    engine.run_rc_steps(inject_step);
+    engine.apply_addition(batch, strategy);
+    engine.run_to_quiescence();
+    return engine.sim_seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace aa;
+    using namespace aa::bench;
+
+    const Options options = parse_options(
+        argc, argv, "fig6: strategy comparison, single batch at RC8");
+    const EngineConfig config = engine_config(options);
+    const DynamicGraph host = make_host_graph(options);
+
+    std::printf("Figure 6: vertex additions at RC8 on a %zu-vertex graph, %u ranks\n\n",
+                host.num_vertices(), options.ranks);
+
+    Table table({"batch", "repartition_s", "cutedge_ps_s", "roundrobin_ps_s"});
+    for (const std::size_t batch_size : figure5_batch_sizes(options)) {
+        const GrowthBatch batch =
+            make_batch(host.num_vertices(), batch_size, options.seed + batch_size);
+        RepartitionS repartition;
+        CutEdgePS cut_edge(options.seed * 3 + 1);
+        RoundRobinPS round_robin;
+        table.add_row({std::to_string(batch_size),
+                       fmt_seconds(run_scenario(host, config, 8, batch, repartition)),
+                       fmt_seconds(run_scenario(host, config, 8, batch, cut_edge)),
+                       fmt_seconds(run_scenario(host, config, 8, batch, round_robin))});
+    }
+    table.print();
+    table.write_csv(options.csv);
+    return 0;
+}

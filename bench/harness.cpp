@@ -1,0 +1,200 @@
+#include "harness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace aa::bench {
+
+Options parse_options(int argc, char** argv, const std::string& description) {
+    Options options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto need_value = [&](const char* flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << flag << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--vertices") {
+            options.vertices = std::stoul(need_value("--vertices"));
+        } else if (arg == "--ranks") {
+            options.ranks = static_cast<std::uint32_t>(std::stoul(need_value("--ranks")));
+        } else if (arg == "--threads") {
+            options.threads = std::stoul(need_value("--threads"));
+        } else if (arg == "--seed") {
+            options.seed = std::stoull(need_value("--seed"));
+        } else if (arg == "--scale") {
+            options.scale = std::stod(need_value("--scale"));
+        } else if (arg == "--csv") {
+            options.csv = need_value("--csv");
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << description << "\n\n"
+                      << "flags:\n"
+                      << "  --vertices N   host graph size (default 1200; paper: 50000)\n"
+                      << "  --ranks P      simulated processors (default 16)\n"
+                      << "  --threads T    IA threads per rank (default 4)\n"
+                      << "  --seed S       RNG seed (default 42)\n"
+                      << "  --scale F      scale vertices and batches by F\n"
+                      << "  --csv PATH     also append rows to a CSV file\n";
+            std::exit(0);
+        } else {
+            std::cerr << "unknown flag: " << arg << " (try --help)\n";
+            std::exit(2);
+        }
+    }
+    return options;
+}
+
+EngineConfig engine_config(const Options& options) {
+    EngineConfig config;
+    config.num_ranks = options.ranks;
+    config.ia_threads = options.threads;
+    config.seed = options.seed;
+    // Scaled model: the paper runs at n = 50,000 where per-message payloads
+    // are hundreds of kilobytes and the fixed LogP latency is negligible.
+    // At a scaled-down n the payload (bandwidth) terms shrink like n^2 but a
+    // fixed latency would not, so the cost balance would be distorted toward
+    // latency. Shrinking latency/overhead proportionally with n preserves
+    // the paper's compute/bandwidth/latency balance at reduced scale (see
+    // EXPERIMENTS.md "Scaling methodology").
+    const double shrink =
+        std::min(1.0, static_cast<double>(options.scaled_vertices()) / 50000.0);
+    config.logp.latency *= shrink;
+    config.logp.overhead *= shrink;
+    return config;
+}
+
+DynamicGraph make_host_graph(const Options& options) {
+    Rng rng(options.seed);
+    return barabasi_albert(options.scaled_vertices(), 3, rng);
+}
+
+GrowthBatch make_batch(std::size_t host_vertices, std::size_t count,
+                       std::uint64_t seed) {
+    GrowthConfig config;
+    config.num_new = count;
+    // Batch community count grows slowly with the batch, matching the
+    // multi-community batches the paper extracts via Louvain.
+    config.communities = std::clamp<std::size_t>(count / 24, 2, 8);
+    config.intra_edges = 3;
+    config.host_edges = 2;
+    config.noise = 0.05;
+    Rng rng(seed);
+    return grow_batch(host_vertices, config, rng);
+}
+
+namespace {
+std::vector<std::size_t> scaled_fractions(const Options& options,
+                                          std::initializer_list<double> fractions) {
+    std::vector<std::size_t> sizes;
+    for (const double f : fractions) {
+        sizes.push_back(std::max<std::size_t>(
+            4, static_cast<std::size_t>(f * static_cast<double>(options.scaled_vertices()))));
+    }
+    return sizes;
+}
+}  // namespace
+
+std::vector<std::size_t> figure5_batch_sizes(const Options& options) {
+    // Paper: 500, 1000, 2000, 3000, 4000, 6000 of 50,000 (1%..12%), plus one
+    // extra 16% point: at reduced scale the Figure 6 crossover sits slightly
+    // beyond the paper's axis (see EXPERIMENTS.md).
+    return scaled_fractions(options, {0.01, 0.02, 0.04, 0.06, 0.08, 0.12, 0.16});
+}
+
+std::vector<std::size_t> figure8_step_sizes(const Options& options) {
+    // Paper: 51, 187, 383, 561 per step of 50,000 (x10 steps). The paper's
+    // smallest fractions collapse to the same integer at reduced host sizes,
+    // so they are doubled here (the sweep's 1:3.7:7.5:11 spread is what the
+    // figure exercises, not the absolute counts).
+    auto sizes = scaled_fractions(options, {0.00204, 0.00748, 0.01532, 0.02244});
+    for (std::size_t i = 1; i < sizes.size(); ++i) {
+        sizes[i] = std::max(sizes[i], sizes[i - 1] + 1);  // keep strictly rising
+    }
+    return sizes;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+    rows_.push_back(std::move(row));
+}
+
+void Table::print() const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        widths[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    const auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+        }
+        std::printf("\n");
+    };
+    print_row(header_);
+    std::size_t total = header_.size() - 1 + 2 * header_.size();
+    for (const std::size_t w : widths) {
+        total += w;
+    }
+    for (std::size_t i = 0; i + 2 < total; ++i) {
+        std::printf("-");
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) {
+        print_row(row);
+    }
+    std::fflush(stdout);
+}
+
+void Table::write_csv(const std::string& path) const {
+    if (path.empty()) {
+        return;
+    }
+    const bool fresh = [&] {
+        std::ifstream probe(path);
+        return !probe.good() || probe.peek() == std::ifstream::traits_type::eof();
+    }();
+    std::ofstream out(path, std::ios::app);
+    const auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c > 0) {
+                out << ',';
+            }
+            out << row[c];
+        }
+        out << '\n';
+    };
+    if (fresh) {
+        emit(header_);
+    }
+    for (const auto& row : rows_) {
+        emit(row);
+    }
+}
+
+std::string fmt_seconds(double seconds) {
+    std::ostringstream out;
+    out.precision(4);
+    out << seconds;
+    return out.str();
+}
+
+std::string fmt_double(double value, int precision) {
+    std::ostringstream out;
+    out.precision(precision);
+    out << std::fixed << value;
+    return out.str();
+}
+
+}  // namespace aa::bench

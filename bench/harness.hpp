@@ -1,0 +1,83 @@
+// Shared support for the figure-reproduction benchmark binaries: CLI flags,
+// experiment configuration scaled from the paper's setup, workload
+// construction, and aligned table output.
+//
+// The paper's experiments use a 50,000-vertex scale-free graph on 16
+// processors. Full APSP state at that size is ~20 GB, so the default here is
+// a proportionally scaled-down instance (every batch size is the same
+// *fraction* of the host graph as in the paper); pass --vertices to change
+// it. See EXPERIMENTS.md for the scaling argument and recorded outputs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+
+namespace aa::bench {
+
+struct Options {
+    /// Host graph size (paper: 50,000).
+    std::size_t vertices{1200};
+    /// Simulated processors (paper: 16).
+    std::uint32_t ranks{16};
+    /// IA threads per rank (paper: multithreaded Dijkstra via OpenMP).
+    std::size_t threads{4};
+    std::uint64_t seed{42};
+    /// Multiplier on vertices (and hence batch sizes): --scale 0.5 for quick
+    /// runs, 2.0 for larger ones.
+    double scale{1.0};
+    /// Optional CSV output path ("" = none).
+    std::string csv;
+
+    std::size_t scaled_vertices() const {
+        return static_cast<std::size_t>(static_cast<double>(vertices) * scale);
+    }
+};
+
+/// Parse --vertices/--ranks/--threads/--seed/--scale/--csv. Unknown flags
+/// abort with a usage message. Returns the options.
+Options parse_options(int argc, char** argv, const std::string& description);
+
+/// Engine configuration matching the paper's setup at the chosen scale.
+EngineConfig engine_config(const Options& options);
+
+/// The benchmark host graph: an undirected scale-free (Barabasi-Albert)
+/// graph, as the paper generates with Pajek.
+DynamicGraph make_host_graph(const Options& options);
+
+/// A community-structured batch (the paper extracts batches with Louvain so
+/// they carry community structure; see DESIGN.md).
+GrowthBatch make_batch(std::size_t host_vertices, std::size_t count,
+                       std::uint64_t seed);
+
+/// The paper's batch-size sweep (500..6000 on a 50k host) as fractions of the
+/// configured host size.
+std::vector<std::size_t> figure5_batch_sizes(const Options& options);
+
+/// The paper's Figure 8 per-step addition counts (51/187/383/561 per RC step
+/// on a 50k host) as fractions of the configured host size.
+std::vector<std::size_t> figure8_step_sizes(const Options& options);
+
+// ---- output --------------------------------------------------------------
+
+class Table {
+public:
+    explicit Table(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> row);
+    /// Print aligned columns to stdout.
+    void print() const;
+    /// Append as CSV to `path` (writes header if the file is new/empty).
+    void write_csv(const std::string& path) const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt_seconds(double seconds);
+std::string fmt_double(double value, int precision = 3);
+
+}  // namespace aa::bench

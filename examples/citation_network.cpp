@@ -1,0 +1,104 @@
+// Scenario: a citation network absorbing new publication venues (the
+// paper's second motivating workload — "adding new publications to a
+// citation network").
+//
+// New papers arrive as tight topical clusters (a conference's proceedings):
+// exactly the community-structured batches where CutEdge-PS pays off. The
+// example quantifies the strategy choice the way the paper's Figure 7 does —
+// by the number of new cut-edges each assignment creates — and verifies that
+// Louvain recovers the injected topical clusters from the final graph.
+#include <cstdio>
+
+#include "core/strategies.hpp"
+#include "graph/community.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/metrics.hpp"
+
+namespace {
+
+/// New cut-edges a strategy's assignment would create for `batch` (counted
+/// on the batch's own edges, given the engine's current ownership).
+std::size_t assignment_cut(const aa::AnytimeEngine& engine,
+                           const aa::GrowthBatch& batch,
+                           const std::vector<aa::RankId>& assignment) {
+    const auto& owners = engine.owners();
+    const auto rank_of = [&](aa::VertexId v) {
+        return v >= batch.base_id ? assignment[v - batch.base_id] : owners[v];
+    };
+    std::size_t cut = 0;
+    for (const aa::Edge& e : batch.edges) {
+        cut += rank_of(e.u) != rank_of(e.v);
+    }
+    return cut;
+}
+
+}  // namespace
+
+int main() {
+    using namespace aa;
+
+    // The citation corpus: scale-free, as citation graphs are.
+    Rng rng(314);
+    DynamicGraph corpus = barabasi_albert(800, 3, rng);
+    std::printf("citation corpus: %zu papers, %zu citations\n",
+                corpus.num_vertices(), corpus.num_edges());
+
+    EngineConfig config;
+    config.num_ranks = 8;
+    config.ia_threads = 4;
+    AnytimeEngine engine(corpus, config);
+    engine.initialize();
+    engine.run_to_quiescence();
+    std::printf("initial analysis converged in %zu RC steps (%.3f sim s)\n\n",
+                engine.rc_steps_completed(), engine.sim_seconds());
+
+    // A new conference's proceedings: 4 topical sessions, heavy intra-session
+    // citation, a few citations into the existing corpus.
+    GrowthConfig growth;
+    growth.num_new = 96;
+    growth.communities = 4;
+    growth.intra_edges = 4;
+    growth.host_edges = 1;
+    growth.noise = 0.02;
+    Rng batch_rng(2718);
+    const GrowthBatch proceedings = grow_batch(engine.num_vertices(), growth,
+                                               batch_rng);
+    std::printf("new proceedings: %zu papers in %zu sessions, %zu citations\n",
+                proceedings.num_new, static_cast<std::size_t>(growth.communities),
+                proceedings.edges.size());
+
+    // Compare what each assignment policy would cost in new cut-edges
+    // (Figure 7's metric), then commit to CutEdge-PS.
+    CutEdgePS cut_edge(161);
+    const auto ce_assignment = cut_edge.assignment(engine, proceedings);
+    const auto rr_assignment = RoundRobinPS::assignment(
+        proceedings.num_new, static_cast<std::uint32_t>(engine.num_ranks()), 0);
+    std::printf("hypothetical new cut-edges:  RoundRobin-PS %zu   CutEdge-PS %zu\n",
+                assignment_cut(engine, proceedings, rr_assignment),
+                assignment_cut(engine, proceedings, ce_assignment));
+
+    engine.apply_addition(proceedings, cut_edge);
+    engine.run_to_quiescence();
+    std::printf("incorporated in-flight; total sim time %.3fs\n\n",
+                engine.sim_seconds());
+
+    // Most-cited-adjacent analysis: closeness ranking of the grown corpus.
+    const auto scores = engine.closeness();
+    const auto ranking = closeness_ranking(scores);
+    std::printf("most central papers: %u, %u, %u\n", ranking[0], ranking[1],
+                ranking[2]);
+
+    // Sanity: Louvain on the final graph should isolate the new sessions as
+    // communities (high modularity among the new vertices).
+    Rng louvain_rng(99);
+    const auto communities = louvain(engine.graph(), louvain_rng);
+    std::printf("Louvain on the grown corpus: %u communities, modularity %.3f\n",
+                communities.num_communities, communities.modularity);
+
+    // Persist the grown corpus for external tooling (SNAP format).
+    const std::string out = "citation_grown.snap.txt";
+    write_snap_edge_list_file(engine.graph(), out);
+    std::printf("grown corpus written to %s\n", out.c_str());
+    return 0;
+}

@@ -1,0 +1,78 @@
+// Scenario: choosing a domain-decomposition strategy for a deployment.
+//
+// The DD phase's partition quality controls both load balance (vertices per
+// rank) and communication volume (cut edges) for everything that follows —
+// the paper's §IV.A. This example compares the bundled partitioners across
+// graph families and shows the downstream effect on a real engine run
+// (simulated time to converge closeness centrality).
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "partition/multilevel.hpp"
+#include "partition/simple.hpp"
+
+namespace {
+
+using namespace aa;
+
+void report(const char* name, const DynamicGraph& g, const Partitioning& p) {
+    const auto q = evaluate_partition(g, p);
+    std::printf("  %-12s cut %5zu (%.1f%% of edges)  imbalance %.3f\n", name,
+                q.cut_edges,
+                100.0 * static_cast<double>(q.cut_edges) /
+                    static_cast<double>(g.num_edges()),
+                q.imbalance);
+}
+
+}  // namespace
+
+int main() {
+    using namespace aa;
+
+    const std::uint32_t k = 8;
+    struct Family {
+        const char* name;
+        DynamicGraph graph;
+    };
+    Rng rng(1);
+    Family families[] = {
+        {"scale-free (BA)", barabasi_albert(1000, 3, rng)},
+        {"community (SBM)", planted_partition(1000, 8, 0.04, 0.002, rng)},
+        {"small-world (WS)", watts_strogatz(1000, 3, 0.1, rng)},
+    };
+
+    for (const Family& family : families) {
+        std::printf("%s: %zu vertices, %zu edges, %u parts\n", family.name,
+                    family.graph.num_vertices(), family.graph.num_edges(), k);
+        Rng seed_rng(7);
+        report("multilevel", family.graph,
+               multilevel_partition(family.graph, k, seed_rng));
+        report("bfs-grow", family.graph, bfs_partition(family.graph, k, seed_rng));
+        report("round-robin", family.graph,
+               round_robin_partition(family.graph.num_vertices(), k));
+        report("random", family.graph,
+               random_partition(family.graph.num_vertices(), k, seed_rng));
+        std::printf("\n");
+    }
+
+    // Downstream effect: the same analysis is faster on a better partition
+    // because every RC step exchanges fewer boundary entries. We emulate a
+    // bad DD phase by handing the engine a pre-scrambled vertex order is not
+    // possible through the public API, so instead compare the multilevel DD
+    // engine against the cut-edge count a random assignment would produce.
+    std::printf("downstream: engine run on the scale-free graph (multilevel DD)\n");
+    EngineConfig config;
+    config.num_ranks = k;
+    config.ia_threads = 4;
+    AnytimeEngine engine(families[0].graph, config);
+    engine.initialize();
+    const std::size_t cut = engine.current_cut_edges();
+    engine.run_to_quiescence();
+    std::printf("  converged in %zu RC steps, %.3f sim s, live cut %zu edges\n",
+                engine.rc_steps_completed(), engine.sim_seconds(), cut);
+    std::printf("  comm share: %.1f%%\n",
+                100.0 * engine.cluster().stats().comm_seconds /
+                    engine.sim_seconds());
+    return 0;
+}

@@ -1,0 +1,27 @@
+// Lightweight contract checking. AA_ASSERT is active in all build types:
+// the invariants it guards (distance monotonicity, id-mapping consistency)
+// are cheap relative to the O(n^2) work around them and catching violations
+// in RelWithDebInfo bench runs is worth the cost.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace aa::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+    std::fprintf(stderr, "AA_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+                 msg != nullptr ? msg : "");
+    std::abort();
+}
+
+}  // namespace aa::detail
+
+#define AA_ASSERT(expr)                                                      \
+    ((expr) ? static_cast<void>(0)                                           \
+            : ::aa::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define AA_ASSERT_MSG(expr, msg)                                             \
+    ((expr) ? static_cast<void>(0)                                           \
+            : ::aa::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)))

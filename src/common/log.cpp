@@ -1,0 +1,34 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace aa {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* level_name(LogLevel level) {
+    switch (level) {
+        case LogLevel::Debug: return "DEBUG";
+        case LogLevel::Info: return "INFO";
+        case LogLevel::Warn: return "WARN";
+        case LogLevel::Error: return "ERROR";
+        case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view message) {
+    std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
+                 static_cast<int>(message.size()), message.data());
+}
+}  // namespace detail
+
+}  // namespace aa

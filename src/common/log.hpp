@@ -1,0 +1,75 @@
+// Minimal leveled logging to stderr. Benchmarks and examples use Info;
+// the library itself only logs at Debug so that default runs stay quiet.
+//
+// Formatting uses "{}" placeholders filled left to right (std::format is not
+// available on the GCC 12 toolchain this builds on).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace aa {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+
+void log_emit(LogLevel level, std::string_view message);
+
+inline void format_into(std::ostringstream& out, std::string_view fmt) {
+    out << fmt;
+}
+
+template <typename First, typename... Rest>
+void format_into(std::ostringstream& out, std::string_view fmt, const First& first,
+                 const Rest&... rest) {
+    const std::size_t pos = fmt.find("{}");
+    if (pos == std::string_view::npos) {
+        out << fmt;
+        return;
+    }
+    out << fmt.substr(0, pos) << first;
+    format_into(out, fmt.substr(pos + 2), rest...);
+}
+
+}  // namespace detail
+
+/// Format "{}" placeholders with the arguments, in order.
+template <typename... Args>
+std::string format(std::string_view fmt, const Args&... args) {
+    std::ostringstream out;
+    detail::format_into(out, fmt, args...);
+    return out.str();
+}
+
+template <typename... Args>
+void log(LogLevel level, std::string_view fmt, const Args&... args) {
+    if (level < log_level()) {
+        return;
+    }
+    detail::log_emit(level, format(fmt, args...));
+}
+
+template <typename... Args>
+void log_debug(std::string_view fmt, const Args&... args) {
+    log(LogLevel::Debug, fmt, args...);
+}
+template <typename... Args>
+void log_info(std::string_view fmt, const Args&... args) {
+    log(LogLevel::Info, fmt, args...);
+}
+template <typename... Args>
+void log_warn(std::string_view fmt, const Args&... args) {
+    log(LogLevel::Warn, fmt, args...);
+}
+template <typename... Args>
+void log_error(std::string_view fmt, const Args&... args) {
+    log(LogLevel::Error, fmt, args...);
+}
+
+}  // namespace aa

@@ -1,0 +1,40 @@
+#include "common/rng.hpp"
+
+namespace aa {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) {
+        word = splitmix64(sm);
+    }
+    // Avoid the all-zero state, which xoshiro cannot escape.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+        s_[0] = 1;
+    }
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+    AA_ASSERT_MSG(bound > 0, "uniform() requires bound > 0");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;  // (2^64 - bound) mod bound
+    for (;;) {
+        const std::uint64_t r = (*this)();
+        if (r >= threshold) {
+            return r % bound;
+        }
+    }
+}
+
+}  // namespace aa

@@ -1,0 +1,36 @@
+// Fundamental scalar types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace aa {
+
+/// Global vertex identifier. Vertices are densely numbered [0, n).
+using VertexId = std::uint32_t;
+
+/// Local (per-rank) vertex index within a sub-graph.
+using LocalId = std::uint32_t;
+
+/// Rank (simulated processor) identifier.
+using RankId = std::uint32_t;
+
+/// Edge weight / shortest-path distance. Non-negative.
+using Weight = double;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+
+/// Sentinel for "unknown / unreachable" distance.
+inline constexpr Weight kInfinity = std::numeric_limits<Weight>::infinity();
+
+/// An undirected weighted edge between global vertex ids.
+struct Edge {
+    VertexId u{kInvalidVertex};
+    VertexId v{kInvalidVertex};
+    Weight weight{1.0};
+
+    friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+}  // namespace aa

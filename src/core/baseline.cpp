@@ -1,0 +1,40 @@
+#include "core/baseline.hpp"
+
+namespace aa {
+
+DynamicGraph apply_batch(const DynamicGraph& host, const GrowthBatch& batch) {
+    DynamicGraph grown = host;
+    const VertexId base = grown.add_vertices(batch.num_new);
+    AA_ASSERT_MSG(base == batch.base_id, "batch does not follow the host graph");
+    for (const Edge& e : batch.edges) {
+        grown.add_edge(e.u, e.v, e.weight);
+    }
+    return grown;
+}
+
+StaticRun static_run(const DynamicGraph& graph, const EngineConfig& config) {
+    AnytimeEngine engine(graph, config);
+    engine.initialize();
+    StaticRun run;
+    run.rc_steps = engine.run_to_quiescence();
+    run.sim_seconds = engine.sim_seconds();
+    return run;
+}
+
+RestartRun baseline_restart(const DynamicGraph& host, const GrowthBatch& batch,
+                            std::size_t inject_step, const EngineConfig& config) {
+    RestartRun result;
+    {
+        // Progress until the change arrives; all of it is thrown away.
+        AnytimeEngine engine(host, config);
+        engine.initialize();
+        engine.run_rc_steps(inject_step);
+        result.wasted_seconds = engine.sim_seconds();
+    }
+    const StaticRun rerun = static_run(apply_batch(host, batch), config);
+    result.recompute_seconds = rerun.sim_seconds;
+    result.recompute_rc_steps = rerun.rc_steps;
+    return result;
+}
+
+}  // namespace aa

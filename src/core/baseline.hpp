@@ -1,0 +1,37 @@
+// Baseline restart: the comparison point of the paper's Figure 4 and 8 —
+// a static analysis that throws everything away and recomputes DD+IA+RC from
+// scratch whenever the graph changes.
+#pragma once
+
+#include <cstddef>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace aa {
+
+/// `host` grown by `batch` (vertices appended, edges added).
+DynamicGraph apply_batch(const DynamicGraph& host, const GrowthBatch& batch);
+
+/// Simulated time of one full static run (DD + IA + RC to quiescence).
+struct StaticRun {
+    double sim_seconds{0};
+    std::size_t rc_steps{0};
+};
+StaticRun static_run(const DynamicGraph& graph, const EngineConfig& config);
+
+/// The restart policy for a single batch injected at RC step `inject_step`:
+/// progress on the host graph up to that step is wasted, then the grown graph
+/// is recomputed from scratch.
+struct RestartRun {
+    double wasted_seconds{0};     // progress discarded at the change
+    double recompute_seconds{0};  // the from-scratch rerun
+    std::size_t recompute_rc_steps{0};
+
+    double total_seconds() const { return wasted_seconds + recompute_seconds; }
+};
+RestartRun baseline_restart(const DynamicGraph& host, const GrowthBatch& batch,
+                            std::size_t inject_step, const EngineConfig& config);
+
+}  // namespace aa

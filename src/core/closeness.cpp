@@ -1,0 +1,126 @@
+#include "core/closeness.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/assert.hpp"
+
+namespace aa {
+
+ClosenessScores closeness_from_matrix(const std::vector<std::vector<Weight>>& dist) {
+    ClosenessScores scores;
+    const std::size_t n = dist.size();
+    scores.closeness.resize(n, 0);
+    scores.reachable.resize(n, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+        AA_ASSERT(dist[v].size() == n);
+        Weight sum = 0;
+        std::size_t reached = 0;
+        for (std::size_t t = 0; t < n; ++t) {
+            if (dist[v][t] < kInfinity) {
+                sum += dist[v][t];
+                ++reached;
+            }
+        }
+        scores.reachable[v] = reached;
+        scores.closeness[v] = sum > 0 ? 1.0 / sum : 0.0;
+    }
+    return scores;
+}
+
+std::vector<Weight> exact_sssp(const DynamicGraph& g, VertexId source) {
+    const std::size_t n = g.num_vertices();
+    AA_ASSERT(source < n);
+    std::vector<Weight> dist(n, kInfinity);
+    using HeapItem = std::pair<Weight, VertexId>;
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+    dist[source] = 0;
+    heap.push({0, source});
+    while (!heap.empty()) {
+        const auto [d, u] = heap.top();
+        heap.pop();
+        if (d > dist[u]) {
+            continue;
+        }
+        for (const Neighbor& nb : g.neighbors(u)) {
+            const Weight candidate = d + nb.weight;
+            if (candidate < dist[nb.to]) {
+                dist[nb.to] = candidate;
+                heap.push({candidate, nb.to});
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<std::vector<Weight>> exact_apsp(const DynamicGraph& g) {
+    std::vector<std::vector<Weight>> dist;
+    dist.reserve(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        dist.push_back(exact_sssp(g, v));
+    }
+    return dist;
+}
+
+ClosenessScores exact_closeness(const DynamicGraph& g) {
+    return closeness_from_matrix(exact_apsp(g));
+}
+
+std::vector<Weight> harmonic_closeness_from_matrix(
+    const std::vector<std::vector<Weight>>& dist) {
+    const std::size_t n = dist.size();
+    std::vector<Weight> scores(n, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+        AA_ASSERT(dist[v].size() == n);
+        Weight sum = 0;
+        for (std::size_t t = 0; t < n; ++t) {
+            if (t != v && dist[v][t] < kInfinity && dist[v][t] > 0) {
+                sum += 1.0 / dist[v][t];
+            }
+        }
+        scores[v] = sum;
+    }
+    return scores;
+}
+
+std::vector<Weight> exact_harmonic_closeness(const DynamicGraph& g) {
+    return harmonic_closeness_from_matrix(exact_apsp(g));
+}
+
+EccentricityStats eccentricity_from_matrix(
+    const std::vector<std::vector<Weight>>& dist) {
+    EccentricityStats stats;
+    const std::size_t n = dist.size();
+    stats.eccentricity.resize(n, 0);
+    bool any = false;
+    for (std::size_t v = 0; v < n; ++v) {
+        Weight ecc = 0;
+        for (std::size_t t = 0; t < n; ++t) {
+            if (dist[v][t] < kInfinity) {
+                ecc = std::max(ecc, dist[v][t]);
+            }
+        }
+        stats.eccentricity[v] = ecc;
+        if (ecc > 0) {
+            stats.radius = any ? std::min(stats.radius, ecc) : ecc;
+            stats.diameter = std::max(stats.diameter, ecc);
+            any = true;
+        }
+    }
+    return stats;
+}
+
+std::vector<VertexId> closeness_ranking(const ClosenessScores& scores) {
+    std::vector<VertexId> order(scores.closeness.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+        if (scores.closeness[a] != scores.closeness[b]) {
+            return scores.closeness[a] > scores.closeness[b];
+        }
+        return a < b;
+    });
+    return order;
+}
+
+}  // namespace aa

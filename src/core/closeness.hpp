@@ -1,0 +1,56 @@
+// Closeness centrality: the paper's target measure, plus an exact sequential
+// reference used for validation and for measuring anytime solution quality.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace aa {
+
+struct ClosenessScores {
+    /// closeness[v] = 1 / sum_t d(v, t) over reachable t (the paper's §IV
+    /// definition); 0 if v reaches nothing.
+    std::vector<Weight> closeness;
+    /// Number of vertices v currently reaches (including itself). With
+    /// partial (anytime) results this is how much of the row has converged
+    /// to a finite estimate.
+    std::vector<std::size_t> reachable;
+};
+
+/// Closeness from a full distance matrix (rows may contain kInfinity).
+ClosenessScores closeness_from_matrix(const std::vector<std::vector<Weight>>& dist);
+
+/// Exact APSP by sequential Dijkstra from every vertex. O(n (m + n) log n);
+/// intended for validation at test scales.
+std::vector<std::vector<Weight>> exact_apsp(const DynamicGraph& g);
+
+/// Exact single-source shortest paths.
+std::vector<Weight> exact_sssp(const DynamicGraph& g, VertexId source);
+
+/// Exact closeness of every vertex.
+ClosenessScores exact_closeness(const DynamicGraph& g);
+
+/// Ranking: vertex ids sorted by descending closeness (ties by id).
+std::vector<VertexId> closeness_ranking(const ClosenessScores& scores);
+
+/// Harmonic closeness: sum of 1/d(v, t) over t != v. Unlike the paper's
+/// inverse-sum definition it is well-behaved on disconnected graphs
+/// (unreachable targets contribute 0 instead of poisoning the sum), so it is
+/// the variant to use on multi-component data.
+std::vector<Weight> harmonic_closeness_from_matrix(
+    const std::vector<std::vector<Weight>>& dist);
+std::vector<Weight> exact_harmonic_closeness(const DynamicGraph& g);
+
+/// Eccentricity of each vertex (max finite distance; 0 if nothing reached)
+/// and the derived graph diameter / radius over the largest distances.
+struct EccentricityStats {
+    std::vector<Weight> eccentricity;
+    Weight diameter{0};  // max eccentricity
+    Weight radius{0};    // min nonzero eccentricity (0 if none)
+};
+EccentricityStats eccentricity_from_matrix(
+    const std::vector<std::vector<Weight>>& dist);
+
+}  // namespace aa

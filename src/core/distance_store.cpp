@@ -1,0 +1,143 @@
+#include "core/distance_store.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace aa {
+
+namespace {
+/// Required relative improvement; guards against float-noise ping-pong when
+/// the same path length is derived via different summation orders.
+constexpr Weight kEpsilon = 1e-12;
+}  // namespace
+
+LocalId DistanceStore::add_row(VertexId self) {
+    AA_ASSERT(self < num_columns_);
+    Row row;
+    row.self = self;
+    row.dist.assign(num_columns_, kInfinity);
+    row.dist[self] = 0;
+    row.in_prop.assign(num_columns_, 0);
+    row.in_send.assign(num_columns_, 0);
+    rows_.push_back(std::move(row));
+    return static_cast<LocalId>(rows_.size() - 1);
+}
+
+void DistanceStore::grow_columns(std::size_t new_count) {
+    AA_ASSERT(new_count >= num_columns_);
+    num_columns_ = new_count;
+    for (Row& row : rows_) {
+        row.dist.resize(new_count, kInfinity);
+        row.in_prop.resize(new_count, 0);
+        row.in_send.resize(new_count, 0);
+    }
+}
+
+bool DistanceStore::relax(LocalId r, VertexId col, Weight candidate, bool mark_prop,
+                          bool mark_send) {
+    AA_ASSERT(r < rows_.size() && col < num_columns_);
+    Row& row = rows_[r];
+    if (!(candidate < row.dist[col] - kEpsilon)) {
+        return false;
+    }
+    row.dist[col] = candidate;
+    if (mark_prop && row.in_prop[col] == 0) {
+        row.in_prop[col] = 1;
+        row.prop_cols.push_back(col);
+    }
+    if (mark_send && row.in_send[col] == 0) {
+        row.in_send[col] = 1;
+        row.send_cols.push_back(col);
+    }
+    return true;
+}
+
+std::vector<VertexId> DistanceStore::take_prop(LocalId r) {
+    AA_ASSERT(r < rows_.size());
+    Row& row = rows_[r];
+    for (const VertexId col : row.prop_cols) {
+        row.in_prop[col] = 0;
+    }
+    return std::exchange(row.prop_cols, {});
+}
+
+std::vector<VertexId> DistanceStore::take_send(LocalId r) {
+    AA_ASSERT(r < rows_.size());
+    Row& row = rows_[r];
+    for (const VertexId col : row.send_cols) {
+        row.in_send[col] = 0;
+    }
+    return std::exchange(row.send_cols, {});
+}
+
+bool DistanceStore::any_send_pending() const {
+    return std::any_of(rows_.begin(), rows_.end(),
+                       [](const Row& row) { return !row.send_cols.empty(); });
+}
+
+bool DistanceStore::any_prop_pending() const {
+    return std::any_of(rows_.begin(), rows_.end(),
+                       [](const Row& row) { return !row.prop_cols.empty(); });
+}
+
+void DistanceStore::mark_row_for_send(LocalId r) {
+    AA_ASSERT(r < rows_.size());
+    Row& row = rows_[r];
+    for (VertexId col = 0; col < num_columns_; ++col) {
+        if (row.dist[col] < kInfinity && row.in_send[col] == 0) {
+            row.in_send[col] = 1;
+            row.send_cols.push_back(col);
+        }
+    }
+}
+
+void DistanceStore::mark_row_for_prop(LocalId r) {
+    AA_ASSERT(r < rows_.size());
+    Row& row = rows_[r];
+    for (VertexId col = 0; col < num_columns_; ++col) {
+        if (row.dist[col] < kInfinity && row.in_prop[col] == 0) {
+            row.in_prop[col] = 1;
+            row.prop_cols.push_back(col);
+        }
+    }
+}
+
+void DistanceStore::install_row(LocalId r, std::vector<Weight> values) {
+    AA_ASSERT(r < rows_.size());
+    AA_ASSERT(values.size() == num_columns_);
+    Row& row = rows_[r];
+    row.dist = std::move(values);
+    AA_ASSERT_MSG(row.dist[row.self] == 0, "migrated row lost its zero diagonal");
+}
+
+std::vector<Weight> DistanceStore::extract_row(LocalId r) {
+    AA_ASSERT(r < rows_.size());
+    Row& row = rows_[r];
+    std::vector<Weight> values = std::move(row.dist);
+    row.dist.assign(num_columns_, kInfinity);
+    row.dist[row.self] = 0;
+    // Dirty state is meaningless for a vacated row.
+    for (const VertexId col : row.prop_cols) {
+        row.in_prop[col] = 0;
+    }
+    for (const VertexId col : row.send_cols) {
+        row.in_send[col] = 0;
+    }
+    row.prop_cols.clear();
+    row.send_cols.clear();
+    return values;
+}
+
+std::vector<DvEntry> DistanceStore::finite_entries(LocalId r) const {
+    AA_ASSERT(r < rows_.size());
+    const Row& row = rows_[r];
+    std::vector<DvEntry> entries;
+    for (VertexId col = 0; col < num_columns_; ++col) {
+        if (row.dist[col] < kInfinity) {
+            entries.push_back({col, row.dist[col]});
+        }
+    }
+    return entries;
+}
+
+}  // namespace aa

@@ -1,0 +1,110 @@
+// Distance vectors (DVs) — the per-rank partial APSP state.
+//
+// Rank p stores one row per owned vertex: row(v)[t] = the current upper bound
+// on d(v, t) for every global vertex t. Rows only ever decrease (the
+// distance-vector-routing invariant for additive updates), which is both the
+// anytime monotonicity property and the termination argument.
+//
+// Two pieces of dirty tracking drive the incremental algorithm:
+//   * prop columns  — entries changed but not yet propagated to the rank's
+//     *local* neighbours (the within-rank relaxation worklist),
+//   * send columns  — entries changed but not yet shared with *other* ranks
+//     (the boundary-DV payload of the next RC step).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace aa {
+
+/// One serialized DV entry on the wire.
+struct DvEntry {
+    VertexId column;
+    Weight distance;
+};
+static_assert(std::is_trivially_copyable_v<DvEntry>);
+
+class DistanceStore {
+public:
+    explicit DistanceStore(std::size_t num_columns = 0) : num_columns_(num_columns) {}
+
+    std::size_t num_rows() const { return rows_.size(); }
+    std::size_t num_columns() const { return num_columns_; }
+
+    /// Append a row of kInfinity except dist[self] = 0. Rows are indexed by
+    /// LocalId in creation order, matching LocalSubgraph::adopt order.
+    LocalId add_row(VertexId self);
+
+    /// Grow every row (and the column space) to `new_count` columns.
+    void grow_columns(std::size_t new_count);
+
+    std::span<const Weight> row(LocalId r) const {
+        AA_ASSERT(r < rows_.size());
+        return rows_[r].dist;
+    }
+
+    Weight at(LocalId r, VertexId col) const {
+        AA_ASSERT(r < rows_.size() && col < num_columns_);
+        return rows_[r].dist[col];
+    }
+
+    /// Attempt to lower row r's entry for `col` to `candidate`. On success
+    /// marks the column in the prop and/or send dirty sets. Returns true if
+    /// the value improved.
+    bool relax(LocalId r, VertexId col, Weight candidate, bool mark_prop = true,
+               bool mark_send = true);
+
+    /// Drain the propagation worklist of row r (columns changed since last
+    /// local propagation). Clears the set.
+    std::vector<VertexId> take_prop(LocalId r);
+
+    /// Drain the send worklist of row r.
+    std::vector<VertexId> take_send(LocalId r);
+
+    bool has_prop(LocalId r) const { return !rows_[r].prop_cols.empty(); }
+    bool has_send(LocalId r) const { return !rows_[r].send_cols.empty(); }
+
+    /// Any row with unsent changes?
+    bool any_send_pending() const;
+    /// Any row with unpropagated changes?
+    bool any_prop_pending() const;
+
+    /// Mark every finite entry of row r as needing (re)send — used after IA
+    /// and when a row gains a new neighbouring rank (the paper's "start
+    /// sending DV" notification).
+    void mark_row_for_send(LocalId r);
+
+    /// Mark every finite entry of row r for local propagation — used after
+    /// Repartition-S rebuilds rank state: newly co-located rows have never
+    /// been relaxed against each other, so a full local sweep is owed.
+    void mark_row_for_prop(LocalId r);
+
+    /// Install a full row received via migration (Repartition-S). Overwrites
+    /// (the incoming row is the authoritative state for that vertex).
+    void install_row(LocalId r, std::vector<Weight> values);
+
+    /// Move row r out (for migration); the row remains but is reset to
+    /// infinity. Returns the values.
+    std::vector<Weight> extract_row(LocalId r);
+
+    /// Collect (column, distance) pairs of all finite entries of row r.
+    std::vector<DvEntry> finite_entries(LocalId r) const;
+
+private:
+    struct Row {
+        VertexId self{kInvalidVertex};
+        std::vector<Weight> dist;
+        std::vector<VertexId> prop_cols;
+        std::vector<VertexId> send_cols;
+        std::vector<std::uint8_t> in_prop;  // bitmap over columns
+        std::vector<std::uint8_t> in_send;
+    };
+
+    std::vector<Row> rows_;
+    std::size_t num_columns_{0};
+};
+
+}  // namespace aa

@@ -1,0 +1,398 @@
+#include "core/engine.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <cstring>
+#include <istream>
+#include <iterator>
+#include <ostream>
+
+#include "common/assert.hpp"
+#include "core/ia.hpp"
+#include "core/rc.hpp"
+#include "core/strategies.hpp"
+#include "runtime/message.hpp"
+
+namespace aa {
+
+AnytimeEngine::AnytimeEngine(DynamicGraph graph, EngineConfig config)
+    : graph_(std::move(graph)),
+      config_(config),
+      cluster_(std::make_unique<Cluster>(config.num_ranks, config.logp,
+                                         config.schedule)),
+      pool_(std::make_unique<ThreadPool>(config.ia_threads)),
+      rng_(config.seed) {
+    AA_ASSERT_MSG(config_.num_ranks >= 1, "need at least one rank");
+}
+
+AnytimeEngine::~AnytimeEngine() = default;
+
+std::size_t AnytimeEngine::num_ranks() const { return cluster_->num_ranks(); }
+
+double AnytimeEngine::sim_seconds() const { return cluster_->max_time(); }
+
+const Cluster& AnytimeEngine::cluster() const { return *cluster_; }
+Cluster& AnytimeEngine::cluster() { return *cluster_; }
+
+void AnytimeEngine::charge_partition_cost(std::size_t vertices, std::size_t edges) {
+    // Multilevel partitioning is O((V + E) log V)-ish; the paper runs
+    // ParMETIS in parallel across the ranks, so divide by P.
+    const double units = static_cast<double>(vertices + edges) *
+                         std::log2(static_cast<double>(std::max<std::size_t>(vertices, 2)));
+    const double per_rank =
+        config_.partition_cost_factor * units / static_cast<double>(num_ranks());
+    for (RankId r = 0; r < cluster_->num_ranks(); ++r) {
+        cluster_->charge_compute(r, per_rank);
+    }
+}
+
+void AnytimeEngine::distribute_edge(VertexId u, VertexId v, Weight w) {
+    const RankId ru = owners_[u];
+    const RankId rv = owners_[v];
+    ranks_[ru].sg.add_local_edge(u, v, w);
+    if (rv != ru) {
+        ranks_[rv].sg.add_local_edge(u, v, w);
+    }
+}
+
+void AnytimeEngine::initialize() {
+    AA_ASSERT_MSG(!initialized_, "initialize() called twice");
+    initialized_ = true;
+
+    const std::size_t n = graph_.num_vertices();
+    const auto num_ranks = cluster_->num_ranks();
+
+    // ---- DD: cut-minimizing partition (the paper uses ParMETIS). ----
+    Rng partition_rng = rng_.fork();
+    const Partitioning partition =
+        multilevel_partition(graph_, num_ranks, partition_rng, config_.partition);
+    owners_ = partition.assignment;
+    charge_partition_cost(n, graph_.num_edges());
+
+    // Build rank states: sub-graphs, then distance rows in adoption order.
+    ranks_.clear();
+    ranks_.reserve(num_ranks);
+    for (RankId r = 0; r < num_ranks; ++r) {
+        RankState state;
+        state.sg = LocalSubgraph(r, owners_);
+        state.store = DistanceStore(n);
+        for (const VertexId v : state.sg.local_vertices()) {
+            state.store.add_row(v);
+        }
+        ranks_.push_back(std::move(state));
+    }
+    for (const Edge& e : graph_.edges()) {
+        distribute_edge(e.u, e.v, e.weight);
+    }
+
+    // ---- IA: per-rank multithreaded SSSP (Dijkstra or delta-stepping). ----
+    for (RankId r = 0; r < num_ranks; ++r) {
+        double ops = 0;
+        if (config_.ia_kernel == IaKernel::DeltaStepping) {
+            std::vector<LocalId> sources(ranks_[r].sg.num_local());
+            std::iota(sources.begin(), sources.end(), 0);
+            ops = ia_delta_stepping(ranks_[r].sg, ranks_[r].store, *pool_, sources,
+                                    /*mark_prop=*/false, config_.ia_delta);
+        } else {
+            ops = ia_dijkstra_all(ranks_[r].sg, ranks_[r].store, *pool_);
+        }
+        cluster_->charge_compute(r, ops, config_.ia_threads);
+        report_.ia_ops += ops;
+    }
+    cluster_->barrier();
+}
+
+bool AnytimeEngine::quiescent() const {
+    if (cluster_->has_pending_messages()) {
+        return false;
+    }
+    for (const RankState& state : ranks_) {
+        if (state.store.any_send_pending() || state.store.any_prop_pending()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool AnytimeEngine::rc_step() {
+    AA_ASSERT_MSG(initialized_, "initialize() must run before RC steps");
+    if (quiescent()) {
+        return false;
+    }
+
+    RcStepStats stats;
+    stats.step = rc_steps_ + 1;
+    const std::size_t messages_before = cluster_->stats().total_messages;
+    const std::size_t bytes_before = cluster_->stats().total_bytes;
+
+    // Phase 1: package & post boundary DV updates.
+    for (RankId r = 0; r < ranks_.size(); ++r) {
+        const double ops =
+            rc_post_boundary_updates(ranks_[r].sg, ranks_[r].store, *cluster_);
+        cluster_->charge_compute(r, ops);
+        report_.rc_ops += ops;
+        stats.ops += ops;
+    }
+
+    // Phase 2: personalized all-to-all exchange (priced, barrier semantics).
+    stats.exchange_seconds = cluster_->exchange();
+
+    // Phase 3: ingest external updates, then local propagation to fixpoint.
+    for (RankId r = 0; r < ranks_.size(); ++r) {
+        const auto inbox = cluster_->receive(r);
+        double ops = rc_ingest_updates(ranks_[r].sg, ranks_[r].store, inbox);
+        ops += rc_propagate_local(ranks_[r].sg, ranks_[r].store);
+        cluster_->charge_compute(r, ops);
+        report_.rc_ops += ops;
+        stats.ops += ops;
+    }
+    cluster_->barrier();
+
+    ++rc_steps_;
+    report_.rc_steps = rc_steps_;
+    report_.sim_seconds = sim_seconds();
+    stats.messages = cluster_->stats().total_messages - messages_before;
+    stats.bytes = cluster_->stats().total_bytes - bytes_before;
+    stats.sim_seconds_after = sim_seconds();
+    step_history_.push_back(stats);
+    return true;
+}
+
+std::size_t AnytimeEngine::run_rc_steps(std::size_t max_steps) {
+    std::size_t steps = 0;
+    while (steps < max_steps && rc_step()) {
+        ++steps;
+    }
+    return steps;
+}
+
+std::size_t AnytimeEngine::run_to_quiescence() {
+    return run_rc_steps(std::numeric_limits<std::size_t>::max());
+}
+
+void AnytimeEngine::apply_addition(const GrowthBatch& batch,
+                                   VertexAdditionStrategy& strategy) {
+    AA_ASSERT_MSG(initialized_, "initialize() must run before dynamic updates");
+    strategy.apply(*this, batch);
+    report_.vertex_additions += batch.num_new;
+    report_.edge_additions += batch.edges.size();
+    report_.sim_seconds = sim_seconds();
+}
+
+std::size_t AnytimeEngine::current_cut_edges() const {
+    std::size_t cut = 0;
+    for (const Edge& e : graph_.edges()) {
+        if (owners_[e.u] != owners_[e.v]) {
+            ++cut;
+        }
+    }
+    return cut;
+}
+
+std::vector<Weight> AnytimeEngine::distance_row(VertexId v) const {
+    AA_ASSERT(v < owners_.size());
+    const RankState& state = ranks_[owners_[v]];
+    const auto row = state.store.row(state.sg.local_id(v));
+    return {row.begin(), row.end()};
+}
+
+Weight AnytimeEngine::query_distance(VertexId u, VertexId v) {
+    AA_ASSERT_MSG(initialized_, "initialize() must run first");
+    AA_ASSERT(u < owners_.size() && v < owners_.size());
+    const RankId owner = owners_[u];
+    const RankState& state = ranks_[owner];
+    const Weight result = state.store.at(state.sg.local_id(u), v);
+    // Price the round trip: an 8-byte request and a 16-byte reply between
+    // rank 0 (the query frontend) and the owner, plus the O(1) lookup.
+    if (owner != 0) {
+        cluster_->send(0, owner, MessageTag::Control, std::vector<std::byte>(8));
+        cluster_->send(owner, 0, MessageTag::Control, std::vector<std::byte>(16));
+        cluster_->exchange();
+        (void)cluster_->receive(0);
+        (void)cluster_->receive(owner);
+    }
+    cluster_->charge_compute(owner, 1);
+    return result;
+}
+
+std::vector<std::vector<Weight>> AnytimeEngine::full_distance_matrix() const {
+    const std::size_t n = graph_.num_vertices();
+    std::vector<std::vector<Weight>> matrix(n);
+    for (const RankState& state : ranks_) {
+        for (LocalId l = 0; l < state.sg.num_local(); ++l) {
+            const auto row = state.store.row(l);
+            matrix[state.sg.global_id(l)] = {row.begin(), row.end()};
+        }
+    }
+    return matrix;
+}
+
+ClosenessScores AnytimeEngine::closeness() const {
+    return closeness_from_matrix(full_distance_matrix());
+}
+
+ClosenessScores AnytimeEngine::compute_closeness_distributed() {
+    AA_ASSERT_MSG(initialized_, "initialize() must run first");
+    const std::size_t n = graph_.num_vertices();
+
+    // Wire triple: (vertex, inverse-sum score, reachable count).
+    struct ScoreEntry {
+        VertexId vertex;
+        double closeness;
+        std::uint64_t reachable;
+    };
+    static_assert(std::is_trivially_copyable_v<ScoreEntry>);
+
+    ClosenessScores scores;
+    scores.closeness.assign(n, 0);
+    scores.reachable.assign(n, 0);
+
+    for (RankId r = 0; r < ranks_.size(); ++r) {
+        const RankState& state = ranks_[r];
+        std::vector<ScoreEntry> entries;
+        entries.reserve(state.sg.num_local());
+        for (LocalId l = 0; l < state.sg.num_local(); ++l) {
+            const auto row = state.store.row(l);
+            Weight sum = 0;
+            std::uint64_t reached = 0;
+            for (const Weight d : row) {
+                if (d < kInfinity) {
+                    sum += d;
+                    ++reached;
+                }
+            }
+            entries.push_back({state.sg.global_id(l), sum > 0 ? 1.0 / sum : 0.0,
+                               reached});
+        }
+        // Each row costs one pass over its n columns.
+        cluster_->charge_compute(
+            r, static_cast<double>(state.sg.num_local()) * static_cast<double>(n));
+
+        if (r == 0) {
+            for (const ScoreEntry& entry : entries) {
+                scores.closeness[entry.vertex] = entry.closeness;
+                scores.reachable[entry.vertex] = entry.reachable;
+            }
+        } else {
+            Serializer out;
+            out.write_span(std::span<const ScoreEntry>(entries));
+            cluster_->send(r, 0, MessageTag::Control, out.take());
+        }
+    }
+    cluster_->exchange();
+    for (const Message& message : cluster_->receive(0)) {
+        Deserializer in(message.bytes());
+        for (const ScoreEntry& entry : in.read_vector<ScoreEntry>()) {
+            scores.closeness[entry.vertex] = entry.closeness;
+            scores.reachable[entry.vertex] = entry.reachable;
+        }
+        cluster_->charge_compute(0, static_cast<double>(message.bytes().size()) / 16);
+    }
+    cluster_->barrier();
+    return scores;
+}
+
+namespace {
+constexpr std::uint64_t kCheckpointMagic = 0xAA00C4EC4901DEAD;
+}  // namespace
+
+void AnytimeEngine::save_checkpoint(std::ostream& out) const {
+    AA_ASSERT_MSG(initialized_, "nothing to checkpoint before initialize()");
+    Serializer s;
+    s.write(kCheckpointMagic);
+    s.write(static_cast<std::uint64_t>(cluster_->num_ranks()));
+    s.write(static_cast<std::uint64_t>(graph_.num_vertices()));
+    const auto edges = graph_.edges();
+    s.write(static_cast<std::uint64_t>(edges.size()));
+    for (const Edge& e : edges) {
+        s.write(e.u);
+        s.write(e.v);
+        s.write(e.weight);
+    }
+    s.write_span(std::span<const RankId>(owners_));
+    s.write(static_cast<std::uint64_t>(rc_steps_));
+    s.write(sim_seconds());
+    // Rows in ascending global-vertex order, full width.
+    for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+        const RankState& state = ranks_[owners_[v]];
+        s.write_span(state.store.row(state.sg.local_id(v)));
+    }
+    const auto buffer = s.take();
+    out.write(reinterpret_cast<const char*>(buffer.data()),
+              static_cast<std::streamsize>(buffer.size()));
+    AA_ASSERT_MSG(out.good(), "checkpoint write failed");
+}
+
+AnytimeEngine AnytimeEngine::load_checkpoint(std::istream& in, EngineConfig config) {
+    std::vector<std::byte> buffer;
+    {
+        std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+        buffer.resize(raw.size());
+        std::memcpy(buffer.data(), raw.data(), raw.size());
+    }
+    Deserializer d(buffer);
+    AA_ASSERT_MSG(d.read<std::uint64_t>() == kCheckpointMagic,
+                  "not an anytime-anywhere checkpoint");
+    const auto ranks = static_cast<std::uint32_t>(d.read<std::uint64_t>());
+    AA_ASSERT_MSG(ranks == config.num_ranks,
+                  "checkpoint was taken with a different rank count");
+    const auto n = static_cast<std::size_t>(d.read<std::uint64_t>());
+    const auto m = static_cast<std::size_t>(d.read<std::uint64_t>());
+
+    DynamicGraph graph(n);
+    for (std::size_t i = 0; i < m; ++i) {
+        const auto u = d.read<VertexId>();
+        const auto v = d.read<VertexId>();
+        const auto w = d.read<Weight>();
+        graph.add_edge(u, v, w);
+    }
+    auto owners = d.read_vector<RankId>();
+    AA_ASSERT(owners.size() == n);
+    const auto rc_steps = static_cast<std::size_t>(d.read<std::uint64_t>());
+    const auto sim_time = d.read<double>();
+
+    AnytimeEngine engine(std::move(graph), config);
+    engine.initialized_ = true;
+    engine.rc_steps_ = rc_steps;
+    engine.owners_ = std::move(owners);
+
+    // Rebuild rank state from the checkpointed ownership (no DD re-run).
+    engine.ranks_.clear();
+    engine.ranks_.reserve(ranks);
+    for (RankId r = 0; r < ranks; ++r) {
+        RankState state;
+        state.sg = LocalSubgraph(r, engine.owners_);
+        state.store = DistanceStore(n);
+        for (const VertexId v : state.sg.local_vertices()) {
+            state.store.add_row(v);
+        }
+        engine.ranks_.push_back(std::move(state));
+    }
+    for (const Edge& e : engine.graph_.edges()) {
+        engine.distribute_edge(e.u, e.v, e.weight);
+    }
+    for (VertexId v = 0; v < n; ++v) {
+        auto values = d.read_vector<Weight>();
+        AA_ASSERT(values.size() == n);
+        RankState& state = engine.ranks_[engine.owners_[v]];
+        state.store.install_row(state.sg.local_id(v), std::move(values));
+    }
+    AA_ASSERT_MSG(d.exhausted(), "trailing bytes in checkpoint");
+
+    // Pending worklist marks are not checkpointed; re-establish consistency
+    // conservatively (one full sweep, like Repartition-S after migration).
+    for (RankId r = 0; r < ranks; ++r) {
+        RankState& state = engine.ranks_[r];
+        for (LocalId l = 0; l < state.sg.num_local(); ++l) {
+            state.store.mark_row_for_prop(l);
+            if (state.sg.is_boundary(l)) {
+                state.store.mark_row_for_send(l);
+            }
+        }
+    }
+    engine.cluster_->fast_forward(sim_time);
+    return engine;
+}
+
+}  // namespace aa

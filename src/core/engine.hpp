@@ -1,0 +1,246 @@
+// AnytimeEngine: the anytime-anywhere closeness-centrality engine.
+//
+// Orchestrates the paper's three phases on the simulated cluster:
+//   DD  — multilevel cut-minimizing partition, rank state construction,
+//   IA  — per-rank multithreaded Dijkstra,
+//   RC  — iterated boundary-DV exchange + local relaxation, with dynamic
+//         vertex additions injected between steps through a
+//         VertexAdditionStrategy (RoundRobin-PS / CutEdge-PS / Repartition-S).
+//
+// The engine executes the real distributed algorithm (per-rank private state,
+// serialized messages); the Cluster prices every operation and byte with the
+// LogP model, so `sim_seconds()` plays the role of the paper's measured wall
+// time. See DESIGN.md §2.
+//
+// Typical use:
+//   AnytimeEngine engine(graph, config);
+//   engine.initialize();                  // DD + IA
+//   engine.run_rc_steps(4);               // progress to RC4
+//   RoundRobinPS strategy;
+//   engine.apply_addition(batch, strategy);
+//   engine.run_to_quiescence();
+//   auto scores = engine.closeness();
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/closeness.hpp"
+#include "core/distance_store.hpp"
+#include "core/subgraph.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "partition/multilevel.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace aa {
+
+class VertexAdditionStrategy;
+
+/// How Repartition-S obtains the new partition.
+enum class RepartitionMode {
+    /// Partition the grown graph from scratch with the multilevel algorithm
+    /// (the paper's choice: "we reused the algorithm from the DD phase").
+    Scratch,
+    /// Adaptive repartitioning (ParMETIS-AdaptiveRepart style, an extension):
+    /// place new vertices by host-edge affinity and run FM refinement from
+    /// the current assignment. Far fewer vertices move, so the migration and
+    /// re-marking cost shrinks; cut quality can be slightly worse.
+    Adaptive,
+};
+
+/// SSSP kernel used by the IA phase (and Repartition-S row seeding).
+enum class IaKernel {
+    Dijkstra,       // binary-heap Dijkstra (the paper's choice)
+    DeltaStepping,  // Meyer-Sanders delta-stepping (alternative HPC kernel)
+};
+
+struct EngineConfig {
+    /// Number of simulated processors (the paper evaluates with 16).
+    std::uint32_t num_ranks{16};
+    /// Threads per rank for the IA-phase Dijkstra (the paper's OpenMP T).
+    std::size_t ia_threads{4};
+    /// IA SSSP kernel.
+    IaKernel ia_kernel{IaKernel::Dijkstra};
+    /// Delta-stepping bucket width; <= 0 picks a heuristic.
+    Weight ia_delta{0};
+    /// Cost model of the simulated interconnect.
+    LogPParams logp{};
+    /// RC-step communication schedule.
+    CommSchedule schedule{CommSchedule::SerializedAllToAll};
+    /// DD / Repartition-S partitioner parameters.
+    MultilevelConfig partition{};
+    /// Seed for the partitioner and any stochastic strategy components.
+    std::uint64_t seed{0x5EED};
+    /// Abstract ops charged per (vertex + edge) * log2(n) unit of multilevel
+    /// partitioning work (calibrates DD/Repartition cost vs. METIS).
+    double partition_cost_factor{8.0};
+    /// Repartition-S variant (see RepartitionMode).
+    RepartitionMode repartition_mode{RepartitionMode::Scratch};
+};
+
+/// Counters describing one engine lifetime; used by benchmarks and reports.
+struct EngineReport {
+    std::size_t rc_steps{0};
+    double sim_seconds{0};
+    double ia_ops{0};
+    double rc_ops{0};
+    double dynamic_ops{0};
+    std::size_t vertex_additions{0};
+    std::size_t edge_additions{0};
+};
+
+/// Telemetry for one RC step (appended by every rc_step()).
+struct RcStepStats {
+    std::size_t step{0};
+    /// Duration of this step's all-to-all exchange.
+    double exchange_seconds{0};
+    /// Messages / payload bytes shipped in this step.
+    std::size_t messages{0};
+    std::size_t bytes{0};
+    /// Relaxation work performed (post + ingest + propagate ops).
+    double ops{0};
+    /// Simulated clock after the step's barrier.
+    double sim_seconds_after{0};
+};
+
+class AnytimeEngine {
+public:
+    explicit AnytimeEngine(DynamicGraph graph, EngineConfig config = {});
+    ~AnytimeEngine();
+
+    AnytimeEngine(const AnytimeEngine&) = delete;
+    AnytimeEngine& operator=(const AnytimeEngine&) = delete;
+    AnytimeEngine(AnytimeEngine&&) noexcept = default;
+    AnytimeEngine& operator=(AnytimeEngine&&) noexcept = default;
+
+    // ---- phases -----------------------------------------------------------
+
+    /// DD + IA. Must be called exactly once before any RC step.
+    void initialize();
+
+    /// One recombination step. Returns false (and does nothing) if the system
+    /// is already quiescent — no pending sends, propagations or messages.
+    bool rc_step();
+
+    /// Run up to `max_steps` RC steps (default: until quiescent). Returns the
+    /// number of steps executed.
+    std::size_t run_rc_steps(std::size_t max_steps);
+    std::size_t run_to_quiescence();
+
+    /// True when no rank holds unsent/unpropagated changes and no message is
+    /// in flight: the distance vectors equal the exact APSP (for additive
+    /// updates).
+    bool quiescent() const;
+
+    // ---- dynamic updates --------------------------------------------------
+
+    /// Incorporate a batch of new vertices using the given strategy. The
+    /// engine applies the structural change and the strategy's update
+    /// algorithm; the caller then resumes RC stepping to convergence.
+    void apply_addition(const GrowthBatch& batch, VertexAdditionStrategy& strategy);
+
+    /// The "anywhere" vertex-addition algorithm (paper Figure 3) with an
+    /// explicit per-vertex rank assignment (assignment[i] = rank of the i-th
+    /// new vertex). RoundRobin-PS / CutEdge-PS call this.
+    void anywhere_add(const GrowthBatch& batch, const std::vector<RankId>& assignment);
+
+    /// Repartition-S: integrate the batch structurally, repartition the whole
+    /// grown graph, migrate DV rows to their new owners, seed new rows.
+    void repartition_add(const GrowthBatch& batch);
+
+    /// Anywhere edge additions between *existing* vertices (the authors'
+    /// prior work [9], which vertex addition builds on). Duplicates are
+    /// skipped. Resume RC stepping afterwards to converge.
+    void add_edges(std::span<const Edge> edges);
+
+    /// Anywhere edge-weight decrease (prior work [7]). Returns false if the
+    /// edge does not exist. Weight *increases* are rejected: they require
+    /// the deletion machinery the paper defers to future work.
+    bool decrease_edge_weight(VertexId u, VertexId v, Weight new_weight);
+
+    // ---- results & introspection -------------------------------------------
+
+    std::size_t num_vertices() const { return graph_.num_vertices(); }
+    std::size_t num_ranks() const;
+    std::size_t rc_steps_completed() const { return rc_steps_; }
+    double sim_seconds() const;
+    const Cluster& cluster() const;
+    Cluster& cluster();
+    const DynamicGraph& graph() const { return graph_; }
+    const std::vector<RankId>& owners() const { return owners_; }
+    const EngineReport& report() const { return report_; }
+    Rng& rng() { return rng_; }
+    const EngineConfig& config() const { return config_; }
+
+    /// Current cut-edge count of the live partition.
+    std::size_t current_cut_edges() const;
+
+    /// Gather the distance row of one vertex from its owning rank.
+    /// Observer only (no charges).
+    std::vector<Weight> distance_row(VertexId v) const;
+
+    /// Point query "current estimate of d(u, v)" the way a deployed service
+    /// would answer it: a request/response message pair with the owning rank,
+    /// priced by the cost model. Returns kInfinity while unknown.
+    Weight query_distance(VertexId u, VertexId v);
+
+    /// Gather the full n x n matrix (testing / quality measurement only).
+    std::vector<std::vector<Weight>> full_distance_matrix() const;
+
+    /// Closeness scores from the current (possibly partial) DVs.
+    /// Observer only: reads rank state directly, charges nothing.
+    ClosenessScores closeness() const;
+
+    /// Closeness computed the way the deployed system would: each rank
+    /// reduces its own rows (charged compute), ships (vertex, score, reach)
+    /// triples to rank 0 (priced messages), which assembles the result.
+    /// Advances the simulated clock.
+    ClosenessScores compute_closeness_distributed();
+
+    /// Per-RC-step telemetry since construction.
+    const std::vector<RcStepStats>& step_history() const { return step_history_; }
+
+    // ---- checkpointing ------------------------------------------------------
+
+    /// Serialize the full analysis state (graph, ownership, distance rows,
+    /// progress counters, simulated clock) — the anytime property turned
+    /// into persistence: an interrupted analysis can resume later or on
+    /// another machine.
+    void save_checkpoint(std::ostream& out) const;
+
+    /// Rebuild an engine from a checkpoint. The restored engine owes one
+    /// consistency sweep (pending worklist marks are not part of the
+    /// checkpoint), which is re-established conservatively; resuming RC
+    /// steps continues exactly where the saved analysis left off.
+    static AnytimeEngine load_checkpoint(std::istream& in, EngineConfig config);
+
+private:
+    struct RankState {
+        LocalSubgraph sg;
+        DistanceStore store;
+    };
+
+    void distribute_edge(VertexId u, VertexId v, Weight w);
+    void charge_partition_cost(std::size_t vertices, std::size_t edges);
+    /// Broadcast row(from) and apply the new/changed edge {from, to, w}
+    /// everywhere it can bind immediately. Returns the ops charged.
+    double broadcast_edge_update(VertexId from, VertexId to, Weight w);
+
+    DynamicGraph graph_;  // ground-truth mirror of the distributed graph
+    EngineConfig config_;
+    std::unique_ptr<Cluster> cluster_;
+    std::unique_ptr<ThreadPool> pool_;
+    Rng rng_;
+    std::vector<RankId> owners_;
+    std::vector<RankState> ranks_;
+    std::size_t rc_steps_{0};
+    bool initialized_{false};
+    EngineReport report_;
+    std::vector<RcStepStats> step_history_;
+};
+
+}  // namespace aa

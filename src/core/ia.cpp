@@ -1,0 +1,227 @@
+#include "core/ia.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace aa {
+
+namespace {
+
+/// The local sub-graph in index-compressed form: owned vertices keep their
+/// LocalId; external boundary vertices get ids [num_local, num_local + |B_p|).
+struct SubCsr {
+    std::vector<VertexId> sub_to_global;
+    std::vector<std::vector<std::pair<std::uint32_t, Weight>>> adjacency;
+};
+
+SubCsr build_sub_csr(const LocalSubgraph& sg) {
+    SubCsr csr;
+    const std::size_t num_local = sg.num_local();
+    csr.sub_to_global.resize(num_local);
+    for (LocalId l = 0; l < num_local; ++l) {
+        csr.sub_to_global[l] = sg.global_id(l);
+    }
+    std::unordered_map<VertexId, std::uint32_t> external_index;
+    const auto externals = sg.external_boundary();
+    for (const VertexId b : externals) {
+        external_index.emplace(b, static_cast<std::uint32_t>(csr.sub_to_global.size()));
+        csr.sub_to_global.push_back(b);
+    }
+
+    csr.adjacency.resize(csr.sub_to_global.size());
+    for (LocalId l = 0; l < num_local; ++l) {
+        for (const Neighbor& nb : sg.neighbors(l)) {
+            std::uint32_t target;
+            if (sg.owns(nb.to)) {
+                target = sg.local_id(nb.to);
+                // Local-local edges appear in both endpoints' adjacency;
+                // adding only the forward direction here keeps them single.
+                csr.adjacency[l].push_back({target, nb.weight});
+            } else {
+                target = external_index.at(nb.to);
+                csr.adjacency[l].push_back({target, nb.weight});
+                csr.adjacency[target].push_back({l, nb.weight});
+            }
+        }
+    }
+    return csr;
+}
+
+}  // namespace
+
+double ia_dijkstra(const LocalSubgraph& sg, DistanceStore& store, ThreadPool& pool,
+                   std::span<const LocalId> sources, bool mark_prop) {
+    if (sources.empty() || sg.num_local() == 0) {
+        return 0;
+    }
+    const SubCsr csr = build_sub_csr(sg);
+    const std::size_t sub_n = csr.sub_to_global.size();
+
+    std::vector<double> ops(sources.size(), 0);
+
+    pool.parallel_for(0, sources.size(), [&](std::size_t i) {
+        const LocalId source = sources[i];
+        double local_ops = 0;
+
+        std::vector<Weight> dist(sub_n, kInfinity);
+        using HeapItem = std::pair<Weight, std::uint32_t>;
+        std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+        dist[source] = 0;
+        heap.push({0, source});
+
+        while (!heap.empty()) {
+            const auto [d, u] = heap.top();
+            heap.pop();
+            local_ops += std::log2(static_cast<double>(heap.size() + 2));
+            if (d > dist[u]) {
+                continue;  // stale entry
+            }
+            for (const auto& [v, w] : csr.adjacency[u]) {
+                local_ops += 1;
+                const Weight candidate = d + w;
+                if (candidate < dist[v]) {
+                    dist[v] = candidate;
+                    heap.push({candidate, v});
+                    local_ops += std::log2(static_cast<double>(heap.size() + 2));
+                }
+            }
+        }
+
+        // Fold into the distance store. Rows are disjoint across sources, so
+        // this is race-free under parallel_for.
+        for (std::uint32_t s = 0; s < sub_n; ++s) {
+            if (dist[s] < kInfinity) {
+                store.relax(source, csr.sub_to_global[s], dist[s], mark_prop,
+                            /*mark_send=*/true);
+                local_ops += 1;
+            }
+        }
+        ops[i] = local_ops;
+    });
+
+    return std::accumulate(ops.begin(), ops.end(), 0.0);
+}
+
+double ia_dijkstra_all(const LocalSubgraph& sg, DistanceStore& store,
+                       ThreadPool& pool) {
+    std::vector<LocalId> sources(sg.num_local());
+    std::iota(sources.begin(), sources.end(), 0);
+    return ia_dijkstra(sg, store, pool, sources, /*mark_prop=*/false);
+}
+
+double ia_delta_stepping(const LocalSubgraph& sg, DistanceStore& store,
+                         ThreadPool& pool, std::span<const LocalId> sources,
+                         bool mark_prop, Weight delta) {
+    if (sources.empty() || sg.num_local() == 0) {
+        return 0;
+    }
+    const SubCsr csr = build_sub_csr(sg);
+    const std::size_t sub_n = csr.sub_to_global.size();
+
+    if (delta <= 0) {
+        // Heuristic: average edge weight (Meyer & Sanders suggest Θ(1/max
+        // degree) for unit weights; the average works well for our graphs).
+        Weight total = 0;
+        std::size_t count = 0;
+        for (const auto& adjacency : csr.adjacency) {
+            for (const auto& [v, w] : adjacency) {
+                total += w;
+                ++count;
+            }
+        }
+        delta = count > 0 ? std::max<Weight>(total / static_cast<Weight>(count), 1e-9)
+                          : 1.0;
+    }
+
+    // Pre-split edges into light (w <= delta) and heavy.
+    std::vector<std::vector<std::pair<std::uint32_t, Weight>>> light(sub_n);
+    std::vector<std::vector<std::pair<std::uint32_t, Weight>>> heavy(sub_n);
+    for (std::uint32_t u = 0; u < sub_n; ++u) {
+        for (const auto& [v, w] : csr.adjacency[u]) {
+            (w <= delta ? light : heavy)[u].push_back({v, w});
+        }
+    }
+
+    std::vector<double> ops(sources.size(), 0);
+    const Weight local_delta = delta;
+
+    pool.parallel_for(0, sources.size(), [&](std::size_t i) {
+        const LocalId source = sources[i];
+        double local_ops = 0;
+
+        std::vector<Weight> dist(sub_n, kInfinity);
+        std::vector<std::vector<std::uint32_t>> buckets(1);
+        const auto bucket_of = [&](Weight d) {
+            return static_cast<std::size_t>(d / local_delta);
+        };
+        const auto place = [&](std::uint32_t v, Weight d) {
+            const std::size_t b = bucket_of(d);
+            if (b >= buckets.size()) {
+                buckets.resize(b + 1);
+            }
+            buckets[b].push_back(v);
+        };
+
+        dist[source] = 0;
+        place(source, 0);
+
+        std::vector<std::uint32_t> settled;
+        std::vector<std::uint32_t> frontier;
+        for (std::size_t b = 0; b < buckets.size(); ++b) {
+            settled.clear();
+            // Light-edge phase: reprocess the bucket until it stops refilling
+            // (light relaxations can reinsert into the same bucket).
+            while (!buckets[b].empty()) {
+                frontier.swap(buckets[b]);
+                buckets[b].clear();
+                for (const std::uint32_t u : frontier) {
+                    local_ops += 1;
+                    if (bucket_of(dist[u]) != b) {
+                        continue;  // stale entry (improved into an earlier bucket)
+                    }
+                    settled.push_back(u);
+                    for (const auto& [v, w] : light[u]) {
+                        local_ops += 1;
+                        const Weight candidate = dist[u] + w;
+                        if (candidate < dist[v]) {
+                            dist[v] = candidate;
+                            place(v, candidate);
+                        }
+                    }
+                }
+            }
+            // Heavy-edge phase: each settled vertex relaxes its heavy edges
+            // once (they always land in later buckets).
+            for (const std::uint32_t u : settled) {
+                for (const auto& [v, w] : heavy[u]) {
+                    local_ops += 1;
+                    const Weight candidate = dist[u] + w;
+                    if (candidate < dist[v]) {
+                        dist[v] = candidate;
+                        place(v, candidate);
+                    }
+                }
+            }
+        }
+
+        // `settled` may contain duplicates of vertices later re-settled in
+        // the same bucket epoch; dist[] is the single source of truth when
+        // folding into the store.
+        for (std::uint32_t s = 0; s < sub_n; ++s) {
+            if (dist[s] < kInfinity) {
+                store.relax(source, csr.sub_to_global[s], dist[s], mark_prop,
+                            /*mark_send=*/true);
+                local_ops += 1;
+            }
+        }
+        ops[i] = local_ops;
+    });
+
+    return std::accumulate(ops.begin(), ops.end(), 0.0);
+}
+
+}  // namespace aa

@@ -1,0 +1,77 @@
+#include "core/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "core/closeness.hpp"
+
+namespace aa {
+
+QualityMetrics evaluate_quality(const std::vector<std::vector<Weight>>& approx,
+                                const std::vector<std::vector<Weight>>& exact) {
+    AA_ASSERT(approx.size() == exact.size());
+    QualityMetrics metrics;
+    const std::size_t n = exact.size();
+    if (n == 0) {
+        metrics.frac_exact = 1.0;
+        return metrics;
+    }
+
+    std::size_t total = 0;
+    std::size_t exact_count = 0;
+    std::size_t unknown = 0;
+    std::size_t both_finite = 0;
+    double excess_sum = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+        AA_ASSERT(approx[v].size() == n && exact[v].size() == n);
+        for (std::size_t t = 0; t < n; ++t) {
+            ++total;
+            const Weight a = approx[v][t];
+            const Weight e = exact[v][t];
+            const bool a_inf = !(a < kInfinity);
+            const bool e_inf = !(e < kInfinity);
+            if (a_inf && e_inf) {
+                ++exact_count;
+            } else if (a_inf && !e_inf) {
+                ++unknown;
+            } else {
+                AA_ASSERT_MSG(!e_inf, "estimate finite where exact is infinite");
+                ++both_finite;
+                const double excess = a - e;
+                AA_ASSERT_MSG(excess > -1e-6, "estimate below the true distance");
+                excess_sum += std::max(excess, 0.0);
+                metrics.max_excess = std::max(metrics.max_excess, excess);
+                if (excess <= 1e-9) {
+                    ++exact_count;
+                }
+            }
+        }
+    }
+    metrics.frac_exact = static_cast<double>(exact_count) / static_cast<double>(total);
+    metrics.frac_unknown = static_cast<double>(unknown) / static_cast<double>(total);
+    metrics.mean_excess =
+        both_finite > 0 ? excess_sum / static_cast<double>(both_finite) : 0.0;
+
+    const ClosenessScores approx_scores = closeness_from_matrix(approx);
+    const ClosenessScores exact_scores = closeness_from_matrix(exact);
+    double rel_sum = 0;
+    std::size_t rel_count = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+        if (exact_scores.closeness[v] > 0) {
+            rel_sum += std::abs(approx_scores.closeness[v] - exact_scores.closeness[v]) /
+                       exact_scores.closeness[v];
+            ++rel_count;
+        }
+    }
+    metrics.closeness_mean_rel_error =
+        rel_count > 0 ? rel_sum / static_cast<double>(rel_count) : 0.0;
+    return metrics;
+}
+
+bool quality_monotone(const QualityMetrics& earlier, const QualityMetrics& later) {
+    return later.frac_exact >= earlier.frac_exact - 1e-12 &&
+           later.frac_unknown <= earlier.frac_unknown + 1e-12;
+}
+
+}  // namespace aa

@@ -1,0 +1,38 @@
+// Anytime solution quality: how close the current (interruptible) partial
+// results are to the exact answer. Distances in the store are always upper
+// bounds, so quality improves monotonically across RC steps — the paper's
+// "monotonically non-decreasing" anytime property, which these metrics make
+// measurable (and testable).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace aa {
+
+struct QualityMetrics {
+    /// Fraction of matrix entries equal to the exact value (infinite entries
+    /// match infinite exact values).
+    double frac_exact{0};
+    /// Fraction of entries where the exact distance is finite but the
+    /// current estimate is still unknown (infinity).
+    double frac_unknown{0};
+    /// Mean / max overestimate over entries where both are finite.
+    double mean_excess{0};
+    double max_excess{0};
+    /// Mean relative error of closeness scores vs exact (over vertices whose
+    /// exact closeness is positive).
+    double closeness_mean_rel_error{0};
+};
+
+/// Compare a (partial) distance matrix against the exact one.
+QualityMetrics evaluate_quality(const std::vector<std::vector<Weight>>& approx,
+                                const std::vector<std::vector<Weight>>& exact);
+
+/// True if `later` is at least as good as `earlier` in every monotone metric
+/// (frac_exact non-decreasing, frac_unknown and mean_excess non-increasing).
+bool quality_monotone(const QualityMetrics& earlier, const QualityMetrics& later);
+
+}  // namespace aa

@@ -1,0 +1,133 @@
+#include "core/rc.hpp"
+
+#include <deque>
+
+#include "runtime/message.hpp"
+
+namespace aa {
+
+std::vector<std::byte> encode_boundary_blocks(const std::vector<BoundaryBlock>& blocks) {
+    Serializer out;
+    for (const BoundaryBlock& block : blocks) {
+        out.write(block.vertex);
+        out.write_span(std::span<const DvEntry>(block.entries));
+    }
+    return out.take();
+}
+
+std::vector<BoundaryBlock> decode_boundary_blocks(std::span<const std::byte> payload) {
+    Deserializer in(payload);
+    std::vector<BoundaryBlock> blocks;
+    while (!in.exhausted()) {
+        BoundaryBlock block;
+        block.vertex = in.read<VertexId>();
+        block.entries = in.read_vector<DvEntry>();
+        blocks.push_back(std::move(block));
+    }
+    return blocks;
+}
+
+double rc_post_boundary_updates(const LocalSubgraph& sg, DistanceStore& store,
+                                Cluster& cluster) {
+    const RankId me = sg.rank();
+    const std::uint32_t num_ranks = cluster.num_ranks();
+    double ops = 0;
+
+    // Per-destination accumulation of boundary blocks.
+    std::vector<std::vector<BoundaryBlock>> outgoing(num_ranks);
+
+    for (LocalId l = 0; l < sg.num_local(); ++l) {
+        if (!store.has_send(l)) {
+            continue;
+        }
+        const auto cols = store.take_send(l);
+        const auto destinations = sg.neighbor_ranks(l);
+        ops += static_cast<double>(cols.size());
+        if (destinations.empty()) {
+            continue;  // interior row: changes have no external audience
+        }
+        BoundaryBlock block;
+        block.vertex = sg.global_id(l);
+        block.entries.reserve(cols.size());
+        const auto row = store.row(l);
+        for (const VertexId col : cols) {
+            block.entries.push_back({col, row[col]});
+        }
+        for (const RankId dest : destinations) {
+            outgoing[dest].push_back(block);
+            ops += static_cast<double>(block.entries.size());  // serialization
+        }
+    }
+
+    for (RankId dest = 0; dest < num_ranks; ++dest) {
+        if (dest == me || outgoing[dest].empty()) {
+            continue;
+        }
+        cluster.send(me, dest, MessageTag::BoundaryDvUpdate,
+                     encode_boundary_blocks(outgoing[dest]));
+    }
+    return ops;
+}
+
+double rc_ingest_updates(const LocalSubgraph& sg, DistanceStore& store,
+                         const std::vector<Message>& inbox) {
+    double ops = 0;
+    for (const Message& message : inbox) {
+        if (message.tag != MessageTag::BoundaryDvUpdate) {
+            continue;
+        }
+        for (const BoundaryBlock& block : decode_boundary_blocks(message.bytes())) {
+            // Relax every local endpoint of every cut edge to the updated
+            // external vertex: d(local, t) <= w(local, ext) + d(ext, t).
+            const auto locals = sg.external_neighbors(block.vertex);
+            for (const auto& [local, w] : locals) {
+                for (const DvEntry& entry : block.entries) {
+                    store.relax(local, entry.column, w + entry.distance);
+                    ops += 1;
+                }
+            }
+        }
+    }
+    return ops;
+}
+
+double rc_propagate_local(const LocalSubgraph& sg, DistanceStore& store) {
+    double ops = 0;
+    std::deque<LocalId> worklist;
+    std::vector<std::uint8_t> queued(sg.num_local(), 0);
+    for (LocalId l = 0; l < sg.num_local(); ++l) {
+        if (store.has_prop(l)) {
+            worklist.push_back(l);
+            queued[l] = 1;
+        }
+    }
+
+    while (!worklist.empty()) {
+        const LocalId u = worklist.front();
+        worklist.pop_front();
+        queued[u] = 0;
+        const auto cols = store.take_prop(u);
+        if (cols.empty()) {
+            continue;
+        }
+        const auto row_u = store.row(u);
+        for (const Neighbor& nb : sg.neighbors(u)) {
+            if (!sg.owns(nb.to)) {
+                continue;  // cross-rank propagation happens via RC messages
+            }
+            const LocalId v = sg.local_id(nb.to);
+            bool improved = false;
+            for (const VertexId col : cols) {
+                improved |= store.relax(v, col, row_u[col] + nb.weight);
+                ops += 1;
+            }
+            if (improved && queued[v] == 0) {
+                worklist.push_back(v);
+                queued[v] = 1;
+            }
+        }
+    }
+    return ops;
+}
+
+}  // namespace aa

@@ -1,0 +1,53 @@
+// Recombination (RC) step primitives.
+//
+// One RC step (paper Figure 1) is:
+//   1. every rank packages the changed entries of its boundary-vertex DVs
+//      into one personalized message per neighbouring rank,
+//   2. a personalized all-to-all exchange delivers them (priced by the
+//      cluster's LogP model under the serialized schedule),
+//   3. every rank relaxes its local vertices through the incident cut edges
+//      using the received external boundary DVs, then propagates the
+//      improvements within its sub-graph to a local fixpoint (the paper's
+//      Floyd-Warshall-style local DV refresh, realized as worklist
+//      Bellman-Ford relaxations — same fixpoint, incremental cost).
+//
+// The engine sequences these per rank; the functions here are the per-rank
+// kernels and each returns the abstract op count it executed.
+#pragma once
+
+#include "core/distance_store.hpp"
+#include "core/subgraph.hpp"
+#include "runtime/cluster.hpp"
+
+namespace aa {
+
+/// Phase 1: drain every row's send-list and post one BoundaryDvUpdate message
+/// per neighbouring rank that shares a cut edge with the row's vertex.
+/// Send-lists of interior rows are drained too (they have no audience; a row
+/// that later becomes boundary is re-marked in full by the edge-addition
+/// path). Returns ops.
+double rc_post_boundary_updates(const LocalSubgraph& sg, DistanceStore& store,
+                                Cluster& cluster);
+
+/// Phase 3a: apply received BoundaryDvUpdate messages — relax every local
+/// endpoint of each cut edge incident to an updated external vertex.
+/// Non-BoundaryDvUpdate messages are ignored (callers drain those contexts
+/// separately). Returns ops.
+double rc_ingest_updates(const LocalSubgraph& sg, DistanceStore& store,
+                         const std::vector<Message>& inbox);
+
+/// Phase 3b: within-rank propagation to fixpoint. Drains the prop worklists,
+/// relaxing neighbouring rows through local edges until quiescent. Returns
+/// ops.
+double rc_propagate_local(const LocalSubgraph& sg, DistanceStore& store);
+
+/// Serialize the payload of one boundary update: repeated blocks of
+/// [global vertex][entry count][entries].
+struct BoundaryBlock {
+    VertexId vertex;
+    std::vector<DvEntry> entries;
+};
+std::vector<std::byte> encode_boundary_blocks(const std::vector<BoundaryBlock>& blocks);
+std::vector<BoundaryBlock> decode_boundary_blocks(std::span<const std::byte> payload);
+
+}  // namespace aa

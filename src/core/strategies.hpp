@@ -1,0 +1,75 @@
+// Vertex-addition recombination strategies (paper §IV.C.1.a/b).
+//
+// A strategy decides *where* new vertices go and *how* their information is
+// incorporated:
+//   * RoundRobinPS — cyclic processor assignment + anywhere addition.
+//     Cheap, perfectly balanced counts, blind to batch structure.
+//   * CutEdgePS    — partitions the batch's internal graph with the
+//     multilevel (METIS-style) partitioner, maps parts to the ranks they
+//     share the most host edges with, then anywhere addition. Minimizes the
+//     new cut-edges a community-structured batch introduces.
+//   * RepartitionS — repartitions the whole grown graph and migrates the
+//     partial results (DV rows), trading a fixed repartition+migration cost
+//     for not paying the per-edge anywhere-update overhead; wins for large
+//     batches.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+
+namespace aa {
+
+class VertexAdditionStrategy {
+public:
+    virtual ~VertexAdditionStrategy() = default;
+    virtual std::string_view name() const = 0;
+    /// Incorporate `batch` into the running engine.
+    virtual void apply(AnytimeEngine& engine, const GrowthBatch& batch) = 0;
+};
+
+class RoundRobinPS final : public VertexAdditionStrategy {
+public:
+    std::string_view name() const override { return "RoundRobin-PS"; }
+    void apply(AnytimeEngine& engine, const GrowthBatch& batch) override;
+
+    /// The assignment rule, exposed for tests: vertex i -> (i + offset) % P.
+    static std::vector<RankId> assignment(std::size_t count, std::uint32_t num_ranks,
+                                          std::uint32_t offset);
+
+private:
+    // Rotates across calls so successive batches do not all start at rank 0.
+    std::uint32_t offset_{0};
+};
+
+class CutEdgePS final : public VertexAdditionStrategy {
+public:
+    /// `candidates` = number of independently seeded batch partitions to try;
+    /// the paper has every processor compute one and keeps the best cut.
+    explicit CutEdgePS(std::uint64_t seed = 0xC07, std::size_t candidates = 0)
+        : rng_(seed), candidates_(candidates) {}
+
+    std::string_view name() const override { return "CutEdge-PS"; }
+    void apply(AnytimeEngine& engine, const GrowthBatch& batch) override;
+
+    /// Compute the assignment without applying it (exposed for tests and the
+    /// cut-edge benchmark): partitions the batch-internal graph and maps each
+    /// part to the rank with the strongest host affinity.
+    std::vector<RankId> assignment(const AnytimeEngine& engine,
+                                   const GrowthBatch& batch);
+
+private:
+    Rng rng_;
+    std::size_t candidates_;  // 0 = one per rank
+};
+
+class RepartitionS final : public VertexAdditionStrategy {
+public:
+    std::string_view name() const override { return "Repartition-S"; }
+    void apply(AnytimeEngine& engine, const GrowthBatch& batch) override;
+};
+
+}  // namespace aa

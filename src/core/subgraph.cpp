@@ -1,0 +1,125 @@
+#include "core/subgraph.hpp"
+
+#include <algorithm>
+
+namespace aa {
+
+LocalSubgraph::LocalSubgraph(RankId rank, std::vector<RankId> owners)
+    : rank_(rank), owners_(std::move(owners)) {
+    for (VertexId v = 0; v < owners_.size(); ++v) {
+        if (owners_[v] == rank_) {
+            adopt(v);
+        }
+    }
+}
+
+void LocalSubgraph::extend_ownership(std::span<const RankId> new_owners) {
+    const auto base = static_cast<VertexId>(owners_.size());
+    owners_.insert(owners_.end(), new_owners.begin(), new_owners.end());
+    for (std::size_t i = 0; i < new_owners.size(); ++i) {
+        if (new_owners[i] == rank_) {
+            adopt(base + static_cast<VertexId>(i));
+        }
+    }
+}
+
+LocalId LocalSubgraph::adopt(VertexId global) {
+    AA_ASSERT(global < owners_.size());
+    AA_ASSERT(owners_[global] == rank_);
+    AA_ASSERT_MSG(!index_.contains(global), "vertex adopted twice");
+    const auto local = static_cast<LocalId>(locals_.size());
+    locals_.push_back(global);
+    index_.emplace(global, local);
+    adjacency_.emplace_back();
+    return local;
+}
+
+void LocalSubgraph::add_local_edge(VertexId u, VertexId v, Weight w) {
+    AA_ASSERT_MSG(owns(u) || owns(v), "edge touches no owned vertex");
+    AA_ASSERT(u != v);
+    if (owns(u)) {
+        adjacency_[index_.at(u)].push_back({v, w});
+        if (!owns(v)) {
+            external_adj_[v].push_back({index_.at(u), w});
+        }
+    }
+    if (owns(v)) {
+        adjacency_[index_.at(v)].push_back({u, w});
+        if (!owns(u)) {
+            external_adj_[u].push_back({index_.at(v), w});
+        }
+    }
+}
+
+void LocalSubgraph::update_edge_weight(VertexId u, VertexId v, Weight w) {
+    AA_ASSERT_MSG(owns(u) || owns(v), "edge touches no owned vertex");
+    const auto update_list = [this, w](VertexId owned, VertexId other) {
+        for (Neighbor& nb : adjacency_[index_.at(owned)]) {
+            if (nb.to == other) {
+                nb.weight = w;
+            }
+        }
+        if (!owns(other)) {
+            const LocalId local = index_.at(owned);
+            for (auto& [l, edge_w] : external_adj_[other]) {
+                if (l == local) {
+                    edge_w = w;
+                }
+            }
+        }
+    };
+    if (owns(u)) {
+        update_list(u, v);
+    }
+    if (owns(v)) {
+        update_list(v, u);
+    }
+}
+
+std::span<const std::pair<LocalId, Weight>> LocalSubgraph::external_neighbors(
+    VertexId global) const {
+    const auto it = external_adj_.find(global);
+    if (it == external_adj_.end()) {
+        return {};
+    }
+    return it->second;
+}
+
+std::vector<VertexId> LocalSubgraph::external_boundary() const {
+    std::vector<VertexId> externals;
+    externals.reserve(external_adj_.size());
+    for (const auto& [global, edges] : external_adj_) {
+        externals.push_back(global);
+    }
+    std::sort(externals.begin(), externals.end());
+    return externals;
+}
+
+bool LocalSubgraph::is_boundary(LocalId local) const {
+    AA_ASSERT(local < adjacency_.size());
+    return std::any_of(adjacency_[local].begin(), adjacency_[local].end(),
+                       [this](const Neighbor& nb) { return owners_[nb.to] != rank_; });
+}
+
+std::vector<RankId> LocalSubgraph::neighbor_ranks(LocalId local) const {
+    AA_ASSERT(local < adjacency_.size());
+    std::vector<RankId> ranks;
+    for (const Neighbor& nb : adjacency_[local]) {
+        const RankId r = owners_[nb.to];
+        if (r != rank_ && std::find(ranks.begin(), ranks.end(), r) == ranks.end()) {
+            ranks.push_back(r);
+        }
+    }
+    std::sort(ranks.begin(), ranks.end());
+    return ranks;
+}
+
+void LocalSubgraph::reset_ownership(std::vector<RankId> owners) {
+    owners_ = std::move(owners);
+    locals_.clear();
+    index_.clear();
+    adjacency_.clear();
+    external_adj_.clear();
+}
+
+}  // namespace aa

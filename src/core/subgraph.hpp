@@ -1,0 +1,108 @@
+// Per-rank local sub-graph state.
+//
+// Following the paper's §IV.A: rank p owns vertex set V_p; its local
+// sub-graph G_p = (V_p ∪ B_p, E_p) where E_p is every edge with at least one
+// endpoint in V_p and B_p is the set of *external boundary vertices* —
+// vertices owned elsewhere that are adjacent to V_p. Local vertices with a
+// cut edge are *local boundary vertices*; their distance vectors are what
+// gets exchanged in each RC step.
+//
+// Each rank also keeps the global ownership map (as every MPI rank would
+// after the DD phase broadcast) so it can route updates.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace aa {
+
+class LocalSubgraph {
+public:
+    LocalSubgraph() = default;
+
+    /// Create for rank `rank` given the global ownership map; adopts every
+    /// vertex v with owners[v] == rank. Adjacency must then be populated via
+    /// add_local_edge for each global edge incident to an owned vertex.
+    LocalSubgraph(RankId rank, std::vector<RankId> owners);
+
+    RankId rank() const { return rank_; }
+
+    std::size_t num_local() const { return locals_.size(); }
+    std::size_t num_global() const { return owners_.size(); }
+
+    bool owns(VertexId global) const {
+        return global < owners_.size() && owners_[global] == rank_;
+    }
+    RankId owner(VertexId global) const {
+        AA_ASSERT(global < owners_.size());
+        return owners_[global];
+    }
+
+    LocalId local_id(VertexId global) const {
+        const auto it = index_.find(global);
+        AA_ASSERT_MSG(it != index_.end(), "vertex not owned by this rank");
+        return it->second;
+    }
+    VertexId global_id(LocalId local) const {
+        AA_ASSERT(local < locals_.size());
+        return locals_[local];
+    }
+    const std::vector<VertexId>& local_vertices() const { return locals_; }
+
+    /// Neighbors (by global id) of an owned vertex.
+    std::span<const Neighbor> neighbors(LocalId local) const {
+        AA_ASSERT(local < adjacency_.size());
+        return adjacency_[local];
+    }
+
+    /// Record that the global graph gained `count` vertices owned per
+    /// `new_owners` (appended to the ownership map). Returns local ids of the
+    /// ones this rank adopted (in input order, kInvalidVertex for others).
+    void extend_ownership(std::span<const RankId> new_owners);
+
+    /// Adopt ownership of an (already registered) global vertex.
+    LocalId adopt(VertexId global);
+
+    /// Add edge {u, v} to the local adjacency; at least one endpoint must be
+    /// owned. Stored on each owned endpoint. Idempotent additions are the
+    /// caller's responsibility (mirrors DynamicGraph::add_edge semantics).
+    void add_local_edge(VertexId u, VertexId v, Weight w);
+
+    /// Update the weight of an existing local edge {u, v} on every owned
+    /// endpoint (including the external-adjacency mirror entries).
+    void update_edge_weight(VertexId u, VertexId v, Weight w);
+
+    /// True if the owned vertex has at least one neighbor on another rank.
+    bool is_boundary(LocalId local) const;
+
+    /// Ranks owning at least one neighbor of `local` (excluding this rank).
+    std::vector<RankId> neighbor_ranks(LocalId local) const;
+
+    /// Local endpoints (with edge weights) of cut edges to the external
+    /// vertex `global`; empty if `global` is not an external boundary vertex
+    /// of this rank. This is the reverse index used to apply received
+    /// boundary-DV updates.
+    std::span<const std::pair<LocalId, Weight>> external_neighbors(VertexId global) const;
+
+    /// All external boundary vertices (B_p) currently adjacent to this rank.
+    std::vector<VertexId> external_boundary() const;
+
+    /// Replace the ownership map wholesale (Repartition-S). The caller must
+    /// rebuild locals/adjacency afterwards via adopt()/add_local_edge().
+    void reset_ownership(std::vector<RankId> owners);
+
+private:
+    RankId rank_{0};
+    std::vector<RankId> owners_;                     // global vertex -> rank
+    std::vector<VertexId> locals_;                   // local -> global
+    std::unordered_map<VertexId, LocalId> index_;    // global -> local
+    std::vector<std::vector<Neighbor>> adjacency_;   // by local id, global targets
+    // external vertex -> (local endpoint, weight) of each incident cut edge
+    std::unordered_map<VertexId, std::vector<std::pair<LocalId, Weight>>> external_adj_;
+};
+
+}  // namespace aa

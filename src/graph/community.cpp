@@ -1,0 +1,221 @@
+#include "graph/community.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+
+namespace aa {
+
+namespace {
+
+/// Internal Louvain representation: supports self-loops, which carry the
+/// aggregated internal weight of a community after each coarsening level
+/// (DynamicGraph deliberately rejects self-loops, so we cannot reuse it).
+struct LouvainGraph {
+    // adjacency[v] = (neighbor, weight), self-loops excluded
+    std::vector<std::vector<std::pair<std::uint32_t, Weight>>> adjacency;
+    // self[v] = total self-loop weight at v (counted once)
+    std::vector<Weight> self;
+    // degree[v] = weighted degree incl. 2 * self[v]
+    std::vector<Weight> degree;
+    Weight two_m{0};
+
+    std::size_t size() const { return adjacency.size(); }
+};
+
+LouvainGraph from_dynamic(const DynamicGraph& g) {
+    LouvainGraph lg;
+    const std::size_t n = g.num_vertices();
+    lg.adjacency.resize(n);
+    lg.self.assign(n, 0);
+    lg.degree.assign(n, 0);
+    for (VertexId v = 0; v < n; ++v) {
+        for (const Neighbor& nb : g.neighbors(v)) {
+            lg.adjacency[v].push_back({nb.to, nb.weight});
+        }
+        lg.degree[v] = g.weighted_degree(v);
+        lg.two_m += lg.degree[v];
+    }
+    return lg;
+}
+
+/// One local-moving phase: greedily move vertices to the neighbouring
+/// community with the best modularity gain until no move helps.
+/// Returns true if anything moved.
+bool local_moving(const LouvainGraph& g, std::vector<std::uint32_t>& membership,
+                  Rng& rng) {
+    const std::size_t n = g.size();
+    std::vector<Weight> community_degree(n, 0);
+    for (std::uint32_t v = 0; v < n; ++v) {
+        community_degree[membership[v]] += g.degree[v];
+    }
+
+    std::vector<std::uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+
+    bool any_moved = false;
+    bool moved = true;
+    std::unordered_map<std::uint32_t, Weight> links_to;
+    while (moved) {
+        moved = false;
+        for (const std::uint32_t v : order) {
+            const std::uint32_t current = membership[v];
+            const Weight k_v = g.degree[v];
+
+            links_to.clear();
+            links_to[current];  // staying is always an option
+            for (const auto& [u, w] : g.adjacency[v]) {
+                links_to[membership[u]] += w;
+            }
+
+            community_degree[current] -= k_v;
+
+            // gain(C) ∝ k_{v,in}(C) - Σ_tot(C) * k_v / 2m  (self-loop weight
+            // moves with v and is community-independent, so it cancels).
+            std::uint32_t best = current;
+            double best_gain =
+                links_to[current] - community_degree[current] * k_v / g.two_m;
+            for (const auto& [comm, w] : links_to) {
+                const double gain = w - community_degree[comm] * k_v / g.two_m;
+                if (gain > best_gain + 1e-12) {
+                    best_gain = gain;
+                    best = comm;
+                }
+            }
+
+            community_degree[best] += k_v;
+            if (best != current) {
+                membership[v] = best;
+                moved = true;
+                any_moved = true;
+            }
+        }
+    }
+    return any_moved;
+}
+
+/// Renumber membership ids to a dense [0, k) range; returns k.
+std::uint32_t compact(std::vector<std::uint32_t>& membership) {
+    std::unordered_map<std::uint32_t, std::uint32_t> remap;
+    for (auto& m : membership) {
+        const auto [it, inserted] =
+            remap.emplace(m, static_cast<std::uint32_t>(remap.size()));
+        m = it->second;
+    }
+    return static_cast<std::uint32_t>(remap.size());
+}
+
+/// Aggregate communities into super-vertices; intra-community weight (edges
+/// plus constituent self-loops) becomes the super-vertex's self-loop.
+LouvainGraph aggregate(const LouvainGraph& g,
+                       const std::vector<std::uint32_t>& membership,
+                       std::uint32_t num_communities) {
+    LouvainGraph coarse;
+    coarse.adjacency.resize(num_communities);
+    coarse.self.assign(num_communities, 0);
+    coarse.degree.assign(num_communities, 0);
+    coarse.two_m = g.two_m;
+
+    std::unordered_map<std::uint64_t, Weight> acc;
+    for (std::uint32_t v = 0; v < g.size(); ++v) {
+        const std::uint32_t cv = membership[v];
+        coarse.self[cv] += g.self[v];
+        for (const auto& [u, w] : g.adjacency[v]) {
+            const std::uint32_t cu = membership[u];
+            if (cu == cv) {
+                if (u > v) {
+                    coarse.self[cv] += w;  // intra edge counted once
+                }
+            } else {
+                acc[(static_cast<std::uint64_t>(cv) << 32) | cu] += w;
+            }
+        }
+    }
+    for (const auto& [key, w] : acc) {
+        // Each direction of the pair appears once in acc (v-side iteration),
+        // so this inserts both directed adjacency entries naturally.
+        coarse.adjacency[static_cast<std::uint32_t>(key >> 32)].push_back(
+            {static_cast<std::uint32_t>(key & 0xFFFFFFFFu), w});
+    }
+    for (std::uint32_t c = 0; c < num_communities; ++c) {
+        Weight d = 2 * coarse.self[c];
+        for (const auto& [u, w] : coarse.adjacency[c]) {
+            d += w;
+        }
+        coarse.degree[c] = d;
+    }
+    return coarse;
+}
+
+}  // namespace
+
+double modularity(const DynamicGraph& g, const std::vector<std::uint32_t>& membership) {
+    AA_ASSERT(membership.size() == g.num_vertices());
+    const Weight two_m = 2 * g.total_edge_weight();
+    if (two_m == 0) {
+        return 0.0;
+    }
+    const std::uint32_t k =
+        membership.empty() ? 0 : *std::max_element(membership.begin(), membership.end()) + 1;
+    std::vector<Weight> internal(k, 0);
+    std::vector<Weight> degree(k, 0);
+    for (const Edge& e : g.edges()) {
+        if (membership[e.u] == membership[e.v]) {
+            internal[membership[e.u]] += e.weight;
+        }
+    }
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        degree[membership[v]] += g.weighted_degree(v);
+    }
+    double q = 0.0;
+    for (std::uint32_t c = 0; c < k; ++c) {
+        q += 2 * internal[c] / two_m - (degree[c] / two_m) * (degree[c] / two_m);
+    }
+    return q;
+}
+
+LouvainResult louvain(const DynamicGraph& g, Rng& rng, LouvainConfig config) {
+    LouvainResult result;
+    const std::size_t n = g.num_vertices();
+    result.membership.resize(n);
+    std::iota(result.membership.begin(), result.membership.end(), 0);
+    if (g.num_edges() == 0) {
+        result.num_communities = compact(result.membership);
+        return result;
+    }
+
+    LouvainGraph level_graph = from_dynamic(g);
+    std::vector<std::uint32_t> flat = result.membership;
+    double previous_modularity = modularity(g, flat);
+
+    for (std::size_t level = 0; level < config.max_levels; ++level) {
+        std::vector<std::uint32_t> level_membership(level_graph.size());
+        std::iota(level_membership.begin(), level_membership.end(), 0);
+        const bool moved = local_moving(level_graph, level_membership, rng);
+        const std::uint32_t k = compact(level_membership);
+        ++result.levels;
+
+        for (auto& c : flat) {
+            c = level_membership[c];
+        }
+        if (!moved || k == level_graph.size()) {
+            break;
+        }
+        const double q = modularity(g, flat);
+        if (q < previous_modularity + config.min_gain) {
+            break;
+        }
+        previous_modularity = q;
+        level_graph = aggregate(level_graph, level_membership, k);
+    }
+
+    result.membership = std::move(flat);
+    result.num_communities = compact(result.membership);
+    result.modularity = modularity(g, result.membership);
+    return result;
+}
+
+}  // namespace aa

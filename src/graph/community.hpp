@@ -1,0 +1,42 @@
+// Louvain community detection (Blondel et al. 2008).
+//
+// The paper builds its vertex-addition workloads by extracting communities
+// with Pajek's Louvain implementation; this module plays that role (and lets
+// examples analyze community structure on arbitrary graphs). Standard
+// modularity-maximizing local moving + graph aggregation, repeated until the
+// modularity gain falls below `min_gain`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace aa {
+
+struct LouvainResult {
+    /// Community id of each vertex, compacted to [0, num_communities).
+    std::vector<std::uint32_t> membership;
+    std::uint32_t num_communities{0};
+    /// Modularity of the returned partition.
+    double modularity{0.0};
+    /// Number of local-moving/aggregation rounds performed.
+    std::size_t levels{0};
+};
+
+struct LouvainConfig {
+    /// Stop when a full level improves modularity by less than this.
+    double min_gain{1e-6};
+    /// Cap on aggregation levels (safety bound; Louvain converges quickly).
+    std::size_t max_levels{32};
+};
+
+/// Run Louvain on `g`. Vertex visit order is shuffled with `rng`, which is the
+/// only source of nondeterminism — a fixed seed gives a fixed partition.
+LouvainResult louvain(const DynamicGraph& g, Rng& rng, LouvainConfig config = {});
+
+/// Modularity of an arbitrary membership vector on `g`.
+double modularity(const DynamicGraph& g, const std::vector<std::uint32_t>& membership);
+
+}  // namespace aa

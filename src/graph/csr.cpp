@@ -1,0 +1,42 @@
+#include "graph/csr.hpp"
+
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace aa {
+
+CsrGraph::CsrGraph(const DynamicGraph& g) {
+    const std::size_t n = g.num_vertices();
+    offsets_.resize(n + 1, 0);
+    for (VertexId v = 0; v < n; ++v) {
+        offsets_[v + 1] = offsets_[v] + g.degree(v);
+    }
+    targets_.resize(offsets_[n]);
+    weights_.resize(offsets_[n]);
+    for (VertexId v = 0; v < n; ++v) {
+        std::size_t pos = offsets_[v];
+        for (const Neighbor& nb : g.neighbors(v)) {
+            targets_[pos] = nb.to;
+            weights_[pos] = nb.weight;
+            ++pos;
+        }
+    }
+    vertex_weights_.assign(n, 1.0);
+    total_vertex_weight_ = static_cast<Weight>(n);
+}
+
+CsrGraph::CsrGraph(std::vector<std::size_t> offsets, std::vector<VertexId> targets,
+                   std::vector<Weight> weights, std::vector<Weight> vertex_weights)
+    : offsets_(std::move(offsets)),
+      targets_(std::move(targets)),
+      weights_(std::move(weights)),
+      vertex_weights_(std::move(vertex_weights)) {
+    AA_ASSERT(offsets_.size() == vertex_weights_.size() + 1);
+    AA_ASSERT(targets_.size() == weights_.size());
+    AA_ASSERT(offsets_.back() == targets_.size());
+    total_vertex_weight_ =
+        std::accumulate(vertex_weights_.begin(), vertex_weights_.end(), Weight{0});
+}
+
+}  // namespace aa

@@ -1,0 +1,52 @@
+// Compressed sparse row (CSR) snapshot of a DynamicGraph.
+//
+// The multilevel partitioner and the graph metrics work on an immutable
+// snapshot; CSR gives them contiguous adjacency with no per-vertex allocation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace aa {
+
+class CsrGraph {
+public:
+    CsrGraph() = default;
+
+    /// Snapshot `g` into CSR form.
+    explicit CsrGraph(const DynamicGraph& g);
+
+    /// Build directly from components (used by the coarsener).
+    CsrGraph(std::vector<std::size_t> offsets, std::vector<VertexId> targets,
+             std::vector<Weight> weights, std::vector<Weight> vertex_weights);
+
+    std::size_t num_vertices() const {
+        return offsets_.empty() ? 0 : offsets_.size() - 1;
+    }
+    std::size_t num_edges() const { return targets_.size() / 2; }
+
+    std::size_t degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+    std::span<const VertexId> neighbors(VertexId v) const {
+        return {targets_.data() + offsets_[v], degree(v)};
+    }
+    std::span<const Weight> neighbor_weights(VertexId v) const {
+        return {weights_.data() + offsets_[v], degree(v)};
+    }
+
+    /// Vertex weight: 1 for snapshots, aggregate size for coarsened graphs.
+    Weight vertex_weight(VertexId v) const { return vertex_weights_[v]; }
+    Weight total_vertex_weight() const { return total_vertex_weight_; }
+
+private:
+    std::vector<std::size_t> offsets_;
+    std::vector<VertexId> targets_;
+    std::vector<Weight> weights_;
+    std::vector<Weight> vertex_weights_;
+    Weight total_vertex_weight_{0};
+};
+
+}  // namespace aa

@@ -1,0 +1,227 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace aa {
+
+DynamicGraph barabasi_albert(std::size_t n, std::size_t edges_per_vertex, Rng& rng,
+                             WeightRange weights) {
+    AA_ASSERT_MSG(edges_per_vertex >= 1, "edges_per_vertex must be >= 1");
+    const std::size_t m = edges_per_vertex;
+    const std::size_t seed_size = std::max<std::size_t>(m + 1, 2);
+    AA_ASSERT_MSG(n >= seed_size, "graph too small for edges_per_vertex");
+
+    DynamicGraph g(n);
+    // `targets` holds one entry per edge endpoint; sampling uniformly from it
+    // implements preferential attachment.
+    std::vector<VertexId> endpoint_pool;
+    endpoint_pool.reserve(2 * m * n);
+
+    // Seed: a small clique so every early vertex has nonzero degree.
+    for (VertexId u = 0; u < seed_size; ++u) {
+        for (VertexId v = u + 1; v < seed_size; ++v) {
+            g.add_edge(u, v, weights.sample(rng));
+            endpoint_pool.push_back(u);
+            endpoint_pool.push_back(v);
+        }
+    }
+
+    std::unordered_set<VertexId> chosen;
+    for (VertexId v = static_cast<VertexId>(seed_size); v < n; ++v) {
+        chosen.clear();
+        while (chosen.size() < m) {
+            const VertexId candidate = endpoint_pool[rng.uniform(endpoint_pool.size())];
+            chosen.insert(candidate);
+        }
+        for (VertexId u : chosen) {
+            g.add_edge(v, u, weights.sample(rng));
+            endpoint_pool.push_back(v);
+            endpoint_pool.push_back(u);
+        }
+    }
+    return g;
+}
+
+DynamicGraph erdos_renyi_gnm(std::size_t n, std::size_t m, Rng& rng,
+                             WeightRange weights) {
+    AA_ASSERT_MSG(n >= 2, "need at least 2 vertices");
+    const std::size_t max_edges = n * (n - 1) / 2;
+    AA_ASSERT_MSG(m <= max_edges, "too many edges requested");
+    DynamicGraph g(n);
+    std::size_t added = 0;
+    while (added < m) {
+        const auto u = static_cast<VertexId>(rng.uniform(n));
+        const auto v = static_cast<VertexId>(rng.uniform(n));
+        if (g.add_edge(u, v, weights.sample(rng))) {
+            ++added;
+        }
+    }
+    return g;
+}
+
+DynamicGraph watts_strogatz(std::size_t n, std::size_t k, double beta, Rng& rng,
+                            WeightRange weights) {
+    AA_ASSERT_MSG(k >= 1 && 2 * k < n, "invalid lattice degree");
+    DynamicGraph g(n);
+    for (VertexId u = 0; u < n; ++u) {
+        for (std::size_t j = 1; j <= k; ++j) {
+            VertexId v = static_cast<VertexId>((u + j) % n);
+            if (rng.chance(beta)) {
+                // Rewire: pick a random non-neighbour target.
+                for (int attempts = 0; attempts < 32; ++attempts) {
+                    const auto w = static_cast<VertexId>(rng.uniform(n));
+                    if (w != u && !g.has_edge(u, w)) {
+                        v = w;
+                        break;
+                    }
+                }
+            }
+            g.add_edge(u, v, weights.sample(rng));
+        }
+    }
+    return g;
+}
+
+DynamicGraph rmat(std::size_t scale, std::size_t edges, Rng& rng,
+                  RmatParams params, WeightRange weights) {
+    AA_ASSERT_MSG(scale >= 1 && scale < 31, "invalid R-MAT scale");
+    const double total = params.a + params.b + params.c + params.d;
+    AA_ASSERT_MSG(std::abs(total - 1.0) < 1e-9, "R-MAT probabilities must sum to 1");
+    const std::size_t n = std::size_t{1} << scale;
+    AA_ASSERT_MSG(edges <= n * (n - 1) / 2, "too many edges requested");
+
+    DynamicGraph g(n);
+    std::size_t added = 0;
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = 64 * edges + 1024;
+    while (added < edges && attempts++ < max_attempts) {
+        // Recursive quadrant descent with light noise on the probabilities
+        // (standard practice to avoid exact self-similarity artifacts).
+        std::size_t u = 0;
+        std::size_t v = 0;
+        for (std::size_t level = 0; level < scale; ++level) {
+            const double noise = 0.9 + 0.2 * rng.uniform01();
+            const double pa = params.a * noise;
+            const double r = rng.uniform01() * (pa + params.b + params.c + params.d);
+            u <<= 1;
+            v <<= 1;
+            if (r < pa) {
+                // top-left quadrant: no bits set
+            } else if (r < pa + params.b) {
+                v |= 1;
+            } else if (r < pa + params.b + params.c) {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        if (u != v &&
+            g.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v),
+                       weights.sample(rng))) {
+            ++added;
+        }
+    }
+    return g;
+}
+
+DynamicGraph planted_partition(std::size_t n, std::size_t communities, double p_in,
+                               double p_out, Rng& rng,
+                               std::vector<std::uint32_t>* membership,
+                               WeightRange weights) {
+    AA_ASSERT_MSG(communities >= 1 && communities <= n, "invalid community count");
+    DynamicGraph g(n);
+    std::vector<std::uint32_t> block(n);
+    for (std::size_t v = 0; v < n; ++v) {
+        // Contiguous equal-size blocks (id-cyclic assignment would correlate
+        // with round-robin partitioning and bias comparisons).
+        block[v] = static_cast<std::uint32_t>(
+            std::min(v * communities / n, communities - 1));
+    }
+    for (VertexId u = 0; u < n; ++u) {
+        for (VertexId v = u + 1; v < n; ++v) {
+            const double p = block[u] == block[v] ? p_in : p_out;
+            if (rng.chance(p)) {
+                g.add_edge(u, v, weights.sample(rng));
+            }
+        }
+    }
+    if (membership != nullptr) {
+        *membership = std::move(block);
+    }
+    return g;
+}
+
+GrowthBatch grow_batch(std::size_t host_vertices, const GrowthConfig& config,
+                       Rng& rng) {
+    AA_ASSERT_MSG(host_vertices >= 1, "host graph must be non-empty");
+    AA_ASSERT_MSG(config.communities >= 1, "need at least one community");
+    GrowthBatch batch;
+    batch.base_id = static_cast<VertexId>(host_vertices);
+    batch.num_new = config.num_new;
+    batch.community.resize(config.num_new);
+
+    // Per-community endpoint pools for preferential attachment among the new
+    // vertices (mirrors how a community in a real network grows).
+    std::vector<std::vector<VertexId>> pools(config.communities);
+    std::unordered_set<VertexId> chosen;
+
+    for (std::size_t i = 0; i < config.num_new; ++i) {
+        const VertexId vid = batch.base_id + static_cast<VertexId>(i);
+        // Contiguous community blocks, like a Louvain-extracted batch (and
+        // unlike id-cyclic assignment, which would accidentally correlate
+        // with round-robin processor assignment).
+        auto comm = static_cast<std::uint32_t>(i * config.communities /
+                                               std::max<std::size_t>(config.num_new, 1));
+        comm = std::min(comm, static_cast<std::uint32_t>(config.communities - 1));
+        if (config.noise > 0 && config.communities > 1 && rng.chance(config.noise)) {
+            comm = static_cast<std::uint32_t>(rng.uniform(config.communities));
+        }
+        batch.community[i] = comm;
+        auto& pool = pools[comm];
+
+        // Intra-community edges to earlier batch members (preferential).
+        const std::size_t want = std::min(config.intra_edges, pool.size());
+        chosen.clear();
+        std::size_t guard = 0;
+        while (chosen.size() < want && guard++ < 64 * config.intra_edges + 64) {
+            chosen.insert(pool[rng.uniform(pool.size())]);
+        }
+        for (VertexId u : chosen) {
+            batch.edges.push_back({vid, u, config.weights.sample(rng)});
+            pool.push_back(u);
+            pool.push_back(vid);
+        }
+        if (chosen.empty()) {
+            pool.push_back(vid);  // community founder
+        }
+
+        // Anchor edges into the host graph.
+        for (std::size_t j = 0; j < config.host_edges; ++j) {
+            const auto host = static_cast<VertexId>(rng.uniform(host_vertices));
+            batch.edges.push_back({vid, host, config.weights.sample(rng)});
+        }
+    }
+
+    // Deduplicate (preferential attachment can propose the same pair twice via
+    // different pool entries; DynamicGraph would reject them, but benchmarks
+    // count batch.edges directly).
+    std::sort(batch.edges.begin(), batch.edges.end(), [](const Edge& a, const Edge& b) {
+        const auto ka = std::minmax(a.u, a.v);
+        const auto kb = std::minmax(b.u, b.v);
+        return ka < kb;
+    });
+    batch.edges.erase(std::unique(batch.edges.begin(), batch.edges.end(),
+                                  [](const Edge& a, const Edge& b) {
+                                      return std::minmax(a.u, a.v) ==
+                                             std::minmax(b.u, b.v);
+                                  }),
+                      batch.edges.end());
+    return batch;
+}
+
+}  // namespace aa

@@ -1,0 +1,107 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on undirected scale-free graphs produced with Pajek and
+// on batches of new vertices extracted (with Louvain) from a larger graph so
+// that the batch carries community structure. This environment has no network
+// access, so these generators stand in for both (see DESIGN.md §2):
+//   * barabasi_albert  — scale-free host graphs (degree distribution ~ k^-3),
+//   * planted_partition — graphs with ground-truth communities,
+//   * grow_batch        — a community-structured batch of *new* vertices
+//                         attached to an existing host graph, the workload for
+//                         the vertex-addition experiments (Figures 5-8).
+// All generators are deterministic given the Rng seed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace aa {
+
+/// Optional random edge weights; weight 1.0 (unweighted) when lo == hi == 1.
+struct WeightRange {
+    Weight lo{1.0};
+    Weight hi{1.0};
+
+    Weight sample(Rng& rng) const {
+        return lo == hi ? lo : rng.uniform(lo, hi);
+    }
+};
+
+/// Barabasi-Albert preferential attachment: starts from a small clique and
+/// attaches each new vertex to `edges_per_vertex` existing vertices chosen
+/// proportionally to degree. Produces a connected scale-free graph.
+DynamicGraph barabasi_albert(std::size_t n, std::size_t edges_per_vertex, Rng& rng,
+                             WeightRange weights = {});
+
+/// Erdos-Renyi G(n, m): n vertices, m distinct uniform random edges.
+DynamicGraph erdos_renyi_gnm(std::size_t n, std::size_t m, Rng& rng,
+                             WeightRange weights = {});
+
+/// Watts-Strogatz small world: ring lattice with k neighbours per side,
+/// each edge rewired with probability beta.
+DynamicGraph watts_strogatz(std::size_t n, std::size_t k, double beta, Rng& rng,
+                            WeightRange weights = {});
+
+/// R-MAT / Kronecker-style generator (Chakrabarti et al.): 2^scale vertices,
+/// `edges` distinct undirected edges placed by recursive quadrant descent
+/// with probabilities (a, b, c, d), a + b + c + d = 1. The SNAP datasets'
+/// synthetic cousins; defaults give the usual skewed (0.57, 0.19, 0.19,
+/// 0.05) distribution.
+struct RmatParams {
+    double a{0.57};
+    double b{0.19};
+    double c{0.19};
+    double d{0.05};
+};
+DynamicGraph rmat(std::size_t scale, std::size_t edges, Rng& rng,
+                  RmatParams params = {}, WeightRange weights = {});
+
+/// Planted partition (stochastic block model with equal-size blocks):
+/// `communities` blocks; intra-block edge probability p_in, inter p_out.
+/// Returns the graph and writes each vertex's block id into `membership`.
+DynamicGraph planted_partition(std::size_t n, std::size_t communities, double p_in,
+                               double p_out, Rng& rng,
+                               std::vector<std::uint32_t>* membership = nullptr,
+                               WeightRange weights = {});
+
+/// A batch of vertices to be added dynamically to a host graph.
+///
+/// New vertices are numbered base_id .. base_id + num_new - 1 (i.e. the ids
+/// they will occupy once appended to the host). `edges` may connect two new
+/// vertices or a new vertex to an existing host vertex, matching the paper's
+/// model where a vertex addition carries one or more edge additions.
+struct GrowthBatch {
+    VertexId base_id{0};
+    std::size_t num_new{0};
+    std::vector<Edge> edges;
+    /// Ground-truth community of each new vertex (size num_new); used by
+    /// benchmarks to verify CutEdge-PS exploits the structure.
+    std::vector<std::uint32_t> community;
+};
+
+/// Parameters for grow_batch.
+struct GrowthConfig {
+    std::size_t num_new{0};
+    /// Number of communities among the new vertices (>= 1).
+    std::size_t communities{4};
+    /// Edges from each new vertex to earlier vertices of its own community.
+    std::size_t intra_edges{3};
+    /// Edges from each new vertex to uniform-random host vertices.
+    std::size_t host_edges{2};
+    /// Probability that an intra edge is rewired to a different community
+    /// (adds noise; 0 = perfectly separable communities).
+    double noise{0.05};
+    WeightRange weights{};
+};
+
+/// Generate a community-structured batch of new vertices for a host graph of
+/// `host_vertices` vertices. Each community grows by preferential attachment
+/// internally, so the batch is itself scale-free-ish; every new vertex gets
+/// `host_edges` anchors into the host so the grown graph stays connected.
+GrowthBatch grow_batch(std::size_t host_vertices, const GrowthConfig& config, Rng& rng);
+
+}  // namespace aa

@@ -1,0 +1,112 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+namespace aa {
+
+std::vector<std::size_t> degree_histogram(const DynamicGraph& g) {
+    std::vector<std::size_t> histogram;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        const std::size_t d = g.degree(v);
+        if (d >= histogram.size()) {
+            histogram.resize(d + 1, 0);
+        }
+        ++histogram[d];
+    }
+    return histogram;
+}
+
+std::vector<std::uint32_t> connected_components(const DynamicGraph& g) {
+    const std::size_t n = g.num_vertices();
+    std::vector<std::uint32_t> component(n, UINT32_MAX);
+    std::uint32_t next = 0;
+    std::vector<VertexId> stack;
+    for (VertexId start = 0; start < n; ++start) {
+        if (component[start] != UINT32_MAX) {
+            continue;
+        }
+        component[start] = next;
+        stack.push_back(start);
+        while (!stack.empty()) {
+            const VertexId v = stack.back();
+            stack.pop_back();
+            for (const Neighbor& nb : g.neighbors(v)) {
+                if (component[nb.to] == UINT32_MAX) {
+                    component[nb.to] = next;
+                    stack.push_back(nb.to);
+                }
+            }
+        }
+        ++next;
+    }
+    return component;
+}
+
+std::size_t num_connected_components(const DynamicGraph& g) {
+    const auto component = connected_components(g);
+    return component.empty()
+               ? 0
+               : *std::max_element(component.begin(), component.end()) + 1;
+}
+
+bool is_connected(const DynamicGraph& g) {
+    return g.num_vertices() <= 1 || num_connected_components(g) == 1;
+}
+
+double power_law_exponent_mle(const DynamicGraph& g, std::size_t x_min) {
+    double log_sum = 0.0;
+    std::size_t count = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        const std::size_t d = g.degree(v);
+        if (d >= x_min) {
+            log_sum += std::log(static_cast<double>(d) /
+                                (static_cast<double>(x_min) - 0.5));
+            ++count;
+        }
+    }
+    if (count < 2 || log_sum <= 0) {
+        return 0.0;
+    }
+    return 1.0 + static_cast<double>(count) / log_sum;
+}
+
+double global_clustering_coefficient(const DynamicGraph& g) {
+    // Count closed and open wedges centred at each vertex.
+    std::size_t wedges = 0;
+    std::size_t closed = 0;
+    std::unordered_set<VertexId> mark;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        const auto nbs = g.neighbors(v);
+        const std::size_t d = nbs.size();
+        if (d < 2) {
+            continue;
+        }
+        wedges += d * (d - 1) / 2;
+        mark.clear();
+        for (const Neighbor& nb : nbs) {
+            mark.insert(nb.to);
+        }
+        for (std::size_t i = 0; i < d; ++i) {
+            for (const Neighbor& second : g.neighbors(nbs[i].to)) {
+                // Count each triangle corner once (i < index of second in mark
+                // handled by id ordering).
+                if (second.to > nbs[i].to && mark.contains(second.to)) {
+                    ++closed;
+                }
+            }
+        }
+    }
+    return wedges == 0 ? 0.0 : static_cast<double>(closed) / static_cast<double>(wedges);
+}
+
+double average_degree(const DynamicGraph& g) {
+    return g.num_vertices() == 0
+               ? 0.0
+               : 2.0 * static_cast<double>(g.num_edges()) /
+                     static_cast<double>(g.num_vertices());
+}
+
+}  // namespace aa

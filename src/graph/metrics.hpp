@@ -1,0 +1,33 @@
+// Structural graph metrics used by examples, tests and benchmark reporting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace aa {
+
+/// Degree histogram: index = degree, value = number of vertices.
+std::vector<std::size_t> degree_histogram(const DynamicGraph& g);
+
+/// Connected components via BFS; returns component id per vertex (dense).
+std::vector<std::uint32_t> connected_components(const DynamicGraph& g);
+
+std::size_t num_connected_components(const DynamicGraph& g);
+
+bool is_connected(const DynamicGraph& g);
+
+/// Maximum-likelihood estimate of the power-law exponent of the degree
+/// distribution (Clauset-Shalizi-Newman discrete MLE with x_min fixed).
+/// Returns 0 if fewer than 2 vertices have degree >= x_min.
+double power_law_exponent_mle(const DynamicGraph& g, std::size_t x_min = 2);
+
+/// Global clustering coefficient (3 * triangles / open wedges).
+double global_clustering_coefficient(const DynamicGraph& g);
+
+/// Average degree (2m / n); 0 for empty graph.
+double average_degree(const DynamicGraph& g);
+
+}  // namespace aa

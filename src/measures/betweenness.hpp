@@ -1,0 +1,76 @@
+// Betweenness centrality: exact Brandes plus the pivot-sampled approximation
+// of Bader, Kintali, Madduri & Mihail — the betweenness approach the paper
+// cites as background ([17]) — distributed across the simulated cluster.
+//
+// Sampled betweenness parallelizes "embarrassingly" over pivot sources, so
+// the standard deployment (and ours) replicates the graph on every rank and
+// splits the pivots; partial dependency scores are reduced at the end. The
+// anytime property takes the form "more pivots, better estimate": the
+// engine exposes batched refinement so callers can stop at any accuracy.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "graph/graph.hpp"
+#include "runtime/cluster.hpp"
+
+namespace aa {
+
+/// Exact betweenness (Brandes 2001) for weighted undirected graphs. Each
+/// unordered pair contributes once (the undirected convention: accumulated
+/// dependencies are halved).
+std::vector<double> exact_betweenness(const DynamicGraph& g);
+
+/// Single-source Brandes dependency accumulation (exposed for tests and for
+/// the distributed engine). Adds source `s`'s dependencies into `scores`.
+void brandes_accumulate(const DynamicGraph& g, VertexId s,
+                        std::vector<double>& scores);
+
+/// Pivot-sampled approximation: extrapolate from `pivots` uniformly sampled
+/// sources (scores scaled by n / |pivots|).
+std::vector<double> approx_betweenness(const DynamicGraph& g, std::size_t pivots,
+                                       Rng& rng);
+
+class BetweennessEngine {
+public:
+    BetweennessEngine(DynamicGraph graph, EngineConfig cluster_config);
+    ~BetweennessEngine();
+
+    BetweennessEngine(const BetweennessEngine&) = delete;
+    BetweennessEngine& operator=(const BetweennessEngine&) = delete;
+
+    /// Replicate the graph to every rank (priced as a tree broadcast of the
+    /// edge list) and shuffle the pivot order.
+    void initialize();
+
+    /// Process `count` more pivots, split round-robin across ranks (each
+    /// rank's Brandes runs are charged to its clock; the batch ends with a
+    /// partial-score reduction to rank 0, priced as messages). Returns the
+    /// number of pivots actually processed (capped by n).
+    std::size_t refine(std::size_t count);
+
+    /// Current estimate, scaled to extrapolate from the processed pivots
+    /// (exact once every vertex has been a pivot).
+    std::vector<double> scores() const;
+
+    std::size_t pivots_processed() const { return next_pivot_; }
+    bool exact() const { return next_pivot_ >= pivot_order_.size(); }
+    double sim_seconds() const;
+    const Cluster& cluster() const { return *cluster_; }
+
+private:
+    DynamicGraph graph_;
+    EngineConfig config_;
+    std::unique_ptr<Cluster> cluster_;
+    Rng rng_;
+    std::vector<VertexId> pivot_order_;
+    std::size_t next_pivot_{0};
+    // Per-rank partial dependency sums (rank-private, reduced on demand).
+    std::vector<std::vector<double>> partial_;
+    bool initialized_{false};
+};
+
+}  // namespace aa

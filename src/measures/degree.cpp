@@ -1,0 +1,66 @@
+#include "measures/degree.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace aa {
+
+std::vector<std::size_t> degree_centrality(const DynamicGraph& g) {
+    std::vector<std::size_t> degrees(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        degrees[v] = g.degree(v);
+    }
+    return degrees;
+}
+
+std::vector<double> normalized_degree_centrality(const DynamicGraph& g) {
+    const std::size_t n = g.num_vertices();
+    std::vector<double> scores(n, 0);
+    if (n <= 1) {
+        return scores;
+    }
+    for (VertexId v = 0; v < n; ++v) {
+        scores[v] = static_cast<double>(g.degree(v)) / static_cast<double>(n - 1);
+    }
+    return scores;
+}
+
+std::vector<Weight> strength_centrality(const DynamicGraph& g) {
+    std::vector<Weight> scores(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        scores[v] = g.weighted_degree(v);
+    }
+    return scores;
+}
+
+std::vector<VertexId> degree_ranking(const DynamicGraph& g) {
+    std::vector<VertexId> order(g.num_vertices());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&g](VertexId a, VertexId b) {
+        if (g.degree(a) != g.degree(b)) {
+            return g.degree(a) > g.degree(b);
+        }
+        return a < b;
+    });
+    return order;
+}
+
+double degree_centralization(const DynamicGraph& g) {
+    const std::size_t n = g.num_vertices();
+    if (n <= 2) {
+        return 0.0;
+    }
+    std::size_t max_degree = 0;
+    for (VertexId v = 0; v < n; ++v) {
+        max_degree = std::max(max_degree, g.degree(v));
+    }
+    double sum = 0;
+    for (VertexId v = 0; v < n; ++v) {
+        sum += static_cast<double>(max_degree - g.degree(v));
+    }
+    // Freeman normalization: the star graph maximizes the numerator at
+    // (n - 1)(n - 2).
+    return sum / (static_cast<double>(n - 1) * static_cast<double>(n - 2));
+}
+
+}  // namespace aa

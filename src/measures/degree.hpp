@@ -1,0 +1,29 @@
+// Degree centrality — the simplest SNA measure in the paper's family
+// ([21][22]). Inherently "anytime anywhere": degree updates are local and
+// exact under every dynamic change.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace aa {
+
+/// Raw degree of every vertex.
+std::vector<std::size_t> degree_centrality(const DynamicGraph& g);
+
+/// Degree normalized by (n - 1) (Freeman's definition); 0 for n <= 1.
+std::vector<double> normalized_degree_centrality(const DynamicGraph& g);
+
+/// Weighted degree (vertex strength).
+std::vector<Weight> strength_centrality(const DynamicGraph& g);
+
+/// Ranking by descending degree (ties by id).
+std::vector<VertexId> degree_ranking(const DynamicGraph& g);
+
+/// Freeman's graph-level degree centralization in [0, 1]: 1 for a star,
+/// 0 for a regular graph.
+double degree_centralization(const DynamicGraph& g);
+
+}  // namespace aa

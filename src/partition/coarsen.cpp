@@ -1,0 +1,85 @@
+#include "partition/coarsen.hpp"
+
+#include <unordered_map>
+
+#include "common/assert.hpp"
+
+namespace aa {
+
+CoarseLevel coarsen(const CsrGraph& g, const std::vector<VertexId>& match) {
+    const std::size_t n = g.num_vertices();
+    AA_ASSERT(match.size() == n);
+
+    CoarseLevel level;
+    level.fine_to_coarse.assign(n, kInvalidVertex);
+
+    // Number super-vertices: one per matched pair / unmatched vertex.
+    VertexId next = 0;
+    for (VertexId v = 0; v < n; ++v) {
+        if (level.fine_to_coarse[v] != kInvalidVertex) {
+            continue;
+        }
+        level.fine_to_coarse[v] = next;
+        const VertexId partner = match[v];
+        AA_ASSERT_MSG(match[partner] == v, "matching is not symmetric");
+        if (partner != v) {
+            level.fine_to_coarse[partner] = next;
+        }
+        ++next;
+    }
+    const std::size_t coarse_n = next;
+
+    // Accumulate vertex weights and coarse adjacency.
+    std::vector<Weight> vertex_weights(coarse_n, 0);
+    for (VertexId v = 0; v < n; ++v) {
+        vertex_weights[level.fine_to_coarse[v]] += g.vertex_weight(v);
+    }
+
+    // Per-coarse-vertex neighbour accumulation. A scan per super-vertex with a
+    // small hash map keeps this O(E) overall.
+    std::vector<std::size_t> offsets(coarse_n + 1, 0);
+    std::vector<VertexId> targets;
+    std::vector<Weight> weights;
+    targets.reserve(g.num_edges() * 2);
+    weights.reserve(g.num_edges() * 2);
+
+    std::vector<VertexId> members(coarse_n, kInvalidVertex);
+    std::vector<VertexId> second(coarse_n, kInvalidVertex);
+    for (VertexId v = 0; v < n; ++v) {
+        const VertexId c = level.fine_to_coarse[v];
+        if (members[c] == kInvalidVertex) {
+            members[c] = v;
+        } else {
+            second[c] = v;
+        }
+    }
+
+    std::unordered_map<VertexId, Weight> acc;
+    for (VertexId c = 0; c < coarse_n; ++c) {
+        acc.clear();
+        for (const VertexId fine : {members[c], second[c]}) {
+            if (fine == kInvalidVertex) {
+                continue;
+            }
+            const auto nbs = g.neighbors(fine);
+            const auto wts = g.neighbor_weights(fine);
+            for (std::size_t i = 0; i < nbs.size(); ++i) {
+                const VertexId cu = level.fine_to_coarse[nbs[i]];
+                if (cu != c) {
+                    acc[cu] += wts[i];
+                }
+            }
+        }
+        offsets[c + 1] = offsets[c] + acc.size();
+        for (const auto& [cu, w] : acc) {
+            targets.push_back(cu);
+            weights.push_back(w);
+        }
+    }
+
+    level.graph = CsrGraph(std::move(offsets), std::move(targets), std::move(weights),
+                           std::move(vertex_weights));
+    return level;
+}
+
+}  // namespace aa

@@ -1,0 +1,22 @@
+// Graph coarsening: collapse matched vertex pairs into super-vertices,
+// accumulating edge and vertex weights.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace aa {
+
+struct CoarseLevel {
+    CsrGraph graph;
+    /// fine vertex id -> coarse vertex id.
+    std::vector<VertexId> fine_to_coarse;
+};
+
+/// Contract `g` along `match` (as produced by heavy_edge_matching). Parallel
+/// edges between super-vertices are merged with summed weights; edges internal
+/// to a pair disappear.
+CoarseLevel coarsen(const CsrGraph& g, const std::vector<VertexId>& match);
+
+}  // namespace aa

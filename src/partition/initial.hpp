@@ -1,0 +1,16 @@
+// Initial k-way partition of the coarsest graph: greedy graph growing.
+#pragma once
+
+#include "common/rng.hpp"
+#include "graph/csr.hpp"
+#include "partition/partition.hpp"
+
+namespace aa {
+
+/// Grow k regions from random seeds, always expanding the currently lightest
+/// region across its heaviest frontier edge. Respects vertex weights (coarse
+/// vertices aggregate many fine vertices). Leftover vertices go to the
+/// lightest part.
+Partitioning greedy_growing_partition(const CsrGraph& g, std::uint32_t k, Rng& rng);
+
+}  // namespace aa

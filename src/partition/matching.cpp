@@ -1,0 +1,49 @@
+#include "partition/matching.hpp"
+
+#include <numeric>
+
+namespace aa {
+
+std::vector<VertexId> heavy_edge_matching(const CsrGraph& g, Rng& rng) {
+    const std::size_t n = g.num_vertices();
+    std::vector<VertexId> match(n);
+    std::iota(match.begin(), match.end(), 0);
+
+    std::vector<VertexId> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+
+    for (VertexId v : order) {
+        if (match[v] != v) {
+            continue;  // already matched
+        }
+        VertexId best = v;
+        Weight best_weight = -1;
+        const auto nbs = g.neighbors(v);
+        const auto wts = g.neighbor_weights(v);
+        for (std::size_t i = 0; i < nbs.size(); ++i) {
+            const VertexId u = nbs[i];
+            if (u != v && match[u] == u && wts[i] > best_weight) {
+                best = u;
+                best_weight = wts[i];
+            }
+        }
+        if (best != v) {
+            match[v] = best;
+            match[best] = v;
+        }
+    }
+    return match;
+}
+
+std::size_t matching_size(const std::vector<VertexId>& match) {
+    std::size_t pairs = 0;
+    for (VertexId v = 0; v < match.size(); ++v) {
+        if (match[v] > v) {
+            ++pairs;
+        }
+    }
+    return pairs;
+}
+
+}  // namespace aa

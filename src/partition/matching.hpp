@@ -1,0 +1,20 @@
+// Heavy-edge matching for multilevel coarsening (Karypis & Kumar).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/csr.hpp"
+
+namespace aa {
+
+/// Compute a matching: match[v] == partner of v, or v itself if unmatched.
+/// Vertices are visited in random order; each unmatched vertex pairs with its
+/// unmatched neighbour of maximum edge weight (heavy-edge rule), which
+/// preserves cut structure through coarsening.
+std::vector<VertexId> heavy_edge_matching(const CsrGraph& g, Rng& rng);
+
+/// Number of matched pairs in a matching vector.
+std::size_t matching_size(const std::vector<VertexId>& match);
+
+}  // namespace aa

@@ -1,0 +1,69 @@
+#include "partition/multilevel.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "partition/coarsen.hpp"
+#include "partition/initial.hpp"
+#include "partition/matching.hpp"
+
+namespace aa {
+
+Partitioning multilevel_partition(const CsrGraph& g, std::uint32_t k, Rng& rng,
+                                  const MultilevelConfig& config) {
+    AA_ASSERT(k >= 1);
+    if (k == 1) {
+        Partitioning p;
+        p.num_parts = 1;
+        p.assignment.assign(g.num_vertices(), 0);
+        return p;
+    }
+
+    // Coarsening phase. Keep every level's fine->coarse map for projection.
+    std::vector<CsrGraph> levels;
+    std::vector<std::vector<VertexId>> maps;
+    levels.push_back(g);
+
+    const std::size_t stop_size =
+        std::max<std::size_t>(config.coarsen_to * k, 64);
+    while (levels.back().num_vertices() > stop_size &&
+           levels.size() < config.max_levels) {
+        const CsrGraph& fine = levels.back();
+        const auto match = heavy_edge_matching(fine, rng);
+        CoarseLevel next = coarsen(fine, match);
+        const double shrink = static_cast<double>(next.graph.num_vertices()) /
+                              static_cast<double>(fine.num_vertices());
+        if (shrink > config.min_shrink) {
+            break;  // matching stalled; coarser levels would not help
+        }
+        maps.push_back(std::move(next.fine_to_coarse));
+        levels.push_back(std::move(next.graph));
+    }
+
+    // Initial partition on the coarsest level, then refine.
+    Partitioning p = greedy_growing_partition(levels.back(), k, rng);
+    refine_partition(levels.back(), p, config.refine);
+
+    // Uncoarsening: project through each map and refine at the finer level.
+    for (std::size_t level = maps.size(); level-- > 0;) {
+        const auto& fine_to_coarse = maps[level];
+        Partitioning finer;
+        finer.num_parts = k;
+        finer.assignment.resize(fine_to_coarse.size());
+        for (VertexId v = 0; v < fine_to_coarse.size(); ++v) {
+            finer.assignment[v] = p.assignment[fine_to_coarse[v]];
+        }
+        p = std::move(finer);
+        refine_partition(levels[level], p, config.refine);
+    }
+
+    AA_ASSERT(p.assignment.size() == g.num_vertices());
+    return p;
+}
+
+Partitioning multilevel_partition(const DynamicGraph& g, std::uint32_t k, Rng& rng,
+                                  const MultilevelConfig& config) {
+    return multilevel_partition(CsrGraph(g), k, rng, config);
+}
+
+}  // namespace aa

@@ -1,0 +1,39 @@
+// Multilevel k-way partitioner (the Karypis-Kumar scheme the paper delegates
+// to METIS/ParMETIS for): heavy-edge-matching coarsening until the graph is
+// small, greedy growing on the coarsest level, then uncoarsening with FM
+// boundary refinement at every level.
+//
+// Used by the DD phase, by CutEdge-PS (on the batch graph) and by
+// Repartition-S (on the grown graph).
+#pragma once
+
+#include "common/rng.hpp"
+#include "graph/csr.hpp"
+#include "graph/graph.hpp"
+#include "partition/partition.hpp"
+#include "partition/refine.hpp"
+
+namespace aa {
+
+struct MultilevelConfig {
+    /// Stop coarsening once the graph has at most max(coarsen_to * k, 64)
+    /// vertices.
+    std::size_t coarsen_to{30};
+    /// Stop coarsening when a level shrinks by less than this factor
+    /// (matching has stalled, e.g. on a star graph).
+    double min_shrink{0.95};
+    /// Safety cap on levels.
+    std::size_t max_levels{64};
+    RefineConfig refine{};
+};
+
+/// Partition `g` into k parts minimizing cut weight under the balance
+/// constraint in `config.refine`.
+Partitioning multilevel_partition(const CsrGraph& g, std::uint32_t k, Rng& rng,
+                                  const MultilevelConfig& config = {});
+
+/// Convenience overload snapshotting a DynamicGraph.
+Partitioning multilevel_partition(const DynamicGraph& g, std::uint32_t k, Rng& rng,
+                                  const MultilevelConfig& config = {});
+
+}  // namespace aa

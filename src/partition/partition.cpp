@@ -1,0 +1,83 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace aa {
+
+bool Partitioning::valid() const {
+    if (num_parts == 0) {
+        return assignment.empty();
+    }
+    return std::all_of(assignment.begin(), assignment.end(),
+                       [this](RankId r) { return r < num_parts; });
+}
+
+namespace {
+
+template <typename GraphT>
+PartitionQuality evaluate_impl(const GraphT& g, const Partitioning& p) {
+    AA_ASSERT(p.assignment.size() == g.num_vertices());
+    AA_ASSERT(p.valid());
+    PartitionQuality q;
+    q.part_sizes.assign(p.num_parts, 0);
+    q.part_cut_edges.assign(p.num_parts, 0);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        ++q.part_sizes[p.assignment[v]];
+    }
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+        const RankId ru = p.assignment[u];
+        auto nbs = g.neighbors(u);
+        for (std::size_t i = 0; i < nbs.size(); ++i) {
+            VertexId v;
+            Weight w;
+            if constexpr (std::is_same_v<GraphT, DynamicGraph>) {
+                v = nbs[i].to;
+                w = nbs[i].weight;
+            } else {
+                v = nbs[i];
+                w = g.neighbor_weights(u)[i];
+            }
+            if (u < v && ru != p.assignment[v]) {
+                ++q.cut_edges;
+                q.cut_weight += w;
+                ++q.part_cut_edges[ru];
+                ++q.part_cut_edges[p.assignment[v]];
+            }
+        }
+    }
+    const double ideal = static_cast<double>(g.num_vertices()) /
+                         static_cast<double>(std::max<std::uint32_t>(p.num_parts, 1));
+    const std::size_t largest =
+        q.part_sizes.empty()
+            ? 0
+            : *std::max_element(q.part_sizes.begin(), q.part_sizes.end());
+    q.imbalance = ideal > 0 ? static_cast<double>(largest) / ideal : 0.0;
+    return q;
+}
+
+}  // namespace
+
+PartitionQuality evaluate_partition(const DynamicGraph& g, const Partitioning& p) {
+    return evaluate_impl(g, p);
+}
+
+PartitionQuality evaluate_partition(const CsrGraph& g, const Partitioning& p) {
+    return evaluate_impl(g, p);
+}
+
+std::size_t count_cut_edges(const DynamicGraph& g, const Partitioning& p) {
+    AA_ASSERT(p.assignment.size() == g.num_vertices());
+    std::size_t cut = 0;
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+        for (const Neighbor& nb : g.neighbors(u)) {
+            if (u < nb.to && p.assignment[u] != p.assignment[nb.to]) {
+                ++cut;
+            }
+        }
+    }
+    return cut;
+}
+
+}  // namespace aa

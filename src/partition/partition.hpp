@@ -1,0 +1,44 @@
+// Graph partitioning: the assignment of vertices to ranks, plus quality
+// metrics. The anytime-anywhere DD phase, CutEdge-PS and Repartition-S all
+// consume this interface, so any partitioner can be swapped in — exactly the
+// modularity the paper claims for its framework.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/csr.hpp"
+#include "graph/graph.hpp"
+
+namespace aa {
+
+/// A k-way partitioning: assignment[v] in [0, num_parts) for every vertex.
+struct Partitioning {
+    std::vector<RankId> assignment;
+    std::uint32_t num_parts{0};
+
+    bool valid() const;
+};
+
+/// Quality metrics of a partitioning on a graph.
+struct PartitionQuality {
+    /// Number of edges with endpoints in different parts.
+    std::size_t cut_edges{0};
+    /// Total weight of cut edges.
+    Weight cut_weight{0};
+    /// Vertices per part.
+    std::vector<std::size_t> part_sizes;
+    /// max(part size) / (n / k); 1.0 = perfectly balanced.
+    double imbalance{0};
+    /// Cut edges incident to each part (a part's communication volume).
+    std::vector<std::size_t> part_cut_edges;
+};
+
+PartitionQuality evaluate_partition(const DynamicGraph& g, const Partitioning& p);
+PartitionQuality evaluate_partition(const CsrGraph& g, const Partitioning& p);
+
+/// Number of cut edges only (cheaper than full evaluation).
+std::size_t count_cut_edges(const DynamicGraph& g, const Partitioning& p);
+
+}  // namespace aa

@@ -1,0 +1,91 @@
+#include "partition/refine.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace aa {
+
+Weight refine_partition(const CsrGraph& g, Partitioning& p, RefineConfig config) {
+    const std::size_t n = g.num_vertices();
+    const std::uint32_t k = p.num_parts;
+    AA_ASSERT(p.assignment.size() == n);
+    if (k <= 1 || n == 0) {
+        return 0;
+    }
+
+    std::vector<Weight> load(k, 0);
+    for (VertexId v = 0; v < n; ++v) {
+        load[p.assignment[v]] += g.vertex_weight(v);
+    }
+    const Weight max_load =
+        config.balance_factor * g.total_vertex_weight() / static_cast<Weight>(k);
+
+    // Connection weight from a vertex to each part; reused scratch, reset via
+    // a touched list to stay O(deg) per vertex.
+    std::vector<Weight> conn(k, 0);
+    std::vector<std::uint32_t> touched;
+    touched.reserve(k);
+
+    Weight total_gain = 0;
+    for (std::size_t pass = 0; pass < config.max_passes; ++pass) {
+        Weight pass_gain = 0;
+        for (VertexId v = 0; v < n; ++v) {
+            const std::uint32_t current = p.assignment[v];
+            const auto nbs = g.neighbors(v);
+            const auto wts = g.neighbor_weights(v);
+            bool boundary = false;
+            for (std::size_t i = 0; i < nbs.size(); ++i) {
+                const std::uint32_t part = p.assignment[nbs[i]];
+                if (conn[part] == 0) {
+                    touched.push_back(part);
+                }
+                conn[part] += wts[i];
+                if (part != current) {
+                    boundary = true;
+                }
+            }
+            if (boundary) {
+                const Weight internal = conn[current];
+                const Weight vw = g.vertex_weight(v);
+                std::uint32_t best = current;
+                Weight best_gain = 0;
+                for (const std::uint32_t part : touched) {
+                    if (part == current) {
+                        continue;
+                    }
+                    if (load[part] + vw > max_load) {
+                        continue;  // would break balance
+                    }
+                    const Weight gain = conn[part] - internal;
+                    const bool better_cut = gain > best_gain + 1e-12;
+                    const bool balance_tiebreak =
+                        config.balance_moves && gain >= best_gain - 1e-12 &&
+                        load[part] + vw < load[current];
+                    if (better_cut || (best == current && balance_tiebreak)) {
+                        best = part;
+                        best_gain = gain;
+                    }
+                }
+                if (best != current) {
+                    p.assignment[v] = best;
+                    load[current] -= vw;
+                    load[best] += vw;
+                    pass_gain += best_gain;
+                }
+            }
+            for (const std::uint32_t part : touched) {
+                conn[part] = 0;
+            }
+            touched.clear();
+        }
+        total_gain += pass_gain;
+        if (pass_gain <= 0) {
+            break;
+        }
+    }
+    return total_gain;
+}
+
+}  // namespace aa

@@ -1,0 +1,23 @@
+// Boundary refinement: greedy Fiduccia-Mattheyses-style passes that move
+// boundary vertices to the neighbouring part with the largest cut-weight gain,
+// subject to a balance constraint.
+#pragma once
+
+#include "graph/csr.hpp"
+#include "partition/partition.hpp"
+
+namespace aa {
+
+struct RefineConfig {
+    /// Maximum allowed part weight = balance_factor * (total / k).
+    double balance_factor{1.05};
+    /// Number of full boundary sweeps.
+    std::size_t max_passes{8};
+    /// Allow zero-gain moves that improve balance.
+    bool balance_moves{true};
+};
+
+/// Refine `p` in place on `g`. Returns total cut-weight improvement.
+Weight refine_partition(const CsrGraph& g, Partitioning& p, RefineConfig config = {});
+
+}  // namespace aa

@@ -1,0 +1,117 @@
+#include "partition/simple.hpp"
+
+#include <deque>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace aa {
+
+Partitioning block_partition(std::size_t n, std::uint32_t k) {
+    AA_ASSERT(k >= 1);
+    Partitioning p;
+    p.num_parts = k;
+    p.assignment.resize(n);
+    const std::size_t base = n / k;
+    const std::size_t extra = n % k;
+    std::size_t v = 0;
+    for (std::uint32_t part = 0; part < k; ++part) {
+        const std::size_t size = base + (part < extra ? 1 : 0);
+        for (std::size_t i = 0; i < size; ++i) {
+            p.assignment[v++] = part;
+        }
+    }
+    return p;
+}
+
+Partitioning round_robin_partition(std::size_t n, std::uint32_t k,
+                                   std::uint32_t offset) {
+    AA_ASSERT(k >= 1);
+    Partitioning p;
+    p.num_parts = k;
+    p.assignment.resize(n);
+    for (std::size_t v = 0; v < n; ++v) {
+        p.assignment[v] = static_cast<RankId>((v + offset) % k);
+    }
+    return p;
+}
+
+Partitioning random_partition(std::size_t n, std::uint32_t k, Rng& rng) {
+    AA_ASSERT(k >= 1);
+    Partitioning p;
+    p.num_parts = k;
+    p.assignment.resize(n);
+    for (std::size_t v = 0; v < n; ++v) {
+        p.assignment[v] = static_cast<RankId>(rng.uniform(k));
+    }
+    return p;
+}
+
+Partitioning bfs_partition(const DynamicGraph& g, std::uint32_t k, Rng& rng) {
+    AA_ASSERT(k >= 1);
+    const std::size_t n = g.num_vertices();
+    Partitioning p;
+    p.num_parts = k;
+    p.assignment.assign(n, kInvalidVertex);
+
+    if (n == 0) {
+        return p;
+    }
+
+    // Pick k distinct random seeds (or all vertices if n < k).
+    std::vector<VertexId> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+
+    const std::size_t cap = (n + k - 1) / k;  // per-part size target
+    std::vector<std::deque<VertexId>> frontiers(k);
+    std::vector<std::size_t> size(k, 0);
+    for (std::uint32_t part = 0; part < k && part < n; ++part) {
+        frontiers[part].push_back(order[part]);
+    }
+
+    // Round-robin BFS expansion: each part claims one frontier vertex per turn
+    // until it hits the size cap.
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (std::uint32_t part = 0; part < k; ++part) {
+            while (!frontiers[part].empty() && size[part] < cap) {
+                const VertexId v = frontiers[part].front();
+                frontiers[part].pop_front();
+                if (p.assignment[v] != kInvalidVertex) {
+                    continue;
+                }
+                p.assignment[v] = part;
+                ++size[part];
+                progress = true;
+                for (const Neighbor& nb : g.neighbors(v)) {
+                    if (p.assignment[nb.to] == kInvalidVertex) {
+                        frontiers[part].push_back(nb.to);
+                    }
+                }
+                break;  // one claim per turn keeps growth balanced
+            }
+        }
+    }
+
+    // Leftovers: isolated vertices / other components / capped-out regions.
+    std::uint32_t next = 0;
+    for (VertexId v = 0; v < n; ++v) {
+        if (p.assignment[v] == kInvalidVertex) {
+            // Prefer the smallest part to preserve balance.
+            std::uint32_t best = next;
+            for (std::uint32_t part = 0; part < k; ++part) {
+                if (size[part] < size[best]) {
+                    best = part;
+                }
+            }
+            p.assignment[v] = best;
+            ++size[best];
+            next = (next + 1) % k;
+        }
+    }
+    return p;
+}
+
+}  // namespace aa

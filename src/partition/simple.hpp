@@ -1,0 +1,25 @@
+// Baseline partitioners: cheap strategies with no cut-edge optimization.
+// Round-robin is also the processor-assignment rule behind RoundRobin-PS.
+#pragma once
+
+#include "common/rng.hpp"
+#include "partition/partition.hpp"
+
+namespace aa {
+
+/// Contiguous blocks of ~n/k vertices per part (id order).
+Partitioning block_partition(std::size_t n, std::uint32_t k);
+
+/// Vertex v -> part (v + offset) % k. Perfectly balanced, structure-blind.
+Partitioning round_robin_partition(std::size_t n, std::uint32_t k,
+                                   std::uint32_t offset = 0);
+
+/// Uniform random assignment.
+Partitioning random_partition(std::size_t n, std::uint32_t k, Rng& rng);
+
+/// Grow k parts by parallel BFS from k random seeds; locality-aware but with
+/// no explicit cut minimization. Unreached vertices (other components) are
+/// assigned round-robin.
+Partitioning bfs_partition(const DynamicGraph& g, std::uint32_t k, Rng& rng);
+
+}  // namespace aa

@@ -1,0 +1,92 @@
+#include "runtime/alltoall.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace aa {
+
+std::vector<std::pair<RankId, RankId>> all_to_all_pairs(std::uint32_t num_ranks) {
+    std::vector<std::pair<RankId, RankId>> pairs;
+    if (num_ranks < 2) {
+        return pairs;
+    }
+    pairs.reserve(static_cast<std::size_t>(num_ranks) * (num_ranks - 1));
+    for (std::uint32_t round = 1; round < num_ranks; ++round) {
+        for (RankId sender = 0; sender < num_ranks; ++sender) {
+            pairs.emplace_back(sender, (sender + round) % num_ranks);
+        }
+    }
+    return pairs;
+}
+
+double exchange_duration(const std::vector<std::size_t>& bytes_matrix,
+                         std::uint32_t num_ranks, const LogPParams& params,
+                         CommSchedule schedule) {
+    AA_ASSERT(bytes_matrix.size() ==
+              static_cast<std::size_t>(num_ranks) * num_ranks);
+    const auto bytes_at = [&](RankId i, RankId j) {
+        return bytes_matrix[static_cast<std::size_t>(i) * num_ranks + j];
+    };
+
+    switch (schedule) {
+        case CommSchedule::SerializedAllToAll: {
+            // One message in flight at a time: total = sum of message times.
+            double total = 0;
+            for (const auto& [from, to] : all_to_all_pairs(num_ranks)) {
+                const std::size_t bytes = bytes_at(from, to);
+                if (bytes > 0) {
+                    total += params.message_time(bytes);
+                }
+            }
+            return total;
+        }
+        case CommSchedule::ParallelRounds: {
+            // Each round costs the maximum message in that round.
+            double total = 0;
+            for (std::uint32_t round = 1; round < num_ranks; ++round) {
+                double round_max = 0;
+                for (RankId sender = 0; sender < num_ranks; ++sender) {
+                    const std::size_t bytes =
+                        bytes_at(sender, (sender + round) % num_ranks);
+                    if (bytes > 0) {
+                        round_max = std::max(round_max, params.message_time(bytes));
+                    }
+                }
+                total += round_max;
+            }
+            return total;
+        }
+        case CommSchedule::Flooding: {
+            // All messages at once; the shared medium stretches each transfer
+            // by the number of concurrent non-empty messages.
+            std::size_t concurrent = 0;
+            double longest = 0;
+            for (RankId i = 0; i < num_ranks; ++i) {
+                for (RankId j = 0; j < num_ranks; ++j) {
+                    const std::size_t bytes = bytes_at(i, j);
+                    if (i != j && bytes > 0) {
+                        ++concurrent;
+                        longest = std::max(longest, params.message_time(bytes));
+                    }
+                }
+            }
+            return longest * static_cast<double>(std::max<std::size_t>(concurrent, 1));
+        }
+    }
+    return 0;
+}
+
+std::vector<std::size_t> per_pair_bytes(const std::vector<const Message*>& messages,
+                                        std::uint32_t num_ranks) {
+    std::vector<std::size_t> matrix(static_cast<std::size_t>(num_ranks) * num_ranks,
+                                    0);
+    for (const Message* message : messages) {
+        AA_ASSERT(message != nullptr);
+        matrix[static_cast<std::size_t>(message->from) * num_ranks + message->to] +=
+            message->size_bytes();
+    }
+    return matrix;
+}
+
+}  // namespace aa

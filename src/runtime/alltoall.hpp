@@ -1,0 +1,46 @@
+// Communication schedules.
+//
+// The paper uses a personalized all-to-all schedule in which "only one
+// message traverses the network at any given time in order to prevent network
+// flooding and obtain predictable performance" — O(P^2) sequential message
+// slots per RC step. We reproduce that schedule, plus alternatives for the
+// ablation benchmark (ideal parallel exchange, contention-penalized
+// flooding).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "runtime/logp.hpp"
+#include "runtime/message.hpp"
+
+namespace aa {
+
+enum class CommSchedule {
+    /// The paper's schedule: rounds r = 1..P-1, within a round sender i
+    /// transmits to (i + r) mod P; transmissions are fully serialized.
+    SerializedAllToAll,
+    /// Idealized: all messages of a round proceed in parallel (lower bound).
+    ParallelRounds,
+    /// Naive flooding: every rank sends simultaneously; the shared network
+    /// stretches every transfer by the number of concurrent messages.
+    Flooding,
+};
+
+/// The ordered (sender, receiver) pairs of the personalized all-to-all for P
+/// ranks. Size P*(P-1).
+std::vector<std::pair<RankId, RankId>> all_to_all_pairs(std::uint32_t num_ranks);
+
+/// Simulated duration of delivering `messages` (given per-message payload
+/// sizes) under a schedule. `per_pair_bytes[i*P + j]` = bytes from i to j.
+double exchange_duration(const std::vector<std::size_t>& per_pair_bytes,
+                         std::uint32_t num_ranks, const LogPParams& params,
+                         CommSchedule schedule);
+
+/// Helper: bucket messages into a per-pair byte matrix (P*P, row = sender).
+std::vector<std::size_t> per_pair_bytes(const std::vector<const Message*>& messages,
+                                        std::uint32_t num_ranks);
+
+}  // namespace aa

@@ -1,0 +1,148 @@
+#include "runtime/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace aa {
+
+Cluster::Cluster(std::uint32_t num_ranks, LogPParams params, CommSchedule schedule)
+    : num_ranks_(num_ranks),
+      params_(params),
+      schedule_(schedule),
+      mailboxes_(num_ranks),
+      clocks_(num_ranks),
+      rank_stats_(num_ranks) {
+    AA_ASSERT_MSG(num_ranks >= 1, "cluster needs at least one rank");
+}
+
+void Cluster::charge_compute(RankId r, double ops, std::size_t threads) {
+    AA_ASSERT(r < num_ranks_);
+    clocks_[r].advance(params_.compute_time(ops, threads));
+    rank_stats_[r].ops += ops;
+    rank_stats_[r].compute_seconds += params_.compute_time(ops, threads);
+}
+
+void Cluster::send(RankId from, RankId to, MessageTag tag,
+                   std::vector<std::byte> payload) {
+    Message message;
+    message.from = from;
+    message.to = to;
+    message.tag = tag;
+    message.payload = Message::share(std::move(payload));
+    rank_stats_[from].messages_sent += 1;
+    rank_stats_[from].bytes_sent += message.size_bytes();
+    stats_.total_messages += 1;
+    stats_.total_bytes += message.size_bytes();
+    mailboxes_.post(std::move(message));
+}
+
+double Cluster::exchange() {
+    // Price the pending traffic.
+    std::vector<std::size_t> matrix(
+        static_cast<std::size_t>(num_ranks_) * num_ranks_, 0);
+    bool any = false;
+    for (RankId r = 0; r < num_ranks_; ++r) {
+        for (const Message& m : mailboxes_.peek_outbox(r)) {
+            matrix[static_cast<std::size_t>(m.from) * num_ranks_ + m.to] +=
+                m.size_bytes();
+            any = true;
+        }
+    }
+    double duration = 0;
+    if (any) {
+        duration = exchange_duration(matrix, num_ranks_, params_, schedule_);
+        mailboxes_.deliver(all_to_all_pairs(num_ranks_));
+        // Safety: the all-to-all covers every (i, j) pair, so nothing should
+        // remain buffered.
+        AA_ASSERT(!mailboxes_.has_pending());
+    }
+    // Barrier semantics: everyone leaves the exchange at the same instant.
+    const double start = max_time();
+    for (auto& clock : clocks_) {
+        clock.advance_to(start + duration);
+    }
+    stats_.comm_seconds += duration;
+    stats_.exchanges += 1;
+    return duration;
+}
+
+double Cluster::broadcast(RankId from, MessageTag tag,
+                          std::vector<std::byte> payload) {
+    AA_ASSERT(from < num_ranks_);
+    if (num_ranks_ == 1) {
+        return 0;
+    }
+    const std::size_t bytes = payload.size() + 16;
+    const double rounds = std::ceil(std::log2(static_cast<double>(num_ranks_)));
+    const double duration = rounds * params_.message_time(bytes);
+
+    const auto shared = Message::share(std::move(payload));
+    for (RankId to = 0; to < num_ranks_; ++to) {
+        if (to == from) {
+            continue;
+        }
+        Message message;
+        message.from = from;
+        message.to = to;
+        message.tag = tag;
+        message.payload = shared;  // zero-copy fan-out of immutable bytes
+        mailboxes_.post(std::move(message));
+    }
+    mailboxes_.deliver_all();
+
+    rank_stats_[from].messages_sent += num_ranks_ - 1;
+    rank_stats_[from].bytes_sent += bytes * (num_ranks_ - 1);
+    stats_.total_messages += num_ranks_ - 1;
+    stats_.total_bytes += bytes * (num_ranks_ - 1);
+    stats_.comm_seconds += duration;
+    stats_.broadcasts += 1;
+
+    const double start = max_time();
+    for (auto& clock : clocks_) {
+        clock.advance_to(start + duration);
+    }
+    return duration;
+}
+
+double Cluster::barrier() {
+    const double t = max_time();
+    for (auto& clock : clocks_) {
+        clock.advance_to(t);
+    }
+    return t;
+}
+
+void Cluster::fast_forward(double t) {
+    for (auto& clock : clocks_) {
+        clock.advance_to(t);
+    }
+}
+
+double Cluster::time(RankId r) const {
+    AA_ASSERT(r < num_ranks_);
+    return clocks_[r].now();
+}
+
+double Cluster::max_time() const {
+    double t = 0;
+    for (const auto& clock : clocks_) {
+        t = std::max(t, clock.now());
+    }
+    return t;
+}
+
+const RankStats& Cluster::rank_stats(RankId r) const {
+    AA_ASSERT(r < num_ranks_);
+    return rank_stats_[r];
+}
+
+void Cluster::reset() {
+    mailboxes_ = MailboxSystem(num_ranks_);
+    clocks_.assign(num_ranks_, SimClock{});
+    rank_stats_.assign(num_ranks_, RankStats{});
+    stats_ = ClusterStats{};
+}
+
+}  // namespace aa

@@ -1,0 +1,100 @@
+// Cluster: the simulated distributed-memory machine.
+//
+// P ranks with private state, BSP-style supersteps: ranks compute (charging
+// their simulated clocks via the LogP model), post messages, then a collective
+// exchange delivers everything under the configured communication schedule
+// and synchronizes the clocks — the barrier between the paper's RC steps.
+//
+// The engine executes real work (actual Dijkstra runs, actual DV relaxations,
+// actual serialized payloads); the cluster merely *prices* it, so simulated
+// time faithfully tracks the executed operation and byte counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/alltoall.hpp"
+#include "runtime/logp.hpp"
+#include "runtime/mailbox.hpp"
+#include "runtime/message.hpp"
+
+namespace aa {
+
+/// Cumulative per-rank accounting, for reports and tests.
+struct RankStats {
+    double ops{0};
+    double compute_seconds{0};
+    std::size_t messages_sent{0};
+    std::size_t bytes_sent{0};
+};
+
+/// Cluster-wide accounting.
+struct ClusterStats {
+    double comm_seconds{0};
+    std::size_t exchanges{0};
+    std::size_t broadcasts{0};
+    std::size_t total_messages{0};
+    std::size_t total_bytes{0};
+};
+
+class Cluster {
+public:
+    explicit Cluster(std::uint32_t num_ranks, LogPParams params = {},
+                     CommSchedule schedule = CommSchedule::SerializedAllToAll);
+
+    std::uint32_t num_ranks() const { return num_ranks_; }
+    const LogPParams& params() const { return params_; }
+    CommSchedule schedule() const { return schedule_; }
+
+    /// Charge `ops` abstract operations to rank r's clock, spread over
+    /// `threads` threads (the paper's multithreaded IA model).
+    void charge_compute(RankId r, double ops, std::size_t threads = 1);
+
+    /// Post a message; it is delivered (and priced) at the next exchange().
+    void send(RankId from, RankId to, MessageTag tag, std::vector<std::byte> payload);
+
+    /// True if any message is waiting to be exchanged.
+    bool has_pending_messages() const { return mailboxes_.has_pending(); }
+
+    /// Collective exchange: price all pending messages under the schedule,
+    /// deliver them, and synchronize every clock to (max clock + duration).
+    /// Returns the exchange duration.
+    double exchange();
+
+    /// Tree broadcast from `from` to all other ranks (the paper's new-vertex
+    /// DV row broadcast): delivers immediately, priced as ceil(log2 P)
+    /// pipelined rounds, and synchronizes clocks (it is a collective).
+    double broadcast(RankId from, MessageTag tag, std::vector<std::byte> payload);
+
+    /// Drain rank r's inbox.
+    std::vector<Message> receive(RankId r) { return mailboxes_.take_inbox(r); }
+
+    /// Synchronize all clocks to the maximum. Returns the barrier time.
+    double barrier();
+
+    /// Jump every clock forward to at least `t` (checkpoint restore: the
+    /// resumed analysis continues from the saved simulated time).
+    void fast_forward(double t);
+
+    double time(RankId r) const;
+    double max_time() const;
+
+    const RankStats& rank_stats(RankId r) const;
+    const ClusterStats& stats() const { return stats_; }
+
+    /// Reset clocks and statistics, drop all undelivered messages. Used by
+    /// the baseline-restart strategy (a restart forfeits in-flight work) and
+    /// by tests.
+    void reset();
+
+private:
+    std::uint32_t num_ranks_;
+    LogPParams params_;
+    CommSchedule schedule_;
+    MailboxSystem mailboxes_;
+    std::vector<SimClock> clocks_;
+    std::vector<RankStats> rank_stats_;
+    ClusterStats stats_;
+};
+
+}  // namespace aa

@@ -1,0 +1,30 @@
+#include "runtime/logp.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace aa {
+
+double LogPParams::message_time(std::size_t bytes) const {
+    AA_ASSERT(max_message_bytes > 0);
+    const std::size_t chunks =
+        bytes == 0 ? 1 : (bytes + max_message_bytes - 1) / max_message_bytes;
+    return static_cast<double>(chunks) * (2 * overhead + latency) +
+           static_cast<double>(bytes) * gap_per_byte;
+}
+
+double LogPParams::compute_time(double ops, std::size_t threads) const {
+    AA_ASSERT(threads >= 1);
+    AA_ASSERT(ops >= 0);
+    return ops * seconds_per_op / static_cast<double>(threads);
+}
+
+void SimClock::advance(double seconds) {
+    AA_ASSERT_MSG(seconds >= 0, "clock cannot run backwards");
+    now_ += seconds;
+}
+
+void SimClock::advance_to(double t) { now_ = std::max(now_, t); }
+
+}  // namespace aa

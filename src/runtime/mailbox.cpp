@@ -1,0 +1,68 @@
+#include "runtime/mailbox.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace aa {
+
+MailboxSystem::MailboxSystem(std::uint32_t num_ranks)
+    : outboxes_(num_ranks), inboxes_(num_ranks) {}
+
+void MailboxSystem::post(Message message) {
+    AA_ASSERT(message.from < num_ranks() && message.to < num_ranks());
+    AA_ASSERT_MSG(message.from != message.to, "self-sends are a logic error");
+    outboxes_[message.from].push_back(std::move(message));
+}
+
+bool MailboxSystem::has_pending() const {
+    return std::any_of(outboxes_.begin(), outboxes_.end(),
+                       [](const auto& box) { return !box.empty(); });
+}
+
+std::size_t MailboxSystem::deliver(
+    const std::vector<std::pair<RankId, RankId>>& schedule) {
+    std::size_t bytes = 0;
+    for (const auto& [from, to] : schedule) {
+        AA_ASSERT(from < num_ranks() && to < num_ranks());
+        auto& outbox = outboxes_[from];
+        // Deliver every pending message for this (from, to) pair, preserving
+        // post order.
+        for (auto it = outbox.begin(); it != outbox.end();) {
+            if (it->to == to) {
+                bytes += it->size_bytes();
+                inboxes_[to].push_back(std::move(*it));
+                it = outbox.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    return bytes;
+}
+
+std::size_t MailboxSystem::deliver_all() {
+    std::size_t bytes = 0;
+    for (auto& outbox : outboxes_) {
+        for (auto& message : outbox) {
+            bytes += message.size_bytes();
+            inboxes_[message.to].push_back(std::move(message));
+        }
+        outbox.clear();
+    }
+    return bytes;
+}
+
+std::vector<Message> MailboxSystem::take_inbox(RankId r) {
+    AA_ASSERT(r < num_ranks());
+    std::vector<Message> out = std::move(inboxes_[r]);
+    inboxes_[r].clear();
+    return out;
+}
+
+const std::vector<Message>& MailboxSystem::peek_outbox(RankId r) const {
+    AA_ASSERT(r < num_ranks());
+    return outboxes_[r];
+}
+
+}  // namespace aa

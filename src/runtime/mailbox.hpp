@@ -1,0 +1,44 @@
+// Per-rank outbox/inbox pairs. Messages posted during a superstep are
+// buffered in the sender's outbox and only become visible in receivers'
+// inboxes after the cluster runs its exchange — mirroring a BSP-style
+// communication phase.
+#pragma once
+
+#include <vector>
+
+#include "runtime/message.hpp"
+
+namespace aa {
+
+class MailboxSystem {
+public:
+    explicit MailboxSystem(std::uint32_t num_ranks);
+
+    std::uint32_t num_ranks() const { return static_cast<std::uint32_t>(inboxes_.size()); }
+
+    /// Buffer a message in `from`'s outbox.
+    void post(Message message);
+
+    /// True if any rank has a buffered outgoing message.
+    bool has_pending() const;
+
+    /// Move all outbox messages into receiver inboxes, ordered by the given
+    /// (from, to) schedule; pairs without a pending message are skipped.
+    /// Messages not covered by the schedule remain buffered. Returns the
+    /// delivered messages' total payload bytes.
+    std::size_t deliver(const std::vector<std::pair<RankId, RankId>>& schedule);
+
+    /// Deliver everything (arbitrary but deterministic order).
+    std::size_t deliver_all();
+
+    /// Drain and return rank r's inbox.
+    std::vector<Message> take_inbox(RankId r);
+
+    const std::vector<Message>& peek_outbox(RankId r) const;
+
+private:
+    std::vector<std::vector<Message>> outboxes_;
+    std::vector<std::vector<Message>> inboxes_;
+};
+
+}  // namespace aa

@@ -1,0 +1,112 @@
+// Message payloads and byte-level serialization.
+//
+// Rank-to-rank messages are flat byte buffers, as they would be on an MPI
+// wire. Serializing for real (rather than passing pointers between "ranks")
+// keeps the ranks' address spaces honestly separate and gives the LogP model
+// exact byte counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace aa {
+
+/// Application-level tag identifying what a payload contains.
+enum class MessageTag : std::uint32_t {
+    BoundaryDvUpdate = 1,   // RC step: changed boundary distance-vector entries
+    NewVertexDvRow = 2,     // vertex addition: broadcast DV row of a new vertex
+    MigratedRows = 3,       // Repartition-S: DV rows moving to a new owner
+    Control = 4,            // small control messages (counts, convergence votes)
+};
+
+struct Message {
+    RankId from{0};
+    RankId to{0};
+    MessageTag tag{MessageTag::Control};
+    /// Immutable payload. Shared so that a tree broadcast can hand the same
+    /// bytes to P-1 receivers without physical copies (receivers only read;
+    /// the LogP model still charges every logical transmission).
+    std::shared_ptr<const std::vector<std::byte>> payload;
+
+    static std::shared_ptr<const std::vector<std::byte>> share(
+        std::vector<std::byte> bytes) {
+        return std::make_shared<const std::vector<std::byte>>(std::move(bytes));
+    }
+
+    std::span<const std::byte> bytes() const {
+        return payload ? std::span<const std::byte>(*payload)
+                       : std::span<const std::byte>{};
+    }
+    std::size_t size_bytes() const {
+        return (payload ? payload->size() : 0) + 16;  // +header
+    }
+};
+
+/// Append-only little-endian writer.
+class Serializer {
+public:
+    template <typename T>
+        requires std::is_trivially_copyable_v<T>
+    void write(const T& value) {
+        const auto* raw = reinterpret_cast<const std::byte*>(&value);
+        buffer_.insert(buffer_.end(), raw, raw + sizeof(T));
+    }
+
+    template <typename T>
+        requires std::is_trivially_copyable_v<T>
+    void write_span(std::span<const T> values) {
+        write(static_cast<std::uint64_t>(values.size()));
+        const auto* raw = reinterpret_cast<const std::byte*>(values.data());
+        buffer_.insert(buffer_.end(), raw, raw + values.size_bytes());
+    }
+
+    std::vector<std::byte> take() { return std::move(buffer_); }
+    std::size_t size() const { return buffer_.size(); }
+
+private:
+    std::vector<std::byte> buffer_;
+};
+
+/// Sequential reader over a received payload.
+class Deserializer {
+public:
+    explicit Deserializer(std::span<const std::byte> data) : data_(data) {}
+
+    template <typename T>
+        requires std::is_trivially_copyable_v<T>
+    T read() {
+        AA_ASSERT_MSG(cursor_ + sizeof(T) <= data_.size(), "payload underrun");
+        T value;
+        std::memcpy(&value, data_.data() + cursor_, sizeof(T));
+        cursor_ += sizeof(T);
+        return value;
+    }
+
+    template <typename T>
+        requires std::is_trivially_copyable_v<T>
+    std::vector<T> read_vector() {
+        const auto count = read<std::uint64_t>();
+        AA_ASSERT_MSG(cursor_ + count * sizeof(T) <= data_.size(), "payload underrun");
+        std::vector<T> values(count);
+        std::memcpy(values.data(), data_.data() + cursor_, count * sizeof(T));
+        cursor_ += count * sizeof(T);
+        return values;
+    }
+
+    bool exhausted() const { return cursor_ == data_.size(); }
+    std::size_t remaining() const { return data_.size() - cursor_; }
+
+private:
+    std::span<const std::byte> data_;
+    std::size_t cursor_{0};
+};
+
+}  // namespace aa

@@ -1,0 +1,46 @@
+// Fixed-size thread pool with a blocking parallel_for, used by the IA phase's
+// multithreaded Dijkstra (the paper uses OpenMP; std::thread keeps the build
+// dependency-free). The pool is also what the LogP model's `threads` divisor
+// corresponds to: simulated IA time scales with the configured thread count
+// even on a single-core host.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace aa {
+
+class ThreadPool {
+public:
+    /// `threads == 0` or `1` runs tasks inline (no worker threads).
+    explicit ThreadPool(std::size_t threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t num_threads() const { return workers_.empty() ? 1 : workers_.size(); }
+
+    /// Run fn(i) for i in [begin, end), statically chunked across the pool;
+    /// blocks until all iterations complete. fn must not throw.
+    void parallel_for(std::size_t begin, std::size_t end,
+                      const std::function<void(std::size_t)>& fn);
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable work_ready_;
+    std::condition_variable work_done_;
+    std::queue<std::function<void()>> tasks_;
+    std::size_t in_flight_{0};
+    bool shutdown_{false};
+};
+
+}  // namespace aa

@@ -1,0 +1,131 @@
+// Adaptive repartitioning mode (extension): correctness and the
+// fewer-migrations property.
+#include <gtest/gtest.h>
+
+#include "core/baseline.hpp"
+#include "core/closeness.hpp"
+#include "core/engine.hpp"
+#include "core/strategies.hpp"
+#include "graph/generators.hpp"
+
+namespace aa {
+namespace {
+
+EngineConfig adaptive_config(std::uint32_t ranks) {
+    EngineConfig config;
+    config.num_ranks = ranks;
+    config.ia_threads = 1;
+    config.seed = 404;
+    config.repartition_mode = RepartitionMode::Adaptive;
+    return config;
+}
+
+GrowthBatch make_batch(std::size_t host, std::size_t count, std::uint64_t seed) {
+    GrowthConfig gc;
+    gc.num_new = count;
+    gc.communities = 3;
+    gc.intra_edges = 2;
+    gc.host_edges = 2;
+    Rng rng(seed);
+    return grow_batch(host, gc, rng);
+}
+
+TEST(AdaptiveRepartition, ConvergesToExact) {
+    Rng rng(1);
+    const auto host = barabasi_albert(80, 2, rng);
+    AnytimeEngine engine(host, adaptive_config(4));
+    engine.initialize();
+    engine.run_rc_steps(2);
+
+    const auto batch = make_batch(80, 20, 11);
+    RepartitionS strategy;
+    engine.apply_addition(batch, strategy);
+    engine.run_to_quiescence();
+
+    const auto grown = apply_batch(host, batch);
+    const auto exact = exact_apsp(grown);
+    const auto matrix = engine.full_distance_matrix();
+    for (std::size_t v = 0; v < exact.size(); ++v) {
+        for (std::size_t t = 0; t < exact.size(); ++t) {
+            if (exact[v][t] < kInfinity) {
+                ASSERT_NEAR(matrix[v][t], exact[v][t], 1e-9);
+            }
+        }
+    }
+}
+
+TEST(AdaptiveRepartition, MovesFewerVerticesThanScratch) {
+    Rng rng(2);
+    const auto host = barabasi_albert(150, 2, rng);
+    const auto batch = make_batch(150, 30, 13);
+
+    const auto moved_with = [&](RepartitionMode mode) {
+        EngineConfig config = adaptive_config(4);
+        config.repartition_mode = mode;
+        AnytimeEngine engine(host, config);
+        engine.initialize();
+        engine.run_to_quiescence();
+        const auto before = engine.owners();
+        engine.repartition_add(batch);
+        std::size_t moved = 0;
+        for (std::size_t v = 0; v < before.size(); ++v) {
+            moved += engine.owners()[v] != before[v];
+        }
+        return moved;
+    };
+
+    const std::size_t adaptive = moved_with(RepartitionMode::Adaptive);
+    const std::size_t scratch = moved_with(RepartitionMode::Scratch);
+    EXPECT_LT(adaptive, scratch);
+    // Adaptive keeps the vast majority of vertices in place.
+    EXPECT_LT(adaptive, host.num_vertices() / 3);
+}
+
+TEST(AdaptiveRepartition, KeepsReasonableBalance) {
+    Rng rng(3);
+    const auto host = barabasi_albert(120, 2, rng);
+    AnytimeEngine engine(host, adaptive_config(4));
+    engine.initialize();
+    engine.run_to_quiescence();
+    const auto batch = make_batch(120, 40, 17);
+    engine.repartition_add(batch);
+
+    std::vector<std::size_t> counts(4, 0);
+    for (const RankId r : engine.owners()) {
+        ++counts[r];
+    }
+    const std::size_t ideal = engine.owners().size() / 4;
+    for (const std::size_t c : counts) {
+        EXPECT_LT(c, ideal * 2);
+        EXPECT_GT(c, ideal / 3);
+    }
+}
+
+TEST(AdaptiveRepartition, BackToBackBatches) {
+    Rng rng(4);
+    auto host = barabasi_albert(60, 2, rng);
+    AnytimeEngine engine(host, adaptive_config(3));
+    engine.initialize();
+
+    DynamicGraph expected = host;
+    RepartitionS strategy;
+    for (int i = 0; i < 3; ++i) {
+        const auto batch = make_batch(expected.num_vertices(), 10, 30 + i);
+        engine.apply_addition(batch, strategy);
+        engine.run_rc_steps(1);
+        expected = apply_batch(expected, batch);
+    }
+    engine.run_to_quiescence();
+    const auto exact = exact_apsp(expected);
+    const auto matrix = engine.full_distance_matrix();
+    for (std::size_t v = 0; v < exact.size(); ++v) {
+        for (std::size_t t = 0; t < exact.size(); ++t) {
+            if (exact[v][t] < kInfinity) {
+                ASSERT_NEAR(matrix[v][t], exact[v][t], 1e-9);
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace aa

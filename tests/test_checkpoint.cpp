@@ -1,0 +1,176 @@
+// Checkpoint / restore: the anytime property turned into persistence.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/baseline.hpp"
+#include "core/closeness.hpp"
+#include "core/engine.hpp"
+#include "core/strategies.hpp"
+#include "graph/generators.hpp"
+
+namespace aa {
+namespace {
+
+EngineConfig small_config(std::uint32_t ranks) {
+    EngineConfig config;
+    config.num_ranks = ranks;
+    config.ia_threads = 1;
+    config.seed = 55;
+    return config;
+}
+
+TEST(Checkpoint, RoundTripAtQuiescence) {
+    Rng rng(1);
+    const auto g = barabasi_albert(60, 2, rng);
+    AnytimeEngine engine(g, small_config(4));
+    engine.initialize();
+    engine.run_to_quiescence();
+    const double saved_time = engine.sim_seconds();
+    const auto saved_matrix = engine.full_distance_matrix();
+
+    std::stringstream blob;
+    engine.save_checkpoint(blob);
+    auto restored = AnytimeEngine::load_checkpoint(blob, small_config(4));
+
+    EXPECT_EQ(restored.num_vertices(), 60u);
+    EXPECT_EQ(restored.rc_steps_completed(), engine.rc_steps_completed());
+    EXPECT_GE(restored.sim_seconds(), saved_time);
+    const auto matrix = restored.full_distance_matrix();
+    for (std::size_t v = 0; v < 60; ++v) {
+        for (std::size_t t = 0; t < 60; ++t) {
+            EXPECT_EQ(matrix[v][t], saved_matrix[v][t]);
+        }
+    }
+    // A restored quiescent state converges immediately (the conservative
+    // consistency sweep finds nothing new).
+    restored.run_to_quiescence();
+    const auto exact = exact_apsp(g);
+    const auto final_matrix = restored.full_distance_matrix();
+    for (std::size_t v = 0; v < 60; ++v) {
+        for (std::size_t t = 0; t < 60; ++t) {
+            if (exact[v][t] < kInfinity) {
+                ASSERT_NEAR(final_matrix[v][t], exact[v][t], 1e-9);
+            }
+        }
+    }
+}
+
+TEST(Checkpoint, ResumeMidConvergence) {
+    // Interrupt after one RC step, checkpoint, restore, finish: must reach
+    // the exact answer.
+    Rng rng(2);
+    const auto g = erdos_renyi_gnm(50, 140, rng, WeightRange{1.0, 3.0});
+    AnytimeEngine engine(g, small_config(3));
+    engine.initialize();
+    engine.run_rc_steps(1);
+
+    std::stringstream blob;
+    engine.save_checkpoint(blob);
+    auto restored = AnytimeEngine::load_checkpoint(blob, small_config(3));
+    restored.run_to_quiescence();
+
+    const auto exact = exact_apsp(g);
+    const auto matrix = restored.full_distance_matrix();
+    for (std::size_t v = 0; v < 50; ++v) {
+        for (std::size_t t = 0; t < 50; ++t) {
+            if (exact[v][t] < kInfinity) {
+                ASSERT_NEAR(matrix[v][t], exact[v][t], 1e-9);
+            } else {
+                ASSERT_GE(matrix[v][t], kInfinity);
+            }
+        }
+    }
+}
+
+TEST(Checkpoint, RestoredEngineAcceptsDynamicUpdates) {
+    Rng rng(3);
+    const auto g = barabasi_albert(50, 2, rng);
+    AnytimeEngine engine(g, small_config(4));
+    engine.initialize();
+    engine.run_to_quiescence();
+
+    std::stringstream blob;
+    engine.save_checkpoint(blob);
+    auto restored = AnytimeEngine::load_checkpoint(blob, small_config(4));
+
+    GrowthConfig gc;
+    gc.num_new = 10;
+    Rng brng(4);
+    const auto batch = grow_batch(50, gc, brng);
+    RoundRobinPS strategy;
+    restored.apply_addition(batch, strategy);
+    restored.run_to_quiescence();
+
+    const auto grown = apply_batch(g, batch);
+    const auto exact = exact_apsp(grown);
+    const auto matrix = restored.full_distance_matrix();
+    for (std::size_t v = 0; v < exact.size(); ++v) {
+        for (std::size_t t = 0; t < exact.size(); ++t) {
+            if (exact[v][t] < kInfinity) {
+                ASSERT_NEAR(matrix[v][t], exact[v][t], 1e-9);
+            }
+        }
+    }
+}
+
+TEST(Checkpoint, RejectsGarbage) {
+    std::stringstream blob;
+    blob << "definitely not a checkpoint";
+    EXPECT_DEATH((void)AnytimeEngine::load_checkpoint(blob, small_config(2)), "");
+}
+
+TEST(Checkpoint, RejectsRankMismatch) {
+    Rng rng(5);
+    const auto g = barabasi_albert(30, 2, rng);
+    AnytimeEngine engine(g, small_config(4));
+    engine.initialize();
+    std::stringstream blob;
+    engine.save_checkpoint(blob);
+    EXPECT_DEATH((void)AnytimeEngine::load_checkpoint(blob, small_config(8)),
+                 "rank count");
+}
+
+TEST(StepHistory, RecordsEveryStep) {
+    Rng rng(6);
+    const auto g = barabasi_albert(70, 2, rng);
+    AnytimeEngine engine(g, small_config(4));
+    engine.initialize();
+    EXPECT_TRUE(engine.step_history().empty());
+    const std::size_t steps = engine.run_to_quiescence();
+    const auto& history = engine.step_history();
+    ASSERT_EQ(history.size(), steps);
+    double last_time = 0;
+    for (std::size_t i = 0; i < history.size(); ++i) {
+        EXPECT_EQ(history[i].step, i + 1);
+        EXPECT_GE(history[i].sim_seconds_after, last_time);
+        last_time = history[i].sim_seconds_after;
+        EXPECT_GT(history[i].ops, 0.0);
+    }
+    // The first step ships the IA results: it must carry traffic.
+    EXPECT_GT(history[0].messages, 0u);
+    EXPECT_GT(history[0].bytes, 0u);
+    EXPECT_GT(history[0].exchange_seconds, 0.0);
+}
+
+TEST(DistributedCloseness, MatchesObserverAndChargesTime) {
+    Rng rng(7);
+    const auto g = barabasi_albert(80, 2, rng);
+    AnytimeEngine engine(g, small_config(4));
+    engine.initialize();
+    engine.run_to_quiescence();
+
+    const auto observer = engine.closeness();
+    const double before = engine.sim_seconds();
+    const auto distributed = engine.compute_closeness_distributed();
+    EXPECT_GT(engine.sim_seconds(), before);  // it costs something
+
+    ASSERT_EQ(distributed.closeness.size(), observer.closeness.size());
+    for (std::size_t v = 0; v < observer.closeness.size(); ++v) {
+        EXPECT_NEAR(distributed.closeness[v], observer.closeness[v], 1e-12);
+        EXPECT_EQ(distributed.reachable[v], observer.reachable[v]);
+    }
+}
+
+}  // namespace
+}  // namespace aa

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "core/closeness.hpp"
+#include "graph/generators.hpp"
+
+namespace aa {
+namespace {
+
+TEST(ExactSssp, PathGraph) {
+    DynamicGraph g(4);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(1, 2, 2.0);
+    g.add_edge(2, 3, 3.0);
+    const auto dist = exact_sssp(g, 0);
+    EXPECT_EQ(dist[0], 0.0);
+    EXPECT_EQ(dist[1], 1.0);
+    EXPECT_EQ(dist[2], 3.0);
+    EXPECT_EQ(dist[3], 6.0);
+}
+
+TEST(ExactSssp, PrefersLighterLongerPath) {
+    DynamicGraph g(3);
+    g.add_edge(0, 2, 10.0);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(1, 2, 1.0);
+    EXPECT_EQ(exact_sssp(g, 0)[2], 2.0);
+}
+
+TEST(ExactSssp, UnreachableIsInfinite) {
+    DynamicGraph g(3);
+    g.add_edge(0, 1);
+    EXPECT_GE(exact_sssp(g, 0)[2], kInfinity);
+}
+
+TEST(ExactApsp, SymmetricOnUndirectedGraph) {
+    Rng rng(1);
+    const auto g = barabasi_albert(40, 2, rng, WeightRange{1.0, 4.0});
+    const auto dist = exact_apsp(g);
+    for (VertexId u = 0; u < 40; ++u) {
+        for (VertexId v = 0; v < 40; ++v) {
+            EXPECT_NEAR(dist[u][v], dist[v][u], 1e-9);
+        }
+    }
+}
+
+TEST(Closeness, StarCenterIsMostCentral) {
+    DynamicGraph g(6);
+    for (VertexId v = 1; v < 6; ++v) {
+        g.add_edge(0, v);
+    }
+    const auto scores = exact_closeness(g);
+    // Center: sum of distances = 5 -> closeness 0.2.
+    EXPECT_NEAR(scores.closeness[0], 1.0 / 5.0, 1e-12);
+    // Leaves: 1 + 4*2 = 9.
+    EXPECT_NEAR(scores.closeness[1], 1.0 / 9.0, 1e-12);
+    const auto ranking = closeness_ranking(scores);
+    EXPECT_EQ(ranking[0], 0u);
+}
+
+TEST(Closeness, PathEndpointsLeastCentral) {
+    DynamicGraph g(5);
+    for (VertexId v = 0; v + 1 < 5; ++v) {
+        g.add_edge(v, v + 1);
+    }
+    const auto scores = exact_closeness(g);
+    const auto ranking = closeness_ranking(scores);
+    EXPECT_EQ(ranking[0], 2u);  // middle vertex
+    EXPECT_TRUE(ranking[3] == 0u || ranking[3] == 4u);
+    EXPECT_TRUE(ranking[4] == 0u || ranking[4] == 4u);
+}
+
+TEST(Closeness, IsolatedVertexScoresZero) {
+    DynamicGraph g(3);
+    g.add_edge(0, 1);
+    const auto scores = exact_closeness(g);
+    EXPECT_EQ(scores.closeness[2], 0.0);
+    EXPECT_EQ(scores.reachable[2], 1u);  // itself
+}
+
+TEST(Closeness, ReachableCounts) {
+    DynamicGraph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(2, 3);
+    const auto scores = exact_closeness(g);
+    EXPECT_EQ(scores.reachable[0], 2u);
+    EXPECT_EQ(scores.reachable[2], 2u);
+}
+
+TEST(Closeness, FromMatrixHandlesInfinities) {
+    const Weight inf = kInfinity;
+    const std::vector<std::vector<Weight>> dist{
+        {0, 1, inf},
+        {1, 0, inf},
+        {inf, inf, 0},
+    };
+    const auto scores = closeness_from_matrix(dist);
+    EXPECT_NEAR(scores.closeness[0], 1.0, 1e-12);
+    EXPECT_EQ(scores.closeness[2], 0.0);
+}
+
+TEST(Closeness, RankingTiesBrokenById) {
+    const std::vector<std::vector<Weight>> dist{
+        {0, 1},
+        {1, 0},
+    };
+    const auto ranking = closeness_ranking(closeness_from_matrix(dist));
+    EXPECT_EQ(ranking, (std::vector<VertexId>{0, 1}));
+}
+
+TEST(HarmonicCloseness, HandlesDisconnection) {
+    DynamicGraph g(4);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(2, 3, 2.0);
+    const auto scores = exact_harmonic_closeness(g);
+    EXPECT_NEAR(scores[0], 1.0, 1e-12);
+    EXPECT_NEAR(scores[2], 0.5, 1e-12);
+}
+
+TEST(HarmonicCloseness, StarCenterHighest) {
+    DynamicGraph g(6);
+    for (VertexId v = 1; v < 6; ++v) {
+        g.add_edge(0, v);
+    }
+    const auto scores = exact_harmonic_closeness(g);
+    EXPECT_NEAR(scores[0], 5.0, 1e-12);            // five distance-1 targets
+    EXPECT_NEAR(scores[1], 1.0 + 4 * 0.5, 1e-12);  // one hop + four 2-hops
+}
+
+TEST(Eccentricity, PathGraphDiameterAndRadius) {
+    DynamicGraph g(5);
+    for (VertexId v = 0; v + 1 < 5; ++v) {
+        g.add_edge(v, v + 1);
+    }
+    const auto stats = eccentricity_from_matrix(exact_apsp(g));
+    EXPECT_EQ(stats.eccentricity[0], 4.0);
+    EXPECT_EQ(stats.eccentricity[2], 2.0);
+    EXPECT_EQ(stats.diameter, 4.0);
+    EXPECT_EQ(stats.radius, 2.0);
+}
+
+TEST(Eccentricity, IsolatedVerticesIgnored) {
+    DynamicGraph g(3);
+    g.add_edge(0, 1, 3.0);
+    const auto stats = eccentricity_from_matrix(exact_apsp(g));
+    EXPECT_EQ(stats.eccentricity[2], 0.0);
+    EXPECT_EQ(stats.diameter, 3.0);
+    EXPECT_EQ(stats.radius, 3.0);
+}
+
+}  // namespace
+}  // namespace aa

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "runtime/cluster.hpp"
+
+namespace aa {
+namespace {
+
+std::vector<std::byte> bytes(std::size_t n) { return std::vector<std::byte>(n); }
+
+TEST(Cluster, ComputeChargesOnlyThatRank) {
+    Cluster cluster(3);
+    cluster.charge_compute(1, 1e6);
+    EXPECT_EQ(cluster.time(0), 0.0);
+    EXPECT_GT(cluster.time(1), 0.0);
+    EXPECT_EQ(cluster.time(2), 0.0);
+    EXPECT_EQ(cluster.rank_stats(1).ops, 1e6);
+}
+
+TEST(Cluster, ThreadsSpeedUpCompute) {
+    Cluster cluster(2);
+    cluster.charge_compute(0, 1e6, 1);
+    cluster.charge_compute(1, 1e6, 4);
+    EXPECT_NEAR(cluster.time(0), 4 * cluster.time(1), 1e-12);
+}
+
+TEST(Cluster, ExchangeDeliversAndSynchronizes) {
+    Cluster cluster(3);
+    cluster.charge_compute(0, 5e6);  // rank 0 is ahead
+    cluster.send(0, 1, MessageTag::Control, bytes(64));
+    cluster.send(2, 1, MessageTag::Control, bytes(64));
+    EXPECT_TRUE(cluster.has_pending_messages());
+    const double duration = cluster.exchange();
+    EXPECT_GT(duration, 0.0);
+    EXPECT_FALSE(cluster.has_pending_messages());
+    // Barrier semantics: all clocks equal afterwards.
+    EXPECT_EQ(cluster.time(0), cluster.time(1));
+    EXPECT_EQ(cluster.time(1), cluster.time(2));
+    EXPECT_EQ(cluster.receive(1).size(), 2u);
+    EXPECT_TRUE(cluster.receive(0).empty());
+}
+
+TEST(Cluster, EmptyExchangeCostsNothingButSyncs) {
+    Cluster cluster(2);
+    cluster.charge_compute(0, 1e6);
+    const double t0 = cluster.time(0);
+    EXPECT_EQ(cluster.exchange(), 0.0);
+    EXPECT_EQ(cluster.time(1), t0);  // pulled up to the barrier
+}
+
+TEST(Cluster, BroadcastReachesEveryoneElse) {
+    Cluster cluster(4);
+    const double duration =
+        cluster.broadcast(2, MessageTag::Control, bytes(128));
+    EXPECT_GT(duration, 0.0);
+    for (RankId r = 0; r < 4; ++r) {
+        const auto inbox = cluster.receive(r);
+        if (r == 2) {
+            EXPECT_TRUE(inbox.empty());
+        } else {
+            ASSERT_EQ(inbox.size(), 1u);
+            EXPECT_EQ(inbox[0].from, 2u);
+            EXPECT_EQ(inbox[0].bytes().size(), 128u);
+        }
+    }
+}
+
+TEST(Cluster, BroadcastOnSingleRankIsFree) {
+    Cluster cluster(1);
+    EXPECT_EQ(cluster.broadcast(0, MessageTag::Control, bytes(1024)), 0.0);
+}
+
+TEST(Cluster, BroadcastCostLogarithmicInRanks) {
+    LogPParams params;
+    Cluster c4(4, params);
+    Cluster c16(16, params);
+    const double t4 = c4.broadcast(0, MessageTag::Control, bytes(1 << 16));
+    const double t16 = c16.broadcast(0, MessageTag::Control, bytes(1 << 16));
+    EXPECT_NEAR(t16 / t4, 2.0, 1e-9);  // log2(16)/log2(4)
+}
+
+TEST(Cluster, StatsAccumulate) {
+    Cluster cluster(2);
+    cluster.send(0, 1, MessageTag::Control, bytes(100));
+    cluster.exchange();
+    cluster.broadcast(1, MessageTag::Control, bytes(50));
+    const auto& stats = cluster.stats();
+    EXPECT_EQ(stats.exchanges, 1u);
+    EXPECT_EQ(stats.broadcasts, 1u);
+    EXPECT_EQ(stats.total_messages, 2u);
+    EXPECT_GT(stats.comm_seconds, 0.0);
+    EXPECT_EQ(cluster.rank_stats(0).messages_sent, 1u);
+    EXPECT_EQ(cluster.rank_stats(1).messages_sent, 1u);
+}
+
+TEST(Cluster, SerializedScheduleCostsMoreThanParallel) {
+    const auto run = [&](CommSchedule schedule) {
+        Cluster cluster(8, LogPParams{}, schedule);
+        for (RankId i = 0; i < 8; ++i) {
+            for (RankId j = 0; j < 8; ++j) {
+                if (i != j) {
+                    cluster.send(i, j, MessageTag::Control, bytes(4096));
+                }
+            }
+        }
+        return cluster.exchange();
+    };
+    EXPECT_GT(run(CommSchedule::SerializedAllToAll),
+              run(CommSchedule::ParallelRounds));
+}
+
+TEST(Cluster, ResetClearsEverything) {
+    Cluster cluster(2);
+    cluster.charge_compute(0, 1e6);
+    cluster.send(0, 1, MessageTag::Control, bytes(10));
+    cluster.reset();
+    EXPECT_EQ(cluster.max_time(), 0.0);
+    EXPECT_FALSE(cluster.has_pending_messages());
+    EXPECT_EQ(cluster.stats().total_messages, 0u);
+    EXPECT_EQ(cluster.rank_stats(0).ops, 0.0);
+}
+
+TEST(Cluster, BarrierPullsClocksTogether) {
+    Cluster cluster(3);
+    cluster.charge_compute(2, 1e7);
+    cluster.barrier();
+    EXPECT_EQ(cluster.time(0), cluster.time(2));
+}
+
+}  // namespace
+}  // namespace aa

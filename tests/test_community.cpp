@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/community.hpp"
+#include "graph/generators.hpp"
+
+namespace aa {
+namespace {
+
+TEST(Modularity, SingleCommunityIsZero) {
+    DynamicGraph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 3);
+    const std::vector<std::uint32_t> all_one(4, 0);
+    EXPECT_NEAR(modularity(g, all_one), 0.0, 1e-12);
+}
+
+TEST(Modularity, TwoCliquesPerfectSplit) {
+    // Two triangles joined by one edge; the natural split has high modularity.
+    DynamicGraph g(6);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(0, 2);
+    g.add_edge(3, 4);
+    g.add_edge(4, 5);
+    g.add_edge(3, 5);
+    g.add_edge(2, 3);
+    const std::vector<std::uint32_t> split{0, 0, 0, 1, 1, 1};
+    EXPECT_GT(modularity(g, split), 0.3);
+    const std::vector<std::uint32_t> bad{0, 1, 0, 1, 0, 1};
+    EXPECT_LT(modularity(g, bad), modularity(g, split));
+}
+
+TEST(Louvain, RecoversTwoCliques) {
+    DynamicGraph g(6);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(0, 2);
+    g.add_edge(3, 4);
+    g.add_edge(4, 5);
+    g.add_edge(3, 5);
+    g.add_edge(2, 3);
+    Rng rng(1);
+    const auto result = louvain(g, rng);
+    EXPECT_EQ(result.num_communities, 2u);
+    EXPECT_EQ(result.membership[0], result.membership[1]);
+    EXPECT_EQ(result.membership[0], result.membership[2]);
+    EXPECT_EQ(result.membership[3], result.membership[4]);
+    EXPECT_EQ(result.membership[3], result.membership[5]);
+    EXPECT_NE(result.membership[0], result.membership[3]);
+}
+
+TEST(Louvain, RecoversPlantedPartition) {
+    Rng gen_rng(2);
+    std::vector<std::uint32_t> truth;
+    const auto g = planted_partition(150, 3, 0.35, 0.01, gen_rng, &truth);
+    Rng rng(3);
+    const auto result = louvain(g, rng);
+    // Modularity should be decent and community count close to planted.
+    EXPECT_GT(result.modularity, 0.4);
+    EXPECT_GE(result.num_communities, 2u);
+    EXPECT_LE(result.num_communities, 6u);
+}
+
+TEST(Louvain, MembershipIsCompact) {
+    Rng gen_rng(4);
+    const auto g = barabasi_albert(100, 2, gen_rng);
+    Rng rng(5);
+    const auto result = louvain(g, rng);
+    std::set<std::uint32_t> ids(result.membership.begin(), result.membership.end());
+    EXPECT_EQ(ids.size(), result.num_communities);
+    EXPECT_EQ(*ids.rbegin(), result.num_communities - 1);
+}
+
+TEST(Louvain, EmptyEdgeSet) {
+    DynamicGraph g(5);
+    Rng rng(6);
+    const auto result = louvain(g, rng);
+    EXPECT_EQ(result.num_communities, 5u);  // every vertex its own community
+}
+
+TEST(Louvain, ReportedModularityMatchesRecomputed) {
+    Rng gen_rng(7);
+    const auto g = planted_partition(80, 4, 0.3, 0.02, gen_rng);
+    Rng rng(8);
+    const auto result = louvain(g, rng);
+    EXPECT_NEAR(result.modularity, modularity(g, result.membership), 1e-9);
+}
+
+TEST(Louvain, WeightedEdgesRespected) {
+    // Two pairs strongly tied internally, weak ties across.
+    DynamicGraph g(4);
+    g.add_edge(0, 1, 10.0);
+    g.add_edge(2, 3, 10.0);
+    g.add_edge(1, 2, 0.1);
+    g.add_edge(0, 3, 0.1);
+    Rng rng(9);
+    const auto result = louvain(g, rng);
+    EXPECT_EQ(result.membership[0], result.membership[1]);
+    EXPECT_EQ(result.membership[2], result.membership[3]);
+    EXPECT_NE(result.membership[0], result.membership[2]);
+}
+
+}  // namespace
+}  // namespace aa

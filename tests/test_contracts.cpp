@@ -1,0 +1,102 @@
+// Contract enforcement: the library aborts loudly (AA_ASSERT) on misuse
+// instead of corrupting distributed state. Death tests pin the most
+// important guards.
+#include <gtest/gtest.h>
+
+#include "core/distance_store.hpp"
+#include "core/engine.hpp"
+#include "core/subgraph.hpp"
+#include "graph/generators.hpp"
+#include "runtime/logp.hpp"
+#include "runtime/message.hpp"
+
+namespace aa {
+namespace {
+
+TEST(Contracts, GraphRejectsNonPositiveWeight) {
+    DynamicGraph g(2);
+    EXPECT_DEATH(g.add_edge(0, 1, 0.0), "positive");
+    EXPECT_DEATH(g.add_edge(0, 1, -1.0), "positive");
+}
+
+TEST(Contracts, GraphRejectsOutOfRangeVertex) {
+    DynamicGraph g(2);
+    EXPECT_DEATH(g.add_edge(0, 5), "");
+    EXPECT_DEATH((void)g.degree(9), "");
+}
+
+TEST(Contracts, DeserializerRejectsUnderrun) {
+    Serializer out;
+    out.write<std::uint32_t>(1);
+    const auto buffer = out.take();
+    Deserializer in(buffer);
+    in.read<std::uint32_t>();
+    EXPECT_DEATH(in.read<std::uint64_t>(), "underrun");
+}
+
+TEST(Contracts, DeserializerRejectsOverlongVector) {
+    Serializer out;
+    out.write<std::uint64_t>(1000);  // claims 1000 doubles, provides none
+    const auto buffer = out.take();
+    Deserializer in(buffer);
+    EXPECT_DEATH(in.read_vector<double>(), "underrun");
+}
+
+TEST(Contracts, SubgraphRejectsForeignLookup) {
+    LocalSubgraph sg(0, {0, 1});
+    EXPECT_DEATH((void)sg.local_id(1), "not owned");
+}
+
+TEST(Contracts, SubgraphRejectsUnrelatedEdge) {
+    LocalSubgraph sg(0, {0, 1, 1});
+    EXPECT_DEATH(sg.add_local_edge(1, 2, 1.0), "no owned vertex");
+}
+
+TEST(Contracts, DistanceStoreRejectsBadColumn) {
+    DistanceStore store(3);
+    const LocalId r = store.add_row(0);
+    EXPECT_DEATH(store.relax(r, 7, 1.0), "");
+}
+
+TEST(Contracts, EngineRejectsRcBeforeInitialize) {
+    DynamicGraph g(3);
+    g.add_edge(0, 1);
+    AnytimeEngine engine(g, EngineConfig{.num_ranks = 2, .ia_threads = 1});
+    EXPECT_DEATH(engine.rc_step(), "initialize");
+}
+
+TEST(Contracts, EngineRejectsDoubleInitialize) {
+    DynamicGraph g(3);
+    g.add_edge(0, 1);
+    AnytimeEngine engine(g, EngineConfig{.num_ranks = 2, .ia_threads = 1});
+    engine.initialize();
+    EXPECT_DEATH(engine.initialize(), "twice");
+}
+
+TEST(Contracts, EngineRejectsStaleBatch) {
+    DynamicGraph g(4);
+    g.add_edge(0, 1);
+    AnytimeEngine engine(g, EngineConfig{.num_ranks = 2, .ia_threads = 1});
+    engine.initialize();
+    GrowthBatch batch;
+    batch.base_id = 99;  // does not follow the current vertex space
+    batch.num_new = 1;
+    EXPECT_DEATH(engine.anywhere_add(batch, {0}), "vertex space");
+}
+
+TEST(Contracts, EngineRejectsWeightIncrease) {
+    DynamicGraph g(3);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(1, 2, 1.0);
+    AnytimeEngine engine(g, EngineConfig{.num_ranks = 2, .ia_threads = 1});
+    engine.initialize();
+    EXPECT_DEATH(engine.decrease_edge_weight(0, 1, 5.0), "future work");
+}
+
+TEST(Contracts, ClockRejectsNegativeAdvance) {
+    SimClock clock;
+    EXPECT_DEATH(clock.advance(-1.0), "backwards");
+}
+
+}  // namespace
+}  // namespace aa

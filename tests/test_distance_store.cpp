@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "core/distance_store.hpp"
+
+namespace aa {
+namespace {
+
+TEST(DistanceStore, FreshRowIsInfExceptSelf) {
+    DistanceStore store(4);
+    const LocalId r = store.add_row(2);
+    EXPECT_EQ(store.at(r, 2), 0.0);
+    for (VertexId c : {0u, 1u, 3u}) {
+        EXPECT_GE(store.at(r, c), kInfinity);
+    }
+    EXPECT_FALSE(store.has_prop(r));
+    EXPECT_FALSE(store.has_send(r));
+}
+
+TEST(DistanceStore, RelaxImprovesAndMarks) {
+    DistanceStore store(3);
+    const LocalId r = store.add_row(0);
+    EXPECT_TRUE(store.relax(r, 1, 5.0));
+    EXPECT_EQ(store.at(r, 1), 5.0);
+    EXPECT_TRUE(store.has_prop(r));
+    EXPECT_TRUE(store.has_send(r));
+    // Worse or equal candidates are rejected.
+    EXPECT_FALSE(store.relax(r, 1, 5.0));
+    EXPECT_FALSE(store.relax(r, 1, 6.0));
+    EXPECT_TRUE(store.relax(r, 1, 4.0));
+    EXPECT_EQ(store.at(r, 1), 4.0);
+}
+
+TEST(DistanceStore, MarkFlagsControlLists) {
+    DistanceStore store(3);
+    const LocalId r = store.add_row(0);
+    store.relax(r, 1, 2.0, /*mark_prop=*/false, /*mark_send=*/true);
+    EXPECT_FALSE(store.has_prop(r));
+    EXPECT_TRUE(store.has_send(r));
+    store.relax(r, 2, 3.0, /*mark_prop=*/true, /*mark_send=*/false);
+    EXPECT_TRUE(store.has_prop(r));
+}
+
+TEST(DistanceStore, TakeDrainsAndDeduplicates) {
+    DistanceStore store(5);
+    const LocalId r = store.add_row(0);
+    store.relax(r, 1, 5.0);
+    store.relax(r, 1, 4.0);  // same column twice
+    store.relax(r, 2, 7.0);
+    const auto cols = store.take_send(r);
+    EXPECT_EQ(cols.size(), 2u);
+    EXPECT_FALSE(store.has_send(r));
+    // After draining, a further improvement re-marks.
+    store.relax(r, 1, 3.0);
+    EXPECT_TRUE(store.has_send(r));
+    EXPECT_EQ(store.take_send(r).size(), 1u);
+}
+
+TEST(DistanceStore, GrowColumnsPreservesValues) {
+    DistanceStore store(2);
+    const LocalId r = store.add_row(0);
+    store.relax(r, 1, 2.0);
+    store.grow_columns(5);
+    EXPECT_EQ(store.num_columns(), 5u);
+    EXPECT_EQ(store.at(r, 1), 2.0);
+    EXPECT_GE(store.at(r, 4), kInfinity);
+    EXPECT_TRUE(store.relax(r, 4, 1.0));
+}
+
+TEST(DistanceStore, MarkRowForSendCollectsFinite) {
+    DistanceStore store(4);
+    const LocalId r = store.add_row(1);
+    store.relax(r, 0, 3.0);
+    (void)store.take_send(r);
+    (void)store.take_prop(r);
+    store.mark_row_for_send(r);
+    const auto cols = store.take_send(r);
+    // Finite entries: column 0 (3.0) and the self column 1 (0.0).
+    EXPECT_EQ(cols.size(), 2u);
+}
+
+TEST(DistanceStore, MarkRowForPropCollectsFinite) {
+    DistanceStore store(4);
+    const LocalId r = store.add_row(0);
+    store.relax(r, 2, 1.0);
+    (void)store.take_prop(r);
+    store.mark_row_for_prop(r);
+    EXPECT_EQ(store.take_prop(r).size(), 2u);  // self + column 2
+}
+
+TEST(DistanceStore, ExtractAndInstallRow) {
+    DistanceStore store(3);
+    const LocalId r = store.add_row(1);
+    store.relax(r, 0, 4.0);
+    auto values = store.extract_row(r);
+    EXPECT_EQ(values[0], 4.0);
+    EXPECT_EQ(values[1], 0.0);
+    // Extracted row resets to fresh state.
+    EXPECT_GE(store.at(r, 0), kInfinity);
+    EXPECT_EQ(store.at(r, 1), 0.0);
+    EXPECT_FALSE(store.has_send(r));
+    store.install_row(r, std::move(values));
+    EXPECT_EQ(store.at(r, 0), 4.0);
+}
+
+TEST(DistanceStore, FiniteEntries) {
+    DistanceStore store(4);
+    const LocalId r = store.add_row(3);
+    store.relax(r, 1, 2.5);
+    const auto entries = store.finite_entries(r);
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].column, 1u);
+    EXPECT_EQ(entries[0].distance, 2.5);
+    EXPECT_EQ(entries[1].column, 3u);
+    EXPECT_EQ(entries[1].distance, 0.0);
+}
+
+TEST(DistanceStore, PendingQueries) {
+    DistanceStore store(3);
+    const LocalId a = store.add_row(0);
+    const LocalId b = store.add_row(1);
+    EXPECT_FALSE(store.any_send_pending());
+    store.relax(b, 2, 1.0);
+    EXPECT_TRUE(store.any_send_pending());
+    EXPECT_TRUE(store.any_prop_pending());
+    (void)store.take_send(b);
+    (void)store.take_prop(b);
+    (void)a;
+    EXPECT_FALSE(store.any_send_pending());
+    EXPECT_FALSE(store.any_prop_pending());
+}
+
+TEST(DistanceStore, EpsilonGuardsFloatNoise) {
+    DistanceStore store(2);
+    const LocalId r = store.add_row(0);
+    store.relax(r, 1, 1.0);
+    (void)store.take_send(r);
+    // A candidate smaller by less than epsilon must be ignored (no dirty
+    // churn from floating-point noise).
+    EXPECT_FALSE(store.relax(r, 1, 1.0 - 1e-15));
+    EXPECT_FALSE(store.has_send(r));
+}
+
+}  // namespace
+}  // namespace aa

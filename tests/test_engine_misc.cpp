@@ -1,0 +1,228 @@
+// Engine odds and ends: configuration edge cases, cost-model effects, and
+// consistency between the engine's views of its own state.
+#include <gtest/gtest.h>
+
+#include "core/closeness.hpp"
+#include "core/engine.hpp"
+#include "core/strategies.hpp"
+#include "graph/generators.hpp"
+#include "partition/partition.hpp"
+
+namespace aa {
+namespace {
+
+EngineConfig base_config(std::uint32_t ranks) {
+    EngineConfig config;
+    config.num_ranks = ranks;
+    config.ia_threads = 1;
+    config.seed = 1001;
+    return config;
+}
+
+TEST(EngineMisc, MoreRanksThanVertices) {
+    DynamicGraph g(5);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 3);
+    g.add_edge(3, 4);
+    AnytimeEngine engine(g, base_config(8));  // some ranks stay empty
+    engine.initialize();
+    engine.run_to_quiescence();
+    const auto exact = exact_apsp(g);
+    const auto matrix = engine.full_distance_matrix();
+    for (std::size_t v = 0; v < 5; ++v) {
+        for (std::size_t t = 0; t < 5; ++t) {
+            EXPECT_NEAR(matrix[v][t], exact[v][t], 1e-9);
+        }
+    }
+    // Dynamic updates still work with empty ranks present.
+    GrowthBatch batch;
+    batch.base_id = 5;
+    batch.num_new = 1;
+    batch.edges = {{5, 0, 1.0}};
+    RoundRobinPS strategy;
+    engine.apply_addition(batch, strategy);
+    engine.run_to_quiescence();
+    EXPECT_NEAR(engine.distance_row(5)[4], 5.0, 1e-9);
+}
+
+TEST(EngineMisc, CurrentCutMatchesPartitionEvaluation) {
+    Rng rng(1);
+    const auto g = barabasi_albert(80, 2, rng);
+    AnytimeEngine engine(g, base_config(4));
+    engine.initialize();
+    Partitioning p;
+    p.num_parts = 4;
+    p.assignment = engine.owners();
+    EXPECT_EQ(engine.current_cut_edges(), count_cut_edges(engine.graph(), p));
+}
+
+TEST(EngineMisc, DistanceRowMatchesMatrix) {
+    Rng rng(2);
+    const auto g = barabasi_albert(50, 2, rng);
+    AnytimeEngine engine(g, base_config(3));
+    engine.initialize();
+    engine.run_to_quiescence();
+    const auto matrix = engine.full_distance_matrix();
+    for (VertexId v = 0; v < 50; v += 7) {
+        EXPECT_EQ(engine.distance_row(v), matrix[v]);
+    }
+}
+
+TEST(EngineMisc, MoreIaThreadsLowerSimTime) {
+    Rng rng(3);
+    const auto g = barabasi_albert(150, 3, rng);
+
+    auto run_with_threads = [&](std::size_t threads) {
+        EngineConfig config = base_config(2);
+        config.ia_threads = threads;
+        AnytimeEngine engine(g, config);
+        engine.initialize();
+        return engine.sim_seconds();  // init = DD + IA; IA dominated by SSSP
+    };
+    // Same counted ops, divided by T in the model.
+    EXPECT_GT(run_with_threads(1), run_with_threads(4));
+}
+
+TEST(EngineMisc, ScheduleChangesTimeNotResults) {
+    Rng rng(4);
+    const auto g = barabasi_albert(70, 2, rng);
+
+    auto run_with = [&](CommSchedule schedule) {
+        EngineConfig config = base_config(4);
+        config.schedule = schedule;
+        AnytimeEngine engine(g, config);
+        engine.initialize();
+        engine.run_to_quiescence();
+        return std::make_pair(engine.sim_seconds(), engine.full_distance_matrix());
+    };
+    const auto [serial_time, serial_matrix] =
+        run_with(CommSchedule::SerializedAllToAll);
+    const auto [parallel_time, parallel_matrix] =
+        run_with(CommSchedule::ParallelRounds);
+    EXPECT_GT(serial_time, parallel_time);
+    EXPECT_EQ(serial_matrix, parallel_matrix);
+}
+
+TEST(EngineMisc, SlowerNetworkOnlyStretchesTime) {
+    Rng rng(5);
+    const auto g = barabasi_albert(60, 2, rng);
+
+    auto run_with_gap = [&](double gap) {
+        EngineConfig config = base_config(4);
+        config.logp.gap_per_byte = gap;
+        AnytimeEngine engine(g, config);
+        engine.initialize();
+        engine.run_to_quiescence();
+        return std::make_pair(engine.sim_seconds(), engine.full_distance_matrix());
+    };
+    const auto [fast_time, fast_matrix] = run_with_gap(1e-9);
+    const auto [slow_time, slow_matrix] = run_with_gap(100e-9);
+    EXPECT_GT(slow_time, fast_time);
+    EXPECT_EQ(fast_matrix, slow_matrix);
+}
+
+TEST(EngineMisc, DeterministicAcrossRuns) {
+    Rng rng(6);
+    const auto g = barabasi_albert(90, 2, rng, WeightRange{1.0, 3.0});
+    const auto run = [&] {
+        AnytimeEngine engine(g, base_config(4));
+        engine.initialize();
+        engine.run_to_quiescence();
+        return std::make_tuple(engine.sim_seconds(),
+                               engine.cluster().stats().total_bytes,
+                               engine.full_distance_matrix());
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_EQ(std::get<0>(a), std::get<0>(b));
+    EXPECT_EQ(std::get<1>(a), std::get<1>(b));
+    EXPECT_EQ(std::get<2>(a), std::get<2>(b));
+}
+
+TEST(EngineMisc, TwoVertexGraph) {
+    DynamicGraph g(2);
+    g.add_edge(0, 1, 2.5);
+    AnytimeEngine engine(g, base_config(2));
+    engine.initialize();
+    engine.run_to_quiescence();
+    EXPECT_EQ(engine.distance_row(0)[1], 2.5);
+    EXPECT_EQ(engine.distance_row(1)[0], 2.5);
+}
+
+TEST(EngineMisc, EmptyBatchIsHarmless) {
+    Rng rng(7);
+    const auto g = barabasi_albert(40, 2, rng);
+    AnytimeEngine engine(g, base_config(3));
+    engine.initialize();
+    engine.run_to_quiescence();
+    GrowthBatch batch;
+    batch.base_id = 40;
+    batch.num_new = 0;
+    RoundRobinPS strategy;
+    engine.apply_addition(batch, strategy);
+    engine.run_to_quiescence();
+    EXPECT_EQ(engine.num_vertices(), 40u);
+    const auto exact = exact_apsp(g);
+    const auto matrix = engine.full_distance_matrix();
+    for (std::size_t v = 0; v < 40; ++v) {
+        EXPECT_NEAR(matrix[v][20], exact[v][20], 1e-9);
+    }
+}
+
+TEST(EngineMisc, AddEdgesEmptySpanIsHarmless) {
+    DynamicGraph g(4);
+    g.add_edge(0, 1);
+    AnytimeEngine engine(g, base_config(2));
+    engine.initialize();
+    engine.add_edges({});
+    engine.run_to_quiescence();
+    EXPECT_EQ(engine.graph().num_edges(), 1u);
+}
+
+TEST(EngineMisc, QueryDistanceMatchesStateAndCharges) {
+    Rng rng(9);
+    const auto g = barabasi_albert(60, 2, rng);
+    AnytimeEngine engine(g, base_config(4));
+    engine.initialize();
+    engine.run_to_quiescence();
+    const auto exact = exact_apsp(g);
+    const double before = engine.sim_seconds();
+    std::size_t remote_queries = 0;
+    for (VertexId u = 0; u < 60; u += 11) {
+        for (VertexId v = 0; v < 60; v += 7) {
+            EXPECT_NEAR(engine.query_distance(u, v), exact[u][v], 1e-9);
+            remote_queries += engine.owners()[u] != 0;
+        }
+    }
+    if (remote_queries > 0) {
+        EXPECT_GT(engine.sim_seconds(), before);  // round trips were priced
+    }
+}
+
+TEST(EngineMisc, QueryDistanceBeforeConvergenceIsUpperBound) {
+    Rng rng(10);
+    const auto g = barabasi_albert(60, 2, rng);
+    AnytimeEngine engine(g, base_config(4));
+    engine.initialize();  // no RC yet: only local knowledge
+    const auto exact = exact_apsp(g);
+    for (VertexId u = 0; u < 60; u += 13) {
+        const Weight estimate = engine.query_distance(u, 59);
+        if (estimate < kInfinity) {
+            EXPECT_GE(estimate, exact[u][59] - 1e-9);
+        }
+    }
+}
+
+TEST(EngineMisc, ReportSimSecondsTracksCluster) {
+    Rng rng(8);
+    const auto g = barabasi_albert(50, 2, rng);
+    AnytimeEngine engine(g, base_config(3));
+    engine.initialize();
+    engine.run_to_quiescence();
+    EXPECT_EQ(engine.report().sim_seconds, engine.sim_seconds());
+    EXPECT_EQ(engine.report().rc_steps, engine.rc_steps_completed());
+}
+
+}  // namespace
+}  // namespace aa

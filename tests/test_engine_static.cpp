@@ -1,0 +1,144 @@
+// Static-graph correctness: after DD + IA + RC-to-quiescence, the distributed
+// distance vectors must equal the exact APSP, for a range of topologies,
+// rank counts and schedules.
+#include <gtest/gtest.h>
+
+#include "core/closeness.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+
+namespace aa {
+namespace {
+
+EngineConfig small_config(std::uint32_t ranks) {
+    EngineConfig config;
+    config.num_ranks = ranks;
+    config.ia_threads = 1;
+    config.seed = 7;
+    return config;
+}
+
+void expect_matrix_exact(const AnytimeEngine& engine, const DynamicGraph& g) {
+    const auto approx = engine.full_distance_matrix();
+    const auto exact = exact_apsp(g);
+    ASSERT_EQ(approx.size(), exact.size());
+    for (std::size_t v = 0; v < exact.size(); ++v) {
+        for (std::size_t t = 0; t < exact.size(); ++t) {
+            if (exact[v][t] < kInfinity) {
+                EXPECT_NEAR(approx[v][t], exact[v][t], 1e-9)
+                    << "d(" << v << "," << t << ")";
+            } else {
+                EXPECT_GE(approx[v][t], kInfinity);
+            }
+        }
+    }
+}
+
+TEST(EngineStatic, PathGraphTwoRanks) {
+    DynamicGraph g(6);
+    for (VertexId v = 0; v + 1 < 6; ++v) {
+        g.add_edge(v, v + 1, 1.0);
+    }
+    AnytimeEngine engine(g, small_config(2));
+    engine.initialize();
+    engine.run_to_quiescence();
+    EXPECT_TRUE(engine.quiescent());
+    expect_matrix_exact(engine, g);
+}
+
+TEST(EngineStatic, SingleRankIsExactAfterIa) {
+    Rng rng(3);
+    const auto g = barabasi_albert(40, 2, rng);
+    AnytimeEngine engine(g, small_config(1));
+    engine.initialize();
+    // One rank: IA alone is the whole computation.
+    engine.run_to_quiescence();
+    expect_matrix_exact(engine, g);
+}
+
+TEST(EngineStatic, ScaleFreeGraphSixteenRanks) {
+    Rng rng(11);
+    const auto g = barabasi_albert(120, 2, rng);
+    AnytimeEngine engine(g, small_config(16));
+    engine.initialize();
+    const std::size_t steps = engine.run_to_quiescence();
+    EXPECT_GE(steps, 1u);
+    expect_matrix_exact(engine, g);
+}
+
+TEST(EngineStatic, WeightedGraph) {
+    Rng rng(5);
+    const auto g = erdos_renyi_gnm(60, 150, rng, WeightRange{1.0, 10.0});
+    AnytimeEngine engine(g, small_config(4));
+    engine.initialize();
+    engine.run_to_quiescence();
+    expect_matrix_exact(engine, g);
+}
+
+TEST(EngineStatic, DisconnectedGraphKeepsInfinities) {
+    DynamicGraph g(8);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(4, 5);
+    g.add_edge(5, 6);  // vertices 3 and 7 isolated
+    AnytimeEngine engine(g, small_config(3));
+    engine.initialize();
+    engine.run_to_quiescence();
+    expect_matrix_exact(engine, g);
+}
+
+TEST(EngineStatic, ClosenessMatchesExact) {
+    Rng rng(13);
+    const auto g = barabasi_albert(80, 3, rng);
+    AnytimeEngine engine(g, small_config(8));
+    engine.initialize();
+    engine.run_to_quiescence();
+    const auto approx = engine.closeness();
+    const auto exact = exact_closeness(g);
+    for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+        EXPECT_NEAR(approx.closeness[v], exact.closeness[v], 1e-9);
+    }
+}
+
+TEST(EngineStatic, SimTimeAdvancesAndStatsAccumulate) {
+    Rng rng(17);
+    const auto g = barabasi_albert(60, 2, rng);
+    AnytimeEngine engine(g, small_config(4));
+    engine.initialize();
+    const double after_init = engine.sim_seconds();
+    EXPECT_GT(after_init, 0.0);
+    engine.run_to_quiescence();
+    EXPECT_GT(engine.sim_seconds(), after_init);
+    EXPECT_GT(engine.cluster().stats().total_messages, 0u);
+    EXPECT_GT(engine.report().ia_ops, 0.0);
+    EXPECT_GT(engine.report().rc_ops, 0.0);
+}
+
+TEST(EngineStatic, RcStepOnQuiescentSystemIsNoop) {
+    DynamicGraph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(2, 3);
+    AnytimeEngine engine(g, small_config(2));
+    engine.initialize();
+    engine.run_to_quiescence();
+    const double t = engine.sim_seconds();
+    EXPECT_FALSE(engine.rc_step());
+    EXPECT_EQ(engine.sim_seconds(), t);
+}
+
+TEST(EngineStatic, StaticConvergenceBoundedByRankCount) {
+    // For static graphs the paper bounds RC steps by P - 1 (longest processor
+    // chain); our worklist variant converges within a small multiple of that.
+    Rng rng(19);
+    const auto g = barabasi_albert(100, 2, rng);
+    for (const std::uint32_t ranks : {2u, 4u, 8u}) {
+        AnytimeEngine engine(g, small_config(ranks));
+        engine.initialize();
+        const std::size_t steps = engine.run_to_quiescence();
+        EXPECT_LE(steps, static_cast<std::size_t>(2 * ranks + 2))
+            << "ranks=" << ranks;
+    }
+}
+
+}  // namespace
+}  // namespace aa

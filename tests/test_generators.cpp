@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+
+namespace aa {
+namespace {
+
+TEST(BarabasiAlbert, SizeAndConnectivity) {
+    Rng rng(1);
+    const auto g = barabasi_albert(200, 3, rng);
+    EXPECT_EQ(g.num_vertices(), 200u);
+    EXPECT_TRUE(is_connected(g));
+    // Each non-seed vertex adds exactly m edges.
+    EXPECT_GE(g.num_edges(), (200 - 4) * 3u);
+}
+
+TEST(BarabasiAlbert, ScaleFreeTail) {
+    Rng rng(2);
+    const auto g = barabasi_albert(2000, 2, rng);
+    // Preferential attachment yields gamma ~ 3; accept a generous band.
+    const double gamma = power_law_exponent_mle(g, 3);
+    EXPECT_GT(gamma, 1.8);
+    EXPECT_LT(gamma, 4.5);
+    // Hubs exist: max degree far above the mean.
+    const auto hist = degree_histogram(g);
+    EXPECT_GT(hist.size(), 20u);
+}
+
+TEST(BarabasiAlbert, Deterministic) {
+    Rng a(42);
+    Rng b(42);
+    const auto g1 = barabasi_albert(100, 2, a);
+    const auto g2 = barabasi_albert(100, 2, b);
+    EXPECT_EQ(g1.edges().size(), g2.edges().size());
+    EXPECT_EQ(g1.edges(), g2.edges());
+}
+
+TEST(ErdosRenyi, ExactEdgeCount) {
+    Rng rng(3);
+    const auto g = erdos_renyi_gnm(50, 200, rng);
+    EXPECT_EQ(g.num_vertices(), 50u);
+    EXPECT_EQ(g.num_edges(), 200u);
+}
+
+TEST(ErdosRenyi, WeightsInRange) {
+    Rng rng(4);
+    const auto g = erdos_renyi_gnm(30, 100, rng, WeightRange{2.0, 5.0});
+    for (const Edge& e : g.edges()) {
+        EXPECT_GE(e.weight, 2.0);
+        EXPECT_LT(e.weight, 5.0);
+    }
+}
+
+TEST(WattsStrogatz, LatticeWhenBetaZero) {
+    Rng rng(5);
+    const auto g = watts_strogatz(20, 2, 0.0, rng);
+    EXPECT_EQ(g.num_edges(), 40u);  // n * k
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_TRUE(g.has_edge(0, 2));
+    EXPECT_TRUE(g.has_edge(19, 0));
+}
+
+TEST(WattsStrogatz, RewiringChangesStructure) {
+    Rng rng(6);
+    const auto g = watts_strogatz(200, 3, 0.5, rng);
+    // With heavy rewiring, many lattice edges must be gone.
+    std::size_t lattice_edges = 0;
+    for (VertexId v = 0; v < 200; ++v) {
+        for (std::size_t j = 1; j <= 3; ++j) {
+            lattice_edges += g.has_edge(v, static_cast<VertexId>((v + j) % 200));
+        }
+    }
+    EXPECT_LT(lattice_edges, 500u);
+}
+
+TEST(PlantedPartition, CommunityStructureDominates) {
+    Rng rng(7);
+    std::vector<std::uint32_t> membership;
+    const auto g = planted_partition(120, 4, 0.4, 0.01, rng, &membership);
+    ASSERT_EQ(membership.size(), 120u);
+    std::size_t intra = 0;
+    std::size_t inter = 0;
+    for (const Edge& e : g.edges()) {
+        (membership[e.u] == membership[e.v] ? intra : inter) += 1;
+    }
+    EXPECT_GT(intra, 5 * inter);
+}
+
+TEST(GrowBatch, ShapeAndIds) {
+    Rng rng(8);
+    GrowthConfig config;
+    config.num_new = 30;
+    config.communities = 3;
+    config.intra_edges = 2;
+    config.host_edges = 2;
+    const auto batch = grow_batch(100, config, rng);
+    EXPECT_EQ(batch.base_id, 100u);
+    EXPECT_EQ(batch.num_new, 30u);
+    EXPECT_EQ(batch.community.size(), 30u);
+    for (const Edge& e : batch.edges) {
+        const VertexId hi = std::max(e.u, e.v);
+        const VertexId lo = std::min(e.u, e.v);
+        EXPECT_GE(hi, 100u);   // at least one endpoint is new
+        EXPECT_LT(hi, 130u);
+        EXPECT_LT(lo, hi);
+    }
+    for (const auto c : batch.community) {
+        EXPECT_LT(c, 3u);
+    }
+}
+
+TEST(GrowBatch, EveryVertexHasHostAnchor) {
+    Rng rng(9);
+    GrowthConfig config;
+    config.num_new = 25;
+    config.host_edges = 2;
+    const auto batch = grow_batch(50, config, rng);
+    std::vector<int> anchors(25, 0);
+    for (const Edge& e : batch.edges) {
+        const bool u_new = e.u >= 50;
+        const bool v_new = e.v >= 50;
+        if (u_new != v_new) {
+            anchors[(u_new ? e.u : e.v) - 50] += 1;
+        }
+    }
+    for (int i = 0; i < 25; ++i) {
+        EXPECT_GE(anchors[i], 1) << "vertex " << i;
+    }
+}
+
+TEST(GrowBatch, NoDuplicateEdges) {
+    Rng rng(10);
+    GrowthConfig config;
+    config.num_new = 40;
+    config.intra_edges = 3;
+    config.host_edges = 2;
+    auto batch = grow_batch(80, config, rng);
+    auto key = [](const Edge& e) {
+        const auto [lo, hi] = std::minmax(e.u, e.v);
+        return (static_cast<std::uint64_t>(lo) << 32) | hi;
+    };
+    std::vector<std::uint64_t> keys;
+    for (const Edge& e : batch.edges) {
+        keys.push_back(key(e));
+    }
+    std::sort(keys.begin(), keys.end());
+    EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end());
+}
+
+TEST(GrowBatch, IntraCommunityBias) {
+    Rng rng(11);
+    GrowthConfig config;
+    config.num_new = 60;
+    config.communities = 3;
+    config.intra_edges = 3;
+    config.host_edges = 1;
+    config.noise = 0.0;
+    const auto batch = grow_batch(100, config, rng);
+    std::size_t intra = 0;
+    std::size_t inter = 0;
+    for (const Edge& e : batch.edges) {
+        if (e.u >= 100 && e.v >= 100) {
+            (batch.community[e.u - 100] == batch.community[e.v - 100] ? intra : inter) +=
+                1;
+        }
+    }
+    EXPECT_EQ(inter, 0u);  // noise 0: internal edges never cross communities
+    EXPECT_GT(intra, 0u);
+}
+
+TEST(GrowBatch, ZeroVerticesIsEmpty) {
+    Rng rng(12);
+    GrowthConfig config;
+    config.num_new = 0;
+    const auto batch = grow_batch(10, config, rng);
+    EXPECT_EQ(batch.num_new, 0u);
+    EXPECT_TRUE(batch.edges.empty());
+}
+
+}  // namespace
+}  // namespace aa

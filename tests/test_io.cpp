@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace aa {
+namespace {
+
+TEST(SnapIo, RoundTrip) {
+    Rng rng(1);
+    const auto g = barabasi_albert(50, 2, rng, WeightRange{1.0, 3.0});
+    std::stringstream stream;
+    write_snap_edge_list(g, stream);
+    const auto back = read_snap_edge_list(stream);
+    EXPECT_EQ(back.num_vertices(), g.num_vertices());
+    EXPECT_EQ(back.num_edges(), g.num_edges());
+    for (const Edge& e : g.edges()) {
+        EXPECT_NEAR(back.edge_weight(e.u, e.v), e.weight, 1e-9);
+    }
+}
+
+TEST(SnapIo, SkipsCommentsAndCompactsIds) {
+    std::stringstream in(
+        "# a SNAP-style comment\n"
+        "% another comment style\n"
+        "10 20\n"
+        "20 30\n"
+        "\n"
+        "10 30\n");
+    const auto g = read_snap_edge_list(in);
+    EXPECT_EQ(g.num_vertices(), 3u);  // ids compacted to 0..2
+    EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(SnapIo, OptionalWeightColumn) {
+    std::stringstream in("0 1 2.5\n1 2\n");
+    const auto g = read_snap_edge_list(in);
+    EXPECT_EQ(g.edge_weight(0, 1), 2.5);
+    EXPECT_EQ(g.edge_weight(1, 2), 1.0);
+}
+
+TEST(SnapIo, MalformedLineThrows) {
+    std::stringstream in("0 1\nnot numbers\n");
+    EXPECT_THROW(read_snap_edge_list(in), IoError);
+}
+
+TEST(SnapIo, NonPositiveWeightThrows) {
+    std::stringstream in("0 1 -2\n");
+    EXPECT_THROW(read_snap_edge_list(in), IoError);
+}
+
+TEST(SnapIo, MissingFileThrows) {
+    EXPECT_THROW(read_snap_edge_list_file("/nonexistent/path/graph.txt"), IoError);
+}
+
+TEST(PajekIo, RoundTrip) {
+    Rng rng(2);
+    const auto g = erdos_renyi_gnm(30, 60, rng, WeightRange{1.0, 5.0});
+    std::stringstream stream;
+    write_pajek(g, stream);
+    const auto back = read_pajek(stream);
+    EXPECT_EQ(back.num_vertices(), g.num_vertices());
+    EXPECT_EQ(back.num_edges(), g.num_edges());
+    for (const Edge& e : g.edges()) {
+        EXPECT_NEAR(back.edge_weight(e.u, e.v), e.weight, 1e-9);
+    }
+}
+
+TEST(PajekIo, ParsesVertexLabelsSection) {
+    std::stringstream in(
+        "*Vertices 3\n"
+        "1 \"alpha\"\n"
+        "2 \"beta\"\n"
+        "3 \"gamma\"\n"
+        "*Edges\n"
+        "1 2 1.5\n"
+        "2 3\n");
+    const auto g = read_pajek(in);
+    EXPECT_EQ(g.num_vertices(), 3u);
+    EXPECT_EQ(g.num_edges(), 2u);
+    EXPECT_EQ(g.edge_weight(0, 1), 1.5);
+    EXPECT_EQ(g.edge_weight(1, 2), 1.0);
+}
+
+TEST(PajekIo, AcceptsArcsSection) {
+    std::stringstream in("*Vertices 2\n*Arcs\n1 2 3.0\n");
+    const auto g = read_pajek(in);
+    EXPECT_EQ(g.edge_weight(0, 1), 3.0);
+}
+
+TEST(PajekIo, IsolatedVerticesPreserved) {
+    std::stringstream in("*Vertices 5\n*Edges\n1 2\n");
+    const auto g = read_pajek(in);
+    EXPECT_EQ(g.num_vertices(), 5u);
+    EXPECT_EQ(g.degree(4), 0u);
+}
+
+TEST(PajekIo, OutOfRangeEndpointThrows) {
+    std::stringstream in("*Vertices 2\n*Edges\n1 5\n");
+    EXPECT_THROW(read_pajek(in), IoError);
+}
+
+TEST(PajekIo, MissingHeaderThrows) {
+    std::stringstream in("*Edges\n1 2\n");
+    EXPECT_THROW(read_pajek(in), IoError);
+}
+
+TEST(MetisIo, RoundTrip) {
+    Rng rng(4);
+    const auto g = barabasi_albert(40, 2, rng, WeightRange{1.0, 5.0});
+    std::stringstream stream;
+    write_metis(g, stream);
+    const auto back = read_metis(stream);
+    EXPECT_EQ(back.num_vertices(), g.num_vertices());
+    EXPECT_EQ(back.num_edges(), g.num_edges());
+    for (const Edge& e : g.edges()) {
+        EXPECT_NEAR(back.edge_weight(e.u, e.v), e.weight, 1e-9);
+    }
+}
+
+TEST(MetisIo, UnweightedFormat) {
+    std::stringstream in(
+        "% a comment\n"
+        "4 3 0\n"
+        "2\n"
+        "1 3\n"
+        "2 4\n"
+        "3\n");
+    const auto g = read_metis(in);
+    EXPECT_EQ(g.num_vertices(), 4u);
+    EXPECT_EQ(g.num_edges(), 3u);
+    EXPECT_EQ(g.edge_weight(0, 1), 1.0);
+}
+
+TEST(MetisIo, WeightedFormat) {
+    std::stringstream in(
+        "3 2 1\n"
+        "2 1.5\n"
+        "1 1.5 3 2.5\n"
+        "2 2.5\n");
+    const auto g = read_metis(in);
+    EXPECT_EQ(g.edge_weight(0, 1), 1.5);
+    EXPECT_EQ(g.edge_weight(1, 2), 2.5);
+}
+
+TEST(MetisIo, IsolatedVertexEmptyLine) {
+    std::stringstream in("3 1 0\n2\n1\n\n");
+    const auto g = read_metis(in);
+    EXPECT_EQ(g.num_vertices(), 3u);
+    EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(MetisIo, EdgeCountMismatchThrows) {
+    std::stringstream in("3 5 0\n2\n1\n\n");
+    EXPECT_THROW(read_metis(in), IoError);
+}
+
+TEST(MetisIo, MissingHeaderThrows) {
+    std::stringstream in("");
+    EXPECT_THROW(read_metis(in), IoError);
+}
+
+TEST(MetisIo, TruncatedFileThrows) {
+    std::stringstream in("4 3 0\n2\n1 3\n");
+    EXPECT_THROW(read_metis(in), IoError);
+}
+
+TEST(MetisIo, OutOfRangeNeighborThrows) {
+    std::stringstream in("2 1 0\n9\n\n");
+    EXPECT_THROW(read_metis(in), IoError);
+}
+
+TEST(FileIo, RoundTripThroughDisk) {
+    Rng rng(3);
+    const auto g = barabasi_albert(40, 2, rng);
+    const std::string path = testing::TempDir() + "/aa_test_graph.txt";
+    write_snap_edge_list_file(g, path);
+    const auto back = read_snap_edge_list_file(path);
+    EXPECT_EQ(back.num_edges(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace aa

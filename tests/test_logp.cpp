@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "runtime/logp.hpp"
+
+namespace aa {
+namespace {
+
+TEST(LogP, MessageTimeSingleChunk) {
+    LogPParams p;
+    p.latency = 10e-6;
+    p.overhead = 1e-6;
+    p.gap_per_byte = 1e-9;
+    p.max_message_bytes = 1024;
+    // 100 bytes: one chunk -> 2o + L + 100G.
+    EXPECT_NEAR(p.message_time(100), 2e-6 + 10e-6 + 100e-9, 1e-15);
+}
+
+TEST(LogP, EmptyMessageStillPaysLatency) {
+    LogPParams p;
+    EXPECT_GT(p.message_time(0), 0.0);
+}
+
+TEST(LogP, ChunkingAddsPerChunkOverhead) {
+    LogPParams p;
+    p.latency = 10e-6;
+    p.overhead = 1e-6;
+    p.gap_per_byte = 0;
+    p.max_message_bytes = 100;
+    // 250 bytes -> 3 chunks.
+    EXPECT_NEAR(p.message_time(250), 3 * (2e-6 + 10e-6), 1e-15);
+    // Exactly 200 -> 2 chunks.
+    EXPECT_NEAR(p.message_time(200), 2 * (2e-6 + 10e-6), 1e-15);
+}
+
+TEST(LogP, MessageTimeMonotoneInSize) {
+    LogPParams p;
+    double prev = 0;
+    for (std::size_t bytes : {1u, 10u, 100u, 1000u, 100000u, 10000000u}) {
+        const double t = p.message_time(bytes);
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+}
+
+TEST(LogP, ComputeTimeScalesWithThreads) {
+    LogPParams p;
+    p.seconds_per_op = 1e-9;
+    EXPECT_NEAR(p.compute_time(1e6, 1), 1e-3, 1e-12);
+    EXPECT_NEAR(p.compute_time(1e6, 4), 0.25e-3, 1e-12);
+    EXPECT_EQ(p.compute_time(0, 8), 0.0);
+}
+
+TEST(SimClock, AdvanceAccumulates) {
+    SimClock clock;
+    EXPECT_EQ(clock.now(), 0.0);
+    clock.advance(1.5);
+    clock.advance(0.5);
+    EXPECT_NEAR(clock.now(), 2.0, 1e-15);
+}
+
+TEST(SimClock, AdvanceToNeverRewinds) {
+    SimClock clock;
+    clock.advance(5.0);
+    clock.advance_to(3.0);
+    EXPECT_EQ(clock.now(), 5.0);
+    clock.advance_to(7.0);
+    EXPECT_EQ(clock.now(), 7.0);
+}
+
+}  // namespace
+}  // namespace aa

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "runtime/alltoall.hpp"
+#include "runtime/mailbox.hpp"
+
+namespace aa {
+namespace {
+
+Message make(RankId from, RankId to, std::size_t bytes = 8) {
+    Message m;
+    m.from = from;
+    m.to = to;
+    m.tag = MessageTag::Control;
+    m.payload = Message::share(std::vector<std::byte>(bytes));
+    return m;
+}
+
+TEST(Mailbox, PostAndDeliverAll) {
+    MailboxSystem mail(3);
+    EXPECT_FALSE(mail.has_pending());
+    mail.post(make(0, 1));
+    mail.post(make(0, 2));
+    mail.post(make(2, 1));
+    EXPECT_TRUE(mail.has_pending());
+    mail.deliver_all();
+    EXPECT_FALSE(mail.has_pending());
+    EXPECT_EQ(mail.take_inbox(1).size(), 2u);
+    EXPECT_EQ(mail.take_inbox(2).size(), 1u);
+    EXPECT_TRUE(mail.take_inbox(0).empty());
+}
+
+TEST(Mailbox, TakeInboxDrains) {
+    MailboxSystem mail(2);
+    mail.post(make(0, 1));
+    mail.deliver_all();
+    EXPECT_EQ(mail.take_inbox(1).size(), 1u);
+    EXPECT_TRUE(mail.take_inbox(1).empty());
+}
+
+TEST(Mailbox, ScheduledDeliveryCoversAllPairs) {
+    MailboxSystem mail(4);
+    for (RankId i = 0; i < 4; ++i) {
+        for (RankId j = 0; j < 4; ++j) {
+            if (i != j) {
+                mail.post(make(i, j));
+            }
+        }
+    }
+    mail.deliver(all_to_all_pairs(4));
+    EXPECT_FALSE(mail.has_pending());
+    for (RankId r = 0; r < 4; ++r) {
+        EXPECT_EQ(mail.take_inbox(r).size(), 3u);
+    }
+}
+
+TEST(Mailbox, PartialScheduleLeavesRest) {
+    MailboxSystem mail(3);
+    mail.post(make(0, 1));
+    mail.post(make(0, 2));
+    mail.deliver({{0, 1}});
+    EXPECT_TRUE(mail.has_pending());  // 0 -> 2 still buffered
+    EXPECT_EQ(mail.take_inbox(1).size(), 1u);
+    EXPECT_TRUE(mail.take_inbox(2).empty());
+}
+
+TEST(Mailbox, PreservesPostOrderPerPair) {
+    MailboxSystem mail(2);
+    for (int i = 0; i < 5; ++i) {
+        Message m = make(0, 1, 8);
+        std::vector<std::byte> data{static_cast<std::byte>(i)};
+        m.payload = Message::share(std::move(data));
+        mail.post(std::move(m));
+    }
+    mail.deliver_all();
+    const auto inbox = mail.take_inbox(1);
+    ASSERT_EQ(inbox.size(), 5u);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(inbox[i].bytes()[0], static_cast<std::byte>(i));
+    }
+}
+
+TEST(Mailbox, DeliverReportsBytes) {
+    MailboxSystem mail(2);
+    mail.post(make(0, 1, 100));
+    const std::size_t bytes = mail.deliver_all();
+    EXPECT_EQ(bytes, 116u);  // payload + 16-byte header
+}
+
+}  // namespace
+}  // namespace aa

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "core/distance_store.hpp"
+#include "core/rc.hpp"
+#include "runtime/message.hpp"
+
+namespace aa {
+namespace {
+
+TEST(Serializer, ScalarRoundTrip) {
+    Serializer out;
+    out.write<std::uint32_t>(42);
+    out.write<double>(3.5);
+    out.write<std::uint8_t>(7);
+    const auto buffer = out.take();
+    Deserializer in(buffer);
+    EXPECT_EQ(in.read<std::uint32_t>(), 42u);
+    EXPECT_EQ(in.read<double>(), 3.5);
+    EXPECT_EQ(in.read<std::uint8_t>(), 7);
+    EXPECT_TRUE(in.exhausted());
+}
+
+TEST(Serializer, SpanRoundTrip) {
+    const std::vector<double> values{1.0, 2.5, -3.0};
+    Serializer out;
+    out.write_span(std::span<const double>(values));
+    const auto buffer = out.take();
+    Deserializer in(buffer);
+    EXPECT_EQ(in.read_vector<double>(), values);
+}
+
+TEST(Serializer, EmptySpan) {
+    Serializer out;
+    out.write_span(std::span<const int>{});
+    const auto buffer = out.take();
+    Deserializer in(buffer);
+    EXPECT_TRUE(in.read_vector<int>().empty());
+    EXPECT_TRUE(in.exhausted());
+}
+
+TEST(Serializer, TakeResets) {
+    Serializer out;
+    out.write<int>(1);
+    EXPECT_GT(out.size(), 0u);
+    (void)out.take();
+    EXPECT_EQ(out.size(), 0u);
+}
+
+TEST(Deserializer, RemainingTracksCursor) {
+    Serializer out;
+    out.write<std::uint64_t>(1);
+    out.write<std::uint64_t>(2);
+    const auto buffer = out.take();
+    Deserializer in(buffer);
+    EXPECT_EQ(in.remaining(), 16u);
+    in.read<std::uint64_t>();
+    EXPECT_EQ(in.remaining(), 8u);
+}
+
+TEST(Message, SharedPayloadZeroCopy) {
+    auto shared = Message::share(std::vector<std::byte>(256));
+    Message a;
+    a.payload = shared;
+    Message b;
+    b.payload = shared;
+    EXPECT_EQ(a.bytes().data(), b.bytes().data());
+    EXPECT_EQ(a.size_bytes(), 256u + 16);
+}
+
+TEST(Message, EmptyPayloadIsSafe) {
+    Message m;
+    EXPECT_TRUE(m.bytes().empty());
+    EXPECT_EQ(m.size_bytes(), 16u);  // header only
+}
+
+TEST(BoundaryBlocks, RoundTrip) {
+    std::vector<BoundaryBlock> blocks;
+    blocks.push_back({7, {{1, 2.0}, {3, 4.5}}});
+    blocks.push_back({9, {{0, 1.0}}});
+    blocks.push_back({11, {}});
+    const auto payload = encode_boundary_blocks(blocks);
+    const auto back = decode_boundary_blocks(payload);
+    ASSERT_EQ(back.size(), 3u);
+    EXPECT_EQ(back[0].vertex, 7u);
+    ASSERT_EQ(back[0].entries.size(), 2u);
+    EXPECT_EQ(back[0].entries[1].column, 3u);
+    EXPECT_EQ(back[0].entries[1].distance, 4.5);
+    EXPECT_EQ(back[1].vertex, 9u);
+    EXPECT_TRUE(back[2].entries.empty());
+}
+
+TEST(BoundaryBlocks, EmptyPayload) {
+    EXPECT_TRUE(decode_boundary_blocks({}).empty());
+}
+
+}  // namespace
+}  // namespace aa

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+
+namespace aa {
+namespace {
+
+TEST(Metrics, DegreeHistogram) {
+    DynamicGraph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(0, 3);
+    const auto hist = degree_histogram(g);
+    ASSERT_EQ(hist.size(), 4u);
+    EXPECT_EQ(hist[0], 0u);
+    EXPECT_EQ(hist[1], 3u);  // vertices 1,2,3
+    EXPECT_EQ(hist[3], 1u);  // vertex 0
+}
+
+TEST(Metrics, ConnectedComponents) {
+    DynamicGraph g(6);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(3, 4);
+    const auto comp = connected_components(g);
+    EXPECT_EQ(comp[0], comp[1]);
+    EXPECT_EQ(comp[1], comp[2]);
+    EXPECT_EQ(comp[3], comp[4]);
+    EXPECT_NE(comp[0], comp[3]);
+    EXPECT_NE(comp[5], comp[0]);
+    EXPECT_NE(comp[5], comp[3]);
+    EXPECT_EQ(num_connected_components(g), 3u);
+    EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Metrics, SingleVertexIsConnected) {
+    DynamicGraph g(1);
+    EXPECT_TRUE(is_connected(g));
+    DynamicGraph empty;
+    EXPECT_TRUE(is_connected(empty));
+}
+
+TEST(Metrics, ClusteringCoefficientTriangle) {
+    DynamicGraph g(3);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(0, 2);
+    EXPECT_NEAR(global_clustering_coefficient(g), 1.0, 1e-12);
+}
+
+TEST(Metrics, ClusteringCoefficientStar) {
+    DynamicGraph g(5);
+    for (VertexId v = 1; v < 5; ++v) {
+        g.add_edge(0, v);
+    }
+    EXPECT_NEAR(global_clustering_coefficient(g), 0.0, 1e-12);
+}
+
+TEST(Metrics, ClusteringCoefficientMixed) {
+    // A triangle with a pendant: 1 triangle, wedges: deg(0)=3 -> 3, deg(1)=2
+    // -> 1, deg(2)=2 -> 1, deg(3)=1 -> 0; total 5 wedges, 3 closed.
+    DynamicGraph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(0, 2);
+    g.add_edge(0, 3);
+    EXPECT_NEAR(global_clustering_coefficient(g), 3.0 / 5.0, 1e-12);
+}
+
+TEST(Metrics, AverageDegree) {
+    DynamicGraph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(2, 3);
+    EXPECT_NEAR(average_degree(g), 1.0, 1e-12);
+    EXPECT_EQ(average_degree(DynamicGraph{}), 0.0);
+}
+
+TEST(Metrics, PowerLawExponentOnScaleFree) {
+    Rng rng(1);
+    const auto ba = barabasi_albert(3000, 2, rng);
+    const double gamma_ba = power_law_exponent_mle(ba, 3);
+    EXPECT_GT(gamma_ba, 1.5);
+    EXPECT_LT(gamma_ba, 4.5);
+
+    // An ER graph's Poisson degrees fit much flatter/steeper, with a clearly
+    // different estimate from BA at the same density.
+    Rng rng2(2);
+    const auto er = erdos_renyi_gnm(3000, 6000, rng2);
+    const double gamma_er = power_law_exponent_mle(er, 3);
+    EXPECT_GT(gamma_er, gamma_ba);
+}
+
+TEST(Metrics, PowerLawExponentDegenerate) {
+    DynamicGraph g(3);  // no vertex reaches x_min
+    EXPECT_EQ(power_law_exponent_mle(g, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace aa

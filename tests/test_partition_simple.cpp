@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "partition/simple.hpp"
+
+namespace aa {
+namespace {
+
+std::size_t max_size_gap(const std::vector<std::size_t>& sizes) {
+    const auto [lo, hi] = std::minmax_element(sizes.begin(), sizes.end());
+    return *hi - *lo;
+}
+
+TEST(BlockPartition, ContiguousAndBalanced) {
+    const auto p = block_partition(10, 3);
+    EXPECT_TRUE(p.valid());
+    EXPECT_EQ(p.assignment.size(), 10u);
+    // Non-decreasing part ids.
+    EXPECT_TRUE(std::is_sorted(p.assignment.begin(), p.assignment.end()));
+    DynamicGraph g(10);
+    const auto q = evaluate_partition(g, p);
+    EXPECT_LE(max_size_gap(q.part_sizes), 1u);
+}
+
+TEST(RoundRobinPartition, PerfectBalance) {
+    const auto p = round_robin_partition(11, 4);
+    DynamicGraph g(11);
+    const auto q = evaluate_partition(g, p);
+    EXPECT_LE(max_size_gap(q.part_sizes), 1u);
+    EXPECT_EQ(p.assignment[0], 0u);
+    EXPECT_EQ(p.assignment[4], 0u);
+    EXPECT_EQ(p.assignment[5], 1u);
+}
+
+TEST(RoundRobinPartition, OffsetRotates) {
+    const auto p = round_robin_partition(6, 3, 2);
+    EXPECT_EQ(p.assignment[0], 2u);
+    EXPECT_EQ(p.assignment[1], 0u);
+}
+
+TEST(RandomPartition, CoversAllParts) {
+    Rng rng(1);
+    const auto p = random_partition(1000, 8, rng);
+    EXPECT_TRUE(p.valid());
+    DynamicGraph g(1000);
+    const auto q = evaluate_partition(g, p);
+    for (const std::size_t s : q.part_sizes) {
+        EXPECT_GT(s, 0u);
+    }
+}
+
+TEST(BfsPartition, AssignsEveryVertex) {
+    Rng gen_rng(2);
+    const auto g = barabasi_albert(300, 2, gen_rng);
+    Rng rng(3);
+    const auto p = bfs_partition(g, 4, rng);
+    EXPECT_TRUE(p.valid());
+    EXPECT_EQ(p.assignment.size(), 300u);
+    const auto q = evaluate_partition(g, p);
+    for (const std::size_t s : q.part_sizes) {
+        EXPECT_GT(s, 0u);
+    }
+    EXPECT_LT(q.imbalance, 1.2);
+}
+
+TEST(BfsPartition, HandlesDisconnectedGraph) {
+    DynamicGraph g(20);
+    for (VertexId v = 0; v + 1 < 10; ++v) {
+        g.add_edge(v, v + 1);
+    }
+    // vertices 10..19 isolated
+    Rng rng(4);
+    const auto p = bfs_partition(g, 3, rng);
+    EXPECT_TRUE(p.valid());
+    const auto q = evaluate_partition(g, p);
+    EXPECT_LT(q.imbalance, 1.5);
+}
+
+TEST(BfsPartition, LocalityBeatsRandomOnCommunityGraph) {
+    Rng gen_rng(5);
+    const auto g = planted_partition(160, 4, 0.3, 0.01, gen_rng);
+    Rng rng_a(6);
+    Rng rng_b(7);
+    const auto bfs = bfs_partition(g, 4, rng_a);
+    const auto rnd = random_partition(160, 4, rng_b);
+    EXPECT_LT(count_cut_edges(g, bfs), count_cut_edges(g, rnd));
+}
+
+TEST(PartitionQuality, CutEdgeAccounting) {
+    DynamicGraph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 3);
+    Partitioning p;
+    p.num_parts = 2;
+    p.assignment = {0, 0, 1, 1};
+    const auto q = evaluate_partition(g, p);
+    EXPECT_EQ(q.cut_edges, 1u);  // only edge 1-2 crosses
+    EXPECT_EQ(q.cut_weight, 1.0);
+    EXPECT_EQ(q.part_cut_edges[0], 1u);
+    EXPECT_EQ(q.part_cut_edges[1], 1u);
+    EXPECT_EQ(count_cut_edges(g, p), 1u);
+}
+
+TEST(PartitionQuality, ImbalanceMetric) {
+    DynamicGraph g(4);
+    Partitioning p;
+    p.num_parts = 2;
+    p.assignment = {0, 0, 0, 1};
+    const auto q = evaluate_partition(g, p);
+    EXPECT_NEAR(q.imbalance, 1.5, 1e-12);  // 3 / (4/2)
+}
+
+TEST(PartitionValidity, RejectsOutOfRange) {
+    Partitioning p;
+    p.num_parts = 2;
+    p.assignment = {0, 1, 2};
+    EXPECT_FALSE(p.valid());
+}
+
+}  // namespace
+}  // namespace aa

@@ -1,0 +1,129 @@
+// Anytime quality metrics and the monotonicity property (paper §I: solution
+// quality improves monotonically with computation).
+#include <gtest/gtest.h>
+
+#include "core/closeness.hpp"
+#include "core/engine.hpp"
+#include "core/quality.hpp"
+#include "core/strategies.hpp"
+#include "graph/generators.hpp"
+
+namespace aa {
+namespace {
+
+TEST(Quality, PerfectMatchIsAllExact) {
+    const std::vector<std::vector<Weight>> m{{0, 1}, {1, 0}};
+    const auto q = evaluate_quality(m, m);
+    EXPECT_EQ(q.frac_exact, 1.0);
+    EXPECT_EQ(q.frac_unknown, 0.0);
+    EXPECT_EQ(q.mean_excess, 0.0);
+    EXPECT_EQ(q.closeness_mean_rel_error, 0.0);
+}
+
+TEST(Quality, DetectsUnknownEntries) {
+    const Weight inf = kInfinity;
+    const std::vector<std::vector<Weight>> approx{{0, inf}, {inf, 0}};
+    const std::vector<std::vector<Weight>> exact{{0, 1}, {1, 0}};
+    const auto q = evaluate_quality(approx, exact);
+    EXPECT_EQ(q.frac_unknown, 0.5);
+    EXPECT_EQ(q.frac_exact, 0.5);  // the two diagonal zeros
+}
+
+TEST(Quality, MeasuresExcess) {
+    const std::vector<std::vector<Weight>> approx{{0, 3}, {3, 0}};
+    const std::vector<std::vector<Weight>> exact{{0, 1}, {1, 0}};
+    const auto q = evaluate_quality(approx, exact);
+    EXPECT_NEAR(q.max_excess, 2.0, 1e-12);
+    // Diagonals are exact, the two off-diagonals overestimate by 2.
+    EXPECT_NEAR(q.mean_excess, 1.0, 1e-12);
+    EXPECT_LT(q.frac_exact, 1.0);
+    EXPECT_GT(q.closeness_mean_rel_error, 0.0);
+}
+
+TEST(Quality, MatchingInfinitiesAreExact) {
+    const Weight inf = kInfinity;
+    const std::vector<std::vector<Weight>> m{{0, inf}, {inf, 0}};
+    const auto q = evaluate_quality(m, m);
+    EXPECT_EQ(q.frac_exact, 1.0);
+    EXPECT_EQ(q.frac_unknown, 0.0);
+}
+
+TEST(Quality, MonotonePredicate) {
+    QualityMetrics a;
+    a.frac_exact = 0.5;
+    a.frac_unknown = 0.3;
+    QualityMetrics b;
+    b.frac_exact = 0.7;
+    b.frac_unknown = 0.1;
+    EXPECT_TRUE(quality_monotone(a, b));
+    EXPECT_FALSE(quality_monotone(b, a));
+}
+
+TEST(Quality, AnytimeMonotoneAcrossRcSteps) {
+    // The core anytime property: each RC step only improves quality.
+    Rng rng(1);
+    const auto g = barabasi_albert(90, 2, rng);
+    const auto exact = exact_apsp(g);
+
+    EngineConfig config;
+    config.num_ranks = 6;
+    config.ia_threads = 1;
+    config.seed = 5;
+    AnytimeEngine engine(g, config);
+    engine.initialize();
+
+    auto previous = evaluate_quality(engine.full_distance_matrix(), exact);
+    int steps = 0;
+    while (engine.rc_step() && steps++ < 64) {
+        const auto current = evaluate_quality(engine.full_distance_matrix(), exact);
+        EXPECT_TRUE(quality_monotone(previous, current)) << "step " << steps;
+        previous = current;
+    }
+    EXPECT_NEAR(previous.frac_exact, 1.0, 1e-12);
+    EXPECT_EQ(previous.frac_unknown, 0.0);
+}
+
+TEST(Quality, AnytimeMonotoneThroughDynamicUpdate) {
+    // Quality is measured against the *final* graph; once the batch is
+    // applied, quality must again improve monotonically to 1.
+    Rng rng(2);
+    const auto g = barabasi_albert(60, 2, rng);
+    GrowthConfig gc;
+    gc.num_new = 10;
+    Rng brng(3);
+    const auto batch = grow_batch(60, gc, brng);
+
+    EngineConfig config;
+    config.num_ranks = 4;
+    config.ia_threads = 1;
+    AnytimeEngine engine(g, config);
+    engine.initialize();
+    engine.run_rc_steps(1);
+
+    RoundRobinPS strategy;
+    engine.apply_addition(batch, strategy);
+
+    DynamicGraph grown = g;
+    grown.add_vertices(batch.num_new);
+    for (const Edge& e : batch.edges) {
+        grown.add_edge(e.u, e.v, e.weight);
+    }
+    const auto exact = exact_apsp(grown);
+
+    auto previous = evaluate_quality(engine.full_distance_matrix(), exact);
+    int steps = 0;
+    while (engine.rc_step() && steps++ < 64) {
+        const auto current = evaluate_quality(engine.full_distance_matrix(), exact);
+        EXPECT_TRUE(quality_monotone(previous, current)) << "step " << steps;
+        previous = current;
+    }
+    EXPECT_NEAR(previous.frac_exact, 1.0, 1e-12);
+}
+
+TEST(Quality, EmptyMatrices) {
+    const auto q = evaluate_quality({}, {});
+    EXPECT_EQ(q.frac_exact, 1.0);
+}
+
+}  // namespace
+}  // namespace aa

@@ -1,0 +1,151 @@
+// Direct tests of the RC-step kernels (post / ingest / propagate) against a
+// hand-built two-rank fixture — the units underneath the engine's rc_step().
+#include <gtest/gtest.h>
+
+#include "core/ia.hpp"
+#include "core/rc.hpp"
+#include "runtime/cluster.hpp"
+
+namespace aa {
+namespace {
+
+// Path graph 0-1-2-3, weights 1; rank 0 owns {0,1}, rank 1 owns {2,3}.
+struct TwoRankFixture {
+    Cluster cluster{2};
+    LocalSubgraph sg0{0, {0, 0, 1, 1}};
+    LocalSubgraph sg1{1, {0, 0, 1, 1}};
+    DistanceStore store0{4};
+    DistanceStore store1{4};
+
+    TwoRankFixture() {
+        for (const VertexId v : sg0.local_vertices()) {
+            store0.add_row(v);
+        }
+        for (const VertexId v : sg1.local_vertices()) {
+            store1.add_row(v);
+        }
+        sg0.add_local_edge(0, 1, 1.0);
+        sg0.add_local_edge(1, 2, 1.0);
+        sg1.add_local_edge(1, 2, 1.0);
+        sg1.add_local_edge(2, 3, 1.0);
+    }
+
+    void run_ia() {
+        ThreadPool pool(1);
+        ia_dijkstra_all(sg0, store0, pool);
+        ia_dijkstra_all(sg1, store1, pool);
+    }
+};
+
+TEST(RcKernels, PostSendsOnlyToNeighborRanks) {
+    TwoRankFixture fx;
+    fx.run_ia();
+    const double ops = rc_post_boundary_updates(fx.sg0, fx.store0, fx.cluster);
+    EXPECT_GT(ops, 0.0);
+    // Rank 0's only boundary vertex is 1 (cut edge 1-2), so exactly one
+    // message, to rank 1.
+    fx.cluster.exchange();
+    const auto inbox1 = fx.cluster.receive(1);
+    ASSERT_EQ(inbox1.size(), 1u);
+    EXPECT_EQ(inbox1[0].tag, MessageTag::BoundaryDvUpdate);
+    const auto blocks = decode_boundary_blocks(inbox1[0].bytes());
+    // Interior row 0's changes are drained but not shipped.
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0].vertex, 1u);
+    EXPECT_FALSE(fx.store0.any_send_pending());
+}
+
+TEST(RcKernels, InteriorRowChangesAreDrainedSilently) {
+    TwoRankFixture fx;
+    // Only touch interior row 0 (global 0 has no cut edges).
+    fx.store0.relax(fx.sg0.local_id(0), 3, 9.0);
+    EXPECT_TRUE(fx.store0.any_send_pending());
+    rc_post_boundary_updates(fx.sg0, fx.store0, fx.cluster);
+    EXPECT_FALSE(fx.store0.any_send_pending());
+    EXPECT_FALSE(fx.cluster.has_pending_messages());
+}
+
+TEST(RcKernels, IngestRelaxesThroughCutEdges) {
+    TwoRankFixture fx;
+    fx.run_ia();
+    // Rank 1 announces boundary vertex 2's distances.
+    rc_post_boundary_updates(fx.sg1, fx.store1, fx.cluster);
+    fx.cluster.exchange();
+    const auto inbox0 = fx.cluster.receive(0);
+    ASSERT_FALSE(inbox0.empty());
+    const double ops = rc_ingest_updates(fx.sg0, fx.store0, inbox0);
+    EXPECT_GT(ops, 0.0);
+    // d(1, 3) <= w(1,2) + d(2,3) = 2 now known on rank 0.
+    EXPECT_NEAR(fx.store0.at(fx.sg0.local_id(1), 3), 2.0, 1e-12);
+}
+
+TEST(RcKernels, IngestIgnoresForeignTags) {
+    TwoRankFixture fx;
+    fx.run_ia();
+    Message odd;
+    odd.from = 1;
+    odd.to = 0;
+    odd.tag = MessageTag::Control;
+    odd.payload = Message::share(std::vector<std::byte>(8));
+    const double ops = rc_ingest_updates(fx.sg0, fx.store0, {odd});
+    EXPECT_EQ(ops, 0.0);
+}
+
+TEST(RcKernels, PropagateReachesLocalFixpoint) {
+    TwoRankFixture fx;
+    fx.run_ia();
+    // Inject an improvement at row 1 (pretend an external update): then row 0
+    // must learn it through the local edge 0-1.
+    fx.store0.relax(fx.sg0.local_id(1), 3, 2.0);
+    const double ops = rc_propagate_local(fx.sg0, fx.store0);
+    EXPECT_GT(ops, 0.0);
+    EXPECT_NEAR(fx.store0.at(fx.sg0.local_id(0), 3), 3.0, 1e-12);
+    EXPECT_FALSE(fx.store0.any_prop_pending());
+}
+
+TEST(RcKernels, PropagateChainsAcrossMultipleHops) {
+    // Path 0-1-2-3-4 all on one rank: an improvement at one end must walk
+    // the whole chain in a single propagate call.
+    Cluster cluster(1);
+    LocalSubgraph sg(0, std::vector<RankId>(5, 0));
+    DistanceStore store(5);
+    for (const VertexId v : sg.local_vertices()) {
+        store.add_row(v);
+    }
+    for (VertexId v = 0; v + 1 < 5; ++v) {
+        sg.add_local_edge(v, v + 1, 1.0);
+    }
+    // Seed only vertex 4's row with a fake remote fact: d(4, 0)... rather,
+    // set d(4,4)=0 is already there; give row 4 a new column value and
+    // propagate: d(4, 0) = 9 (valid upper bound via some imaginary path).
+    store.relax(sg.local_id(4), 0, 9.0);
+    rc_propagate_local(sg, store);
+    // Rows 3..1 learn 0-column values through the chain; row 0 keeps its
+    // exact self-distance.
+    EXPECT_NEAR(store.at(sg.local_id(3), 0), 10.0, 1e-12);
+    EXPECT_NEAR(store.at(sg.local_id(1), 0), 12.0, 1e-12);
+    EXPECT_EQ(store.at(sg.local_id(0), 0), 0.0);
+}
+
+TEST(RcKernels, FullCycleConverges) {
+    TwoRankFixture fx;
+    fx.run_ia();
+    // Alternate post/exchange/ingest/propagate until quiescent; the fixture
+    // must reach the exact path-graph distances.
+    for (int step = 0; step < 6; ++step) {
+        rc_post_boundary_updates(fx.sg0, fx.store0, fx.cluster);
+        rc_post_boundary_updates(fx.sg1, fx.store1, fx.cluster);
+        fx.cluster.exchange();
+        rc_ingest_updates(fx.sg0, fx.store0, fx.cluster.receive(0));
+        rc_ingest_updates(fx.sg1, fx.store1, fx.cluster.receive(1));
+        rc_propagate_local(fx.sg0, fx.store0);
+        rc_propagate_local(fx.sg1, fx.store1);
+    }
+    EXPECT_NEAR(fx.store0.at(fx.sg0.local_id(0), 3), 3.0, 1e-12);
+    EXPECT_NEAR(fx.store1.at(fx.sg1.local_id(3), 0), 3.0, 1e-12);
+    EXPECT_FALSE(fx.store0.any_send_pending());
+    EXPECT_FALSE(fx.store1.any_send_pending());
+}
+
+}  // namespace
+}  // namespace aa

@@ -1,0 +1,164 @@
+// Repartition-S specifics: row migration, ownership rebuild, partial-result
+// reuse, and interaction with in-progress analysis.
+#include <gtest/gtest.h>
+
+#include "core/baseline.hpp"
+#include "core/engine.hpp"
+#include "core/strategies.hpp"
+#include "graph/generators.hpp"
+
+namespace aa {
+namespace {
+
+EngineConfig config_with(std::uint32_t ranks) {
+    EngineConfig config;
+    config.num_ranks = ranks;
+    config.ia_threads = 1;
+    config.seed = 31;
+    return config;
+}
+
+GrowthBatch make_batch(const DynamicGraph& host, std::size_t count,
+                       std::uint64_t seed) {
+    GrowthConfig gc;
+    gc.num_new = count;
+    gc.communities = 2;
+    gc.intra_edges = 2;
+    gc.host_edges = 2;
+    Rng rng(seed);
+    return grow_batch(host.num_vertices(), gc, rng);
+}
+
+TEST(Repartition, OwnershipIsRebuiltConsistently) {
+    Rng rng(1);
+    const auto host = barabasi_albert(60, 2, rng);
+    AnytimeEngine engine(host, config_with(4));
+    engine.initialize();
+    engine.run_to_quiescence();
+
+    const auto batch = make_batch(host, 20, 7);
+    engine.repartition_add(batch);
+    const auto& owners = engine.owners();
+    ASSERT_EQ(owners.size(), 80u);
+    std::vector<std::size_t> counts(4, 0);
+    for (const RankId r : owners) {
+        ASSERT_LT(r, 4u);
+        ++counts[r];
+    }
+    for (const std::size_t c : counts) {
+        EXPECT_GT(c, 10u);  // balanced multilevel repartition
+    }
+}
+
+TEST(Repartition, MigrationSendsBytes) {
+    Rng rng(2);
+    const auto host = barabasi_albert(80, 2, rng);
+    AnytimeEngine engine(host, config_with(4));
+    engine.initialize();
+    engine.run_to_quiescence();
+    const auto messages_before = engine.cluster().stats().total_messages;
+
+    const auto batch = make_batch(host, 30, 9);
+    engine.repartition_add(batch);
+    // Row migration produces messages even before RC resumes.
+    EXPECT_GT(engine.cluster().stats().total_messages, messages_before);
+}
+
+TEST(Repartition, ReusesPartialResults) {
+    // After a converged run, repartitioning must preserve already-exact
+    // distances among old vertices (they are upper bounds that were tight).
+    Rng rng(3);
+    const auto host = barabasi_albert(50, 2, rng);
+    AnytimeEngine engine(host, config_with(3));
+    engine.initialize();
+    engine.run_to_quiescence();
+    const auto exact_host = exact_apsp(host);
+
+    const auto batch = make_batch(host, 15, 11);
+    engine.repartition_add(batch);
+    // Immediately after the structural change (before RC convergence), old
+    // pair distances are still at most their host-graph values.
+    const auto matrix = engine.full_distance_matrix();
+    for (VertexId u = 0; u < 50; ++u) {
+        for (VertexId t = 0; t < 50; ++t) {
+            if (exact_host[u][t] < kInfinity) {
+                EXPECT_LE(matrix[u][t], exact_host[u][t] + 1e-9);
+            }
+        }
+    }
+}
+
+TEST(Repartition, ConvergesFromPartialState) {
+    Rng rng(4);
+    const auto host = barabasi_albert(70, 2, rng);
+    AnytimeEngine engine(host, config_with(4));
+    engine.initialize();
+    engine.run_rc_steps(1);  // deliberately unconverged
+
+    const auto batch = make_batch(host, 25, 13);
+    RepartitionS strategy;
+    engine.apply_addition(batch, strategy);
+    engine.run_to_quiescence();
+
+    const auto grown = apply_batch(host, batch);
+    const auto exact = exact_apsp(grown);
+    const auto matrix = engine.full_distance_matrix();
+    for (std::size_t v = 0; v < exact.size(); ++v) {
+        for (std::size_t t = 0; t < exact.size(); ++t) {
+            if (exact[v][t] < kInfinity) {
+                ASSERT_NEAR(matrix[v][t], exact[v][t], 1e-9);
+            }
+        }
+    }
+}
+
+TEST(Repartition, BackToBackRepartitions) {
+    Rng rng(5);
+    const auto host = barabasi_albert(50, 2, rng);
+    AnytimeEngine engine(host, config_with(3));
+    engine.initialize();
+    engine.run_to_quiescence();
+
+    DynamicGraph expected = host;
+    RepartitionS strategy;
+    for (int i = 0; i < 2; ++i) {
+        const auto batch = make_batch(expected, 12, 50 + i);
+        engine.apply_addition(batch, strategy);
+        expected = apply_batch(expected, batch);
+    }
+    engine.run_to_quiescence();
+    const auto exact = exact_apsp(expected);
+    const auto matrix = engine.full_distance_matrix();
+    for (std::size_t v = 0; v < exact.size(); ++v) {
+        for (std::size_t t = 0; t < exact.size(); ++t) {
+            if (exact[v][t] < kInfinity) {
+                ASSERT_NEAR(matrix[v][t], exact[v][t], 1e-9);
+            }
+        }
+    }
+}
+
+TEST(Repartition, CutEdgesNotWorseThanRoundRobinForBigBatches) {
+    // Repartitioning the whole grown graph should yield a cut no worse than
+    // bolting a large batch on via round-robin.
+    Rng rng(6);
+    const auto host = barabasi_albert(100, 2, rng);
+    const auto batch = make_batch(host, 80, 15);
+
+    AnytimeEngine rr_engine(host, config_with(4));
+    rr_engine.initialize();
+    rr_engine.run_to_quiescence();
+    RoundRobinPS rr;
+    rr_engine.apply_addition(batch, rr);
+
+    AnytimeEngine rp_engine(host, config_with(4));
+    rp_engine.initialize();
+    rp_engine.run_to_quiescence();
+    RepartitionS rp;
+    rp_engine.apply_addition(batch, rp);
+
+    EXPECT_LT(rp_engine.current_cut_edges(), rr_engine.current_cut_edges());
+}
+
+}  // namespace
+}  // namespace aa

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+
+namespace aa {
+namespace {
+
+TEST(Rmat, SizeAndEdgeCount) {
+    Rng rng(1);
+    const auto g = rmat(10, 4000, rng);
+    EXPECT_EQ(g.num_vertices(), 1024u);
+    EXPECT_EQ(g.num_edges(), 4000u);
+}
+
+TEST(Rmat, Deterministic) {
+    Rng a(42);
+    Rng b(42);
+    EXPECT_EQ(rmat(8, 800, a).edges(), rmat(8, 800, b).edges());
+}
+
+TEST(Rmat, SkewedDegreeDistribution) {
+    Rng rng(2);
+    const auto g = rmat(12, 20000, rng);
+    const auto hist = degree_histogram(g);
+    // The default (0.57, .19, .19, .05) parameters concentrate edges on
+    // low-id vertices: expect a heavy tail (hubs much larger than average).
+    const double avg = average_degree(g);
+    EXPECT_GT(static_cast<double>(hist.size() - 1), 8 * avg);
+}
+
+TEST(Rmat, UniformParametersApproachErdosRenyi) {
+    Rng rng(3);
+    const auto g = rmat(10, 4000, rng, RmatParams{0.25, 0.25, 0.25, 0.25});
+    const auto hist = degree_histogram(g);
+    // Uniform quadrant probabilities: no heavy tail, max degree close to
+    // the Poisson range.
+    const double avg = average_degree(g);
+    EXPECT_LT(static_cast<double>(hist.size() - 1), 6 * avg);
+}
+
+TEST(Rmat, WeightsInRange) {
+    Rng rng(4);
+    const auto g = rmat(8, 500, rng, RmatParams{}, WeightRange{2.0, 3.0});
+    for (const Edge& e : g.edges()) {
+        EXPECT_GE(e.weight, 2.0);
+        EXPECT_LT(e.weight, 3.0);
+    }
+}
+
+TEST(Rmat, RejectsBadParameters) {
+    Rng rng(5);
+    EXPECT_DEATH(rmat(8, 100, rng, RmatParams{0.9, 0.2, 0.2, 0.2}), "sum to 1");
+    EXPECT_DEATH(rmat(0, 100, rng), "scale");
+}
+
+}  // namespace
+}  // namespace aa

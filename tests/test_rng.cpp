@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace aa {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(a(), b());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        equal += a() == b();
+    }
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+    Rng rng(0);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 100; ++i) {
+        seen.insert(rng());
+    }
+    EXPECT_GT(seen.size(), 95u);  // not stuck
+}
+
+TEST(Rng, UniformRespectsBound) {
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i) {
+            EXPECT_LT(rng.uniform(bound), bound);
+        }
+    }
+}
+
+TEST(Rng, UniformBoundOneIsAlwaysZero) {
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(rng.uniform(1), 0u);
+    }
+}
+
+TEST(Rng, Uniform01InRange) {
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.uniform01();
+        ASSERT_GE(x, 0.0);
+        ASSERT_LT(x, 1.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);  // crude uniformity check
+}
+
+TEST(Rng, UniformRange) {
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(2.5, 7.5);
+        ASSERT_GE(x, 2.5);
+        ASSERT_LT(x, 7.5);
+    }
+}
+
+TEST(Rng, ChanceExtremes) {
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+    Rng rng(19);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto shuffled = v;
+    rng.shuffle(shuffled);
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+    Rng rng(23);
+    std::vector<int> v(100);
+    std::iota(v.begin(), v.end(), 0);
+    auto shuffled = v;
+    rng.shuffle(shuffled);
+    EXPECT_NE(shuffled, v);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+    Rng parent(29);
+    Rng child = parent.fork();
+    // Child diverges from parent continuation.
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        equal += parent() == child();
+    }
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ReseedRestoresSequence) {
+    Rng rng(31);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 10; ++i) {
+        first.push_back(rng());
+    }
+    rng.reseed(31);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(rng(), first[i]);
+    }
+}
+
+}  // namespace
+}  // namespace aa

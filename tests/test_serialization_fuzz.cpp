@@ -1,0 +1,92 @@
+// Randomized round-trip sweeps for the wire formats — the closest thing to
+// fuzzing that stays deterministic and offline.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/rc.hpp"
+#include "runtime/message.hpp"
+
+namespace aa {
+namespace {
+
+class SerializerFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerializerFuzz, MixedScalarsRoundTrip) {
+    Rng rng(GetParam());
+    Serializer out;
+    // Random interleaving of types, recorded for replay.
+    std::vector<int> kinds;
+    std::vector<std::uint32_t> u32s;
+    std::vector<double> doubles;
+    std::vector<std::vector<float>> spans;
+    const int count = 1 + static_cast<int>(rng.uniform(64));
+    for (int i = 0; i < count; ++i) {
+        const int kind = static_cast<int>(rng.uniform(3));
+        kinds.push_back(kind);
+        if (kind == 0) {
+            u32s.push_back(static_cast<std::uint32_t>(rng()));
+            out.write(u32s.back());
+        } else if (kind == 1) {
+            doubles.push_back(rng.uniform(-1e9, 1e9));
+            out.write(doubles.back());
+        } else {
+            std::vector<float> span(rng.uniform(20));
+            for (auto& x : span) {
+                x = static_cast<float>(rng.uniform01());
+            }
+            spans.push_back(span);
+            out.write_span(std::span<const float>(spans.back()));
+        }
+    }
+
+    const auto buffer = out.take();
+    Deserializer in(buffer);
+    std::size_t iu = 0;
+    std::size_t id = 0;
+    std::size_t is = 0;
+    for (const int kind : kinds) {
+        if (kind == 0) {
+            ASSERT_EQ(in.read<std::uint32_t>(), u32s[iu++]);
+        } else if (kind == 1) {
+            ASSERT_EQ(in.read<double>(), doubles[id++]);
+        } else {
+            ASSERT_EQ(in.read_vector<float>(), spans[is++]);
+        }
+    }
+    EXPECT_TRUE(in.exhausted());
+}
+
+TEST_P(SerializerFuzz, BoundaryBlocksRoundTrip) {
+    Rng rng(GetParam() ^ 0xB10C);
+    std::vector<BoundaryBlock> blocks;
+    const std::size_t block_count = rng.uniform(16);
+    for (std::size_t b = 0; b < block_count; ++b) {
+        BoundaryBlock block;
+        block.vertex = static_cast<VertexId>(rng.uniform(1u << 20));
+        const std::size_t entries = rng.uniform(40);
+        for (std::size_t e = 0; e < entries; ++e) {
+            block.entries.push_back(
+                {static_cast<VertexId>(rng.uniform(1u << 20)),
+                 rng.uniform(0.0, 1e6)});
+        }
+        blocks.push_back(std::move(block));
+    }
+    const auto payload = encode_boundary_blocks(blocks);
+    const auto back = decode_boundary_blocks(payload);
+    ASSERT_EQ(back.size(), blocks.size());
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        EXPECT_EQ(back[b].vertex, blocks[b].vertex);
+        ASSERT_EQ(back[b].entries.size(), blocks[b].entries.size());
+        for (std::size_t e = 0; e < blocks[b].entries.size(); ++e) {
+            EXPECT_EQ(back[b].entries[e].column, blocks[b].entries[e].column);
+            EXPECT_EQ(back[b].entries[e].distance, blocks[b].entries[e].distance);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializerFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u));
+
+}  // namespace
+}  // namespace aa

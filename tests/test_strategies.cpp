@@ -1,0 +1,187 @@
+// Processor-assignment strategies: assignment rules, load balance, and the
+// cut-edge behaviour the paper's Figure 7 relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/baseline.hpp"
+#include "core/engine.hpp"
+#include "core/strategies.hpp"
+#include "graph/generators.hpp"
+#include "partition/partition.hpp"
+
+namespace aa {
+namespace {
+
+EngineConfig config_with(std::uint32_t ranks) {
+    EngineConfig config;
+    config.num_ranks = ranks;
+    config.ia_threads = 1;
+    config.seed = 77;
+    return config;
+}
+
+GrowthBatch community_batch(const DynamicGraph& host, std::size_t count,
+                            std::size_t communities, std::uint64_t seed) {
+    GrowthConfig gc;
+    gc.num_new = count;
+    gc.communities = communities;
+    gc.intra_edges = 3;
+    gc.host_edges = 1;
+    gc.noise = 0.0;
+    Rng rng(seed);
+    return grow_batch(host.num_vertices(), gc, rng);
+}
+
+TEST(RoundRobinAssignment, CyclicWithOffset) {
+    const auto a = RoundRobinPS::assignment(7, 3, 0);
+    EXPECT_EQ(a, (std::vector<RankId>{0, 1, 2, 0, 1, 2, 0}));
+    const auto b = RoundRobinPS::assignment(4, 3, 2);
+    EXPECT_EQ(b, (std::vector<RankId>{2, 0, 1, 2}));
+}
+
+TEST(RoundRobinAssignment, PerfectCountBalance) {
+    const auto a = RoundRobinPS::assignment(1000, 7, 3);
+    std::vector<int> counts(7, 0);
+    for (const RankId r : a) {
+        ++counts[r];
+    }
+    const auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+    EXPECT_LE(*hi - *lo, 1);
+}
+
+TEST(CutEdgeAssignment, BalancedCounts) {
+    Rng rng(1);
+    const auto host = barabasi_albert(100, 2, rng);
+    auto engine_config = config_with(4);
+    AnytimeEngine engine(host, engine_config);
+    engine.initialize();
+    const auto batch = community_batch(host, 40, 4, 11);
+
+    CutEdgePS strategy(5);
+    const auto assign = strategy.assignment(engine, batch);
+    ASSERT_EQ(assign.size(), 40u);
+    std::vector<int> counts(4, 0);
+    for (const RankId r : assign) {
+        ASSERT_LT(r, 4u);
+        ++counts[r];
+    }
+    for (const int c : counts) {
+        EXPECT_GT(c, 2);  // roughly balanced (multilevel balance constraint)
+    }
+}
+
+TEST(CutEdgeAssignment, KeepsCommunitiesTogether) {
+    Rng rng(2);
+    const auto host = barabasi_albert(100, 2, rng);
+    AnytimeEngine engine(host, config_with(4));
+    engine.initialize();
+    // 4 perfectly separable communities, 4 ranks: batch-internal cut edges
+    // under CutEdge-PS must be far below round-robin's.
+    const auto batch = community_batch(host, 48, 4, 13);
+
+    CutEdgePS strategy(7);
+    const auto cut_assign = strategy.assignment(engine, batch);
+    const auto rr_assign = RoundRobinPS::assignment(48, 4, 0);
+
+    const auto internal_cut = [&](const std::vector<RankId>& assign) {
+        std::size_t cut = 0;
+        for (const Edge& e : batch.edges) {
+            if (e.u >= batch.base_id && e.v >= batch.base_id &&
+                assign[e.u - batch.base_id] != assign[e.v - batch.base_id]) {
+                ++cut;
+            }
+        }
+        return cut;
+    };
+    EXPECT_LT(internal_cut(cut_assign), internal_cut(rr_assign) / 2 + 1);
+}
+
+TEST(Strategies, NewCutEdgeOrdering) {
+    // The paper's Figure 7 ordering of *new* cut edges:
+    //   Repartition-S <= CutEdge-PS <= RoundRobin-PS (with slack for noise).
+    Rng rng(3);
+    const auto host = barabasi_albert(150, 2, rng);
+    const auto batch = community_batch(host, 60, 4, 17);
+
+    const auto new_cut_with = [&](VertexAdditionStrategy& strategy) {
+        AnytimeEngine engine(host, config_with(4));
+        engine.initialize();
+        engine.run_to_quiescence();
+        const std::size_t before = engine.current_cut_edges();
+        engine.apply_addition(batch, strategy);
+        return engine.current_cut_edges() - std::min(before, engine.current_cut_edges());
+    };
+
+    RoundRobinPS rr;
+    CutEdgePS ce(19);
+    RepartitionS rp;
+    const auto rr_cut = new_cut_with(rr);
+    const auto ce_cut = new_cut_with(ce);
+    const auto rp_cut = new_cut_with(rp);
+    EXPECT_LT(ce_cut, rr_cut);
+    EXPECT_LE(rp_cut, ce_cut + 5);
+}
+
+TEST(Strategies, NamesAreStable) {
+    RoundRobinPS rr;
+    CutEdgePS ce;
+    RepartitionS rp;
+    EXPECT_EQ(rr.name(), "RoundRobin-PS");
+    EXPECT_EQ(ce.name(), "CutEdge-PS");
+    EXPECT_EQ(rp.name(), "Repartition-S");
+}
+
+TEST(Strategies, RoundRobinOffsetAdvancesAcrossBatches) {
+    // Two consecutive 1-vertex batches must not land on the same rank.
+    DynamicGraph g(6);
+    for (VertexId v = 0; v + 1 < 6; ++v) {
+        g.add_edge(v, v + 1);
+    }
+    AnytimeEngine engine(g, config_with(3));
+    engine.initialize();
+    engine.run_to_quiescence();
+
+    RoundRobinPS strategy;
+    GrowthBatch b1;
+    b1.base_id = 6;
+    b1.num_new = 1;
+    b1.edges = {{6, 0, 1.0}};
+    engine.apply_addition(b1, strategy);
+    GrowthBatch b2;
+    b2.base_id = 7;
+    b2.num_new = 1;
+    b2.edges = {{7, 1, 1.0}};
+    engine.apply_addition(b2, strategy);
+    engine.run_to_quiescence();
+    EXPECT_NE(engine.owners()[6], engine.owners()[7]);
+}
+
+TEST(Strategies, VertexCountBalanceAfterManyAdditions) {
+    Rng rng(5);
+    const auto host = barabasi_albert(80, 2, rng);
+    AnytimeEngine engine(host, config_with(4));
+    engine.initialize();
+    engine.run_to_quiescence();
+
+    RoundRobinPS strategy;
+    DynamicGraph expected = host;
+    for (int i = 0; i < 3; ++i) {
+        const auto batch = community_batch(expected, 20, 2, 100 + i);
+        engine.apply_addition(batch, strategy);
+        expected = apply_batch(expected, batch);
+    }
+    engine.run_to_quiescence();
+
+    std::vector<std::size_t> counts(4, 0);
+    for (const RankId r : engine.owners()) {
+        ++counts[r];
+    }
+    const auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+    // Host partition is balanced and round-robin adds evenly.
+    EXPECT_LT(static_cast<double>(*hi) / static_cast<double>(std::max<std::size_t>(*lo, 1)),
+              1.5);
+}
+
+}  // namespace
+}  // namespace aa

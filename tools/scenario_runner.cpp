@@ -1,0 +1,275 @@
+// scenario_runner — scriptable driver for dynamic-analysis experiments.
+//
+// Executes a plain-text scenario describing a host graph and a timeline of
+// dynamic events against the AnytimeEngine, printing a timeline report.
+// This is the tool for trying strategy mixes on your own workloads without
+// writing C++.
+//
+//   scenario_runner workload.scn
+//   scenario_runner -            # read the scenario from stdin
+//
+// Scenario grammar (one command per line, '#' comments):
+//   graph ba <n> <m>                  Barabasi-Albert host
+//   graph er <n> <edges>              Erdos-Renyi host
+//   graph file <path>                 SNAP edge-list host
+//   ranks <P>      threads <T>        cluster shape (before graph)
+//   seed <S>                          RNG seed (before graph)
+//   kernel dijkstra|delta             IA kernel (before graph)
+//   steps <k>                         run k RC steps
+//   add <count> rr|cutedge|repart [communities]   vertex batch
+//   edges <count>                     random new edges between old vertices
+//   converge                          run RC to quiescence
+//   closeness [top]                   print top-k closeness (default 5)
+//   telemetry                         print per-step telemetry so far
+//   checkpoint <path>                 save engine state
+//   restore <path>                    replace the engine from a checkpoint
+//   verify                            check against exact sequential APSP
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/baseline.hpp"
+#include "core/closeness.hpp"
+#include "core/engine.hpp"
+#include "core/strategies.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace {
+
+using namespace aa;
+
+struct Runner {
+    EngineConfig config;
+    std::uint64_t seed{42};
+    std::unique_ptr<AnytimeEngine> engine;
+    DynamicGraph mirror;  // for `verify`
+    RoundRobinPS round_robin;
+    std::unique_ptr<CutEdgePS> cut_edge;
+    RepartitionS repartition;
+    Rng workload_rng{1234};
+    int exit_code{0};
+
+    Runner() {
+        config.num_ranks = 8;
+        config.ia_threads = 4;
+    }
+
+    void require_engine(const std::string& command) const {
+        if (engine == nullptr) {
+            std::fprintf(stderr, "error: '%s' before 'graph ...'\n",
+                         command.c_str());
+            std::exit(2);
+        }
+    }
+
+    void start(DynamicGraph graph) {
+        config.seed = seed;
+        mirror = graph;
+        cut_edge = std::make_unique<CutEdgePS>(seed * 31 + 7);
+        engine = std::make_unique<AnytimeEngine>(std::move(graph), config);
+        engine->initialize();
+        std::printf("[%8.4fs] graph ready: %zu vertices, %zu edges, %u ranks, "
+                    "cut %zu\n",
+                    engine->sim_seconds(), engine->num_vertices(),
+                    mirror.num_edges(), config.num_ranks,
+                    engine->current_cut_edges());
+    }
+
+    bool handle(const std::string& line) {
+        std::istringstream in(line);
+        std::string command;
+        if (!(in >> command) || command[0] == '#') {
+            return true;
+        }
+        if (command == "ranks") {
+            in >> config.num_ranks;
+        } else if (command == "threads") {
+            in >> config.ia_threads;
+        } else if (command == "seed") {
+            in >> seed;
+            workload_rng.reseed(seed * 101);
+        } else if (command == "kernel") {
+            std::string kernel;
+            in >> kernel;
+            config.ia_kernel = kernel == "delta" ? IaKernel::DeltaStepping
+                                                 : IaKernel::Dijkstra;
+        } else if (command == "graph") {
+            std::string kind;
+            in >> kind;
+            Rng rng(seed);
+            if (kind == "ba") {
+                std::size_t n = 500;
+                std::size_t m = 3;
+                in >> n >> m;
+                start(barabasi_albert(n, m, rng));
+            } else if (kind == "er") {
+                std::size_t n = 500;
+                std::size_t edges = 1500;
+                in >> n >> edges;
+                start(erdos_renyi_gnm(n, edges, rng));
+            } else if (kind == "file") {
+                std::string path;
+                in >> path;
+                start(read_snap_edge_list_file(path));
+            } else {
+                std::fprintf(stderr, "error: unknown graph kind '%s'\n",
+                             kind.c_str());
+                return false;
+            }
+        } else if (command == "steps") {
+            require_engine(command);
+            std::size_t k = 1;
+            in >> k;
+            const std::size_t ran = engine->run_rc_steps(k);
+            std::printf("[%8.4fs] ran %zu RC step(s) (now at RC%zu)\n",
+                        engine->sim_seconds(), ran,
+                        engine->rc_steps_completed());
+        } else if (command == "add") {
+            require_engine(command);
+            std::size_t count = 10;
+            std::string strategy_name = "rr";
+            std::size_t communities = 2;
+            in >> count >> strategy_name >> communities;
+            GrowthConfig gc;
+            gc.num_new = count;
+            gc.communities = std::max<std::size_t>(communities, 1);
+            Rng batch_rng = workload_rng.fork();
+            const auto batch =
+                grow_batch(engine->num_vertices(), gc, batch_rng);
+            VertexAdditionStrategy* strategy = &round_robin;
+            if (strategy_name == "cutedge") {
+                strategy = cut_edge.get();
+            } else if (strategy_name == "repart") {
+                strategy = &repartition;
+            }
+            engine->apply_addition(batch, *strategy);
+            mirror = apply_batch(mirror, batch);
+            std::printf("[%8.4fs] +%zu vertices (%zu edges) via %s -> %zu "
+                        "vertices, cut %zu\n",
+                        engine->sim_seconds(), batch.num_new,
+                        batch.edges.size(), strategy->name().data(),
+                        engine->num_vertices(), engine->current_cut_edges());
+        } else if (command == "edges") {
+            require_engine(command);
+            std::size_t count = 5;
+            in >> count;
+            std::vector<Edge> new_edges;
+            std::size_t guard = 0;
+            while (new_edges.size() < count && guard++ < 100 * count + 100) {
+                const auto u = static_cast<VertexId>(
+                    workload_rng.uniform(mirror.num_vertices()));
+                const auto v = static_cast<VertexId>(
+                    workload_rng.uniform(mirror.num_vertices()));
+                if (u != v && mirror.add_edge(u, v, 1.0)) {
+                    new_edges.push_back({u, v, 1.0});
+                }
+            }
+            engine->add_edges(new_edges);
+            std::printf("[%8.4fs] +%zu edges between existing vertices\n",
+                        engine->sim_seconds(), new_edges.size());
+        } else if (command == "converge") {
+            require_engine(command);
+            const std::size_t ran = engine->run_to_quiescence();
+            std::printf("[%8.4fs] converged after %zu step(s) (RC%zu total)\n",
+                        engine->sim_seconds(), ran,
+                        engine->rc_steps_completed());
+        } else if (command == "closeness") {
+            require_engine(command);
+            std::size_t top = 5;
+            in >> top;
+            const auto scores = engine->closeness();
+            const auto ranking = closeness_ranking(scores);
+            std::printf("[%8.4fs] top-%zu closeness:", engine->sim_seconds(), top);
+            for (std::size_t i = 0; i < top && i < ranking.size(); ++i) {
+                std::printf(" %u(%.3g)", ranking[i],
+                            scores.closeness[ranking[i]]);
+            }
+            std::printf("\n");
+        } else if (command == "telemetry") {
+            require_engine(command);
+            std::printf("  step  exch_s     msgs   bytes       ops\n");
+            for (const RcStepStats& s : engine->step_history()) {
+                std::printf("  %-5zu %-10.5f %-6zu %-11zu %.3g\n", s.step,
+                            s.exchange_seconds, s.messages, s.bytes, s.ops);
+            }
+        } else if (command == "checkpoint") {
+            require_engine(command);
+            std::string path;
+            in >> path;
+            std::ofstream out(path, std::ios::binary);
+            engine->save_checkpoint(out);
+            std::printf("[%8.4fs] checkpoint written to %s\n",
+                        engine->sim_seconds(), path.c_str());
+        } else if (command == "restore") {
+            std::string path;
+            in >> path;
+            std::ifstream file(path, std::ios::binary);
+            if (!file) {
+                std::fprintf(stderr, "error: cannot open checkpoint %s\n",
+                             path.c_str());
+                return false;
+            }
+            engine = std::make_unique<AnytimeEngine>(
+                AnytimeEngine::load_checkpoint(file, config));
+            mirror = engine->graph();
+            std::printf("[%8.4fs] restored from %s (RC%zu, %zu vertices)\n",
+                        engine->sim_seconds(), path.c_str(),
+                        engine->rc_steps_completed(), engine->num_vertices());
+        } else if (command == "verify") {
+            require_engine(command);
+            const auto exact = exact_apsp(mirror);
+            const auto matrix = engine->full_distance_matrix();
+            std::size_t mismatches = 0;
+            for (std::size_t v = 0; v < exact.size(); ++v) {
+                for (std::size_t t = 0; t < exact.size(); ++t) {
+                    const bool both_inf =
+                        !(matrix[v][t] < kInfinity) && !(exact[v][t] < kInfinity);
+                    if (!both_inf && std::abs(matrix[v][t] - exact[v][t]) > 1e-9) {
+                        ++mismatches;
+                    }
+                }
+            }
+            std::printf("[%8.4fs] verify: %zu mismatching entries (%s)\n",
+                        engine->sim_seconds(), mismatches,
+                        mismatches == 0 ? "EXACT" : "FAILED");
+            if (mismatches != 0) {
+                exit_code = 1;
+            }
+        } else {
+            std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
+            return false;
+        }
+        return true;
+    }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: scenario_runner <file.scn | ->\n");
+        return 2;
+    }
+    std::ifstream file;
+    std::istream* in = &std::cin;
+    if (std::string(argv[1]) != "-") {
+        file.open(argv[1]);
+        if (!file) {
+            std::fprintf(stderr, "cannot open %s\n", argv[1]);
+            return 2;
+        }
+        in = &file;
+    }
+    Runner runner;
+    std::string line;
+    while (std::getline(*in, line)) {
+        if (!runner.handle(line)) {
+            return 2;
+        }
+    }
+    return runner.exit_code;
+}

@@ -1,0 +1,266 @@
+// temporal_replay — replay a timestamped edge stream through the engine.
+//
+// Input: SNAP temporal edge-list lines "u v t [w]" ('#' comments ignored).
+// The stream is split into time windows; the first `--warmup` fraction forms
+// the initial static graph, then each window is applied as a dynamic update:
+// previously unseen endpoints become a vertex-addition batch (assigned via
+// the chosen strategy), edges between known vertices go through the anywhere
+// edge-addition path. Prints a timeline and a final centrality report, with
+// an optional exact verification.
+//
+//   temporal_replay edges.tsv --windows 10 --strategy cutedge --verify
+//   temporal_replay --synth 800 --windows 8        (no file: synthesize)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/baseline.hpp"
+#include "core/closeness.hpp"
+#include "core/engine.hpp"
+#include "core/strategies.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace aa;
+
+struct TemporalEdge {
+    std::uint64_t u;
+    std::uint64_t v;
+    double time;
+    Weight w;
+};
+
+std::vector<TemporalEdge> load_stream(std::istream& in) {
+    std::vector<TemporalEdge> edges;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#' || line[0] == '%') {
+            continue;
+        }
+        std::istringstream fields(line);
+        TemporalEdge e{0, 0, 0, 1.0};
+        if (!(fields >> e.u >> e.v >> e.time)) {
+            std::fprintf(stderr, "skipping malformed line: %s\n", line.c_str());
+            continue;
+        }
+        fields >> e.w;
+        if (e.u != e.v && e.w > 0) {
+            edges.push_back(e);
+        }
+    }
+    std::stable_sort(edges.begin(), edges.end(),
+                     [](const TemporalEdge& a, const TemporalEdge& b) {
+                         return a.time < b.time;
+                     });
+    return edges;
+}
+
+/// Synthesize a growth-like temporal stream: a BA graph whose edges are
+/// timestamped by the creation order of their newer endpoint.
+std::vector<TemporalEdge> synth_stream(std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    const auto g = barabasi_albert(n, 3, rng);
+    std::vector<TemporalEdge> edges;
+    for (const Edge& e : g.edges()) {
+        edges.push_back({e.u, e.v, static_cast<double>(std::max(e.u, e.v)), 1.0});
+    }
+    std::stable_sort(edges.begin(), edges.end(),
+                     [](const TemporalEdge& a, const TemporalEdge& b) {
+                         return a.time < b.time;
+                     });
+    return edges;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace aa;
+
+    std::string path;
+    std::size_t windows = 10;
+    double warmup = 0.5;
+    std::string strategy_name = "rr";
+    std::uint32_t ranks = 8;
+    std::uint64_t seed = 42;
+    std::size_t synth = 0;
+    bool verify = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--windows") windows = std::stoul(value());
+        else if (arg == "--warmup") warmup = std::stod(value());
+        else if (arg == "--strategy") strategy_name = value();
+        else if (arg == "--ranks") ranks = static_cast<std::uint32_t>(std::stoul(value()));
+        else if (arg == "--seed") seed = std::stoull(value());
+        else if (arg == "--synth") synth = std::stoul(value());
+        else if (arg == "--verify") verify = true;
+        else if (arg[0] == '-') {
+            std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+            return 2;
+        } else {
+            path = arg;
+        }
+    }
+
+    std::vector<TemporalEdge> stream;
+    if (!path.empty()) {
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "cannot open %s\n", path.c_str());
+            return 2;
+        }
+        stream = load_stream(in);
+    } else {
+        if (synth == 0) {
+            synth = 800;
+        }
+        stream = synth_stream(synth, seed);
+        std::printf("no input file: synthesized growth stream of %zu edges\n",
+                    stream.size());
+    }
+    if (stream.empty()) {
+        std::fprintf(stderr, "empty edge stream\n");
+        return 2;
+    }
+
+    // Dense remap in first-appearance order; warmup prefix = initial graph.
+    const std::size_t warmup_edges = std::max<std::size_t>(
+        1, static_cast<std::size_t>(warmup * static_cast<double>(stream.size())));
+    std::map<std::uint64_t, VertexId> remap;
+    const auto intern = [&remap](std::uint64_t raw) {
+        const auto [it, inserted] =
+            remap.emplace(raw, static_cast<VertexId>(remap.size()));
+        return it->second;
+    };
+
+    DynamicGraph initial;
+    for (std::size_t i = 0; i < warmup_edges; ++i) {
+        const auto u = intern(stream[i].u);
+        const auto v = intern(stream[i].v);
+        const auto needed = static_cast<std::size_t>(std::max(u, v)) + 1;
+        if (initial.num_vertices() < needed) {
+            initial.add_vertices(needed - initial.num_vertices());
+        }
+        initial.add_edge(u, v, stream[i].w);
+    }
+
+    EngineConfig config;
+    config.num_ranks = ranks;
+    config.ia_threads = 4;
+    config.seed = seed;
+    DynamicGraph mirror = initial;
+    AnytimeEngine engine(std::move(initial), config);
+    engine.initialize();
+    engine.run_rc_steps(2);
+    std::printf("[%8.4fs] warmup graph: %zu vertices, %zu edges (%zu stream "
+                "edges), %u ranks\n",
+                engine.sim_seconds(), engine.num_vertices(), mirror.num_edges(),
+                warmup_edges, ranks);
+
+    RoundRobinPS round_robin;
+    CutEdgePS cut_edge(seed * 13 + 5);
+    RepartitionS repartition;
+    VertexAdditionStrategy* strategy = &round_robin;
+    if (strategy_name == "cutedge") {
+        strategy = &cut_edge;
+    } else if (strategy_name == "repart") {
+        strategy = &repartition;
+    }
+
+    // Remaining stream split into equal windows of edges.
+    const std::size_t remaining = stream.size() - warmup_edges;
+    const std::size_t per_window = std::max<std::size_t>(1, remaining / windows);
+    std::size_t cursor = warmup_edges;
+    std::size_t window_index = 0;
+    while (cursor < stream.size()) {
+        const std::size_t end = std::min(stream.size(), cursor + per_window);
+        // Partition window edges into new-vertex batch vs old-vertex edges.
+        GrowthBatch batch;
+        batch.base_id = static_cast<VertexId>(mirror.num_vertices());
+        std::vector<Edge> old_edges;
+        std::map<std::uint64_t, VertexId> fresh;  // raw -> new dense id
+        for (std::size_t i = cursor; i < end; ++i) {
+            const auto resolve = [&](std::uint64_t raw) -> VertexId {
+                const auto known = remap.find(raw);
+                if (known != remap.end()) {
+                    return known->second;
+                }
+                const auto [it, inserted] = fresh.emplace(
+                    raw, batch.base_id + static_cast<VertexId>(fresh.size()));
+                if (inserted) {
+                    remap.emplace(raw, it->second);
+                }
+                return it->second;
+            };
+            const VertexId u = resolve(stream[i].u);
+            const VertexId v = resolve(stream[i].v);
+            if (u >= batch.base_id || v >= batch.base_id) {
+                batch.edges.push_back({u, v, stream[i].w});
+            } else {
+                old_edges.push_back({u, v, stream[i].w});
+            }
+        }
+        batch.num_new = fresh.size();
+
+        if (batch.num_new > 0) {
+            engine.apply_addition(batch, *strategy);
+            mirror = apply_batch(mirror, batch);
+        }
+        if (!old_edges.empty()) {
+            engine.add_edges(old_edges);
+            for (const Edge& e : old_edges) {
+                mirror.add_edge(e.u, e.v, e.weight);
+            }
+        }
+        engine.rc_step();  // one refinement step between windows
+        std::printf("[%8.4fs] window %zu: +%zu vertices, +%zu edges (%zu to "
+                    "existing) -> %zu vertices\n",
+                    engine.sim_seconds(), ++window_index, batch.num_new,
+                    batch.edges.size() + old_edges.size(), old_edges.size(),
+                    engine.num_vertices());
+        cursor = end;
+    }
+
+    engine.run_to_quiescence();
+    const auto scores = engine.closeness();
+    const auto ranking = closeness_ranking(scores);
+    std::printf("[%8.4fs] replay complete: %zu vertices, RC%zu\n",
+                engine.sim_seconds(), engine.num_vertices(),
+                engine.rc_steps_completed());
+    std::printf("top-5 closeness:");
+    for (int i = 0; i < 5 && i < static_cast<int>(ranking.size()); ++i) {
+        std::printf(" %u", ranking[i]);
+    }
+    std::printf("\n");
+
+    if (verify) {
+        const auto exact = exact_apsp(mirror);
+        const auto matrix = engine.full_distance_matrix();
+        std::size_t mismatches = 0;
+        for (std::size_t v = 0; v < exact.size(); ++v) {
+            for (std::size_t t = 0; t < exact.size(); ++t) {
+                const bool both_inf =
+                    !(matrix[v][t] < kInfinity) && !(exact[v][t] < kInfinity);
+                if (!both_inf && std::abs(matrix[v][t] - exact[v][t]) > 1e-9) {
+                    ++mismatches;
+                }
+            }
+        }
+        std::printf("verify: %zu mismatches (%s)\n", mismatches,
+                    mismatches == 0 ? "EXACT" : "FAILED");
+        return mismatches == 0 ? 0 : 1;
+    }
+    return 0;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citation_network.dir/citation_network.cpp.o"
+  "CMakeFiles/citation_network.dir/citation_network.cpp.o.d"
+  "citation_network"
+  "citation_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citation_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

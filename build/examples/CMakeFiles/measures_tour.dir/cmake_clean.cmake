@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measures_tour.dir/measures_tour.cpp.o"
+  "CMakeFiles/measures_tour.dir/measures_tour.cpp.o.d"
+  "measures_tour"
+  "measures_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measures_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operations.dir/operations.cpp.o"
+  "CMakeFiles/operations.dir/operations.cpp.o.d"
+  "operations"
+  "operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_lab.dir/partition_lab.cpp.o"
+  "CMakeFiles/partition_lab.dir/partition_lab.cpp.o.d"
+  "partition_lab"
+  "partition_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

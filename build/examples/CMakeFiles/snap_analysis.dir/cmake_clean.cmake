@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_analysis.dir/snap_analysis.cpp.o"
+  "CMakeFiles/snap_analysis.dir/snap_analysis.cpp.o.d"
+  "snap_analysis"
+  "snap_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adaptive_repartition.dir/test_adaptive_repartition.cpp.o"
+  "CMakeFiles/test_adaptive_repartition.dir/test_adaptive_repartition.cpp.o.d"
+  "test_adaptive_repartition"
+  "test_adaptive_repartition.pdb"
+  "test_adaptive_repartition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adaptive_repartition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

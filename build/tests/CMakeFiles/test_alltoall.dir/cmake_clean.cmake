@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alltoall.dir/test_alltoall.cpp.o"
+  "CMakeFiles/test_alltoall.dir/test_alltoall.cpp.o.d"
+  "test_alltoall"
+  "test_alltoall.pdb"
+  "test_alltoall[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alltoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

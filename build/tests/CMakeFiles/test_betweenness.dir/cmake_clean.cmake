@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_betweenness.dir/test_betweenness.cpp.o"
+  "CMakeFiles/test_betweenness.dir/test_betweenness.cpp.o.d"
+  "test_betweenness"
+  "test_betweenness.pdb"
+  "test_betweenness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_betweenness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

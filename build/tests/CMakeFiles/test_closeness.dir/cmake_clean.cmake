@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_closeness.dir/test_closeness.cpp.o"
+  "CMakeFiles/test_closeness.dir/test_closeness.cpp.o.d"
+  "test_closeness"
+  "test_closeness.pdb"
+  "test_closeness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_closeness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

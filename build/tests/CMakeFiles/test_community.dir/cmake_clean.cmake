@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_community.dir/test_community.cpp.o"
+  "CMakeFiles/test_community.dir/test_community.cpp.o.d"
+  "test_community"
+  "test_community.pdb"
+  "test_community[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_community.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

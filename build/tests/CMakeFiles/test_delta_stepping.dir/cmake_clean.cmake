@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delta_stepping.dir/test_delta_stepping.cpp.o"
+  "CMakeFiles/test_delta_stepping.dir/test_delta_stepping.cpp.o.d"
+  "test_delta_stepping"
+  "test_delta_stepping.pdb"
+  "test_delta_stepping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delta_stepping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

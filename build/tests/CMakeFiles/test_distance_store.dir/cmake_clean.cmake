@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distance_store.dir/test_distance_store.cpp.o"
+  "CMakeFiles/test_distance_store.dir/test_distance_store.cpp.o.d"
+  "test_distance_store"
+  "test_distance_store.pdb"
+  "test_distance_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distance_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

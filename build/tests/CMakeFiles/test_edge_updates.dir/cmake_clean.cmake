@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_updates.dir/test_edge_updates.cpp.o"
+  "CMakeFiles/test_edge_updates.dir/test_edge_updates.cpp.o.d"
+  "test_edge_updates"
+  "test_edge_updates.pdb"
+  "test_edge_updates[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

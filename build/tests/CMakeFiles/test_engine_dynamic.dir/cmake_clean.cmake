@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_dynamic.dir/test_engine_dynamic.cpp.o"
+  "CMakeFiles/test_engine_dynamic.dir/test_engine_dynamic.cpp.o.d"
+  "test_engine_dynamic"
+  "test_engine_dynamic.pdb"
+  "test_engine_dynamic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

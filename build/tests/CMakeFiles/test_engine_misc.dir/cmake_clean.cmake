@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_misc.dir/test_engine_misc.cpp.o"
+  "CMakeFiles/test_engine_misc.dir/test_engine_misc.cpp.o.d"
+  "test_engine_misc"
+  "test_engine_misc.pdb"
+  "test_engine_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_static.dir/test_engine_static.cpp.o"
+  "CMakeFiles/test_engine_static.dir/test_engine_static.cpp.o.d"
+  "test_engine_static"
+  "test_engine_static.pdb"
+  "test_engine_static[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

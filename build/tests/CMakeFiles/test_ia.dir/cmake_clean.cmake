@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ia.dir/test_ia.cpp.o"
+  "CMakeFiles/test_ia.dir/test_ia.cpp.o.d"
+  "test_ia"
+  "test_ia.pdb"
+  "test_ia[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logp.dir/test_logp.cpp.o"
+  "CMakeFiles/test_logp.dir/test_logp.cpp.o.d"
+  "test_logp"
+  "test_logp.pdb"
+  "test_logp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mailbox.dir/test_mailbox.cpp.o"
+  "CMakeFiles/test_mailbox.dir/test_mailbox.cpp.o.d"
+  "test_mailbox"
+  "test_mailbox.pdb"
+  "test_mailbox[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mailbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

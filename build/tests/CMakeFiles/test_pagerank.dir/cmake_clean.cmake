@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pagerank.dir/test_pagerank.cpp.o"
+  "CMakeFiles/test_pagerank.dir/test_pagerank.cpp.o.d"
+  "test_pagerank"
+  "test_pagerank.pdb"
+  "test_pagerank[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_multilevel.dir/test_partition_multilevel.cpp.o"
+  "CMakeFiles/test_partition_multilevel.dir/test_partition_multilevel.cpp.o.d"
+  "test_partition_multilevel"
+  "test_partition_multilevel.pdb"
+  "test_partition_multilevel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_multilevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

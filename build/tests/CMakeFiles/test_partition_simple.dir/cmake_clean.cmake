@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_simple.dir/test_partition_simple.cpp.o"
+  "CMakeFiles/test_partition_simple.dir/test_partition_simple.cpp.o.d"
+  "test_partition_simple"
+  "test_partition_simple.pdb"
+  "test_partition_simple[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_simple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

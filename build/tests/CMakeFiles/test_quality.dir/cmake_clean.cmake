@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quality.dir/test_quality.cpp.o"
+  "CMakeFiles/test_quality.dir/test_quality.cpp.o.d"
+  "test_quality"
+  "test_quality.pdb"
+  "test_quality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

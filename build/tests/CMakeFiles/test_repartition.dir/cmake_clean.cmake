@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_repartition.dir/test_repartition.cpp.o"
+  "CMakeFiles/test_repartition.dir/test_repartition.cpp.o.d"
+  "test_repartition"
+  "test_repartition.pdb"
+  "test_repartition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_repartition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rmat.dir/test_rmat.cpp.o"
+  "CMakeFiles/test_rmat.dir/test_rmat.cpp.o.d"
+  "test_rmat"
+  "test_rmat.pdb"
+  "test_rmat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rmat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

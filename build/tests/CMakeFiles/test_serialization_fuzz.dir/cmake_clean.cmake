@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serialization_fuzz.dir/test_serialization_fuzz.cpp.o"
+  "CMakeFiles/test_serialization_fuzz.dir/test_serialization_fuzz.cpp.o.d"
+  "test_serialization_fuzz"
+  "test_serialization_fuzz.pdb"
+  "test_serialization_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serialization_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

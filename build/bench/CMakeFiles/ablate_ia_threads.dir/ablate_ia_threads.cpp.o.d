@@ -185,7 +185,8 @@ bench/CMakeFiles/ablate_ia_threads.dir/ablate_ia_threads.cpp.o: \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/bit /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/core/distance_store.hpp /usr/include/c++/12/span \
+ /root/repo/src/core/distance_store.hpp /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/common/assert.hpp \
  /root/repo/src/common/types.hpp /root/repo/src/core/ia.hpp \
  /root/repo/src/core/subgraph.hpp /usr/include/c++/12/unordered_map \

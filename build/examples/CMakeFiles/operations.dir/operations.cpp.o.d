@@ -205,8 +205,10 @@ examples/CMakeFiles/operations.dir/operations.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/common/rng.hpp \
- /root/repo/src/core/distance_store.hpp /root/repo/src/core/subgraph.hpp \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/core/distance_store.hpp /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/core/subgraph.hpp /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
@@ -216,9 +218,7 @@ examples/CMakeFiles/operations.dir/operations.cpp.o: \
  /root/repo/src/partition/refine.hpp /root/repo/src/runtime/cluster.hpp \
  /root/repo/src/runtime/alltoall.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/runtime/logp.hpp \
- /root/repo/src/runtime/message.hpp /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/runtime/mailbox.hpp \
+ /root/repo/src/runtime/message.hpp /root/repo/src/runtime/mailbox.hpp \
  /root/repo/src/runtime/thread_pool.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \

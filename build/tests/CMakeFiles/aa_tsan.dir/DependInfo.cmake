@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/log.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/common/log.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/common/rng.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/common/rng.cpp.o.d"
+  "/root/repo/src/core/baseline.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/core/baseline.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/core/baseline.cpp.o.d"
+  "/root/repo/src/core/closeness.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/core/closeness.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/core/closeness.cpp.o.d"
+  "/root/repo/src/core/distance_store.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/core/distance_store.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/core/distance_store.cpp.o.d"
+  "/root/repo/src/core/edge_add.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/core/edge_add.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/core/edge_add.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/core/engine.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/core/engine.cpp.o.d"
+  "/root/repo/src/core/ia.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/core/ia.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/core/ia.cpp.o.d"
+  "/root/repo/src/core/quality.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/core/quality.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/core/quality.cpp.o.d"
+  "/root/repo/src/core/rc.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/core/rc.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/core/rc.cpp.o.d"
+  "/root/repo/src/core/repartition.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/core/repartition.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/core/repartition.cpp.o.d"
+  "/root/repo/src/core/strategies.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/core/strategies.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/core/strategies.cpp.o.d"
+  "/root/repo/src/core/subgraph.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/core/subgraph.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/core/subgraph.cpp.o.d"
+  "/root/repo/src/graph/community.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/graph/community.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/graph/community.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/graph/csr.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/graph/csr.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/graph/generators.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/graph/graph.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/graph/io.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/graph/io.cpp.o.d"
+  "/root/repo/src/graph/metrics.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/graph/metrics.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/graph/metrics.cpp.o.d"
+  "/root/repo/src/measures/betweenness.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/measures/betweenness.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/measures/betweenness.cpp.o.d"
+  "/root/repo/src/measures/degree.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/measures/degree.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/measures/degree.cpp.o.d"
+  "/root/repo/src/measures/pagerank.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/measures/pagerank.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/measures/pagerank.cpp.o.d"
+  "/root/repo/src/partition/coarsen.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/partition/coarsen.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/partition/coarsen.cpp.o.d"
+  "/root/repo/src/partition/initial.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/partition/initial.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/partition/initial.cpp.o.d"
+  "/root/repo/src/partition/matching.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/partition/matching.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/partition/matching.cpp.o.d"
+  "/root/repo/src/partition/multilevel.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/partition/multilevel.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/partition/multilevel.cpp.o.d"
+  "/root/repo/src/partition/partition.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/partition/partition.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/partition/partition.cpp.o.d"
+  "/root/repo/src/partition/refine.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/partition/refine.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/partition/refine.cpp.o.d"
+  "/root/repo/src/partition/simple.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/partition/simple.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/partition/simple.cpp.o.d"
+  "/root/repo/src/runtime/alltoall.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/runtime/alltoall.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/runtime/alltoall.cpp.o.d"
+  "/root/repo/src/runtime/cluster.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/runtime/cluster.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/runtime/cluster.cpp.o.d"
+  "/root/repo/src/runtime/logp.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/runtime/logp.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/runtime/logp.cpp.o.d"
+  "/root/repo/src/runtime/mailbox.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/runtime/mailbox.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/runtime/mailbox.cpp.o.d"
+  "/root/repo/src/runtime/thread_pool.cpp" "tests/CMakeFiles/aa_tsan.dir/__/src/runtime/thread_pool.cpp.o" "gcc" "tests/CMakeFiles/aa_tsan.dir/__/src/runtime/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for aa_tsan.
+# This may be replaced when dependencies are built.

@@ -298,14 +298,13 @@ tests/CMakeFiles/test_adaptive_repartition.dir/test_adaptive_repartition.cpp.o: 
  /root/repo/src/common/rng.hpp /root/repo/src/common/assert.hpp \
  /root/repo/src/core/closeness.hpp /root/repo/src/common/types.hpp \
  /root/repo/src/graph/graph.hpp /usr/include/c++/12/span \
- /root/repo/src/core/distance_store.hpp /root/repo/src/core/subgraph.hpp \
- /root/repo/src/graph/generators.hpp \
+ /root/repo/src/core/distance_store.hpp /usr/include/c++/12/cstring \
+ /root/repo/src/core/subgraph.hpp /root/repo/src/graph/generators.hpp \
  /root/repo/src/partition/multilevel.hpp /root/repo/src/graph/csr.hpp \
  /root/repo/src/partition/partition.hpp \
  /root/repo/src/partition/refine.hpp /root/repo/src/runtime/cluster.hpp \
  /root/repo/src/runtime/alltoall.hpp /root/repo/src/runtime/logp.hpp \
- /root/repo/src/runtime/message.hpp /usr/include/c++/12/cstring \
- /root/repo/src/runtime/mailbox.hpp \
+ /root/repo/src/runtime/message.hpp /root/repo/src/runtime/mailbox.hpp \
  /root/repo/src/runtime/thread_pool.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \

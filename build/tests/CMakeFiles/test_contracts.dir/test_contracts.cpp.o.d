@@ -293,17 +293,17 @@ tests/CMakeFiles/test_contracts.dir/test_contracts.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/distance_store.hpp /usr/include/c++/12/span \
- /root/repo/src/common/assert.hpp /root/repo/src/common/types.hpp \
- /root/repo/src/core/engine.hpp /root/repo/src/common/rng.hpp \
- /root/repo/src/core/closeness.hpp /root/repo/src/graph/graph.hpp \
- /root/repo/src/core/subgraph.hpp /root/repo/src/graph/generators.hpp \
+ /root/repo/src/core/distance_store.hpp /usr/include/c++/12/cstring \
+ /usr/include/c++/12/span /root/repo/src/common/assert.hpp \
+ /root/repo/src/common/types.hpp /root/repo/src/core/engine.hpp \
+ /root/repo/src/common/rng.hpp /root/repo/src/core/closeness.hpp \
+ /root/repo/src/graph/graph.hpp /root/repo/src/core/subgraph.hpp \
+ /root/repo/src/graph/generators.hpp \
  /root/repo/src/partition/multilevel.hpp /root/repo/src/graph/csr.hpp \
  /root/repo/src/partition/partition.hpp \
  /root/repo/src/partition/refine.hpp /root/repo/src/runtime/cluster.hpp \
  /root/repo/src/runtime/alltoall.hpp /root/repo/src/runtime/logp.hpp \
- /root/repo/src/runtime/message.hpp /usr/include/c++/12/cstring \
- /root/repo/src/runtime/mailbox.hpp \
+ /root/repo/src/runtime/message.hpp /root/repo/src/runtime/mailbox.hpp \
  /root/repo/src/runtime/thread_pool.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \

@@ -293,5 +293,9 @@ tests/CMakeFiles/test_distance_store.dir/test_distance_store.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/distance_store.hpp /usr/include/c++/12/span \
- /root/repo/src/common/assert.hpp /root/repo/src/common/types.hpp
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/common/rng.hpp /root/repo/src/common/assert.hpp \
+ /root/repo/src/core/distance_store.hpp /usr/include/c++/12/cstring \
+ /usr/include/c++/12/span /root/repo/src/common/types.hpp

@@ -298,8 +298,8 @@ tests/CMakeFiles/test_ia.dir/test_ia.cpp.o: /root/repo/tests/test_ia.cpp \
  /root/repo/src/core/closeness.hpp /root/repo/src/common/types.hpp \
  /root/repo/src/graph/graph.hpp /usr/include/c++/12/span \
  /root/repo/src/common/assert.hpp /root/repo/src/core/ia.hpp \
- /root/repo/src/core/distance_store.hpp /root/repo/src/core/subgraph.hpp \
- /root/repo/src/runtime/thread_pool.hpp \
+ /root/repo/src/core/distance_store.hpp /usr/include/c++/12/cstring \
+ /root/repo/src/core/subgraph.hpp /root/repo/src/runtime/thread_pool.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \

@@ -293,10 +293,14 @@ tests/CMakeFiles/test_rc_kernels.dir/test_rc_kernels.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/ia.hpp /usr/include/c++/12/span \
- /root/repo/src/core/distance_store.hpp /root/repo/src/common/assert.hpp \
- /root/repo/src/common/types.hpp /root/repo/src/core/subgraph.hpp \
- /root/repo/src/graph/graph.hpp /root/repo/src/runtime/thread_pool.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/cstring /root/repo/src/core/ia.hpp \
+ /usr/include/c++/12/span /root/repo/src/core/distance_store.hpp \
+ /root/repo/src/common/assert.hpp /root/repo/src/common/types.hpp \
+ /root/repo/src/core/subgraph.hpp /root/repo/src/graph/graph.hpp \
+ /root/repo/src/runtime/thread_pool.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
@@ -310,5 +314,5 @@ tests/CMakeFiles/test_rc_kernels.dir/test_rc_kernels.cpp.o: \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
  /root/repo/src/core/rc.hpp /root/repo/src/runtime/cluster.hpp \
  /root/repo/src/runtime/alltoall.hpp /root/repo/src/runtime/logp.hpp \
- /root/repo/src/runtime/message.hpp /usr/include/c++/12/cstring \
- /root/repo/src/runtime/mailbox.hpp
+ /root/repo/src/runtime/message.hpp /root/repo/src/runtime/mailbox.hpp \
+ /root/repo/src/graph/generators.hpp /root/repo/src/common/rng.hpp

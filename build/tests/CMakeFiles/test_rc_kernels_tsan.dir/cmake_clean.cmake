@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rc_kernels_tsan.dir/test_rc_kernels.cpp.o"
+  "CMakeFiles/test_rc_kernels_tsan.dir/test_rc_kernels.cpp.o.d"
+  "test_rc_kernels_tsan"
+  "test_rc_kernels_tsan.pdb"
+  "test_rc_kernels_tsan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rc_kernels_tsan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_rc_kernels_tsan.
+# This may be replaced when dependencies are built.

@@ -295,8 +295,20 @@ tests/CMakeFiles/test_serialization_fuzz.dir/test_serialization_fuzz.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/common/rng.hpp /root/repo/src/common/assert.hpp \
  /root/repo/src/core/rc.hpp /root/repo/src/core/distance_store.hpp \
- /usr/include/c++/12/span /root/repo/src/common/types.hpp \
- /root/repo/src/core/subgraph.hpp /root/repo/src/graph/graph.hpp \
- /root/repo/src/runtime/cluster.hpp /root/repo/src/runtime/alltoall.hpp \
- /root/repo/src/runtime/logp.hpp /root/repo/src/runtime/message.hpp \
- /usr/include/c++/12/cstring /root/repo/src/runtime/mailbox.hpp
+ /usr/include/c++/12/cstring /usr/include/c++/12/span \
+ /root/repo/src/common/types.hpp /root/repo/src/core/subgraph.hpp \
+ /root/repo/src/graph/graph.hpp /root/repo/src/runtime/cluster.hpp \
+ /root/repo/src/runtime/alltoall.hpp /root/repo/src/runtime/logp.hpp \
+ /root/repo/src/runtime/message.hpp /root/repo/src/runtime/mailbox.hpp \
+ /root/repo/src/runtime/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread

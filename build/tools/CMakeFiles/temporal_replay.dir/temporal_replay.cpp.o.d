@@ -218,6 +218,7 @@ tools/CMakeFiles/temporal_replay.dir/temporal_replay.cpp.o: \
  /root/repo/src/common/types.hpp /usr/include/c++/12/limits \
  /root/repo/src/graph/graph.hpp /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/core/distance_store.hpp \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/core/subgraph.hpp /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
@@ -229,9 +230,7 @@ tools/CMakeFiles/temporal_replay.dir/temporal_replay.cpp.o: \
  /root/repo/src/partition/refine.hpp /root/repo/src/runtime/cluster.hpp \
  /root/repo/src/runtime/alltoall.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/runtime/logp.hpp \
- /root/repo/src/runtime/message.hpp /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/runtime/mailbox.hpp \
+ /root/repo/src/runtime/message.hpp /root/repo/src/runtime/mailbox.hpp \
  /root/repo/src/runtime/thread_pool.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \

@@ -17,19 +17,30 @@ LocalId DistanceStore::add_row(VertexId self) {
     row.self = self;
     row.dist.assign(num_columns_, kInfinity);
     row.dist[self] = 0;
-    row.in_prop.assign(num_columns_, 0);
-    row.in_send.assign(num_columns_, 0);
     rows_.push_back(std::move(row));
+    prop_mark_.resize(rows_.size() * num_columns_, 0);
+    send_mark_.resize(rows_.size() * num_columns_, 0);
     return static_cast<LocalId>(rows_.size() - 1);
 }
 
 void DistanceStore::grow_columns(std::size_t new_count) {
     AA_ASSERT(new_count >= num_columns_);
+    const std::size_t old_count = num_columns_;
     num_columns_ = new_count;
     for (Row& row : rows_) {
         row.dist.resize(new_count, kInfinity);
-        row.in_prop.resize(new_count, 0);
-        row.in_send.resize(new_count, 0);
+    }
+    // Restride the mark arenas: each row's slice widens from old_count to
+    // new_count, new columns start unmarked.
+    if (new_count != old_count && !rows_.empty()) {
+        for (auto* arena : {&prop_mark_, &send_mark_}) {
+            std::vector<std::uint8_t> wider(rows_.size() * new_count, 0);
+            for (std::size_t r = 0; r < rows_.size(); ++r) {
+                std::copy_n(arena->data() + r * old_count, old_count,
+                            wider.data() + r * new_count);
+            }
+            *arena = std::move(wider);
+        }
     }
 }
 
@@ -41,52 +52,174 @@ bool DistanceStore::relax(LocalId r, VertexId col, Weight candidate, bool mark_p
         return false;
     }
     row.dist[col] = candidate;
-    if (mark_prop && row.in_prop[col] == 0) {
-        row.in_prop[col] = 1;
-        row.prop_cols.push_back(col);
+    if (mark_prop) {
+        std::uint8_t* mark = this->prop_mark(r);
+        if (mark[col] != row.prop.epoch) {
+            mark[col] = row.prop.epoch;
+            row.prop.cols.push_back(col);
+        }
     }
-    if (mark_send && row.in_send[col] == 0) {
-        row.in_send[col] = 1;
-        row.send_cols.push_back(col);
+    if (mark_send) {
+        std::uint8_t* mark = this->send_mark(r);
+        if (mark[col] != row.send.epoch) {
+            mark[col] = row.send.epoch;
+            row.send.cols.push_back(col);
+        }
     }
     return true;
 }
 
-std::vector<VertexId> DistanceStore::take_prop(LocalId r) {
+std::size_t DistanceStore::relax_batch(LocalId r, DvEntrySpan entries, Weight offset,
+                                       bool mark_prop, bool mark_send) {
     AA_ASSERT(r < rows_.size());
     Row& row = rows_[r];
-    for (const VertexId col : row.prop_cols) {
-        row.in_prop[col] = 0;
+    Weight* dist = row.dist.data();
+
+    // Scratch for improved columns; thread_local so concurrent sweeps over
+    // distinct rows don't share it and its capacity is reused across calls.
+    // Grow-only: resize() value-initializes any regrown tail, so shrinking for
+    // a small batch would make every later large batch pay a memset.
+    static thread_local std::vector<VertexId> improved;
+    if (improved.size() < entries.size()) {
+        improved.resize(entries.size());
     }
-    return std::exchange(row.prop_cols, {});
+
+    // Compare-and-store sweep with compacting append of the improved column
+    // indices: the `m += better` compaction keeps the bookkeeping free of
+    // data-dependent branches. The store itself is conditional on purpose —
+    // an unconditional cmov-style store would dirty every touched cache line
+    // and force a DRAM writeback even for sweeps that improve nothing, which
+    // for matrix-scale rows costs far more than the occasional branch miss.
+    // Callers keep the destination row cache-resident across consecutive
+    // batches (ingest groups a window's blocks by row; propagate reuses one
+    // column-sorted batch across all neighbour rows), so the dist[] accesses
+    // rarely leave the cache hierarchy mid-sweep.
+    const std::size_t count = entries.size();
+    std::size_t m = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const DvEntry entry = entries[i];
+        const VertexId col = entry.column;
+        AA_ASSERT(col < num_columns_);
+        const Weight candidate = offset + entry.distance;
+        const Weight current = dist[col];
+        const bool better = candidate < current - kEpsilon;
+        if (better) {
+            dist[col] = candidate;
+        }
+        improved[m] = col;
+        m += better;
+    }
+    if (m == 0) {
+        return 0;
+    }
+    record_improved(r, std::span<const VertexId>(improved.data(), m), mark_prop,
+                    mark_send);
+    return m;
 }
 
-std::vector<VertexId> DistanceStore::take_send(LocalId r) {
+std::size_t DistanceStore::relax_batch_from_row(LocalId r, std::span<const VertexId> cols,
+                                                std::span<const Weight> src, Weight offset,
+                                                bool mark_prop, bool mark_send) {
     AA_ASSERT(r < rows_.size());
     Row& row = rows_[r];
-    for (const VertexId col : row.send_cols) {
-        row.in_send[col] = 0;
+    Weight* dist = row.dist.data();
+    AA_ASSERT(src.data() != dist);
+
+    static thread_local std::vector<VertexId> improved;
+    if (improved.size() < cols.size()) {
+        improved.resize(cols.size());
     }
-    return std::exchange(row.send_cols, {});
+
+    // Same compare-and-store sweep as relax_batch, with the candidate read
+    // straight out of the source row instead of a serialized entry.
+    const std::size_t count = cols.size();
+    std::size_t m = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const VertexId col = cols[i];
+        AA_ASSERT(col < num_columns_);
+        const Weight candidate = offset + src[col];
+        const Weight current = dist[col];
+        const bool better = candidate < current - kEpsilon;
+        if (better) {
+            dist[col] = candidate;
+        }
+        improved[m] = col;
+        m += better;
+    }
+    if (m == 0) {
+        return 0;
+    }
+    record_improved(r, std::span<const VertexId>(improved.data(), m), mark_prop,
+                    mark_send);
+    return m;
+}
+
+void DistanceStore::record_improved(LocalId r, std::span<const VertexId> improved,
+                                    bool mark_prop, bool mark_send) {
+    Row& row = rows_[r];
+    // Record dirtiness once per improved column, after the sweep.
+    if (mark_prop) {
+        std::uint8_t* mark = this->prop_mark(r);
+        const std::uint8_t epoch = row.prop.epoch;
+        for (const VertexId col : improved) {
+            if (mark[col] != epoch) {
+                mark[col] = epoch;
+                row.prop.cols.push_back(col);
+            }
+        }
+    }
+    if (mark_send) {
+        std::uint8_t* mark = this->send_mark(r);
+        const std::uint8_t epoch = row.send.epoch;
+        for (const VertexId col : improved) {
+            if (mark[col] != epoch) {
+                mark[col] = epoch;
+                row.send.cols.push_back(col);
+            }
+        }
+    }
+}
+
+std::span<const VertexId> DistanceStore::drain(DirtySet& set, std::uint8_t* mark) {
+    set.cols.swap(set.drained);
+    set.cols.clear();
+    if (++set.epoch == 0) {
+        // 8-bit epoch wrapped: reset this row's slice so stale marks from the
+        // previous cycle cannot collide. Amortized O(columns / 254) per drain.
+        std::fill_n(mark, num_columns_, 0);
+        set.epoch = 1;
+    }
+    return set.drained;
+}
+
+std::span<const VertexId> DistanceStore::take_prop(LocalId r) {
+    AA_ASSERT(r < rows_.size());
+    return drain(rows_[r].prop, prop_mark(r));
+}
+
+std::span<const VertexId> DistanceStore::take_send(LocalId r) {
+    AA_ASSERT(r < rows_.size());
+    return drain(rows_[r].send, send_mark(r));
 }
 
 bool DistanceStore::any_send_pending() const {
     return std::any_of(rows_.begin(), rows_.end(),
-                       [](const Row& row) { return !row.send_cols.empty(); });
+                       [](const Row& row) { return !row.send.cols.empty(); });
 }
 
 bool DistanceStore::any_prop_pending() const {
     return std::any_of(rows_.begin(), rows_.end(),
-                       [](const Row& row) { return !row.prop_cols.empty(); });
+                       [](const Row& row) { return !row.prop.cols.empty(); });
 }
 
 void DistanceStore::mark_row_for_send(LocalId r) {
     AA_ASSERT(r < rows_.size());
     Row& row = rows_[r];
+    std::uint8_t* mark = this->send_mark(r);
     for (VertexId col = 0; col < num_columns_; ++col) {
-        if (row.dist[col] < kInfinity && row.in_send[col] == 0) {
-            row.in_send[col] = 1;
-            row.send_cols.push_back(col);
+        if (row.dist[col] < kInfinity && mark[col] != row.send.epoch) {
+            mark[col] = row.send.epoch;
+            row.send.cols.push_back(col);
         }
     }
 }
@@ -94,12 +227,19 @@ void DistanceStore::mark_row_for_send(LocalId r) {
 void DistanceStore::mark_row_for_prop(LocalId r) {
     AA_ASSERT(r < rows_.size());
     Row& row = rows_[r];
+    std::uint8_t* mark = this->prop_mark(r);
     for (VertexId col = 0; col < num_columns_; ++col) {
-        if (row.dist[col] < kInfinity && row.in_prop[col] == 0) {
-            row.in_prop[col] = 1;
-            row.prop_cols.push_back(col);
+        if (row.dist[col] < kInfinity && mark[col] != row.prop.epoch) {
+            mark[col] = row.prop.epoch;
+            row.prop.cols.push_back(col);
         }
     }
+}
+
+void DistanceStore::clear_dirty(LocalId r) {
+    Row& row = rows_[r];
+    (void)drain(row.prop, prop_mark(r));
+    (void)drain(row.send, send_mark(r));
 }
 
 void DistanceStore::install_row(LocalId r, std::vector<Weight> values) {
@@ -117,14 +257,7 @@ std::vector<Weight> DistanceStore::extract_row(LocalId r) {
     row.dist.assign(num_columns_, kInfinity);
     row.dist[row.self] = 0;
     // Dirty state is meaningless for a vacated row.
-    for (const VertexId col : row.prop_cols) {
-        row.in_prop[col] = 0;
-    }
-    for (const VertexId col : row.send_cols) {
-        row.in_send[col] = 0;
-    }
-    row.prop_cols.clear();
-    row.send_cols.clear();
+    clear_dirty(r);
     return values;
 }
 

@@ -10,8 +10,29 @@
 //     *local* neighbours (the within-rank relaxation worklist),
 //   * send columns  — entries changed but not yet shared with *other* ranks
 //     (the boundary-DV payload of the next RC step).
+//
+// Layout (rebuilt for the batched RC kernels):
+//   * distances live in one contiguous array per row;
+//   * membership tests for the dirty sets use flat per-store mark arenas
+//     (one byte per (row, column)) with per-row epoch stamps: a column is in
+//     the set iff mark == epoch. Draining bumps the epoch instead of clearing
+//     marks, so take_prop/take_send are O(1) + buffer swap — no allocation
+//     and no per-column writes per drain (the arena is memset only when an
+//     8-bit epoch wraps, amortized O(columns/254));
+//   * each dirty set keeps two column buffers (pending / drained) that are
+//     swapped on drain, so the capacity is reused forever and the span
+//     returned by take_prop/take_send stays valid until the same row's next
+//     drain.
+//
+// Concurrency contract: distinct rows may be mutated from distinct threads
+// concurrently (all per-row state — distances, mark slices, column buffers —
+// is disjoint). Concurrent mutation of the *same* row, or structural changes
+// (add_row / grow_columns / install_row / extract_row) concurrent with any
+// access, are data races.
 #pragma once
 
+#include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
@@ -26,6 +47,34 @@ struct DvEntry {
     Weight distance;
 };
 static_assert(std::is_trivially_copyable_v<DvEntry>);
+
+/// Read-only view over a run of serialized DvEntry records at arbitrary byte
+/// alignment. Wire payloads place each block's entry run 12 bytes past the
+/// block header, so the doubles inside are not 8-aligned and the records
+/// cannot be aliased as a DvEntry array; operator[] reads through memcpy
+/// instead, which compiles to two plain loads on x86-64. This is what lets
+/// the RC ingest kernel sweep entries straight out of a received payload
+/// without first copying them into an aligned vector.
+class DvEntrySpan {
+public:
+    DvEntrySpan() = default;
+    DvEntrySpan(const std::byte* data, std::size_t count) : data_(data), size_(count) {}
+    /*implicit*/ DvEntrySpan(std::span<const DvEntry> entries)
+        : data_(reinterpret_cast<const std::byte*>(entries.data())),
+          size_(entries.size()) {}
+
+    std::size_t size() const { return size_; }
+    const std::byte* data() const { return data_; }
+    DvEntry operator[](std::size_t i) const {
+        DvEntry e;
+        std::memcpy(&e, data_ + i * sizeof(DvEntry), sizeof(e));
+        return e;
+    }
+
+private:
+    const std::byte* data_{nullptr};
+    std::size_t size_{0};
+};
 
 class DistanceStore {
 public:
@@ -57,15 +106,44 @@ public:
     bool relax(LocalId r, VertexId col, Weight candidate, bool mark_prop = true,
                bool mark_send = true);
 
+    /// Batched relaxation: attempt to lower row r's entry for every
+    /// entry.column to offset + entry.distance in one compare-and-store sweep
+    /// (the RC inner loop: offset is the connecting edge weight, the entries
+    /// are another vertex's DV columns). Improved columns are recorded in the
+    /// dirty sets once at the end rather than per element. Exactly equivalent
+    /// to calling relax() per entry in order, including the acceptance
+    /// epsilon. Returns the number of improved columns. The DvEntrySpan
+    /// overload additionally accepts entries still sitting (possibly
+    /// unaligned) inside a serialized payload.
+    std::size_t relax_batch(LocalId r, DvEntrySpan entries, Weight offset,
+                            bool mark_prop = true, bool mark_send = true);
+    std::size_t relax_batch(LocalId r, std::span<const DvEntry> entries, Weight offset,
+                            bool mark_prop = true, bool mark_send = true) {
+        return relax_batch(r, DvEntrySpan(entries), offset, mark_prop, mark_send);
+    }
+
+    /// Same sweep, but the candidate for each column is offset + src[col]
+    /// instead of a serialized entry — the local-propagation inner loop,
+    /// where `src` is the drained row and `cols` its changed columns. Sweeping
+    /// straight out of the source row spares the caller materializing a
+    /// DvEntry batch per drain. `src` must not alias row r (the propagation
+    /// graph has no self loops). Exactly equivalent to calling relax() with
+    /// offset + src[col] per column in order.
+    std::size_t relax_batch_from_row(LocalId r, std::span<const VertexId> cols,
+                                     std::span<const Weight> src, Weight offset,
+                                     bool mark_prop = true, bool mark_send = true);
+
     /// Drain the propagation worklist of row r (columns changed since last
-    /// local propagation). Clears the set.
-    std::vector<VertexId> take_prop(LocalId r);
+    /// local propagation), in mark order. Clears the set. The returned span
+    /// remains valid until row r's next take_prop (marks on *other* rows, and
+    /// new marks on r itself, do not invalidate it).
+    std::span<const VertexId> take_prop(LocalId r);
 
-    /// Drain the send worklist of row r.
-    std::vector<VertexId> take_send(LocalId r);
+    /// Drain the send worklist of row r. Same lifetime rules as take_prop.
+    std::span<const VertexId> take_send(LocalId r);
 
-    bool has_prop(LocalId r) const { return !rows_[r].prop_cols.empty(); }
-    bool has_send(LocalId r) const { return !rows_[r].send_cols.empty(); }
+    bool has_prop(LocalId r) const { return !rows_[r].prop.cols.empty(); }
+    bool has_send(LocalId r) const { return !rows_[r].send.cols.empty(); }
 
     /// Any row with unsent changes?
     bool any_send_pending() const;
@@ -94,17 +172,43 @@ public:
     std::vector<DvEntry> finite_entries(LocalId r) const;
 
 private:
+    /// Shared tail of the batched sweeps: append each improved column to the
+    /// requested dirty sets (deduplicated through the epoch marks).
+    void record_improved(LocalId r, std::span<const VertexId> improved, bool mark_prop,
+                         bool mark_send);
+
+    /// One dirty set: pending columns + the last drained batch (buffers are
+    /// swapped on drain so capacity is never released), plus the epoch that
+    /// validates this row's slice of the shared mark arena.
+    struct DirtySet {
+        std::vector<VertexId> cols;
+        std::vector<VertexId> drained;
+        std::uint8_t epoch{1};
+    };
+
     struct Row {
         VertexId self{kInvalidVertex};
         std::vector<Weight> dist;
-        std::vector<VertexId> prop_cols;
-        std::vector<VertexId> send_cols;
-        std::vector<std::uint8_t> in_prop;  // bitmap over columns
-        std::vector<std::uint8_t> in_send;
+        DirtySet prop;
+        DirtySet send;
     };
+
+    std::uint8_t* prop_mark(LocalId r) { return prop_mark_.data() + r * num_columns_; }
+    std::uint8_t* send_mark(LocalId r) { return send_mark_.data() + r * num_columns_; }
+
+    /// Swap/clear the set's buffers and invalidate its marks by bumping the
+    /// epoch (memset of the arena slice only on 8-bit wrap). Returns the
+    /// drained columns.
+    std::span<const VertexId> drain(DirtySet& set, std::uint8_t* mark);
+
+    void clear_dirty(LocalId r);
 
     std::vector<Row> rows_;
     std::size_t num_columns_{0};
+    // Flat mark arenas, row-major with stride num_columns_: column c of row r
+    // is in the prop set iff prop_mark_[r * num_columns_ + c] == prop epoch.
+    std::vector<std::uint8_t> prop_mark_;
+    std::vector<std::uint8_t> send_mark_;
 };
 
 }  // namespace aa

@@ -182,7 +182,7 @@ void AnytimeEngine::anywhere_add(const GrowthBatch& batch,
 
     // ---- 3. Within-rank propagation to fixpoint. ----
     for (RankId r = 0; r < num_ranks; ++r) {
-        const double ops = rc_propagate_local(ranks_[r].sg, ranks_[r].store);
+        const double ops = rc_propagate_local(ranks_[r].sg, ranks_[r].store, pool_.get());
         cluster_->charge_compute(r, ops);
         dynamic_ops += ops;
     }
@@ -215,7 +215,7 @@ void AnytimeEngine::add_edges(std::span<const Edge> edges) {
     }
 
     for (RankId r = 0; r < num_ranks; ++r) {
-        const double ops = rc_propagate_local(ranks_[r].sg, ranks_[r].store);
+        const double ops = rc_propagate_local(ranks_[r].sg, ranks_[r].store, pool_.get());
         cluster_->charge_compute(r, ops);
         dynamic_ops += ops;
     }
@@ -249,7 +249,7 @@ bool AnytimeEngine::decrease_edge_weight(VertexId u, VertexId v, Weight new_weig
     double dynamic_ops = broadcast_edge_update(u, v, new_weight);
     dynamic_ops += broadcast_edge_update(v, u, new_weight);
     for (RankId r = 0; r < cluster_->num_ranks(); ++r) {
-        const double ops = rc_propagate_local(ranks_[r].sg, ranks_[r].store);
+        const double ops = rc_propagate_local(ranks_[r].sg, ranks_[r].store, pool_.get());
         cluster_->charge_compute(r, ops);
         dynamic_ops += ops;
     }

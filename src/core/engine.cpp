@@ -138,10 +138,14 @@ bool AnytimeEngine::rc_step() {
     stats.exchange_seconds = cluster_->exchange();
 
     // Phase 3: ingest external updates, then local propagation to fixpoint.
+    // The batched kernels run the row sweeps on the IA thread pool — that
+    // accelerates host wall-clock time only; the simulated clock still prices
+    // RC single-threaded per rank (the paper's model), so `threads` stays 1
+    // in charge_compute.
     for (RankId r = 0; r < ranks_.size(); ++r) {
         const auto inbox = cluster_->receive(r);
-        double ops = rc_ingest_updates(ranks_[r].sg, ranks_[r].store, inbox);
-        ops += rc_propagate_local(ranks_[r].sg, ranks_[r].store);
+        double ops = rc_ingest_updates(ranks_[r].sg, ranks_[r].store, inbox, pool_.get());
+        ops += rc_propagate_local(ranks_[r].sg, ranks_[r].store, pool_.get());
         cluster_->charge_compute(r, ops);
         report_.rc_ops += ops;
         stats.ops += ops;

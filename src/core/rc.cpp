@@ -1,6 +1,10 @@
 #include "core/rc.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cstring>
 #include <deque>
+#include <limits>
 
 #include "runtime/message.hpp"
 
@@ -15,14 +19,65 @@ std::vector<std::byte> encode_boundary_blocks(const std::vector<BoundaryBlock>& 
     return out.take();
 }
 
+namespace {
+
+/// Shared validation pass: walk the block headers and check every declared
+/// entry count against the remaining payload *before* anything is allocated,
+/// so a malformed (or hostile) length prefix cannot trigger a huge
+/// allocation. Returns the number of blocks.
+std::size_t validate_boundary_payload(std::span<const std::byte> payload) {
+    constexpr std::size_t kHeaderBytes = sizeof(VertexId) + sizeof(std::uint64_t);
+    std::size_t cursor = 0;
+    std::size_t block_count = 0;
+    while (cursor < payload.size()) {
+        AA_ASSERT_MSG(payload.size() - cursor >= kHeaderBytes,
+                      "boundary block header truncated");
+        std::uint64_t declared = 0;
+        std::memcpy(&declared, payload.data() + cursor + sizeof(VertexId),
+                    sizeof(declared));
+        cursor += kHeaderBytes;
+        // Division keeps the comparison overflow-safe even for declared
+        // counts near 2^64.
+        AA_ASSERT_MSG(declared <= (payload.size() - cursor) / sizeof(DvEntry),
+                      "boundary block entry count exceeds payload");
+        cursor += static_cast<std::size_t>(declared) * sizeof(DvEntry);
+        ++block_count;
+    }
+    return block_count;
+}
+
+}  // namespace
+
 std::vector<BoundaryBlock> decode_boundary_blocks(std::span<const std::byte> payload) {
-    Deserializer in(payload);
     std::vector<BoundaryBlock> blocks;
+    blocks.reserve(validate_boundary_payload(payload));
+    Deserializer in(payload);
     while (!in.exhausted()) {
         BoundaryBlock block;
         block.vertex = in.read<VertexId>();
         block.entries = in.read_vector<DvEntry>();
         blocks.push_back(std::move(block));
+    }
+    return blocks;
+}
+
+std::vector<BoundaryBlockView> decode_boundary_block_views(
+    std::span<const std::byte> payload) {
+    std::vector<BoundaryBlockView> blocks;
+    blocks.reserve(validate_boundary_payload(payload));
+    constexpr std::size_t kHeaderBytes = sizeof(VertexId) + sizeof(std::uint64_t);
+    std::size_t cursor = 0;
+    while (cursor < payload.size()) {
+        BoundaryBlockView block;
+        std::memcpy(&block.vertex, payload.data() + cursor, sizeof(VertexId));
+        std::uint64_t declared = 0;
+        std::memcpy(&declared, payload.data() + cursor + sizeof(VertexId),
+                    sizeof(declared));
+        cursor += kHeaderBytes;
+        block.entries = DvEntrySpan(payload.data() + cursor,
+                                    static_cast<std::size_t>(declared));
+        cursor += static_cast<std::size_t>(declared) * sizeof(DvEntry);
+        blocks.push_back(block);
     }
     return blocks;
 }
@@ -33,8 +88,12 @@ double rc_post_boundary_updates(const LocalSubgraph& sg, DistanceStore& store,
     const std::uint32_t num_ranks = cluster.num_ranks();
     double ops = 0;
 
-    // Per-destination accumulation of boundary blocks.
-    std::vector<std::vector<BoundaryBlock>> outgoing(num_ranks);
+    // Per-destination payloads: each sending row's block is encoded exactly
+    // once and its bytes appended to every destination buffer (the payload
+    // format is a plain concatenation of blocks).
+    std::vector<std::vector<std::byte>> outgoing(num_ranks);
+    std::vector<DvEntry> entries;  // reused across rows
+    Serializer encoder;            // reused across rows
 
     for (LocalId l = 0; l < sg.num_local(); ++l) {
         if (!store.has_send(l)) {
@@ -46,16 +105,22 @@ double rc_post_boundary_updates(const LocalSubgraph& sg, DistanceStore& store,
         if (destinations.empty()) {
             continue;  // interior row: changes have no external audience
         }
-        BoundaryBlock block;
-        block.vertex = sg.global_id(l);
-        block.entries.reserve(cols.size());
+        entries.clear();
+        entries.reserve(cols.size());
         const auto row = store.row(l);
         for (const VertexId col : cols) {
-            block.entries.push_back({col, row[col]});
+            entries.push_back({col, row[col]});
         }
+        encoder.clear();
+        encoder.write(sg.global_id(l));
+        encoder.write_span(std::span<const DvEntry>(entries));
+        const auto block_bytes = encoder.view();
+        // Serialization cost is charged once per block, not once per
+        // destination: the encoded bytes are shared (see rc.hpp).
+        ops += static_cast<double>(entries.size());
         for (const RankId dest : destinations) {
-            outgoing[dest].push_back(block);
-            ops += static_cast<double>(block.entries.size());  // serialization
+            outgoing[dest].insert(outgoing[dest].end(), block_bytes.begin(),
+                                  block_bytes.end());
         }
     }
 
@@ -63,14 +128,251 @@ double rc_post_boundary_updates(const LocalSubgraph& sg, DistanceStore& store,
         if (dest == me || outgoing[dest].empty()) {
             continue;
         }
-        cluster.send(me, dest, MessageTag::BoundaryDvUpdate,
-                     encode_boundary_blocks(outgoing[dest]));
+        cluster.send(me, dest, MessageTag::BoundaryDvUpdate, std::move(outgoing[dest]));
     }
     return ops;
 }
 
+namespace {
+
+/// Payload-window size for the ingest kernel, chosen to keep one window of
+/// wire entries resident in the last-level cache while its destination rows
+/// are swept. See rc_ingest_updates.
+constexpr std::size_t kRcIngestWindowBytes = std::size_t{128} << 20;
+
+/// One relaxation work item: apply `views[block]` to local row `row` through
+/// a cut edge of weight `w`.
+struct IngestPair {
+    LocalId row;
+    std::uint32_t block;
+    Weight w;
+};
+
+}  // namespace
+
 double rc_ingest_updates(const LocalSubgraph& sg, DistanceStore& store,
-                         const std::vector<Message>& inbox) {
+                         const std::vector<Message>& inbox, ThreadPool* pool,
+                         std::size_t parallel_grain) {
+    // Pass 1: decode every received block in place (zero copy — the views
+    // point into the message payloads, which outlive this call) and flatten
+    // the work into (row, block, weight) pairs, one per incident cut edge,
+    // in block-arrival order.
+    double ops = 0;
+    std::vector<BoundaryBlockView> views;
+    std::vector<IngestPair> pairs;
+    for (const Message& message : inbox) {
+        if (message.tag != MessageTag::BoundaryDvUpdate) {
+            continue;
+        }
+        for (const BoundaryBlockView& block : decode_boundary_block_views(message.bytes())) {
+            const auto locals = sg.external_neighbors(block.vertex);
+            if (locals.empty() || block.entries.size() == 0) {
+                continue;
+            }
+            ops += static_cast<double>(block.entries.size()) *
+                   static_cast<double>(locals.size());
+            const auto view_index = static_cast<std::uint32_t>(views.size());
+            views.push_back(block);
+            for (const auto& [local, w] : locals) {
+                pairs.push_back({local, view_index, w});
+            }
+        }
+    }
+    if (pairs.empty()) {
+        return ops;
+    }
+
+    // Pass 2: process the pairs in payload *windows*. A round's inbox can be
+    // far larger than the cache, and the blocks incident to one row arrive
+    // scattered across it — sweeping in raw arrival order re-streams every
+    // destination row from DRAM once per incident block. Instead, take blocks
+    // (in arrival order) until their entries total ~kRcIngestWindowBytes,
+    // bucket that window's pairs stably by destination row, and sweep each
+    // row's pairs back to back: the row's cache lines are loaded once per
+    // window instead of once per block, and the window's payload stays
+    // LLC-resident across all of its sweeps. Relaxation outcomes are
+    // bit-identical to the scalar kernel: rows are independent, and within
+    // one row the stable bucketing preserves block-arrival order, so every
+    // (row, column) sees the same candidates in the same order.
+    const std::size_t num_rows = sg.num_local();
+    std::vector<std::uint32_t> bucket(num_rows + 1);
+    std::vector<IngestPair> by_row;        // window pairs grouped by row
+    std::vector<std::uint32_t> group_start;  // pair index where each row group begins
+    std::size_t p = 0;
+    while (p < pairs.size()) {
+        const std::size_t begin = p;
+        std::size_t window_bytes = 0;
+        std::size_t window_attempts = 0;
+        std::uint32_t last_block = std::numeric_limits<std::uint32_t>::max();
+        while (p < pairs.size()) {
+            const IngestPair& pr = pairs[p];
+            if (pr.block != last_block) {
+                // Pairs of one block are consecutive, so windows split only
+                // at block boundaries (a block is never torn across windows).
+                const std::size_t bytes = views[pr.block].entries.size() * sizeof(DvEntry);
+                if (window_bytes != 0 && window_bytes + bytes > kRcIngestWindowBytes) {
+                    break;
+                }
+                window_bytes += bytes;
+                last_block = pr.block;
+            }
+            window_attempts += views[pr.block].entries.size();
+            ++p;
+        }
+
+        // Stable counting sort of the window's pairs by destination row.
+        const std::span<const IngestPair> window(pairs.data() + begin, p - begin);
+        std::fill(bucket.begin(), bucket.end(), 0);
+        for (const IngestPair& pr : window) {
+            ++bucket[pr.row + 1];
+        }
+        for (std::size_t r = 0; r < num_rows; ++r) {
+            bucket[r + 1] += bucket[r];
+        }
+        by_row.resize(window.size());
+        for (const IngestPair& pr : window) {
+            by_row[bucket[pr.row]++] = pr;
+        }
+
+        group_start.clear();
+        for (std::size_t i = 0; i < by_row.size(); ++i) {
+            if (i == 0 || by_row[i].row != by_row[i - 1].row) {
+                group_start.push_back(static_cast<std::uint32_t>(i));
+            }
+        }
+        group_start.push_back(static_cast<std::uint32_t>(by_row.size()));
+
+        // Each group is one destination row — groups are pairwise disjoint,
+        // so they can fan out to the pool with the worklist merge inside the
+        // store as the only shared state per row.
+        const std::size_t num_groups = group_start.size() - 1;
+        if (pool != nullptr && pool->num_threads() > 1 && num_groups > 1 &&
+            window_attempts >= parallel_grain) {
+            pool->parallel_for(0, num_groups, [&](std::size_t g) {
+                for (std::uint32_t i = group_start[g]; i < group_start[g + 1]; ++i) {
+                    store.relax_batch(by_row[i].row, views[by_row[i].block].entries,
+                                      by_row[i].w);
+                }
+            });
+        } else {
+            for (std::size_t g = 0; g < num_groups; ++g) {
+                for (std::uint32_t i = group_start[g]; i < group_start[g + 1]; ++i) {
+                    store.relax_batch(by_row[i].row, views[by_row[i].block].entries,
+                                      by_row[i].w);
+                }
+            }
+        }
+    }
+    return ops;
+}
+
+double rc_propagate_local(const LocalSubgraph& sg, DistanceStore& store,
+                          ThreadPool* pool, std::size_t parallel_grain) {
+    double ops = 0;
+    std::deque<LocalId> worklist;
+    std::vector<std::uint8_t> queued(sg.num_local(), 0);
+    for (LocalId l = 0; l < sg.num_local(); ++l) {
+        if (store.has_prop(l)) {
+            worklist.push_back(l);
+            queued[l] = 1;
+        }
+    }
+
+    struct Target {
+        LocalId v;
+        Weight w;
+    };
+    std::vector<Target> targets;       // reused: local neighbour rows
+    std::vector<std::uint8_t> improved;  // reused: per-target improvement flags
+    std::vector<VertexId> sorted_cols;   // reused: drained columns in column order
+    // Scratch bitmap for linear-time column ordering (one bit per column).
+    std::vector<std::uint64_t> col_bits((store.num_columns() + 63) / 64, 0);
+
+    while (!worklist.empty()) {
+        const LocalId u = worklist.front();
+        worklist.pop_front();
+        queued[u] = 0;
+        const auto cols = store.take_prop(u);
+        if (cols.empty()) {
+            continue;
+        }
+        // Order the drained columns. They are unique (epoch-deduplicated), so
+        // reordering cannot change any relaxation outcome — but a sorted
+        // sweep walks both the source and the target row forward instead of
+        // scattering, and the ordering cost is paid once per drained row yet
+        // reused across all its neighbours. Large drains order via the
+        // scratch bitmap in O(k + columns/64); small ones with a plain sort.
+        sorted_cols.assign(cols.begin(), cols.end());
+        if (sorted_cols.size() >= 64) {
+            for (const VertexId col : sorted_cols) {
+                col_bits[col >> 6] |= std::uint64_t{1} << (col & 63);
+            }
+            sorted_cols.clear();
+            for (std::size_t w = 0; w < col_bits.size(); ++w) {
+                std::uint64_t word = col_bits[w];
+                if (word == 0) {
+                    continue;
+                }
+                col_bits[w] = 0;
+                while (word != 0) {
+                    const auto bit = static_cast<VertexId>(std::countr_zero(word));
+                    sorted_cols.push_back(static_cast<VertexId>(w << 6) + bit);
+                    word &= word - 1;
+                }
+            }
+        } else {
+            std::sort(sorted_cols.begin(), sorted_cols.end());
+        }
+        const auto row_u = store.row(u);
+        targets.clear();
+        for (const Neighbor& nb : sg.neighbors(u)) {
+            if (!sg.owns(nb.to)) {
+                continue;  // cross-rank propagation happens via RC messages
+            }
+            targets.push_back({sg.local_id(nb.to), nb.weight});
+        }
+        if (targets.empty()) {
+            continue;
+        }
+        ops += static_cast<double>(sorted_cols.size()) *
+               static_cast<double>(targets.size());
+
+        // Fan the sweep out only when the work dwarfs the dispatch cost.
+        // Neighbour rows are pairwise distinct (simple graph) and distinct
+        // from u, so each task owns its destination row exclusively; the
+        // worklist merge below is the only synchronization point.
+        if (pool != nullptr && pool->num_threads() > 1 && targets.size() > 1 &&
+            sorted_cols.size() * targets.size() >= parallel_grain) {
+            improved.assign(targets.size(), 0);
+            pool->parallel_for(0, targets.size(), [&](std::size_t i) {
+                improved[i] = store.relax_batch_from_row(targets[i].v, sorted_cols,
+                                                         row_u, targets[i].w) > 0
+                                  ? 1
+                                  : 0;
+            });
+            for (std::size_t i = 0; i < targets.size(); ++i) {
+                const LocalId v = targets[i].v;
+                if (improved[i] != 0 && queued[v] == 0) {
+                    worklist.push_back(v);
+                    queued[v] = 1;
+                }
+            }
+        } else {
+            for (const Target& t : targets) {
+                const bool any =
+                    store.relax_batch_from_row(t.v, sorted_cols, row_u, t.w) > 0;
+                if (any && queued[t.v] == 0) {
+                    worklist.push_back(t.v);
+                    queued[t.v] = 1;
+                }
+            }
+        }
+    }
+    return ops;
+}
+
+double rc_ingest_updates_scalar(const LocalSubgraph& sg, DistanceStore& store,
+                                const std::vector<Message>& inbox) {
     double ops = 0;
     for (const Message& message : inbox) {
         if (message.tag != MessageTag::BoundaryDvUpdate) {
@@ -91,7 +393,7 @@ double rc_ingest_updates(const LocalSubgraph& sg, DistanceStore& store,
     return ops;
 }
 
-double rc_propagate_local(const LocalSubgraph& sg, DistanceStore& store) {
+double rc_propagate_local_scalar(const LocalSubgraph& sg, DistanceStore& store) {
     double ops = 0;
     std::deque<LocalId> worklist;
     std::vector<std::uint8_t> queued(sg.num_local(), 0);

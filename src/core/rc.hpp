@@ -13,33 +13,93 @@
 //
 // The engine sequences these per rank; the functions here are the per-rank
 // kernels and each returns the abstract op count it executed.
+//
+// Execution modes. The default kernels run *batched*: whole DV-entry spans
+// are relaxed through DistanceStore::relax_batch instead of per-element
+// relax() calls, and, when a ThreadPool is supplied, the row sweeps run in
+// parallel (rows are written by exactly one task each; the worklist merge is
+// the only synchronization point). The `_scalar` variants preserve the
+// original per-element implementation as the reference for the
+// kernel-equivalence tests and the ablation bench. All modes execute the
+// same relaxation schedule, so they produce bit-identical distance matrices,
+// identical dirty-set contents, and identical op counts — threading changes
+// host wall-clock time only, never the simulated LogP accounting.
+//
+// Op accounting (what each kernel charges to the simulated clock):
+//   * rc_post_boundary_updates — one op per drained send column (drain +
+//     pack), plus one op per serialized DV entry *per block*, charged once
+//     even when the block is replicated to several destination ranks: the
+//     block is encoded once and the bytes are shared across the outgoing
+//     messages, so charging per destination would double-count work the
+//     implementation (and an MPI rank) does not do. The per-message wire
+//     cost is priced separately by the LogP model from the payload bytes.
+//   * rc_ingest_updates — one op per received DV entry per incident cut
+//     edge (each is one relaxation attempt).
+//   * rc_propagate_local — one op per drained column per local neighbour of
+//     the drained row (again one attempted relaxation each).
 #pragma once
 
 #include "core/distance_store.hpp"
 #include "core/subgraph.hpp"
 #include "runtime/cluster.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace aa {
 
 /// Phase 1: drain every row's send-list and post one BoundaryDvUpdate message
-/// per neighbouring rank that shares a cut edge with the row's vertex.
-/// Send-lists of interior rows are drained too (they have no audience; a row
-/// that later becomes boundary is re-marked in full by the edge-addition
-/// path). Returns ops.
+/// per neighbouring rank that shares a cut edge with the row's vertex. Each
+/// row's block is serialized once and the encoded bytes are appended to every
+/// destination payload (see the accounting note above). Send-lists of
+/// interior rows are drained too (they have no audience; a row that later
+/// becomes boundary is re-marked in full by the edge-addition path).
+/// Returns ops.
 double rc_post_boundary_updates(const LocalSubgraph& sg, DistanceStore& store,
                                 Cluster& cluster);
+
+/// Minimum relaxation-attempt count per payload window before the window's
+/// row groups fan out to the pool: below this, parallel_for dispatch latency
+/// outweighs the sweeps. Tests force the parallel branch by passing 1.
+inline constexpr std::size_t kRcIngestParallelGrain = 8192;
 
 /// Phase 3a: apply received BoundaryDvUpdate messages — relax every local
 /// endpoint of each cut edge incident to an updated external vertex.
 /// Non-BoundaryDvUpdate messages are ignored (callers drain those contexts
-/// separately). Returns ops.
+/// separately). Batched: blocks are decoded in place (zero copy) and
+/// processed in LLC-sized payload windows whose work is grouped by
+/// destination row, so a row is streamed from memory once per window instead
+/// of once per incident block and the window's entries stay cache-resident
+/// across all their sweeps; within each row, block-arrival order is
+/// preserved, keeping results bit-identical to the scalar kernel. With a
+/// multi-thread `pool`, a window's row groups (pairwise-disjoint rows) are
+/// relaxed in parallel. Returns ops.
 double rc_ingest_updates(const LocalSubgraph& sg, DistanceStore& store,
-                         const std::vector<Message>& inbox);
+                         const std::vector<Message>& inbox,
+                         ThreadPool* pool = nullptr,
+                         std::size_t parallel_grain = kRcIngestParallelGrain);
 
-/// Phase 3b: within-rank propagation to fixpoint. Drains the prop worklists,
-/// relaxing neighbouring rows through local edges until quiescent. Returns
-/// ops.
-double rc_propagate_local(const LocalSubgraph& sg, DistanceStore& store);
+/// Minimum relaxation-attempt count (drained columns x neighbour rows) before
+/// one drained row's sweep fans out to the pool: below this, parallel_for
+/// dispatch latency outweighs the sweep. Tests force the parallel branch by
+/// passing 1.
+inline constexpr std::size_t kRcPropagateParallelGrain = 8192;
+
+/// Phase 3b: within-rank propagation to fixpoint. Drains the prop worklists
+/// in FIFO order, relaxing neighbouring rows through local edges until
+/// quiescent. Batched: each drained row's changed columns are swept into
+/// every local neighbour row with relax_batch; with a multi-thread `pool`,
+/// the neighbour rows of one drained row are relaxed in parallel (they are
+/// pairwise distinct, so only the worklist merge needs coordination).
+/// Returns ops.
+double rc_propagate_local(const LocalSubgraph& sg, DistanceStore& store,
+                          ThreadPool* pool = nullptr,
+                          std::size_t parallel_grain = kRcPropagateParallelGrain);
+
+/// Reference implementations: the original one-(row, column)-at-a-time
+/// kernels. Kept as ground truth for tests and the rc-kernel ablation bench;
+/// bit-identical results and op counts to the batched/threaded paths.
+double rc_ingest_updates_scalar(const LocalSubgraph& sg, DistanceStore& store,
+                                const std::vector<Message>& inbox);
+double rc_propagate_local_scalar(const LocalSubgraph& sg, DistanceStore& store);
 
 /// Serialize the payload of one boundary update: repeated blocks of
 /// [global vertex][entry count][entries].
@@ -48,6 +108,25 @@ struct BoundaryBlock {
     std::vector<DvEntry> entries;
 };
 std::vector<std::byte> encode_boundary_blocks(const std::vector<BoundaryBlock>& blocks);
+
+/// Decode a boundary-update payload. The payload is validated structurally
+/// (headers complete, every declared entry count fits in the remaining
+/// bytes — overflow-safely) before any allocation happens; malformed
+/// payloads fail an AA_ASSERT contract check.
 std::vector<BoundaryBlock> decode_boundary_blocks(std::span<const std::byte> payload);
+
+/// Zero-copy variant: the same structural validation, but each block's
+/// entries stay in place as a DvEntrySpan over the payload bytes instead of
+/// being copied into an owning vector. Views are valid only while the
+/// payload's storage is alive — the ingest kernel consumes them inside the
+/// message loop. This is the decode the batched kernel uses: the copying
+/// variant would stream every entry through memory twice before the first
+/// relaxation reads it.
+struct BoundaryBlockView {
+    VertexId vertex;
+    DvEntrySpan entries;
+};
+std::vector<BoundaryBlockView> decode_boundary_block_views(
+    std::span<const std::byte> payload);
 
 }  // namespace aa

@@ -71,6 +71,15 @@ public:
     std::vector<std::byte> take() { return std::move(buffer_); }
     std::size_t size() const { return buffer_.size(); }
 
+    /// The bytes written so far, without giving up the buffer — for callers
+    /// that copy one encoding into several payloads (e.g. a boundary block
+    /// shared by multiple destination ranks).
+    std::span<const std::byte> view() const { return buffer_; }
+
+    /// Forget the contents but keep the capacity, so one Serializer can be
+    /// reused across many small encodings without reallocating.
+    void clear() { buffer_.clear(); }
+
 private:
     std::vector<std::byte> buffer_;
 };
@@ -94,7 +103,10 @@ public:
         requires std::is_trivially_copyable_v<T>
     std::vector<T> read_vector() {
         const auto count = read<std::uint64_t>();
-        AA_ASSERT_MSG(cursor_ + count * sizeof(T) <= data_.size(), "payload underrun");
+        // Divide instead of multiplying: count * sizeof(T) can wrap for a
+        // hostile length prefix, which would pass the check and then attempt
+        // a huge allocation.
+        AA_ASSERT_MSG(count <= (data_.size() - cursor_) / sizeof(T), "payload underrun");
         std::vector<T> values(count);
         std::memcpy(values.data(), data_.data() + cursor_, count * sizeof(T));
         cursor_ += count * sizeof(T);

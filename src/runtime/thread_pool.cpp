@@ -62,14 +62,16 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
         return;
     }
 
+    // The calling thread takes a chunk too: it would otherwise block idle,
+    // wasting a core (and on small hosts, contending context-switches).
     const std::size_t total = end - begin;
-    const std::size_t chunks = std::min(total, workers_.size());
+    const std::size_t chunks = std::min(total, workers_.size() + 1);
     const std::size_t chunk_size = (total + chunks - 1) / chunks;
 
-    {
+    if (chunks > 1) {
         std::lock_guard lock(mutex_);
-        in_flight_ += chunks;
-        for (std::size_t c = 0; c < chunks; ++c) {
+        in_flight_ += chunks - 1;
+        for (std::size_t c = 1; c < chunks; ++c) {
             const std::size_t lo = begin + c * chunk_size;
             const std::size_t hi = std::min(end, lo + chunk_size);
             tasks_.push([lo, hi, &fn] {
@@ -78,11 +80,18 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                 }
             });
         }
+        work_ready_.notify_all();
     }
-    work_ready_.notify_all();
 
-    std::unique_lock lock(mutex_);
-    work_done_.wait(lock, [this] { return in_flight_ == 0; });
+    // Chunk 0 runs inline while the workers drain the rest.
+    for (std::size_t i = begin; i < std::min(end, begin + chunk_size); ++i) {
+        fn(i);
+    }
+
+    if (chunks > 1) {
+        std::unique_lock lock(mutex_);
+        work_done_.wait(lock, [this] { return in_flight_ == 0; });
+    }
 }
 
 }  // namespace aa

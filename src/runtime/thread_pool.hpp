@@ -26,8 +26,11 @@ public:
 
     std::size_t num_threads() const { return workers_.empty() ? 1 : workers_.size(); }
 
-    /// Run fn(i) for i in [begin, end), statically chunked across the pool;
-    /// blocks until all iterations complete. fn must not throw.
+    /// Run fn(i) for i in [begin, end), statically chunked across the pool
+    /// plus the calling thread (which executes the first chunk itself instead
+    /// of blocking idle); returns when all iterations complete. fn must not
+    /// throw. Only one parallel_for may be in flight per pool at a time, and
+    /// fn must not re-enter parallel_for on the same pool.
     void parallel_for(std::size_t begin, std::size_t end,
                       const std::function<void(std::size_t)>& fn);
 

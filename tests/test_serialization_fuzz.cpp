@@ -2,6 +2,8 @@
 // fuzzing that stays deterministic and offline.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/rng.hpp"
 #include "core/rc.hpp"
 #include "runtime/message.hpp"
@@ -87,6 +89,105 @@ TEST_P(SerializerFuzz, BoundaryBlocksRoundTrip) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SerializerFuzz,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
                                            55u, 89u));
+
+// Malformed-payload cases: decode_boundary_blocks validates the structure
+// before allocating anything, so a hostile length prefix must die on the
+// contract check instead of attempting a huge allocation.
+
+TEST(BoundaryBlockValidation, OversizedEntryCountDies) {
+    Serializer out;
+    out.write(VertexId{7});
+    out.write(std::uint64_t{1} << 61);  // declares ~2.3e18 entries, sends none
+    const auto payload = out.take();
+    EXPECT_DEATH((void)decode_boundary_blocks(payload),
+                 "entry count exceeds payload");
+}
+
+TEST(BoundaryBlockValidation, OverflowWrappingEntryCountDies) {
+    // A count chosen so count * sizeof(DvEntry) wraps std::size_t to a tiny
+    // number; the division-based bound check must still reject it.
+    Serializer out;
+    out.write(VertexId{1});
+    const std::uint64_t wrapping =
+        (std::numeric_limits<std::uint64_t>::max() / sizeof(DvEntry)) + 2;
+    out.write(wrapping);
+    const auto payload = out.take();
+    EXPECT_DEATH((void)decode_boundary_blocks(payload),
+                 "entry count exceeds payload");
+}
+
+TEST(BoundaryBlockValidation, DeclaredCountPastPayloadEndDies) {
+    // A structurally plausible block whose count is one larger than the
+    // entries actually shipped.
+    Serializer out;
+    out.write(VertexId{3});
+    out.write(std::uint64_t{3});
+    for (int i = 0; i < 2; ++i) {  // only two entries behind a count of three
+        out.write(DvEntry{static_cast<VertexId>(i), 1.5});
+    }
+    const auto payload = out.take();
+    EXPECT_DEATH((void)decode_boundary_blocks(payload),
+                 "entry count exceeds payload");
+}
+
+TEST(BoundaryBlockValidation, TruncatedHeaderDies) {
+    const std::vector<std::byte> payload(sizeof(VertexId) + 2);  // half a header
+    EXPECT_DEATH((void)decode_boundary_blocks(payload),
+                 "header truncated");
+}
+
+TEST(BoundaryBlockValidation, TrailingGarbageAfterValidBlockDies) {
+    std::vector<BoundaryBlock> blocks(1);
+    blocks[0].vertex = 9;
+    blocks[0].entries.push_back({4, 2.5});
+    auto payload = encode_boundary_blocks(blocks);
+    payload.resize(payload.size() + 5);  // 5 stray bytes: not even a header
+    EXPECT_DEATH((void)decode_boundary_blocks(payload),
+                 "header truncated");
+}
+
+// The zero-copy decoder shares the validation pass with the copying one; the
+// same hostile prefixes must die there too.
+
+TEST(BoundaryBlockValidation, ViewDecoderOversizedEntryCountDies) {
+    Serializer out;
+    out.write(VertexId{7});
+    out.write(std::uint64_t{1} << 61);
+    const auto payload = out.take();
+    EXPECT_DEATH((void)decode_boundary_block_views(payload),
+                 "entry count exceeds payload");
+}
+
+TEST(BoundaryBlockValidation, ViewDecoderTruncatedHeaderDies) {
+    const std::vector<std::byte> payload(sizeof(VertexId) + 2);
+    EXPECT_DEATH((void)decode_boundary_block_views(payload),
+                 "header truncated");
+}
+
+TEST(BoundaryBlockValidation, ViewDecoderMatchesCopyingDecoder) {
+    Rng rng(99);
+    std::vector<BoundaryBlock> blocks(4);
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        blocks[b].vertex = static_cast<VertexId>(100 + b);
+        const std::size_t count = rng.uniform(50);
+        for (std::size_t i = 0; i < count; ++i) {
+            blocks[b].entries.push_back(
+                {static_cast<VertexId>(rng.uniform(1000)), rng.uniform(0.1, 9.0)});
+        }
+    }
+    const auto payload = encode_boundary_blocks(blocks);
+    const auto copies = decode_boundary_blocks(payload);
+    const auto views = decode_boundary_block_views(payload);
+    ASSERT_EQ(copies.size(), views.size());
+    for (std::size_t b = 0; b < copies.size(); ++b) {
+        EXPECT_EQ(copies[b].vertex, views[b].vertex);
+        ASSERT_EQ(copies[b].entries.size(), views[b].entries.size());
+        for (std::size_t i = 0; i < copies[b].entries.size(); ++i) {
+            EXPECT_EQ(copies[b].entries[i].column, views[b].entries[i].column);
+            EXPECT_EQ(copies[b].entries[i].distance, views[b].entries[i].distance);
+        }
+    }
+}
 
 }  // namespace
 }  // namespace aa

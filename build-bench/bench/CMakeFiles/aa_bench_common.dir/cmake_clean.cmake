@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aa_bench_common.dir/harness.cpp.o"
+  "CMakeFiles/aa_bench_common.dir/harness.cpp.o.d"
+  "libaa_bench_common.a"
+  "libaa_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aa_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaa_bench_common.a"
+)

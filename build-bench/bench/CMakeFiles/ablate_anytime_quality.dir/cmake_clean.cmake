@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_anytime_quality.dir/ablate_anytime_quality.cpp.o"
+  "CMakeFiles/ablate_anytime_quality.dir/ablate_anytime_quality.cpp.o.d"
+  "ablate_anytime_quality"
+  "ablate_anytime_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_anytime_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_anytime_quality.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_betweenness_anytime.dir/ablate_betweenness_anytime.cpp.o"
+  "CMakeFiles/ablate_betweenness_anytime.dir/ablate_betweenness_anytime.cpp.o.d"
+  "ablate_betweenness_anytime"
+  "ablate_betweenness_anytime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_betweenness_anytime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

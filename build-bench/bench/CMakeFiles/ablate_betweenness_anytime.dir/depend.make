@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_betweenness_anytime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_comm_schedule.dir/ablate_comm_schedule.cpp.o"
+  "CMakeFiles/ablate_comm_schedule.dir/ablate_comm_schedule.cpp.o.d"
+  "ablate_comm_schedule"
+  "ablate_comm_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_comm_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_comm_schedule.
+# This may be replaced when dependencies are built.

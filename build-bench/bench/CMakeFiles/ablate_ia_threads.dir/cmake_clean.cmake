@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_ia_threads.dir/ablate_ia_threads.cpp.o"
+  "CMakeFiles/ablate_ia_threads.dir/ablate_ia_threads.cpp.o.d"
+  "ablate_ia_threads"
+  "ablate_ia_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_ia_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

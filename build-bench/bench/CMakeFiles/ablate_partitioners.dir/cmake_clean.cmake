@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_partitioners.dir/ablate_partitioners.cpp.o"
+  "CMakeFiles/ablate_partitioners.dir/ablate_partitioners.cpp.o.d"
+  "ablate_partitioners"
+  "ablate_partitioners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_partitioners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_partitioners.
+# This may be replaced when dependencies are built.

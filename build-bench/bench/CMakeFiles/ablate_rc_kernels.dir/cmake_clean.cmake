@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_rc_kernels.dir/ablate_rc_kernels.cpp.o"
+  "CMakeFiles/ablate_rc_kernels.dir/ablate_rc_kernels.cpp.o.d"
+  "ablate_rc_kernels"
+  "ablate_rc_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_rc_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_repartition_mode.dir/ablate_repartition_mode.cpp.o"
+  "CMakeFiles/ablate_repartition_mode.dir/ablate_repartition_mode.cpp.o.d"
+  "ablate_repartition_mode"
+  "ablate_repartition_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_repartition_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_repartition_mode.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_scaling.dir/ablate_scaling.cpp.o"
+  "CMakeFiles/ablate_scaling.dir/ablate_scaling.cpp.o.d"
+  "ablate_scaling"
+  "ablate_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_restart_vs_anytime.dir/fig4_restart_vs_anytime.cpp.o"
+  "CMakeFiles/fig4_restart_vs_anytime.dir/fig4_restart_vs_anytime.cpp.o.d"
+  "fig4_restart_vs_anytime"
+  "fig4_restart_vs_anytime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_restart_vs_anytime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

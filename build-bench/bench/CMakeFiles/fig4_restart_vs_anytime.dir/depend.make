@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_restart_vs_anytime.
+# This may be replaced when dependencies are built.

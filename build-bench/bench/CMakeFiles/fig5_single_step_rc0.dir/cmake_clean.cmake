@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_single_step_rc0.dir/fig5_single_step_rc0.cpp.o"
+  "CMakeFiles/fig5_single_step_rc0.dir/fig5_single_step_rc0.cpp.o.d"
+  "fig5_single_step_rc0"
+  "fig5_single_step_rc0.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_single_step_rc0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

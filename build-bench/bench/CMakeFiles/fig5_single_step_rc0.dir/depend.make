@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_single_step_rc0.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_single_step_rc8.dir/fig6_single_step_rc8.cpp.o"
+  "CMakeFiles/fig6_single_step_rc8.dir/fig6_single_step_rc8.cpp.o.d"
+  "fig6_single_step_rc8"
+  "fig6_single_step_rc8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_single_step_rc8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_single_step_rc8.
+# This may be replaced when dependencies are built.

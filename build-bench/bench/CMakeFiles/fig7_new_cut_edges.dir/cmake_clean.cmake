@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_new_cut_edges.dir/fig7_new_cut_edges.cpp.o"
+  "CMakeFiles/fig7_new_cut_edges.dir/fig7_new_cut_edges.cpp.o.d"
+  "fig7_new_cut_edges"
+  "fig7_new_cut_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_new_cut_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

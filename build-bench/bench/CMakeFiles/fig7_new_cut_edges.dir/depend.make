@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_new_cut_edges.
+# This may be replaced when dependencies are built.

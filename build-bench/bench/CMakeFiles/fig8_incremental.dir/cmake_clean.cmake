@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_incremental.dir/fig8_incremental.cpp.o"
+  "CMakeFiles/fig8_incremental.dir/fig8_incremental.cpp.o.d"
+  "fig8_incremental"
+  "fig8_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/aa.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/aa.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/aa.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/aa.dir/common/rng.cpp.o.d"
+  "/root/repo/src/core/baseline.cpp" "src/CMakeFiles/aa.dir/core/baseline.cpp.o" "gcc" "src/CMakeFiles/aa.dir/core/baseline.cpp.o.d"
+  "/root/repo/src/core/closeness.cpp" "src/CMakeFiles/aa.dir/core/closeness.cpp.o" "gcc" "src/CMakeFiles/aa.dir/core/closeness.cpp.o.d"
+  "/root/repo/src/core/distance_store.cpp" "src/CMakeFiles/aa.dir/core/distance_store.cpp.o" "gcc" "src/CMakeFiles/aa.dir/core/distance_store.cpp.o.d"
+  "/root/repo/src/core/edge_add.cpp" "src/CMakeFiles/aa.dir/core/edge_add.cpp.o" "gcc" "src/CMakeFiles/aa.dir/core/edge_add.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/CMakeFiles/aa.dir/core/engine.cpp.o" "gcc" "src/CMakeFiles/aa.dir/core/engine.cpp.o.d"
+  "/root/repo/src/core/ia.cpp" "src/CMakeFiles/aa.dir/core/ia.cpp.o" "gcc" "src/CMakeFiles/aa.dir/core/ia.cpp.o.d"
+  "/root/repo/src/core/quality.cpp" "src/CMakeFiles/aa.dir/core/quality.cpp.o" "gcc" "src/CMakeFiles/aa.dir/core/quality.cpp.o.d"
+  "/root/repo/src/core/rc.cpp" "src/CMakeFiles/aa.dir/core/rc.cpp.o" "gcc" "src/CMakeFiles/aa.dir/core/rc.cpp.o.d"
+  "/root/repo/src/core/repartition.cpp" "src/CMakeFiles/aa.dir/core/repartition.cpp.o" "gcc" "src/CMakeFiles/aa.dir/core/repartition.cpp.o.d"
+  "/root/repo/src/core/strategies.cpp" "src/CMakeFiles/aa.dir/core/strategies.cpp.o" "gcc" "src/CMakeFiles/aa.dir/core/strategies.cpp.o.d"
+  "/root/repo/src/core/subgraph.cpp" "src/CMakeFiles/aa.dir/core/subgraph.cpp.o" "gcc" "src/CMakeFiles/aa.dir/core/subgraph.cpp.o.d"
+  "/root/repo/src/graph/community.cpp" "src/CMakeFiles/aa.dir/graph/community.cpp.o" "gcc" "src/CMakeFiles/aa.dir/graph/community.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/CMakeFiles/aa.dir/graph/csr.cpp.o" "gcc" "src/CMakeFiles/aa.dir/graph/csr.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/aa.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/aa.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/aa.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/aa.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/aa.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/aa.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/metrics.cpp" "src/CMakeFiles/aa.dir/graph/metrics.cpp.o" "gcc" "src/CMakeFiles/aa.dir/graph/metrics.cpp.o.d"
+  "/root/repo/src/measures/betweenness.cpp" "src/CMakeFiles/aa.dir/measures/betweenness.cpp.o" "gcc" "src/CMakeFiles/aa.dir/measures/betweenness.cpp.o.d"
+  "/root/repo/src/measures/degree.cpp" "src/CMakeFiles/aa.dir/measures/degree.cpp.o" "gcc" "src/CMakeFiles/aa.dir/measures/degree.cpp.o.d"
+  "/root/repo/src/measures/pagerank.cpp" "src/CMakeFiles/aa.dir/measures/pagerank.cpp.o" "gcc" "src/CMakeFiles/aa.dir/measures/pagerank.cpp.o.d"
+  "/root/repo/src/partition/coarsen.cpp" "src/CMakeFiles/aa.dir/partition/coarsen.cpp.o" "gcc" "src/CMakeFiles/aa.dir/partition/coarsen.cpp.o.d"
+  "/root/repo/src/partition/initial.cpp" "src/CMakeFiles/aa.dir/partition/initial.cpp.o" "gcc" "src/CMakeFiles/aa.dir/partition/initial.cpp.o.d"
+  "/root/repo/src/partition/matching.cpp" "src/CMakeFiles/aa.dir/partition/matching.cpp.o" "gcc" "src/CMakeFiles/aa.dir/partition/matching.cpp.o.d"
+  "/root/repo/src/partition/multilevel.cpp" "src/CMakeFiles/aa.dir/partition/multilevel.cpp.o" "gcc" "src/CMakeFiles/aa.dir/partition/multilevel.cpp.o.d"
+  "/root/repo/src/partition/partition.cpp" "src/CMakeFiles/aa.dir/partition/partition.cpp.o" "gcc" "src/CMakeFiles/aa.dir/partition/partition.cpp.o.d"
+  "/root/repo/src/partition/refine.cpp" "src/CMakeFiles/aa.dir/partition/refine.cpp.o" "gcc" "src/CMakeFiles/aa.dir/partition/refine.cpp.o.d"
+  "/root/repo/src/partition/simple.cpp" "src/CMakeFiles/aa.dir/partition/simple.cpp.o" "gcc" "src/CMakeFiles/aa.dir/partition/simple.cpp.o.d"
+  "/root/repo/src/runtime/alltoall.cpp" "src/CMakeFiles/aa.dir/runtime/alltoall.cpp.o" "gcc" "src/CMakeFiles/aa.dir/runtime/alltoall.cpp.o.d"
+  "/root/repo/src/runtime/cluster.cpp" "src/CMakeFiles/aa.dir/runtime/cluster.cpp.o" "gcc" "src/CMakeFiles/aa.dir/runtime/cluster.cpp.o.d"
+  "/root/repo/src/runtime/logp.cpp" "src/CMakeFiles/aa.dir/runtime/logp.cpp.o" "gcc" "src/CMakeFiles/aa.dir/runtime/logp.cpp.o.d"
+  "/root/repo/src/runtime/mailbox.cpp" "src/CMakeFiles/aa.dir/runtime/mailbox.cpp.o" "gcc" "src/CMakeFiles/aa.dir/runtime/mailbox.cpp.o.d"
+  "/root/repo/src/runtime/thread_pool.cpp" "src/CMakeFiles/aa.dir/runtime/thread_pool.cpp.o" "gcc" "src/CMakeFiles/aa.dir/runtime/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

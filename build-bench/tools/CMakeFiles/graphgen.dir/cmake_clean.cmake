@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphgen.dir/graphgen.cpp.o"
+  "CMakeFiles/graphgen.dir/graphgen.cpp.o.d"
+  "graphgen"
+  "graphgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

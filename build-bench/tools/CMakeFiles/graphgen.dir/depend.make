@@ -1,0 +1,2 @@
+# Empty dependencies file for graphgen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_runner.dir/scenario_runner.cpp.o"
+  "CMakeFiles/scenario_runner.dir/scenario_runner.cpp.o.d"
+  "scenario_runner"
+  "scenario_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_replay.dir/temporal_replay.cpp.o"
+  "CMakeFiles/temporal_replay.dir/temporal_replay.cpp.o.d"
+  "temporal_replay"
+  "temporal_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

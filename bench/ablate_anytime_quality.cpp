@@ -73,5 +73,9 @@ int main(int argc, char** argv) {
     }
     table.print();
     table.write_csv(options.csv);
+    JsonReport report = make_report("ablate_anytime_quality", options);
+    report.add_timeline("anytime_quality", engine);
+    report.set_table(table);
+    report.write();
     return 0;
 }

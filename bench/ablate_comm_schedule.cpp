@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
     std::printf("Ablation C: communication schedule, %zu-vertex graph, %u ranks\n\n",
                 host.num_vertices(), options.ranks);
 
+    JsonReport report = make_report("ablate_comm_schedule", options);
     Table table({"schedule", "total_s", "comm_s", "comm_share", "rc_steps"});
     const std::pair<CommSchedule, const char*> schedules[] = {
         {CommSchedule::SerializedAllToAll, "serialized_all_to_all"},
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
         AnytimeEngine engine(host, config);
         engine.initialize();
         const std::size_t steps = engine.run_to_quiescence();
+        report.add_timeline(name, engine);
         const double total = engine.sim_seconds();
         const double comm = engine.cluster().stats().comm_seconds;
         table.add_row({name, fmt_seconds(total), fmt_seconds(comm),
@@ -38,5 +40,7 @@ int main(int argc, char** argv) {
     }
     table.print();
     table.write_csv(options.csv);
+    report.set_table(table);
+    report.write();
     return 0;
 }

@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "core/ia.hpp"
 #include "core/rc.hpp"
@@ -154,13 +155,20 @@ struct ModeResult {
     double checksum{0};
 };
 
+/// One full relaxation schedule in `mode`. `metrics`, when non-null, is
+/// attached to the cluster and receives one wall-clock span per phase per
+/// rank per round ("rc.post" / "rc.exchange" / "rc.ingest" / "rc.propagate",
+/// bytes/messages from the kernel profiles) — the measured runs pass nullptr
+/// (or a disabled registry, for the overhead check) so the hot path is the
+/// production one.
 ModeResult run_mode(const RankState& base, Mode mode, std::size_t threads,
-                    int rounds) {
+                    int rounds, MetricsRegistry* metrics = nullptr) {
     using Clock = std::chrono::steady_clock;
     const std::uint32_t num_ranks = base.cluster.num_ranks();
     // Fresh working copy: every mode starts from the identical post-IA state.
     std::vector<DistanceStore> stores = base.stores;
     Cluster cluster(num_ranks);
+    cluster.set_metrics(metrics);
     std::unique_ptr<ThreadPool> pool;
     if (mode == Mode::Threaded) {
         pool = std::make_unique<ThreadPool>(threads);
@@ -168,16 +176,45 @@ ModeResult run_mode(const RankState& base, Mode mode, std::size_t threads,
 
     ModeResult result;
     const auto t_start = Clock::now();
+    const bool mx = metrics != nullptr && metrics->enabled();
+    const auto secs = [&t_start](Clock::time_point tp) {
+        return std::chrono::duration<double>(tp - t_start).count();
+    };
     for (int round = 0; round < rounds; ++round) {
         for (RankId r = 0; r < num_ranks; ++r) {
-            result.ops += rc_post_boundary_updates(base.sgs[r], stores[r], cluster);
+            RcPostProfile post_profile;
+            const auto p0 = Clock::now();
+            result.ops += rc_post_boundary_updates(base.sgs[r], stores[r], cluster,
+                                                   mx ? &post_profile : nullptr);
+            if (mx) {
+                MetricSpan span;
+                span.name = "rc.post";
+                span.rank = static_cast<std::int32_t>(r);
+                span.step = round + 1;
+                span.t_begin = secs(p0);
+                span.t_end = secs(Clock::now());
+                span.bytes = post_profile.bytes;
+                span.messages = post_profile.messages;
+                metrics->record_span(std::move(span));
+            }
         }
         if (!cluster.has_pending_messages()) {
             break;
         }
+        const auto x0 = Clock::now();
         cluster.exchange();
+        if (mx) {
+            MetricSpan span;
+            span.name = "rc.exchange";
+            span.step = round + 1;
+            span.t_begin = secs(x0);
+            span.t_end = secs(Clock::now());
+            metrics->record_span(std::move(span));
+        }
         for (RankId r = 0; r < num_ranks; ++r) {
             const auto inbox = cluster.receive(r);
+            RcIngestProfile ingest_profile;
+            RcPropagateProfile prop_profile;
             const auto t0 = Clock::now();
             double ingest = 0;
             double propagate = 0;
@@ -186,10 +223,14 @@ ModeResult run_mode(const RankState& base, Mode mode, std::size_t threads,
                     ingest = rc_ingest_updates_scalar(base.sgs[r], stores[r], inbox);
                     break;
                 case Mode::Batched:
-                    ingest = rc_ingest_updates(base.sgs[r], stores[r], inbox);
+                    ingest = rc_ingest_updates(base.sgs[r], stores[r], inbox,
+                                               nullptr, kRcIngestParallelGrain,
+                                               mx ? &ingest_profile : nullptr);
                     break;
                 case Mode::Threaded:
-                    ingest = rc_ingest_updates(base.sgs[r], stores[r], inbox, pool.get());
+                    ingest = rc_ingest_updates(base.sgs[r], stores[r], inbox,
+                                               pool.get(), kRcIngestParallelGrain,
+                                               mx ? &ingest_profile : nullptr);
                     break;
             }
             const auto t1 = Clock::now();
@@ -198,13 +239,40 @@ ModeResult run_mode(const RankState& base, Mode mode, std::size_t threads,
                     propagate = rc_propagate_local_scalar(base.sgs[r], stores[r]);
                     break;
                 case Mode::Batched:
-                    propagate = rc_propagate_local(base.sgs[r], stores[r]);
+                    propagate = rc_propagate_local(base.sgs[r], stores[r], nullptr,
+                                                   kRcPropagateParallelGrain,
+                                                   mx ? &prop_profile : nullptr);
                     break;
                 case Mode::Threaded:
-                    propagate = rc_propagate_local(base.sgs[r], stores[r], pool.get());
+                    propagate = rc_propagate_local(base.sgs[r], stores[r],
+                                                   pool.get(),
+                                                   kRcPropagateParallelGrain,
+                                                   mx ? &prop_profile : nullptr);
                     break;
             }
             const auto t2 = Clock::now();
+            if (mx) {
+                MetricSpan ingest_span;
+                ingest_span.name = "rc.ingest";
+                ingest_span.rank = static_cast<std::int32_t>(r);
+                ingest_span.step = round + 1;
+                ingest_span.t_begin = secs(t0);
+                ingest_span.t_end = secs(t1);
+                ingest_span.ops = ingest;
+                ingest_span.attrs.emplace_back(
+                    "entries", std::to_string(ingest_profile.entries));
+                metrics->record_span(std::move(ingest_span));
+                MetricSpan prop_span;
+                prop_span.name = "rc.propagate";
+                prop_span.rank = static_cast<std::int32_t>(r);
+                prop_span.step = round + 1;
+                prop_span.t_begin = secs(t1);
+                prop_span.t_end = secs(t2);
+                prop_span.ops = propagate;
+                prop_span.attrs.emplace_back(
+                    "rows_drained", std::to_string(prop_profile.rows_drained));
+                metrics->record_span(std::move(prop_span));
+            }
             result.ingest_ops += ingest;
             result.propagate_ops += propagate;
             result.ops += ingest + propagate;
@@ -248,14 +316,18 @@ int main(int argc, char** argv) {
             ",\n  \"seed\": " + std::to_string(opt.seed) + ",\n";
     // Threaded-mode wall clock only reflects the pool when the host actually
     // has cores to run it; record the host's concurrency so the JSON is
-    // interpretable wherever it was produced.
-    json += "  \"host_hardware_concurrency\": " +
-            std::to_string(std::thread::hardware_concurrency()) + ",\n  \"configs\": [\n";
-    if (std::thread::hardware_concurrency() < opt.threads) {
+    // interpretable wherever it was produced. hardware_concurrency() may
+    // return 0 when the value is not computable — treat that as one thread
+    // rather than emitting a bogus 0 / tripping the comparison below.
+    const unsigned hw_threads_raw = std::thread::hardware_concurrency();
+    const unsigned hw_threads = hw_threads_raw == 0 ? 1 : hw_threads_raw;
+    json += "  \"host_hardware_concurrency\": " + std::to_string(hw_threads) +
+            ",\n  \"configs\": [\n";
+    if (hw_threads < opt.threads) {
         std::printf(
             "   note: host has %u hardware thread(s) < %zu bench threads; "
             "threaded mode cannot show parallel speedup here\n",
-            std::thread::hardware_concurrency(), opt.threads);
+            hw_threads, opt.threads);
     }
 
     bool first_config = true;
@@ -298,6 +370,22 @@ int main(int argc, char** argv) {
         std::printf("   speedup: batched %.2fx, batched+threaded %.2fx\n", sp_batched,
                     sp_threaded);
 
+        // Overhead check: rerun Batched with a *disabled* registry attached.
+        // Every metrics hook is live but short-circuits on the enabled bit,
+        // so this must match the plain Batched run to noise.
+        MetricsRegistry disabled;
+        const ModeResult off =
+            run_mode(*state, Mode::Batched, opt.threads, opt.rounds, &disabled);
+        const double off_ratio = off.kernel_seconds / results[1].kernel_seconds;
+        std::printf("   disabled-metrics kernel %8.3fs (%.3fx of batched)\n",
+                    off.kernel_seconds, off_ratio);
+
+        // Separate instrumented pass (excluded from the measured numbers) so
+        // the JSON carries a per-round, per-rank wall-clock timeline.
+        MetricsRegistry instrumented;
+        instrumented.enable();
+        (void)run_mode(*state, Mode::Batched, opt.threads, opt.rounds, &instrumented);
+
         if (!first_config) {
             json += ",\n";
         }
@@ -317,12 +405,15 @@ int main(int argc, char** argv) {
                           results[m].total_seconds, results[m].ops);
             json += buf;
         }
-        char sp[160];
+        char sp[256];
         std::snprintf(sp, sizeof(sp),
                       "], \"speedup_batched\": %.3f, \"speedup_batched_threaded\": "
-                      "%.3f}",
-                      sp_batched, sp_threaded);
+                      "%.3f, \"disabled_metrics_kernel_seconds\": %.6f, "
+                      "\"disabled_metrics_overhead\": %.3f,\n     \"timeline\": ",
+                      sp_batched, sp_threaded, off.kernel_seconds, off_ratio);
         json += sp;
+        json += metrics_to_json(instrumented, 5);
+        json += "}";
     }
     json += "\n  ]\n}\n";
 

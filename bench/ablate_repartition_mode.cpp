@@ -18,7 +18,9 @@ struct Outcome {
 };
 
 Outcome run(const aa::DynamicGraph& host, aa::EngineConfig config,
-            aa::RepartitionMode mode, const aa::GrowthBatch& batch) {
+            aa::RepartitionMode mode, const aa::GrowthBatch& batch,
+            aa::bench::JsonReport* report = nullptr,
+            const std::string& label = "") {
     config.repartition_mode = mode;
     aa::AnytimeEngine engine(host, config);
     engine.initialize();
@@ -26,6 +28,9 @@ Outcome run(const aa::DynamicGraph& host, aa::EngineConfig config,
     aa::RepartitionS strategy;
     engine.apply_addition(batch, strategy);
     engine.run_to_quiescence();
+    if (report != nullptr) {
+        report->add_timeline(label, engine);
+    }
     return {engine.sim_seconds(), engine.current_cut_edges()};
 }
 
@@ -44,12 +49,18 @@ int main(int argc, char** argv) {
                 "%u ranks, batch at RC8\n\n",
                 host.num_vertices(), options.ranks);
 
+    JsonReport report = make_report("ablate_repartition_mode", options);
+    const auto batch_sizes = figure5_batch_sizes(options);
     Table table({"batch", "scratch_s", "scratch_cut", "adaptive_s", "adaptive_cut"});
-    for (const std::size_t batch_size : figure5_batch_sizes(options)) {
+    for (const std::size_t batch_size : batch_sizes) {
         const GrowthBatch batch =
             make_batch(host.num_vertices(), batch_size, options.seed + batch_size);
-        const Outcome scratch = run(host, config, RepartitionMode::Scratch, batch);
-        const Outcome adaptive = run(host, config, RepartitionMode::Adaptive, batch);
+        JsonReport* rp = batch_size == batch_sizes.back() ? &report : nullptr;
+        const std::string tag = "@" + std::to_string(batch_size);
+        const Outcome scratch = run(host, config, RepartitionMode::Scratch, batch,
+                                    rp, "scratch" + tag);
+        const Outcome adaptive = run(host, config, RepartitionMode::Adaptive, batch,
+                                     rp, "adaptive" + tag);
         table.add_row({std::to_string(batch_size), fmt_seconds(scratch.seconds),
                        std::to_string(scratch.cut_edges),
                        fmt_seconds(adaptive.seconds),
@@ -57,5 +68,7 @@ int main(int argc, char** argv) {
     }
     table.print();
     table.write_csv(options.csv);
+    report.set_table(table);
+    report.write();
     return 0;
 }

@@ -24,16 +24,22 @@ struct Measured {
     std::size_t bytes;
 };
 
-Measured run(std::size_t n, std::uint32_t ranks, std::uint64_t seed) {
+Measured run(std::size_t n, std::uint32_t ranks, std::uint64_t seed,
+             aa::bench::JsonReport* report = nullptr,
+             const std::string& label = "") {
     aa::bench::Options options;
     options.vertices = n;
     options.ranks = ranks;
     options.seed = seed;
-    const aa::EngineConfig config = aa::bench::engine_config(options);
+    aa::EngineConfig config = aa::bench::engine_config(options);
+    config.enable_metrics = report != nullptr && report->wanted();
     const aa::DynamicGraph host = aa::bench::make_host_graph(options);
     aa::AnytimeEngine engine(host, config);
     engine.initialize();
     const std::size_t steps = engine.run_to_quiescence();
+    if (report != nullptr) {
+        report->add_timeline(label, engine);
+    }
     return {engine.sim_seconds(), steps, engine.cluster().stats().total_bytes};
 }
 
@@ -46,13 +52,15 @@ int main(int argc, char** argv) {
         parse_options(argc, argv, "ablation: scaling vs the paper's analysis");
 
     std::printf("Ablation F: measured scaling vs the paper's §IV analysis\n\n");
+    JsonReport report = make_report("ablate_scaling", options);
 
     {
         Table table({"n", "total_s", "bytes", "rc_steps", "slope_vs_prev"});
         double prev_time = 0;
         std::size_t prev_n = 0;
         for (const std::size_t n : {300u, 600u, 1200u}) {
-            const Measured m = run(n, options.ranks, options.seed);
+            const Measured m = run(n, options.ranks, options.seed, &report,
+                                   "n=" + std::to_string(n));
             std::string slope = "-";
             if (prev_n != 0) {
                 slope = fmt_double(std::log(m.total_s / prev_time) /
@@ -69,12 +77,14 @@ int main(int argc, char** argv) {
         std::printf("n sweep at P=%u (expect slope ~2: quadratic DV traffic):\n",
                     options.ranks);
         table.print();
+        report.set_table(table);
     }
 
     {
         Table table({"P", "total_s", "bytes", "rc_steps"});
         for (const std::uint32_t p : {4u, 8u, 16u, 32u}) {
-            const Measured m = run(options.scaled_vertices(), p, options.seed);
+            const Measured m = run(options.scaled_vertices(), p, options.seed,
+                                   &report, "P=" + std::to_string(p));
             table.add_row({std::to_string(p), fmt_seconds(m.total_s),
                            std::to_string(m.bytes), std::to_string(m.steps)});
         }
@@ -83,5 +93,6 @@ int main(int argc, char** argv) {
                     options.scaled_vertices());
         table.print();
     }
+    report.write();
     return 0;
 }

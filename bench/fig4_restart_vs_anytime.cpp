@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
 
     // The undisturbed static analysis, as the anytime baseline to subtract.
     const StaticRun undisturbed = static_run(host, config);
+    JsonReport report = make_report("fig4_restart_vs_anytime", options);
 
     // For the restart policy, change-attributable and end-to-end coincide:
     // wasted progress + full recomputation is both the cost of the change
@@ -55,6 +56,7 @@ int main(int argc, char** argv) {
         RoundRobinPS strategy;
         engine.apply_addition(batch, strategy);
         engine.run_to_quiescence();
+        report.add_timeline("anytime@RC" + std::to_string(inject_step), engine);
         const double anytime_total = engine.sim_seconds();
         const double anytime_change =
             std::max(0.0, anytime_total - undisturbed.sim_seconds);
@@ -73,5 +75,7 @@ int main(int argc, char** argv) {
     }
     table.print();
     table.write_csv(options.csv);
+    report.set_table(table);
+    report.write();
     return 0;
 }

@@ -15,12 +15,17 @@ namespace {
 
 double run_scenario(const aa::DynamicGraph& host, const aa::EngineConfig& config,
                     std::size_t inject_step, const aa::GrowthBatch& batch,
-                    aa::VertexAdditionStrategy& strategy) {
+                    aa::VertexAdditionStrategy& strategy,
+                    aa::bench::JsonReport* report = nullptr,
+                    const std::string& label = "") {
     aa::AnytimeEngine engine(host, config);
     engine.initialize();
     engine.run_rc_steps(inject_step);
     engine.apply_addition(batch, strategy);
     engine.run_to_quiescence();
+    if (report != nullptr) {
+        report->add_timeline(label, engine);
+    }
     return engine.sim_seconds();
 }
 
@@ -38,19 +43,28 @@ int main(int argc, char** argv) {
     std::printf("Figure 6: vertex additions at RC8 on a %zu-vertex graph, %u ranks\n\n",
                 host.num_vertices(), options.ranks);
 
+    JsonReport report = make_report("fig6_single_step_rc8", options);
+    const auto batch_sizes = figure5_batch_sizes(options);
     Table table({"batch", "repartition_s", "cutedge_ps_s", "roundrobin_ps_s"});
-    for (const std::size_t batch_size : figure5_batch_sizes(options)) {
+    for (const std::size_t batch_size : batch_sizes) {
         const GrowthBatch batch =
             make_batch(host.num_vertices(), batch_size, options.seed + batch_size);
         RepartitionS repartition;
         CutEdgePS cut_edge(options.seed * 3 + 1);
         RoundRobinPS round_robin;
+        JsonReport* rp = batch_size == batch_sizes.back() ? &report : nullptr;
+        const std::string tag = "@" + std::to_string(batch_size);
         table.add_row({std::to_string(batch_size),
-                       fmt_seconds(run_scenario(host, config, 8, batch, repartition)),
-                       fmt_seconds(run_scenario(host, config, 8, batch, cut_edge)),
-                       fmt_seconds(run_scenario(host, config, 8, batch, round_robin))});
+                       fmt_seconds(run_scenario(host, config, 8, batch, repartition,
+                                                rp, "repartition" + tag)),
+                       fmt_seconds(run_scenario(host, config, 8, batch, cut_edge,
+                                                rp, "cutedge_ps" + tag)),
+                       fmt_seconds(run_scenario(host, config, 8, batch, round_robin,
+                                                rp, "roundrobin_ps" + tag))});
     }
     table.print();
     table.write_csv(options.csv);
+    report.set_table(table);
+    report.write();
     return 0;
 }

@@ -18,12 +18,18 @@ namespace {
 /// Repartition-S can make the total cut smaller than before the batch).
 long long new_cut_edges(const aa::DynamicGraph& host, const aa::EngineConfig& config,
                         const aa::GrowthBatch& batch,
-                        aa::VertexAdditionStrategy& strategy) {
+                        aa::VertexAdditionStrategy& strategy,
+                        aa::bench::JsonReport* report = nullptr,
+                        const std::string& label = "") {
     aa::AnytimeEngine engine(host, config);
     engine.initialize();
     engine.run_to_quiescence();
     const auto before = static_cast<long long>(engine.current_cut_edges());
     engine.apply_addition(batch, strategy);
+    if (report != nullptr) {
+        // The "add" span in the timeline carries new_cut_edges itself.
+        report->add_timeline(label, engine);
+    }
     return static_cast<long long>(engine.current_cut_edges()) - before;
 }
 
@@ -42,20 +48,29 @@ int main(int argc, char** argv) {
                 "(negative = repartitioning lowered the total cut)\n\n",
                 host.num_vertices(), options.ranks);
 
+    JsonReport report = make_report("fig7_new_cut_edges", options);
+    const auto batch_sizes = figure5_batch_sizes(options);
     Table table({"batch", "repartition_s", "cutedge_ps", "roundrobin_ps"});
-    for (const std::size_t batch_size : figure5_batch_sizes(options)) {
+    for (const std::size_t batch_size : batch_sizes) {
         const GrowthBatch batch =
             make_batch(host.num_vertices(), batch_size, options.seed + batch_size);
         RepartitionS repartition;
         CutEdgePS cut_edge(options.seed * 3 + 1);
         RoundRobinPS round_robin;
+        JsonReport* rp = batch_size == batch_sizes.back() ? &report : nullptr;
+        const std::string tag = "@" + std::to_string(batch_size);
         table.add_row(
             {std::to_string(batch_size),
-             std::to_string(new_cut_edges(host, config, batch, repartition)),
-             std::to_string(new_cut_edges(host, config, batch, cut_edge)),
-             std::to_string(new_cut_edges(host, config, batch, round_robin))});
+             std::to_string(new_cut_edges(host, config, batch, repartition, rp,
+                                          "repartition" + tag)),
+             std::to_string(new_cut_edges(host, config, batch, cut_edge, rp,
+                                          "cutedge_ps" + tag)),
+             std::to_string(new_cut_edges(host, config, batch, round_robin, rp,
+                                          "roundrobin_ps" + tag))});
     }
     table.print();
     table.write_csv(options.csv);
+    report.set_table(table);
+    report.write();
     return 0;
 }

@@ -20,7 +20,9 @@ constexpr std::size_t kSteps = 10;
 /// `strategy`, then converge fully at the end. Returns simulated seconds.
 double incremental_run(const aa::DynamicGraph& host, const aa::EngineConfig& config,
                        std::size_t per_step, aa::VertexAdditionStrategy& strategy,
-                       std::uint64_t seed) {
+                       std::uint64_t seed,
+                       aa::bench::JsonReport* report = nullptr,
+                       const std::string& label = "") {
     aa::AnytimeEngine engine(host, config);
     engine.initialize();
     std::size_t host_size = host.num_vertices();
@@ -31,6 +33,9 @@ double incremental_run(const aa::DynamicGraph& host, const aa::EngineConfig& con
         engine.rc_step();  // one refinement step between updates
     }
     engine.run_to_quiescence();
+    if (report != nullptr) {
+        report->add_timeline(label, engine);
+    }
     return engine.sim_seconds();
 }
 
@@ -64,25 +69,31 @@ int main(int argc, char** argv) {
                 "%u ranks\n\n",
                 host.num_vertices(), options.ranks);
 
+    JsonReport report = make_report("fig8_incremental", options);
+    const auto step_sizes = figure8_step_sizes(options);
     Table table({"per_step(cumulative)", "baseline_restart_s", "repartition_s",
                  "roundrobin_ps_s", "cutedge_ps_s"});
-    for (const std::size_t per_step : figure8_step_sizes(options)) {
+    for (const std::size_t per_step : step_sizes) {
         RepartitionS repartition;
         RoundRobinPS round_robin;
         CutEdgePS cut_edge(options.seed * 5 + 3);
         const std::string label =
             std::to_string(per_step) + "(" + std::to_string(per_step * kSteps) + ")";
+        JsonReport* rp = per_step == step_sizes.back() ? &report : nullptr;
+        const std::string tag = "@" + std::to_string(per_step);
         table.add_row(
             {label,
              fmt_seconds(restart_run(host, config, per_step, options.seed)),
              fmt_seconds(incremental_run(host, config, per_step, repartition,
-                                         options.seed)),
+                                         options.seed, rp, "repartition" + tag)),
              fmt_seconds(incremental_run(host, config, per_step, round_robin,
-                                         options.seed)),
+                                         options.seed, rp, "roundrobin_ps" + tag)),
              fmt_seconds(incremental_run(host, config, per_step, cut_edge,
-                                         options.seed))});
+                                         options.seed, rp, "cutedge_ps" + tag))});
     }
     table.print();
     table.write_csv(options.csv);
+    report.set_table(table);
+    report.write();
     return 0;
 }

@@ -1,6 +1,9 @@
 #include "harness.hpp"
 
 #include <algorithm>
+
+#include "common/metrics.hpp"
+#include "core/telemetry.hpp"
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +36,8 @@ Options parse_options(int argc, char** argv, const std::string& description) {
             options.scale = std::stod(need_value("--scale"));
         } else if (arg == "--csv") {
             options.csv = need_value("--csv");
+        } else if (arg == "--json") {
+            options.json = need_value("--json");
         } else if (arg == "--help" || arg == "-h") {
             std::cout << description << "\n\n"
                       << "flags:\n"
@@ -41,7 +46,9 @@ Options parse_options(int argc, char** argv, const std::string& description) {
                       << "  --threads T    IA threads per rank (default 4)\n"
                       << "  --seed S       RNG seed (default 42)\n"
                       << "  --scale F      scale vertices and batches by F\n"
-                      << "  --csv PATH     also append rows to a CSV file\n";
+                      << "  --csv PATH     also append rows to a CSV file\n"
+                      << "  --json PATH    write a JSON report with per-step, "
+                         "per-rank timelines\n";
             std::exit(0);
         } else {
             std::cerr << "unknown flag: " << arg << " (try --help)\n";
@@ -67,6 +74,9 @@ EngineConfig engine_config(const Options& options) {
         std::min(1.0, static_cast<double>(options.scaled_vertices()) / 50000.0);
     config.logp.latency *= shrink;
     config.logp.overhead *= shrink;
+    // A JSON report wants the full phase timeline; without one the registry
+    // stays disabled (one dead branch per phase).
+    config.enable_metrics = !options.json.empty();
     return config;
 }
 
@@ -181,6 +191,97 @@ void Table::write_csv(const std::string& path) const {
     for (const auto& row : rows_) {
         emit(row);
     }
+}
+
+JsonReport::JsonReport(std::string bench, std::string path)
+    : bench_(std::move(bench)), path_(std::move(path)) {}
+
+void JsonReport::add_raw(const std::string& key, std::string json_value) {
+    if (!wanted()) {
+        return;
+    }
+    entries_.emplace_back(key, std::move(json_value));
+}
+
+void JsonReport::add_timeline(const std::string& label,
+                              const AnytimeEngine& engine) {
+    if (!wanted()) {
+        return;
+    }
+    timelines_.emplace_back(label, telemetry_json(engine, 6));
+}
+
+void JsonReport::set_table(const Table& table) {
+    if (!wanted()) {
+        return;
+    }
+    std::string out = "{\n    \"header\": [";
+    const auto& header = table.header();
+    for (std::size_t c = 0; c < header.size(); ++c) {
+        if (c > 0) {
+            out += ", ";
+        }
+        out += "\"" + json_escape(header[c]) + "\"";
+    }
+    out += "],\n    \"rows\": [";
+    const auto& rows = table.rows();
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        out += (r == 0 ? "\n" : ",\n");
+        out += "      [";
+        for (std::size_t c = 0; c < rows[r].size(); ++c) {
+            if (c > 0) {
+                out += ", ";
+            }
+            out += "\"" + json_escape(rows[r][c]) + "\"";
+        }
+        out += "]";
+    }
+    if (!rows.empty()) {
+        out += "\n    ";
+    }
+    out += "]\n  }";
+    table_json_ = std::move(out);
+}
+
+bool JsonReport::write() const {
+    if (!wanted()) {
+        return true;
+    }
+    std::string out = "{\n  \"bench\": \"" + json_escape(bench_) + "\"";
+    for (const auto& [key, value] : entries_) {
+        out += ",\n  \"" + json_escape(key) + "\": " + value;
+    }
+    if (!table_json_.empty()) {
+        out += ",\n  \"table\": " + table_json_;
+    }
+    out += ",\n  \"timelines\": [";
+    for (std::size_t i = 0; i < timelines_.size(); ++i) {
+        out += (i == 0 ? "\n" : ",\n");
+        out += "    {\"label\": \"" + json_escape(timelines_[i].first) +
+               "\",\n     \"timeline\": " + timelines_[i].second + "}";
+    }
+    if (!timelines_.empty()) {
+        out += "\n  ";
+    }
+    out += "]\n}\n";
+    std::ofstream file(path_);
+    if (!file) {
+        std::fprintf(stderr, "cannot open %s\n", path_.c_str());
+        return false;
+    }
+    file << out;
+    std::printf("wrote %s\n", path_.c_str());
+    return true;
+}
+
+JsonReport make_report(const std::string& bench, const Options& options) {
+    JsonReport report(bench, options.json);
+    report.add_raw("options",
+                   "{\"vertices\": " + std::to_string(options.scaled_vertices()) +
+                       ", \"ranks\": " + std::to_string(options.ranks) +
+                       ", \"threads\": " + std::to_string(options.threads) +
+                       ", \"seed\": " + std::to_string(options.seed) + "}");
+    return report;
 }
 
 std::string fmt_seconds(double seconds) {

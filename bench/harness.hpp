@@ -30,14 +30,18 @@ struct Options {
     double scale{1.0};
     /// Optional CSV output path ("" = none).
     std::string csv;
+    /// Optional JSON report path ("" = none). When set, engine_config()
+    /// enables the engine's MetricsRegistry so the report carries the full
+    /// per-step, per-rank timeline (aa.timeline.v1; see core/telemetry.hpp).
+    std::string json;
 
     std::size_t scaled_vertices() const {
         return static_cast<std::size_t>(static_cast<double>(vertices) * scale);
     }
 };
 
-/// Parse --vertices/--ranks/--threads/--seed/--scale/--csv. Unknown flags
-/// abort with a usage message. Returns the options.
+/// Parse --vertices/--ranks/--threads/--seed/--scale/--csv/--json. Unknown
+/// flags abort with a usage message. Returns the options.
 Options parse_options(int argc, char** argv, const std::string& description);
 
 /// Engine configuration matching the paper's setup at the chosen scale.
@@ -72,6 +76,9 @@ public:
     /// Append as CSV to `path` (writes header if the file is new/empty).
     void write_csv(const std::string& path) const;
 
+    const std::vector<std::string>& header() const { return header_; }
+    const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
 private:
     std::vector<std::string> header_;
     std::vector<std::vector<std::string>> rows_;
@@ -79,5 +86,41 @@ private:
 
 std::string fmt_seconds(double seconds);
 std::string fmt_double(double value, int precision = 3);
+
+/// JSON report writer shared by every figure/ablation binary: the printed
+/// table plus one aa.timeline.v1 block per recorded engine run, so each
+/// bench's JSON shows where simulated time and traffic went per rank and per
+/// phase. Inert (records nothing, writes nothing) when the path is empty —
+/// i.e. when --json was not passed.
+class JsonReport {
+public:
+    JsonReport(std::string bench, std::string path);
+
+    bool wanted() const { return !path_.empty(); }
+
+    /// Add a top-level key with a pre-rendered JSON value (number, string
+    /// literal including quotes, or object).
+    void add_raw(const std::string& key, std::string json_value);
+    /// Capture the engine's timeline under `label` (call while the engine
+    /// still holds the run's metrics, e.g. right after run_to_quiescence).
+    void add_timeline(const std::string& label, const AnytimeEngine& engine);
+    /// Capture the result table (header + rows, as printed).
+    void set_table(const Table& table);
+
+    /// Write the report to the path. Returns false on I/O failure (also
+    /// printing a diagnostic); true when written or when inert.
+    bool write() const;
+
+private:
+    std::string bench_;
+    std::string path_;
+    std::vector<std::pair<std::string, std::string>> entries_;  // key -> raw
+    std::vector<std::pair<std::string, std::string>> timelines_;
+    std::string table_json_;
+};
+
+/// The standard report for a harness-based bench: path from --json, options
+/// echoed into the report.
+JsonReport make_report(const std::string& bench, const Options& options);
 
 }  // namespace aa::bench

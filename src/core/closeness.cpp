@@ -8,7 +8,8 @@
 
 namespace aa {
 
-ClosenessScores closeness_from_matrix(const std::vector<std::vector<Weight>>& dist) {
+ClosenessScores closeness_from_matrix(const std::vector<std::vector<Weight>>& dist,
+                                      ClosenessVariant variant) {
     ClosenessScores scores;
     const std::size_t n = dist.size();
     scores.closeness.resize(n, 0);
@@ -24,7 +25,7 @@ ClosenessScores closeness_from_matrix(const std::vector<std::vector<Weight>>& di
             }
         }
         scores.reachable[v] = reached;
-        scores.closeness[v] = sum > 0 ? 1.0 / sum : 0.0;
+        scores.closeness[v] = closeness_score(sum, reached, n, variant);
     }
     return scores;
 }
@@ -63,8 +64,8 @@ std::vector<std::vector<Weight>> exact_apsp(const DynamicGraph& g) {
     return dist;
 }
 
-ClosenessScores exact_closeness(const DynamicGraph& g) {
-    return closeness_from_matrix(exact_apsp(g));
+ClosenessScores exact_closeness(const DynamicGraph& g, ClosenessVariant variant) {
+    return closeness_from_matrix(exact_apsp(g), variant);
 }
 
 std::vector<Weight> harmonic_closeness_from_matrix(

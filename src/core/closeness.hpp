@@ -9,9 +9,43 @@
 
 namespace aa {
 
+/// Which closeness formula to evaluate on (possibly disconnected) graphs.
+enum class ClosenessVariant {
+    /// Wasserman–Faust component correction (the default):
+    ///   c(v) = ((reached-1) / (n-1)) * ((reached-1) / sum),
+    /// where `reached` counts v itself. The second factor is classical
+    /// closeness within v's reachable set; the first scales it by the
+    /// fraction of the graph v can reach, so a vertex in a tiny component
+    /// can no longer out-rank hub vertices of the giant component just
+    /// because its few finite distances have a small sum. On a connected
+    /// graph this is (n-1)/sum — the same ranking as Raw, values scaled by
+    /// the constant n-1.
+    Corrected,
+    /// The paper's raw inverse-sum (1/sum over reachable targets; 0 if v
+    /// reaches nothing). Kept behind this flag for figure parity with the
+    /// source paper, which evaluates on connected graphs only.
+    Raw,
+};
+
+/// The shared scoring expression. Every path that turns a distance row into
+/// a closeness score (observer-side closeness_from_matrix, the distributed
+/// per-rank reduction in AnytimeEngine::compute_closeness_distributed) calls
+/// this one inline function so the two agree bit-for-bit.
+inline Weight closeness_score(Weight sum, std::size_t reached, std::size_t n,
+                              ClosenessVariant variant) {
+    if (variant == ClosenessVariant::Raw) {
+        return sum > 0 ? 1.0 / sum : 0.0;
+    }
+    if (sum <= 0 || reached < 2 || n < 2) {
+        return 0.0;  // isolated vertex (or singleton graph)
+    }
+    const Weight r = static_cast<Weight>(reached - 1);
+    return (r / static_cast<Weight>(n - 1)) * (r / sum);
+}
+
 struct ClosenessScores {
-    /// closeness[v] = 1 / sum_t d(v, t) over reachable t (the paper's §IV
-    /// definition); 0 if v reaches nothing.
+    /// closeness[v] per the requested ClosenessVariant (Corrected unless the
+    /// caller asked for Raw).
     std::vector<Weight> closeness;
     /// Number of vertices v currently reaches (including itself). With
     /// partial (anytime) results this is how much of the row has converged
@@ -20,7 +54,9 @@ struct ClosenessScores {
 };
 
 /// Closeness from a full distance matrix (rows may contain kInfinity).
-ClosenessScores closeness_from_matrix(const std::vector<std::vector<Weight>>& dist);
+ClosenessScores closeness_from_matrix(
+    const std::vector<std::vector<Weight>>& dist,
+    ClosenessVariant variant = ClosenessVariant::Corrected);
 
 /// Exact APSP by sequential Dijkstra from every vertex. O(n (m + n) log n);
 /// intended for validation at test scales.
@@ -30,7 +66,9 @@ std::vector<std::vector<Weight>> exact_apsp(const DynamicGraph& g);
 std::vector<Weight> exact_sssp(const DynamicGraph& g, VertexId source);
 
 /// Exact closeness of every vertex.
-ClosenessScores exact_closeness(const DynamicGraph& g);
+ClosenessScores exact_closeness(
+    const DynamicGraph& g,
+    ClosenessVariant variant = ClosenessVariant::Corrected);
 
 /// Ranking: vertex ids sorted by descending closeness (ties by id).
 std::vector<VertexId> closeness_ranking(const ClosenessScores& scores);

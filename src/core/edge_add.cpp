@@ -134,8 +134,15 @@ void AnytimeEngine::anywhere_add(const GrowthBatch& batch,
     const std::size_t new_n = graph_.num_vertices() + k;
     const auto num_ranks = cluster_->num_ranks();
     double dynamic_ops = 0;
+    const bool mx = metrics_->enabled();
 
     // ---- 1. Structural extension (Figure 3, lines 11-18). ----
+    auto extend_span = MetricsRegistry::kNullHandle;
+    if (mx) {
+        extend_span = metrics_->span_open("add.extend", -1,
+                                          static_cast<std::int64_t>(rc_steps_),
+                                          sim_seconds());
+    }
     graph_.add_vertices(k);
     owners_.insert(owners_.end(), assignment.begin(), assignment.end());
     for (RankId r = 0; r < num_ranks; ++r) {
@@ -160,10 +167,22 @@ void AnytimeEngine::anywhere_add(const GrowthBatch& batch,
         dynamic_ops += static_cast<double>(new_n);
     }
 
+    if (mx) {
+        metrics_->span_add(extend_span, dynamic_ops);
+        metrics_->span_close(extend_span, sim_seconds());
+    }
+
     // ---- 2. Edge additions (Figure 3, lines 19-44). The broadcast carries
     //          the *existing* endpoint's row; the new endpoint's row starts
     //          near-empty and its content reaches neighbours through the
     //          regular RC sends as it fills in. ----
+    auto broadcast_span = MetricsRegistry::kNullHandle;
+    if (mx) {
+        broadcast_span = metrics_->span_open(
+            "add.broadcast", -1, static_cast<std::int64_t>(rc_steps_),
+            sim_seconds());
+    }
+    const double ops_before_edges = dynamic_ops;
     for (const Edge& e : batch.edges) {
         const VertexId lo = std::min(e.u, e.v);
         const VertexId hi = std::max(e.u, e.v);
@@ -179,14 +198,31 @@ void AnytimeEngine::anywhere_add(const GrowthBatch& batch,
         }
         dynamic_ops += broadcast_edge_update(lo, hi, e.weight);
     }
+    if (mx) {
+        metrics_->span_add(broadcast_span, dynamic_ops - ops_before_edges);
+        metrics_->span_attr(broadcast_span, "edges",
+                            std::to_string(batch.edges.size()));
+        metrics_->span_close(broadcast_span, sim_seconds());
+    }
 
     // ---- 3. Within-rank propagation to fixpoint. ----
+    auto propagate_span = MetricsRegistry::kNullHandle;
+    if (mx) {
+        propagate_span = metrics_->span_open(
+            "add.propagate", -1, static_cast<std::int64_t>(rc_steps_),
+            sim_seconds());
+    }
+    const double ops_before_prop = dynamic_ops;
     for (RankId r = 0; r < num_ranks; ++r) {
         const double ops = rc_propagate_local(ranks_[r].sg, ranks_[r].store, pool_.get());
         cluster_->charge_compute(r, ops);
         dynamic_ops += ops;
     }
     cluster_->barrier();
+    if (mx) {
+        metrics_->span_add(propagate_span, dynamic_ops - ops_before_prop);
+        metrics_->span_close(propagate_span, sim_seconds());
+    }
     report_.dynamic_ops += dynamic_ops;
 }
 

@@ -21,8 +21,13 @@ AnytimeEngine::AnytimeEngine(DynamicGraph graph, EngineConfig config)
       cluster_(std::make_unique<Cluster>(config.num_ranks, config.logp,
                                          config.schedule)),
       pool_(std::make_unique<ThreadPool>(config.ia_threads)),
-      rng_(config.seed) {
+      rng_(config.seed),
+      metrics_(std::make_unique<MetricsRegistry>()) {
     AA_ASSERT_MSG(config_.num_ranks >= 1, "need at least one rank");
+    if (config_.enable_metrics) {
+        metrics_->enable();
+    }
+    cluster_->set_metrics(metrics_.get());
 }
 
 AnytimeEngine::~AnytimeEngine() = default;
@@ -34,7 +39,7 @@ double AnytimeEngine::sim_seconds() const { return cluster_->max_time(); }
 const Cluster& AnytimeEngine::cluster() const { return *cluster_; }
 Cluster& AnytimeEngine::cluster() { return *cluster_; }
 
-void AnytimeEngine::charge_partition_cost(std::size_t vertices, std::size_t edges) {
+double AnytimeEngine::charge_partition_cost(std::size_t vertices, std::size_t edges) {
     // Multilevel partitioning is O((V + E) log V)-ish; the paper runs
     // ParMETIS in parallel across the ranks, so divide by P.
     const double units = static_cast<double>(vertices + edges) *
@@ -44,6 +49,7 @@ void AnytimeEngine::charge_partition_cost(std::size_t vertices, std::size_t edge
     for (RankId r = 0; r < cluster_->num_ranks(); ++r) {
         cluster_->charge_compute(r, per_rank);
     }
+    return per_rank * static_cast<double>(num_ranks());
 }
 
 void AnytimeEngine::distribute_edge(VertexId u, VertexId v, Weight w) {
@@ -61,13 +67,26 @@ void AnytimeEngine::initialize() {
 
     const std::size_t n = graph_.num_vertices();
     const auto num_ranks = cluster_->num_ranks();
+    const bool mx = metrics_->enabled();
 
     // ---- DD: cut-minimizing partition (the paper uses ParMETIS). ----
+    const double dd_begin = cluster_->max_time();
     Rng partition_rng = rng_.fork();
     const Partitioning partition =
         multilevel_partition(graph_, num_ranks, partition_rng, config_.partition);
     owners_ = partition.assignment;
-    charge_partition_cost(n, graph_.num_edges());
+    const double dd_ops = charge_partition_cost(n, graph_.num_edges());
+    if (mx) {
+        MetricSpan span;
+        span.name = "dd";
+        span.t_begin = dd_begin;
+        span.t_end = cluster_->max_time();
+        span.ops = dd_ops;
+        span.attrs.emplace_back("vertices", std::to_string(n));
+        span.attrs.emplace_back("edges", std::to_string(graph_.num_edges()));
+        span.attrs.emplace_back("cut_edges", std::to_string(current_cut_edges()));
+        metrics_->record_span(std::move(span));
+    }
 
     // Build rank states: sub-graphs, then distance rows in adoption order.
     ranks_.clear();
@@ -87,17 +106,34 @@ void AnytimeEngine::initialize() {
 
     // ---- IA: per-rank multithreaded SSSP (Dijkstra or delta-stepping). ----
     for (RankId r = 0; r < num_ranks; ++r) {
+        IaProfile profile;
+        const double ia_begin = cluster_->time(r);
         double ops = 0;
         if (config_.ia_kernel == IaKernel::DeltaStepping) {
             std::vector<LocalId> sources(ranks_[r].sg.num_local());
             std::iota(sources.begin(), sources.end(), 0);
             ops = ia_delta_stepping(ranks_[r].sg, ranks_[r].store, *pool_, sources,
-                                    /*mark_prop=*/false, config_.ia_delta);
+                                    /*mark_prop=*/false, config_.ia_delta,
+                                    mx ? &profile : nullptr);
         } else {
-            ops = ia_dijkstra_all(ranks_[r].sg, ranks_[r].store, *pool_);
+            ops = ia_dijkstra_all(ranks_[r].sg, ranks_[r].store, *pool_,
+                                  mx ? &profile : nullptr);
         }
         cluster_->charge_compute(r, ops, config_.ia_threads);
         report_.ia_ops += ops;
+        if (mx) {
+            MetricSpan span;
+            span.name = "ia";
+            span.rank = static_cast<std::int32_t>(r);
+            span.t_begin = ia_begin;
+            span.t_end = cluster_->time(r);
+            span.ops = ops;
+            span.attrs.emplace_back("sources", std::to_string(profile.sources));
+            span.attrs.emplace_back("sub_vertices",
+                                    std::to_string(profile.sub_vertices));
+            span.attrs.emplace_back("folds", std::to_string(profile.folds));
+            metrics_->record_span(std::move(span));
+        }
     }
     cluster_->barrier();
 }
@@ -124,31 +160,122 @@ bool AnytimeEngine::rc_step() {
     stats.step = rc_steps_ + 1;
     const std::size_t messages_before = cluster_->stats().total_messages;
     const std::size_t bytes_before = cluster_->stats().total_bytes;
+    const bool mx = metrics_->enabled();
+    const auto step_no = static_cast<std::int64_t>(rc_steps_ + 1);
+    // Snapshot per-rank comm accounting before the step so the exchange span
+    // can carry this step's per-rank in/out deltas.
+    std::vector<RankStats> comm_before;
+    if (mx) {
+        comm_before.reserve(ranks_.size());
+        for (RankId r = 0; r < ranks_.size(); ++r) {
+            comm_before.push_back(cluster_->rank_stats(r));
+        }
+    }
 
     // Phase 1: package & post boundary DV updates.
     for (RankId r = 0; r < ranks_.size(); ++r) {
-        const double ops =
-            rc_post_boundary_updates(ranks_[r].sg, ranks_[r].store, *cluster_);
+        RcPostProfile profile;
+        const double t0 = cluster_->time(r);
+        const double ops = rc_post_boundary_updates(
+            ranks_[r].sg, ranks_[r].store, *cluster_, mx ? &profile : nullptr);
         cluster_->charge_compute(r, ops);
         report_.rc_ops += ops;
         stats.ops += ops;
+        if (mx) {
+            MetricSpan span;
+            span.name = "rc.post";
+            span.rank = static_cast<std::int32_t>(r);
+            span.step = step_no;
+            span.t_begin = t0;
+            span.t_end = cluster_->time(r);
+            span.ops = ops;
+            span.bytes = profile.bytes;
+            span.messages = profile.messages;
+            span.attrs.emplace_back("blocks", std::to_string(profile.blocks));
+            span.attrs.emplace_back("entries", std::to_string(profile.entries));
+            metrics_->record_span(std::move(span));
+        }
     }
 
     // Phase 2: personalized all-to-all exchange (priced, barrier semantics).
+    const double exchange_begin = cluster_->max_time();
     stats.exchange_seconds = cluster_->exchange();
+    if (mx) {
+        // Everyone enters and leaves the collective at the same instants, so
+        // the per-rank children share the parent's bounds; each carries its
+        // own rank's sent-side load plus the received side as attributes.
+        const auto h = metrics_->span_open("rc.exchange", -1, step_no, exchange_begin);
+        for (RankId r = 0; r < ranks_.size(); ++r) {
+            const RankStats& now = cluster_->rank_stats(r);
+            MetricSpan span;
+            span.name = "rc.exchange.rank";
+            span.rank = static_cast<std::int32_t>(r);
+            span.step = step_no;
+            span.t_begin = exchange_begin;
+            span.t_end = cluster_->max_time();
+            span.bytes = now.bytes_sent - comm_before[r].bytes_sent;
+            span.messages = now.messages_sent - comm_before[r].messages_sent;
+            span.attrs.emplace_back(
+                "bytes_in", std::to_string(now.bytes_received -
+                                           comm_before[r].bytes_received));
+            span.attrs.emplace_back(
+                "messages_in", std::to_string(now.messages_received -
+                                              comm_before[r].messages_received));
+            metrics_->record_span(std::move(span));
+            metrics_->span_add(h, 0, span.bytes, span.messages);
+        }
+        metrics_->span_close(h, cluster_->max_time());
+    }
 
     // Phase 3: ingest external updates, then local propagation to fixpoint.
     // The batched kernels run the row sweeps on the IA thread pool — that
     // accelerates host wall-clock time only; the simulated clock still prices
     // RC single-threaded per rank (the paper's model), so `threads` stays 1
-    // in charge_compute.
+    // in charge_compute. Ingest and propagate are charged separately so their
+    // spans cover disjoint intervals; compute_time is linear in ops, so the
+    // split charge advances the clock exactly as the former combined one.
     for (RankId r = 0; r < ranks_.size(); ++r) {
         const auto inbox = cluster_->receive(r);
-        double ops = rc_ingest_updates(ranks_[r].sg, ranks_[r].store, inbox, pool_.get());
-        ops += rc_propagate_local(ranks_[r].sg, ranks_[r].store, pool_.get());
-        cluster_->charge_compute(r, ops);
-        report_.rc_ops += ops;
-        stats.ops += ops;
+        RcIngestProfile ingest_profile;
+        const double t0 = cluster_->time(r);
+        const double ingest_ops = rc_ingest_updates(
+            ranks_[r].sg, ranks_[r].store, inbox, pool_.get(),
+            kRcIngestParallelGrain, mx ? &ingest_profile : nullptr);
+        cluster_->charge_compute(r, ingest_ops);
+        const double t1 = cluster_->time(r);
+        RcPropagateProfile prop_profile;
+        const double prop_ops = rc_propagate_local(
+            ranks_[r].sg, ranks_[r].store, pool_.get(),
+            kRcPropagateParallelGrain, mx ? &prop_profile : nullptr);
+        cluster_->charge_compute(r, prop_ops);
+        report_.rc_ops += ingest_ops + prop_ops;
+        stats.ops += ingest_ops + prop_ops;
+        if (mx) {
+            MetricSpan ingest_span;
+            ingest_span.name = "rc.ingest";
+            ingest_span.rank = static_cast<std::int32_t>(r);
+            ingest_span.step = step_no;
+            ingest_span.t_begin = t0;
+            ingest_span.t_end = t1;
+            ingest_span.ops = ingest_ops;
+            ingest_span.attrs.emplace_back("blocks",
+                                           std::to_string(ingest_profile.blocks));
+            ingest_span.attrs.emplace_back("entries",
+                                           std::to_string(ingest_profile.entries));
+            ingest_span.attrs.emplace_back("windows",
+                                           std::to_string(ingest_profile.windows));
+            metrics_->record_span(std::move(ingest_span));
+            MetricSpan prop_span;
+            prop_span.name = "rc.propagate";
+            prop_span.rank = static_cast<std::int32_t>(r);
+            prop_span.step = step_no;
+            prop_span.t_begin = t1;
+            prop_span.t_end = cluster_->time(r);
+            prop_span.ops = prop_ops;
+            prop_span.attrs.emplace_back(
+                "rows_drained", std::to_string(prop_profile.rows_drained));
+            metrics_->record_span(std::move(prop_span));
+        }
     }
     cluster_->barrier();
 
@@ -177,10 +304,36 @@ std::size_t AnytimeEngine::run_to_quiescence() {
 void AnytimeEngine::apply_addition(const GrowthBatch& batch,
                                    VertexAdditionStrategy& strategy) {
     AA_ASSERT_MSG(initialized_, "initialize() must run before dynamic updates");
+    const bool mx = metrics_->enabled();
+    auto h = MetricsRegistry::kNullHandle;
+    if (mx) {
+        h = metrics_->span_open("add", -1, static_cast<std::int64_t>(rc_steps_),
+                                sim_seconds());
+        metrics_->span_attr(h, "strategy", std::string(strategy.name()));
+        metrics_->span_attr(h, "new_vertices", std::to_string(batch.num_new));
+        metrics_->span_attr(h, "batch_edges", std::to_string(batch.edges.size()));
+    }
+    last_moved_vertices_ = 0;
     strategy.apply(*this, batch);
     report_.vertex_additions += batch.num_new;
     report_.edge_additions += batch.edges.size();
     report_.sim_seconds = sim_seconds();
+    if (mx) {
+        // Batch edges that ended up spanning ranks under the strategy's
+        // placement — the paper's "new cut edges" quality signal (Figure 7).
+        std::size_t new_cut = 0;
+        for (const Edge& e : batch.edges) {
+            if (owners_[e.u] != owners_[e.v]) {
+                ++new_cut;
+            }
+        }
+        metrics_->span_attr(h, "new_cut_edges", std::to_string(new_cut));
+        metrics_->span_attr(h, "moved_vertices",
+                            std::to_string(last_moved_vertices_));
+        metrics_->span_attr(h, "cut_edges_after",
+                            std::to_string(current_cut_edges()));
+        metrics_->span_close(h, sim_seconds());
+    }
 }
 
 std::size_t AnytimeEngine::current_cut_edges() const {
@@ -232,14 +385,16 @@ std::vector<std::vector<Weight>> AnytimeEngine::full_distance_matrix() const {
 }
 
 ClosenessScores AnytimeEngine::closeness() const {
-    return closeness_from_matrix(full_distance_matrix());
+    return closeness_from_matrix(full_distance_matrix(), config_.closeness_variant);
 }
 
 ClosenessScores AnytimeEngine::compute_closeness_distributed() {
     AA_ASSERT_MSG(initialized_, "initialize() must run first");
     const std::size_t n = graph_.num_vertices();
 
-    // Wire triple: (vertex, inverse-sum score, reachable count).
+    // Wire triple: (vertex, closeness score, reachable count). The score is
+    // evaluated rank-side through the same closeness_score() expression the
+    // observer path uses, so the two agree bit-for-bit.
     struct ScoreEntry {
         VertexId vertex;
         double closeness;
@@ -265,8 +420,11 @@ ClosenessScores AnytimeEngine::compute_closeness_distributed() {
                     ++reached;
                 }
             }
-            entries.push_back({state.sg.global_id(l), sum > 0 ? 1.0 / sum : 0.0,
-                               reached});
+            entries.push_back(
+                {state.sg.global_id(l),
+                 closeness_score(sum, static_cast<std::size_t>(reached), n,
+                                 config_.closeness_variant),
+                 reached});
         }
         // Each row costs one pass over its n columns.
         cluster_->charge_compute(

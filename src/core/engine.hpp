@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "core/closeness.hpp"
 #include "core/distance_store.hpp"
@@ -80,6 +81,14 @@ struct EngineConfig {
     double partition_cost_factor{8.0};
     /// Repartition-S variant (see RepartitionMode).
     RepartitionMode repartition_mode{RepartitionMode::Scratch};
+    /// Closeness formula (Wasserman–Faust corrected vs. the paper's raw
+    /// inverse-sum; see ClosenessVariant). Applied by closeness() and the
+    /// distributed reduction alike.
+    ClosenessVariant closeness_variant{ClosenessVariant::Corrected};
+    /// Record phase/step spans and comm metrics on the simulated clock (see
+    /// common/metrics.hpp and core/telemetry.hpp). Off by default: a
+    /// disabled registry costs one branch per phase and allocates nothing.
+    bool enable_metrics{false};
 };
 
 /// Counters describing one engine lifetime; used by benchmarks and reports.
@@ -204,6 +213,18 @@ public:
     /// Per-RC-step telemetry since construction.
     const std::vector<RcStepStats>& step_history() const { return step_history_; }
 
+    /// The engine's metrics registry (always present; enabled iff
+    /// EngineConfig::enable_metrics, or by calling metrics().enable() before
+    /// the phases of interest). Spans are stamped with the simulated clock.
+    /// telemetry_json() / telemetry_csv() in core/telemetry.hpp render it.
+    MetricsRegistry& metrics() { return *metrics_; }
+    const MetricsRegistry& metrics() const { return *metrics_; }
+
+    /// Existing vertices whose owner changed in the most recent
+    /// repartition_add (0 after anywhere additions, which never move
+    /// established vertices).
+    std::size_t last_moved_vertices() const { return last_moved_vertices_; }
+
     // ---- checkpointing ------------------------------------------------------
 
     /// Serialize the full analysis state (graph, ownership, distance rows,
@@ -225,7 +246,8 @@ private:
     };
 
     void distribute_edge(VertexId u, VertexId v, Weight w);
-    void charge_partition_cost(std::size_t vertices, std::size_t edges);
+    /// Returns the total ops charged (for the DD telemetry span).
+    double charge_partition_cost(std::size_t vertices, std::size_t edges);
     /// Broadcast row(from) and apply the new/changed edge {from, to, w}
     /// everywhere it can bind immediately. Returns the ops charged.
     double broadcast_edge_update(VertexId from, VertexId to, Weight w);
@@ -241,6 +263,8 @@ private:
     bool initialized_{false};
     EngineReport report_;
     std::vector<RcStepStats> step_history_;
+    std::unique_ptr<MetricsRegistry> metrics_;
+    std::size_t last_moved_vertices_{0};
 };
 
 }  // namespace aa

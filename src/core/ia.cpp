@@ -54,7 +54,8 @@ SubCsr build_sub_csr(const LocalSubgraph& sg) {
 }  // namespace
 
 double ia_dijkstra(const LocalSubgraph& sg, DistanceStore& store, ThreadPool& pool,
-                   std::span<const LocalId> sources, bool mark_prop) {
+                   std::span<const LocalId> sources, bool mark_prop,
+                   IaProfile* profile) {
     if (sources.empty() || sg.num_local() == 0) {
         return 0;
     }
@@ -62,6 +63,8 @@ double ia_dijkstra(const LocalSubgraph& sg, DistanceStore& store, ThreadPool& po
     const std::size_t sub_n = csr.sub_to_global.size();
 
     std::vector<double> ops(sources.size(), 0);
+    // Per-source so the parallel fold below stays race-free.
+    std::vector<std::size_t> folds(sources.size(), 0);
 
     pool.parallel_for(0, sources.size(), [&](std::size_t i) {
         const LocalId source = sources[i];
@@ -98,24 +101,31 @@ double ia_dijkstra(const LocalSubgraph& sg, DistanceStore& store, ThreadPool& po
                 store.relax(source, csr.sub_to_global[s], dist[s], mark_prop,
                             /*mark_send=*/true);
                 local_ops += 1;
+                ++folds[i];
             }
         }
         ops[i] = local_ops;
     });
 
+    if (profile != nullptr) {
+        profile->sources += sources.size();
+        profile->sub_vertices += sub_n;
+        profile->folds += std::accumulate(folds.begin(), folds.end(),
+                                          std::size_t{0});
+    }
     return std::accumulate(ops.begin(), ops.end(), 0.0);
 }
 
 double ia_dijkstra_all(const LocalSubgraph& sg, DistanceStore& store,
-                       ThreadPool& pool) {
+                       ThreadPool& pool, IaProfile* profile) {
     std::vector<LocalId> sources(sg.num_local());
     std::iota(sources.begin(), sources.end(), 0);
-    return ia_dijkstra(sg, store, pool, sources, /*mark_prop=*/false);
+    return ia_dijkstra(sg, store, pool, sources, /*mark_prop=*/false, profile);
 }
 
 double ia_delta_stepping(const LocalSubgraph& sg, DistanceStore& store,
                          ThreadPool& pool, std::span<const LocalId> sources,
-                         bool mark_prop, Weight delta) {
+                         bool mark_prop, Weight delta, IaProfile* profile) {
     if (sources.empty() || sg.num_local() == 0) {
         return 0;
     }
@@ -147,6 +157,7 @@ double ia_delta_stepping(const LocalSubgraph& sg, DistanceStore& store,
     }
 
     std::vector<double> ops(sources.size(), 0);
+    std::vector<std::size_t> folds(sources.size(), 0);
     const Weight local_delta = delta;
 
     pool.parallel_for(0, sources.size(), [&](std::size_t i) {
@@ -216,11 +227,18 @@ double ia_delta_stepping(const LocalSubgraph& sg, DistanceStore& store,
                 store.relax(source, csr.sub_to_global[s], dist[s], mark_prop,
                             /*mark_send=*/true);
                 local_ops += 1;
+                ++folds[i];
             }
         }
         ops[i] = local_ops;
     });
 
+    if (profile != nullptr) {
+        profile->sources += sources.size();
+        profile->sub_vertices += sub_n;
+        profile->folds += std::accumulate(folds.begin(), folds.end(),
+                                          std::size_t{0});
+    }
     return std::accumulate(ops.begin(), ops.end(), 0.0);
 }
 

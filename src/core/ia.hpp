@@ -13,6 +13,16 @@
 
 namespace aa {
 
+/// Optional kernel-level telemetry, filled when the caller passes a profile
+/// (the engine does so only while its MetricsRegistry is enabled). `folds`
+/// counts the finite distances folded into the store — i.e. how much of the
+/// sub-graph each IA sweep actually reached — aggregated over all sources.
+struct IaProfile {
+    std::size_t sources{0};
+    std::size_t sub_vertices{0};  // owned + external boundary vertices
+    std::size_t folds{0};
+};
+
 /// Run Dijkstra from each of `sources` (row / local ids) on the local
 /// sub-graph and fold the results into `store` via relax().
 ///
@@ -25,11 +35,12 @@ namespace aa {
 /// for LogP charging; the caller divides by the thread count via
 /// Cluster::charge_compute.
 double ia_dijkstra(const LocalSubgraph& sg, DistanceStore& store, ThreadPool& pool,
-                   std::span<const LocalId> sources, bool mark_prop);
+                   std::span<const LocalId> sources, bool mark_prop,
+                   IaProfile* profile = nullptr);
 
 /// Convenience: run from every owned vertex (the full IA phase).
 double ia_dijkstra_all(const LocalSubgraph& sg, DistanceStore& store,
-                       ThreadPool& pool);
+                       ThreadPool& pool, IaProfile* profile = nullptr);
 
 /// Delta-stepping SSSP (Meyer & Sanders) as an alternative IA kernel: bucket
 /// the tentative distances in width-`delta` ranges, settle a bucket with
@@ -39,6 +50,7 @@ double ia_dijkstra_all(const LocalSubgraph& sg, DistanceStore& store,
 /// delta <= 0 picks a heuristic (average edge weight).
 double ia_delta_stepping(const LocalSubgraph& sg, DistanceStore& store,
                          ThreadPool& pool, std::span<const LocalId> sources,
-                         bool mark_prop, Weight delta = 0);
+                         bool mark_prop, Weight delta = 0,
+                         IaProfile* profile = nullptr);
 
 }  // namespace aa

@@ -83,7 +83,7 @@ std::vector<BoundaryBlockView> decode_boundary_block_views(
 }
 
 double rc_post_boundary_updates(const LocalSubgraph& sg, DistanceStore& store,
-                                Cluster& cluster) {
+                                Cluster& cluster, RcPostProfile* profile) {
     const RankId me = sg.rank();
     const std::uint32_t num_ranks = cluster.num_ranks();
     double ops = 0;
@@ -102,6 +102,9 @@ double rc_post_boundary_updates(const LocalSubgraph& sg, DistanceStore& store,
         const auto cols = store.take_send(l);
         const auto destinations = sg.neighbor_ranks(l);
         ops += static_cast<double>(cols.size());
+        if (profile != nullptr) {
+            ++profile->rows_drained;
+        }
         if (destinations.empty()) {
             continue;  // interior row: changes have no external audience
         }
@@ -118,6 +121,10 @@ double rc_post_boundary_updates(const LocalSubgraph& sg, DistanceStore& store,
         // Serialization cost is charged once per block, not once per
         // destination: the encoded bytes are shared (see rc.hpp).
         ops += static_cast<double>(entries.size());
+        if (profile != nullptr) {
+            ++profile->blocks;
+            profile->entries += entries.size();
+        }
         for (const RankId dest : destinations) {
             outgoing[dest].insert(outgoing[dest].end(), block_bytes.begin(),
                                   block_bytes.end());
@@ -127,6 +134,10 @@ double rc_post_boundary_updates(const LocalSubgraph& sg, DistanceStore& store,
     for (RankId dest = 0; dest < num_ranks; ++dest) {
         if (dest == me || outgoing[dest].empty()) {
             continue;
+        }
+        if (profile != nullptr) {
+            ++profile->messages;
+            profile->bytes += outgoing[dest].size();
         }
         cluster.send(me, dest, MessageTag::BoundaryDvUpdate, std::move(outgoing[dest]));
     }
@@ -152,7 +163,7 @@ struct IngestPair {
 
 double rc_ingest_updates(const LocalSubgraph& sg, DistanceStore& store,
                          const std::vector<Message>& inbox, ThreadPool* pool,
-                         std::size_t parallel_grain) {
+                         std::size_t parallel_grain, RcIngestProfile* profile) {
     // Pass 1: decode every received block in place (zero copy — the views
     // point into the message payloads, which outlive this call) and flatten
     // the work into (row, block, weight) pairs, one per incident cut edge,
@@ -171,6 +182,11 @@ double rc_ingest_updates(const LocalSubgraph& sg, DistanceStore& store,
             }
             ops += static_cast<double>(block.entries.size()) *
                    static_cast<double>(locals.size());
+            if (profile != nullptr) {
+                ++profile->blocks;
+                profile->entries += block.entries.size();
+                profile->relax_attempts += block.entries.size() * locals.size();
+            }
             const auto view_index = static_cast<std::uint32_t>(views.size());
             views.push_back(block);
             for (const auto& [local, w] : locals) {
@@ -220,6 +236,10 @@ double rc_ingest_updates(const LocalSubgraph& sg, DistanceStore& store,
             ++p;
         }
 
+        if (profile != nullptr) {
+            ++profile->windows;
+        }
+
         // Stable counting sort of the window's pairs by destination row.
         const std::span<const IngestPair> window(pairs.data() + begin, p - begin);
         std::fill(bucket.begin(), bucket.end(), 0);
@@ -267,7 +287,8 @@ double rc_ingest_updates(const LocalSubgraph& sg, DistanceStore& store,
 }
 
 double rc_propagate_local(const LocalSubgraph& sg, DistanceStore& store,
-                          ThreadPool* pool, std::size_t parallel_grain) {
+                          ThreadPool* pool, std::size_t parallel_grain,
+                          RcPropagateProfile* profile) {
     double ops = 0;
     std::deque<LocalId> worklist;
     std::vector<std::uint8_t> queued(sg.num_local(), 0);
@@ -295,6 +316,9 @@ double rc_propagate_local(const LocalSubgraph& sg, DistanceStore& store,
         const auto cols = store.take_prop(u);
         if (cols.empty()) {
             continue;
+        }
+        if (profile != nullptr) {
+            ++profile->rows_drained;
         }
         // Order the drained columns. They are unique (epoch-deduplicated), so
         // reordering cannot change any relaxation outcome — but a sorted
@@ -336,6 +360,9 @@ double rc_propagate_local(const LocalSubgraph& sg, DistanceStore& store,
         }
         ops += static_cast<double>(sorted_cols.size()) *
                static_cast<double>(targets.size());
+        if (profile != nullptr) {
+            profile->relax_attempts += sorted_cols.size() * targets.size();
+        }
 
         // Fan the sweep out only when the work dwarfs the dispatch cost.
         // Neighbour rows are pairwise distinct (simple graph) and distinct

@@ -46,6 +46,29 @@
 
 namespace aa {
 
+/// Optional kernel-level telemetry, filled when the caller passes a profile
+/// (the engine does so only while its MetricsRegistry is enabled). Counters
+/// are incremented once per block / window / drained row — never inside the
+/// relaxation loops — so profiling cannot perturb kernel-equivalence or the
+/// op accounting above.
+struct RcPostProfile {
+    std::size_t rows_drained{0};  // send-lists drained (incl. interior rows)
+    std::size_t blocks{0};        // boundary blocks encoded
+    std::size_t entries{0};       // DV entries serialized (once per block)
+    std::size_t messages{0};      // personalized messages posted
+    std::size_t bytes{0};         // payload bytes posted (replicas counted)
+};
+struct RcIngestProfile {
+    std::size_t blocks{0};          // received blocks with a local audience
+    std::size_t entries{0};         // wire entries in those blocks
+    std::size_t windows{0};         // payload windows processed
+    std::size_t relax_attempts{0};  // (row, entry) relaxation attempts
+};
+struct RcPropagateProfile {
+    std::size_t rows_drained{0};    // worklist pops with a non-empty drain
+    std::size_t relax_attempts{0};  // drained columns x neighbour rows
+};
+
 /// Phase 1: drain every row's send-list and post one BoundaryDvUpdate message
 /// per neighbouring rank that shares a cut edge with the row's vertex. Each
 /// row's block is serialized once and the encoded bytes are appended to every
@@ -54,7 +77,8 @@ namespace aa {
 /// becomes boundary is re-marked in full by the edge-addition path).
 /// Returns ops.
 double rc_post_boundary_updates(const LocalSubgraph& sg, DistanceStore& store,
-                                Cluster& cluster);
+                                Cluster& cluster,
+                                RcPostProfile* profile = nullptr);
 
 /// Minimum relaxation-attempt count per payload window before the window's
 /// row groups fan out to the pool: below this, parallel_for dispatch latency
@@ -75,7 +99,8 @@ inline constexpr std::size_t kRcIngestParallelGrain = 8192;
 double rc_ingest_updates(const LocalSubgraph& sg, DistanceStore& store,
                          const std::vector<Message>& inbox,
                          ThreadPool* pool = nullptr,
-                         std::size_t parallel_grain = kRcIngestParallelGrain);
+                         std::size_t parallel_grain = kRcIngestParallelGrain,
+                         RcIngestProfile* profile = nullptr);
 
 /// Minimum relaxation-attempt count (drained columns x neighbour rows) before
 /// one drained row's sweep fans out to the pool: below this, parallel_for
@@ -92,7 +117,8 @@ inline constexpr std::size_t kRcPropagateParallelGrain = 8192;
 /// Returns ops.
 double rc_propagate_local(const LocalSubgraph& sg, DistanceStore& store,
                           ThreadPool* pool = nullptr,
-                          std::size_t parallel_grain = kRcPropagateParallelGrain);
+                          std::size_t parallel_grain = kRcPropagateParallelGrain,
+                          RcPropagateProfile* profile = nullptr);
 
 /// Reference implementations: the original one-(row, column)-at-a-time
 /// kernels. Kept as ground truth for tests and the rc-kernel ablation bench;

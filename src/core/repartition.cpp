@@ -39,6 +39,17 @@ void AnytimeEngine::repartition_add(const GrowthBatch& batch) {
     const std::size_t new_n = old_n + batch.num_new;
     const auto num_ranks = cluster_->num_ranks();
     double dynamic_ops = 0;
+    const bool mx = metrics_->enabled();
+    const auto span_step = static_cast<std::int64_t>(rc_steps_);
+    const auto open_stage = [&](const char* name) {
+        return mx ? metrics_->span_open(name, -1, span_step, sim_seconds())
+                  : MetricsRegistry::kNullHandle;
+    };
+    const auto close_stage = [&](MetricsRegistry::Handle h) {
+        if (mx) {
+            metrics_->span_close(h, sim_seconds());
+        }
+    };
 
     // ---- 1. Integrate the batch into the global structure. ----
     graph_.add_vertices(batch.num_new);
@@ -47,6 +58,7 @@ void AnytimeEngine::repartition_add(const GrowthBatch& batch) {
     }
 
     // ---- 2. Repartition the grown graph. ----
+    const auto partition_span = open_stage("repartition.partition");
     std::vector<RankId> new_owners;
     if (config_.repartition_mode == RepartitionMode::Adaptive) {
         // Adaptive: start from the current assignment, place each new vertex
@@ -139,17 +151,31 @@ void AnytimeEngine::repartition_add(const GrowthBatch& batch) {
         }
     }
 
+    close_stage(partition_span);
+
     // Which existing vertices actually change owner (drives both migration
     // and the consistency re-marking below).
     std::vector<std::uint8_t> moved(new_n, 0);
+    std::size_t moved_existing = 0;
     for (VertexId v = 0; v < old_n; ++v) {
         moved[v] = new_owners[v] != owners_[v] ? 1 : 0;
+        moved_existing += moved[v];
     }
     for (VertexId v = static_cast<VertexId>(old_n); v < new_n; ++v) {
         moved[v] = 1;  // new vertices count as moved everywhere
     }
+    last_moved_vertices_ = moved_existing;
+    if (mx) {
+        metrics_->span_attr(partition_span, "mode",
+                            config_.repartition_mode == RepartitionMode::Adaptive
+                                ? "adaptive"
+                                : "scratch");
+        metrics_->span_attr(partition_span, "moved_vertices",
+                            std::to_string(moved_existing));
+    }
 
     // ---- 3. Widen every row, then migrate rows whose owner changed. ----
+    const auto migrate_span = open_stage("repartition.migrate");
     for (RankId r = 0; r < num_ranks; ++r) {
         const double ops = static_cast<double>(ranks_[r].store.num_rows()) +
                            static_cast<double>(batch.num_new);
@@ -204,8 +230,10 @@ void AnytimeEngine::repartition_add(const GrowthBatch& batch) {
             }
         }
     }
+    close_stage(migrate_span);
 
     // ---- 4. Rebuild rank state under the new ownership. ----
+    const auto rebuild_span = open_stage("repartition.rebuild");
     owners_ = std::move(new_owners);
     for (RankId r = 0; r < num_ranks; ++r) {
         RankState& state = ranks_[r];
@@ -235,9 +263,12 @@ void AnytimeEngine::repartition_add(const GrowthBatch& batch) {
         }
     }
 
+    close_stage(rebuild_span);
+
     // ---- 5. Seed new rows with a local SSSP (IA for the new portion, using
     //          the configured kernel); prop marks on so existing local rows
     //          learn about them. ----
+    const auto seed_span = open_stage("repartition.seed");
     for (RankId r = 0; r < num_ranks; ++r) {
         const double ops =
             config_.ia_kernel == IaKernel::DeltaStepping
@@ -249,6 +280,7 @@ void AnytimeEngine::repartition_add(const GrowthBatch& batch) {
         cluster_->charge_compute(r, ops, config_.ia_threads);
         dynamic_ops += ops;
     }
+    close_stage(seed_span);
 
     // ---- 6. Re-establish consistency marks — but only where the move
     //          actually changed relationships. A row is affected iff it
@@ -259,6 +291,7 @@ void AnytimeEngine::repartition_add(const GrowthBatch& batch) {
     //          the relabeling above) keeps Repartition-S's fixed cost at the
     //          true repartition delta; what remains is the paper's
     //          "additional RC steps" cost. ----
+    const auto remark_span = open_stage("repartition.remark");
     for (RankId r = 0; r < num_ranks; ++r) {
         RankState& state = ranks_[r];
         double ops = 0;
@@ -289,6 +322,7 @@ void AnytimeEngine::repartition_add(const GrowthBatch& batch) {
         dynamic_ops += ops;
     }
     cluster_->barrier();
+    close_stage(remark_span);
     report_.dynamic_ops += dynamic_ops;
 }
 

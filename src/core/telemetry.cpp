@@ -1,0 +1,80 @@
+#include "core/telemetry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/metrics.hpp"
+#include "core/engine.hpp"
+#include "runtime/cluster.hpp"
+
+namespace aa {
+
+namespace {
+
+std::string format_double(double v) {
+    char buf[64];
+    for (int prec = 6; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v) break;
+    }
+    return buf;
+}
+
+}  // namespace
+
+std::string telemetry_json(const AnytimeEngine& engine, int indent) {
+    const std::string pad(static_cast<std::size_t>(indent < 0 ? 0 : indent), ' ');
+    const std::string in1 = pad + "  ";
+    const std::string in2 = pad + "    ";
+    const Cluster& cluster = engine.cluster();
+
+    std::string out = "{\n";
+    out += in1 + "\"schema\": \"aa.timeline.v1\",\n";
+    out += in1 + "\"sim_seconds\": " + format_double(engine.sim_seconds()) + ",\n";
+    out += in1 + "\"rc_steps\": " + std::to_string(engine.rc_steps_completed()) +
+           ",\n";
+    out += in1 + "\"num_ranks\": " + std::to_string(engine.num_ranks()) + ",\n";
+
+    out += in1 + "\"per_rank\": [";
+    for (std::size_t r = 0; r < engine.num_ranks(); ++r) {
+        const RankStats& rs = cluster.rank_stats(static_cast<RankId>(r));
+        out += (r == 0 ? "\n" : ",\n");
+        out += in2 + "{\"rank\":" + std::to_string(r) +
+               ",\"ops\":" + format_double(rs.ops) +
+               ",\"compute_seconds\":" + format_double(rs.compute_seconds) +
+               ",\"messages_sent\":" + std::to_string(rs.messages_sent) +
+               ",\"bytes_sent\":" + std::to_string(rs.bytes_sent) +
+               ",\"messages_received\":" + std::to_string(rs.messages_received) +
+               ",\"bytes_received\":" + std::to_string(rs.bytes_received) + "}";
+    }
+    out += "\n" + in1 + "],\n";
+
+    out += in1 + "\"steps\": [";
+    const auto& history = engine.step_history();
+    for (std::size_t i = 0; i < history.size(); ++i) {
+        const RcStepStats& s = history[i];
+        out += (i == 0 ? "\n" : ",\n");
+        out += in2 + "{\"step\":" + std::to_string(s.step) +
+               ",\"exchange_seconds\":" + format_double(s.exchange_seconds) +
+               ",\"messages\":" + std::to_string(s.messages) +
+               ",\"bytes\":" + std::to_string(s.bytes) +
+               ",\"ops\":" + format_double(s.ops) +
+               ",\"sim_seconds_after\":" + format_double(s.sim_seconds_after) +
+               "}";
+    }
+    if (!history.empty()) {
+        out += "\n" + in1;
+    }
+    out += "],\n";
+
+    out += in1 + "\"metrics\": " + metrics_to_json(engine.metrics(), indent + 2) +
+           "\n";
+    out += pad + "}";
+    return out;
+}
+
+std::string telemetry_csv(const AnytimeEngine& engine) {
+    return spans_to_csv(engine.metrics().spans());
+}
+
+}  // namespace aa

@@ -89,4 +89,20 @@ std::vector<std::size_t> per_pair_bytes(const std::vector<const Message*>& messa
     return matrix;
 }
 
+std::vector<RankTraffic> per_rank_traffic(const std::vector<std::size_t>& per_pair_bytes,
+                                          std::uint32_t num_ranks) {
+    AA_ASSERT(per_pair_bytes.size() ==
+              static_cast<std::size_t>(num_ranks) * num_ranks);
+    std::vector<RankTraffic> traffic(num_ranks);
+    for (RankId i = 0; i < num_ranks; ++i) {
+        for (RankId j = 0; j < num_ranks; ++j) {
+            const std::size_t bytes =
+                per_pair_bytes[static_cast<std::size_t>(i) * num_ranks + j];
+            traffic[i].bytes_out += bytes;
+            traffic[j].bytes_in += bytes;
+        }
+    }
+    return traffic;
+}
+
 }  // namespace aa

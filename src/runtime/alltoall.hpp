@@ -43,4 +43,15 @@ double exchange_duration(const std::vector<std::size_t>& per_pair_bytes,
 std::vector<std::size_t> per_pair_bytes(const std::vector<const Message*>& messages,
                                         std::uint32_t num_ranks);
 
+/// Per-rank traffic of one exchange, reduced from the per-pair byte matrix:
+/// bytes_out = row sum (rank as sender), bytes_in = column sum (rank as
+/// receiver). Feeds the cluster's per-rank accounting and the telemetry
+/// exporters.
+struct RankTraffic {
+    std::size_t bytes_out{0};
+    std::size_t bytes_in{0};
+};
+std::vector<RankTraffic> per_rank_traffic(const std::vector<std::size_t>& per_pair_bytes,
+                                          std::uint32_t num_ranks);
+
 }  // namespace aa

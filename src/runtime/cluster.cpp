@@ -1,9 +1,11 @@
 #include "runtime/cluster.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "common/metrics.hpp"
 
 namespace aa {
 
@@ -47,11 +49,19 @@ double Cluster::exchange() {
         for (const Message& m : mailboxes_.peek_outbox(r)) {
             matrix[static_cast<std::size_t>(m.from) * num_ranks_ + m.to] +=
                 m.size_bytes();
+            // Delivery is certain once priced, so the receiver's accounting
+            // advances here (see RankStats).
+            rank_stats_[m.to].messages_received += 1;
+            rank_stats_[m.to].bytes_received += m.size_bytes();
             any = true;
         }
     }
     double duration = 0;
+    std::size_t exchanged_bytes = 0;
     if (any) {
+        for (const RankTraffic& t : per_rank_traffic(matrix, num_ranks_)) {
+            exchanged_bytes += t.bytes_out;
+        }
         duration = exchange_duration(matrix, num_ranks_, params_, schedule_);
         mailboxes_.deliver(all_to_all_pairs(num_ranks_));
         // Safety: the all-to-all covers every (i, j) pair, so nothing should
@@ -65,6 +75,18 @@ double Cluster::exchange() {
     }
     stats_.comm_seconds += duration;
     stats_.exchanges += 1;
+    if (metrics_ != nullptr && metrics_->enabled()) {
+        static constexpr std::array<double, 8> kByteBounds{
+            1 << 10, 16 << 10, 256 << 10, 1 << 20,
+            16 << 20, 64 << 20, 256 << 20, 1 << 30};
+        metrics_->observe(metrics_->histogram("exchange.bytes", kByteBounds),
+                          static_cast<double>(exchanged_bytes));
+        static constexpr std::array<double, 8> kSecondBounds{
+            1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
+        metrics_->observe(metrics_->histogram("exchange.seconds", kSecondBounds),
+                          duration);
+        metrics_->add(metrics_->counter("exchange.count"), 1);
+    }
     return duration;
 }
 
@@ -94,10 +116,24 @@ double Cluster::broadcast(RankId from, MessageTag tag,
 
     rank_stats_[from].messages_sent += num_ranks_ - 1;
     rank_stats_[from].bytes_sent += bytes * (num_ranks_ - 1);
+    for (RankId to = 0; to < num_ranks_; ++to) {
+        if (to == from) {
+            continue;
+        }
+        rank_stats_[to].messages_received += 1;
+        rank_stats_[to].bytes_received += bytes;
+    }
     stats_.total_messages += num_ranks_ - 1;
     stats_.total_bytes += bytes * (num_ranks_ - 1);
     stats_.comm_seconds += duration;
     stats_.broadcasts += 1;
+    if (metrics_ != nullptr && metrics_->enabled()) {
+        static constexpr std::array<double, 6> kByteBounds{
+            256, 4 << 10, 64 << 10, 1 << 20, 16 << 20, 256 << 20};
+        metrics_->observe(metrics_->histogram("broadcast.bytes", kByteBounds),
+                          static_cast<double>(bytes));
+        metrics_->add(metrics_->counter("broadcast.count"), 1);
+    }
 
     const double start = max_time();
     for (auto& clock : clocks_) {

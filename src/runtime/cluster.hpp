@@ -20,12 +20,19 @@
 
 namespace aa {
 
-/// Cumulative per-rank accounting, for reports and tests.
+class MetricsRegistry;
+
+/// Cumulative per-rank accounting, for reports and tests. Sent-side counters
+/// advance at send() time; received-side counters advance at delivery
+/// (exchange / broadcast), so an in-flight message is visible on exactly one
+/// side.
 struct RankStats {
     double ops{0};
     double compute_seconds{0};
     std::size_t messages_sent{0};
     std::size_t bytes_sent{0};
+    std::size_t messages_received{0};
+    std::size_t bytes_received{0};
 };
 
 /// Cluster-wide accounting.
@@ -82,6 +89,12 @@ public:
     const RankStats& rank_stats(RankId r) const;
     const ClusterStats& stats() const { return stats_; }
 
+    /// Attach a metrics registry (not owned; may be null). While the registry
+    /// is enabled the cluster feeds per-collective histograms ("exchange.bytes",
+    /// "exchange.seconds", "broadcast.bytes") and counters; a disabled or
+    /// absent registry costs one branch per collective.
+    void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
     /// Reset clocks and statistics, drop all undelivered messages. Used by
     /// the baseline-restart strategy (a restart forfeits in-flight work) and
     /// by tests.
@@ -95,6 +108,7 @@ private:
     std::vector<SimClock> clocks_;
     std::vector<RankStats> rank_stats_;
     ClusterStats stats_;
+    MetricsRegistry* metrics_{nullptr};
 };
 
 }  // namespace aa

@@ -49,12 +49,19 @@ TEST(Closeness, StarCenterIsMostCentral) {
         g.add_edge(0, v);
     }
     const auto scores = exact_closeness(g);
-    // Center: sum of distances = 5 -> closeness 0.2.
-    EXPECT_NEAR(scores.closeness[0], 1.0 / 5.0, 1e-12);
+    // Center: sum of distances = 5; connected, so corrected = (n-1)/sum = 1.
+    EXPECT_NEAR(scores.closeness[0], 5.0 / 5.0, 1e-12);
     // Leaves: 1 + 4*2 = 9.
-    EXPECT_NEAR(scores.closeness[1], 1.0 / 9.0, 1e-12);
+    EXPECT_NEAR(scores.closeness[1], 5.0 / 9.0, 1e-12);
     const auto ranking = closeness_ranking(scores);
     EXPECT_EQ(ranking[0], 0u);
+
+    // Raw variant: the paper's plain inverse sums.
+    const auto raw = exact_closeness(g, ClosenessVariant::Raw);
+    EXPECT_NEAR(raw.closeness[0], 1.0 / 5.0, 1e-12);
+    EXPECT_NEAR(raw.closeness[1], 1.0 / 9.0, 1e-12);
+    // On a connected graph the two variants rank identically.
+    EXPECT_EQ(closeness_ranking(raw), ranking);
 }
 
 TEST(Closeness, PathEndpointsLeastCentral) {
@@ -94,8 +101,46 @@ TEST(Closeness, FromMatrixHandlesInfinities) {
         {inf, inf, 0},
     };
     const auto scores = closeness_from_matrix(dist);
-    EXPECT_NEAR(scores.closeness[0], 1.0, 1e-12);
+    // Vertex 0 reaches one of the two other vertices at distance 1:
+    // corrected = (1/2) * (1/1) = 0.5.
+    EXPECT_NEAR(scores.closeness[0], 0.5, 1e-12);
     EXPECT_EQ(scores.closeness[2], 0.0);
+    const auto raw = closeness_from_matrix(dist, ClosenessVariant::Raw);
+    EXPECT_NEAR(raw.closeness[0], 1.0, 1e-12);
+    EXPECT_EQ(raw.closeness[2], 0.0);
+}
+
+// Regression for the disconnected-closeness bug: raw 1/sum lets a vertex in
+// a tiny component out-rank hub vertices of the giant component (its few
+// finite distances have a tiny sum). The Wasserman–Faust correction scales
+// by the reachable fraction, restoring the sane ranking.
+TEST(Closeness, CorrectedRankingOnTwoComponents) {
+    // Giant component: a 7-vertex star (center 0); tiny component: the pair
+    // {7, 8} at distance 1.
+    DynamicGraph g(9);
+    for (VertexId v = 1; v < 7; ++v) {
+        g.add_edge(0, v);
+    }
+    g.add_edge(7, 8);
+
+    const auto raw = exact_closeness(g, ClosenessVariant::Raw);
+    // The bug: raw scores the pair vertices 1/1 = 1, above the star center's
+    // 1/6.
+    EXPECT_GT(raw.closeness[7], raw.closeness[0]);
+    EXPECT_EQ(closeness_ranking(raw)[0], 7u);
+
+    const auto corrected = exact_closeness(g);
+    // Corrected: center = (6/8)*(6/6) = 0.75; pair = (1/8)*(1/1) = 0.125;
+    // star leaf = (6/8)*(6/11).
+    EXPECT_NEAR(corrected.closeness[0], 0.75, 1e-12);
+    EXPECT_NEAR(corrected.closeness[7], 0.125, 1e-12);
+    EXPECT_NEAR(corrected.closeness[1], (6.0 / 8.0) * (6.0 / 11.0), 1e-12);
+    const auto ranking = closeness_ranking(corrected);
+    EXPECT_EQ(ranking[0], 0u);  // giant-component hub back on top
+    // Every giant-component vertex outranks the tiny component.
+    for (std::size_t i = 0; i < 7; ++i) {
+        EXPECT_LT(ranking[i], 7u);
+    }
 }
 
 TEST(Closeness, RankingTiesBrokenById) {

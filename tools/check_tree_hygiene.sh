@@ -1,0 +1,32 @@
+#!/bin/sh
+# Fails (exit 1) if any build-tree artifact is tracked or staged in git:
+# build*/ directories must never enter the index. Run it standalone, from a
+# pre-commit hook, or let CMake invoke it at configure time (it does, when
+# configuring inside a git checkout).
+#
+#   tools/check_tree_hygiene.sh [repo-root]
+set -u
+
+root="${1:-$(dirname "$0")/..}"
+cd "$root" || exit 2
+
+if ! git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+    # Tarball / exported source: nothing to check.
+    exit 0
+fi
+
+# Tracked files and staged additions, filtered to build trees.
+offenders=$( { git ls-files; git diff --cached --name-only --diff-filter=A; } |
+    grep -E '^build[^/]*/' | sort -u)
+
+if [ -n "$offenders" ]; then
+    count=$(printf '%s\n' "$offenders" | wc -l)
+    echo "error: $count build-tree artifact(s) tracked or staged in git:" >&2
+    printf '%s\n' "$offenders" | head -20 >&2
+    if [ "$count" -gt 20 ]; then
+        echo "  ... and $((count - 20)) more" >&2
+    fi
+    echo "fix: git rm -r --cached 'build*/' (they are covered by .gitignore)" >&2
+    exit 1
+fi
+exit 0

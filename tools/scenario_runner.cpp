@@ -21,6 +21,8 @@
 //   converge                          run RC to quiescence
 //   closeness [top]                   print top-k closeness (default 5)
 //   telemetry                         print per-step telemetry so far
+//   metrics [json|csv] [path]         dump the aa.timeline.v1 block (stdout
+//                                     when no path is given)
 //   checkpoint <path>                 save engine state
 //   restore <path>                    replace the engine from a checkpoint
 //   verify                            check against exact sequential APSP
@@ -35,6 +37,7 @@
 #include "core/closeness.hpp"
 #include "core/engine.hpp"
 #include "core/strategies.hpp"
+#include "core/telemetry.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 
@@ -56,6 +59,9 @@ struct Runner {
     Runner() {
         config.num_ranks = 8;
         config.ia_threads = 4;
+        // Scenario runs are exploratory, not measured: always collect the
+        // phase-span timeline so `metrics` has something to dump.
+        config.enable_metrics = true;
     }
 
     void require_engine(const std::string& command) const {
@@ -195,6 +201,36 @@ struct Runner {
             for (const RcStepStats& s : engine->step_history()) {
                 std::printf("  %-5zu %-10.5f %-6zu %-11zu %.3g\n", s.step,
                             s.exchange_seconds, s.messages, s.bytes, s.ops);
+            }
+        } else if (command == "metrics") {
+            require_engine(command);
+            std::string format = "json";
+            std::string path;
+            in >> format >> path;
+            std::string payload;
+            if (format == "csv") {
+                payload = telemetry_csv(*engine);
+            } else if (format == "json") {
+                payload = telemetry_json(*engine);
+            } else {
+                std::fprintf(stderr,
+                             "error: metrics format must be json or csv, got "
+                             "'%s'\n",
+                             format.c_str());
+                return false;
+            }
+            if (path.empty()) {
+                std::fwrite(payload.data(), 1, payload.size(), stdout);
+                std::printf("\n");
+            } else {
+                std::ofstream out(path);
+                if (!out) {
+                    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+                    return false;
+                }
+                out << payload << '\n';
+                std::printf("[%8.4fs] %s timeline written to %s\n",
+                            engine->sim_seconds(), format.c_str(), path.c_str());
             }
         } else if (command == "checkpoint") {
             require_engine(command);

@@ -10,6 +10,10 @@
 //
 //   temporal_replay edges.tsv --windows 10 --strategy cutedge --verify
 //   temporal_replay --synth 800 --windows 8        (no file: synthesize)
+//   temporal_replay --synth 800 --timeline replay.json --timeline-csv spans.csv
+//
+// --timeline / --timeline-csv write the aa.timeline.v1 block (JSON) or the
+// raw span stream (CSV) for the whole replay after convergence.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +26,7 @@
 #include "core/closeness.hpp"
 #include "core/engine.hpp"
 #include "core/strategies.hpp"
+#include "core/telemetry.hpp"
 #include "graph/generators.hpp"
 
 namespace {
@@ -89,6 +94,8 @@ int main(int argc, char** argv) {
     std::uint64_t seed = 42;
     std::size_t synth = 0;
     bool verify = false;
+    std::string timeline_json;
+    std::string timeline_csv;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -106,6 +113,8 @@ int main(int argc, char** argv) {
         else if (arg == "--seed") seed = std::stoull(value());
         else if (arg == "--synth") synth = std::stoul(value());
         else if (arg == "--verify") verify = true;
+        else if (arg == "--timeline") timeline_json = value();
+        else if (arg == "--timeline-csv") timeline_csv = value();
         else if (arg[0] == '-') {
             std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
             return 2;
@@ -160,6 +169,7 @@ int main(int argc, char** argv) {
     config.num_ranks = ranks;
     config.ia_threads = 4;
     config.seed = seed;
+    config.enable_metrics = !timeline_json.empty() || !timeline_csv.empty();
     DynamicGraph mirror = initial;
     AnytimeEngine engine(std::move(initial), config);
     engine.initialize();
@@ -244,6 +254,25 @@ int main(int argc, char** argv) {
         std::printf(" %u", ranking[i]);
     }
     std::printf("\n");
+
+    const auto dump = [&engine](const std::string& out_path,
+                                const std::string& payload) {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+            return false;
+        }
+        out << payload << '\n';
+        std::printf("[%8.4fs] timeline written to %s\n", engine.sim_seconds(),
+                    out_path.c_str());
+        return true;
+    };
+    if (!timeline_json.empty() && !dump(timeline_json, telemetry_json(engine))) {
+        return 2;
+    }
+    if (!timeline_csv.empty() && !dump(timeline_csv, telemetry_csv(engine))) {
+        return 2;
+    }
 
     if (verify) {
         const auto exact = exact_apsp(mirror);

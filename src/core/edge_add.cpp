@@ -257,6 +257,7 @@ void AnytimeEngine::add_edges(std::span<const Edge> edges) {
     }
     cluster_->barrier();
     report_.dynamic_ops += dynamic_ops;
+    fire_boundary_hook();
 }
 
 bool AnytimeEngine::decrease_edge_weight(VertexId u, VertexId v, Weight new_weight) {
@@ -291,6 +292,7 @@ bool AnytimeEngine::decrease_edge_weight(VertexId u, VertexId v, Weight new_weig
     }
     cluster_->barrier();
     report_.dynamic_ops += dynamic_ops;
+    fire_boundary_hook();
     return true;
 }
 

@@ -39,6 +39,16 @@ double AnytimeEngine::sim_seconds() const { return cluster_->max_time(); }
 const Cluster& AnytimeEngine::cluster() const { return *cluster_; }
 Cluster& AnytimeEngine::cluster() { return *cluster_; }
 
+void AnytimeEngine::set_boundary_hook(std::function<void(AnytimeEngine&)> hook) {
+    boundary_hook_ = std::move(hook);
+}
+
+void AnytimeEngine::fire_boundary_hook() {
+    if (boundary_hook_) {
+        boundary_hook_(*this);
+    }
+}
+
 double AnytimeEngine::charge_partition_cost(std::size_t vertices, std::size_t edges) {
     // Multilevel partitioning is O((V + E) log V)-ish; the paper runs
     // ParMETIS in parallel across the ranks, so divide by P.
@@ -136,6 +146,7 @@ void AnytimeEngine::initialize() {
         }
     }
     cluster_->barrier();
+    fire_boundary_hook();
 }
 
 bool AnytimeEngine::quiescent() const {
@@ -286,6 +297,7 @@ bool AnytimeEngine::rc_step() {
     stats.bytes = cluster_->stats().total_bytes - bytes_before;
     stats.sim_seconds_after = sim_seconds();
     step_history_.push_back(stats);
+    fire_boundary_hook();
     return true;
 }
 
@@ -334,6 +346,7 @@ void AnytimeEngine::apply_addition(const GrowthBatch& batch,
                             std::to_string(current_cut_edges()));
         metrics_->span_close(h, sim_seconds());
     }
+    fire_boundary_hook();
 }
 
 std::size_t AnytimeEngine::current_cut_edges() const {
@@ -382,6 +395,15 @@ std::vector<std::vector<Weight>> AnytimeEngine::full_distance_matrix() const {
         }
     }
     return matrix;
+}
+
+void AnytimeEngine::visit_rows(
+    const std::function<void(VertexId, std::span<const Weight>)>& fn) const {
+    for (const RankState& state : ranks_) {
+        for (LocalId l = 0; l < state.sg.num_local(); ++l) {
+            fn(state.sg.global_id(l), state.store.row(l));
+        }
+    }
 }
 
 ClosenessScores AnytimeEngine::closeness() const {

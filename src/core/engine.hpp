@@ -22,8 +22,10 @@
 //   auto scores = engine.closeness();
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/metrics.hpp"
@@ -174,6 +176,8 @@ public:
     // ---- results & introspection -------------------------------------------
 
     std::size_t num_vertices() const { return graph_.num_vertices(); }
+    /// True once initialize() (or a checkpoint restore) has run.
+    bool initialized() const { return initialized_; }
     std::size_t num_ranks() const;
     std::size_t rc_steps_completed() const { return rc_steps_; }
     double sim_seconds() const;
@@ -199,6 +203,22 @@ public:
 
     /// Gather the full n x n matrix (testing / quality measurement only).
     std::vector<std::vector<Weight>> full_distance_matrix() const;
+
+    /// Observer-only visitor over every vertex's current DV row (one call
+    /// per vertex, unspecified order; the span is valid only inside the
+    /// call). Charges nothing; the serve layer's snapshot builder uses it to
+    /// avoid materializing the full matrix. Must run on the driver thread —
+    /// rows race with RC relaxation otherwise.
+    void visit_rows(
+        const std::function<void(VertexId, std::span<const Weight>)>& fn) const;
+
+    /// Boundary hook for the serve layer: when set, invoked after
+    /// initialize(), after every *completed* rc_step(), and after each
+    /// dynamic-update entry point (apply_addition, add_edges, and a
+    /// decrease_edge_weight that changed a weight). Runs on the calling
+    /// thread with the engine idle between phases; the hook must only
+    /// observe (query state, build snapshots), never mutate the engine.
+    void set_boundary_hook(std::function<void(AnytimeEngine&)> hook);
 
     /// Closeness scores from the current (possibly partial) DVs.
     /// Observer only: reads rank state directly, charges nothing.
@@ -246,6 +266,8 @@ private:
     };
 
     void distribute_edge(VertexId u, VertexId v, Weight w);
+    /// Invoke boundary_hook_ if set (phase entry points call this last).
+    void fire_boundary_hook();
     /// Returns the total ops charged (for the DD telemetry span).
     double charge_partition_cost(std::size_t vertices, std::size_t edges);
     /// Broadcast row(from) and apply the new/changed edge {from, to, w}
@@ -265,6 +287,7 @@ private:
     std::vector<RcStepStats> step_history_;
     std::unique_ptr<MetricsRegistry> metrics_;
     std::size_t last_moved_vertices_{0};
+    std::function<void(AnytimeEngine&)> boundary_hook_;
 };
 
 }  // namespace aa

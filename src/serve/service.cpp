@@ -1,0 +1,346 @@
+#include "serve/service.hpp"
+
+#include <array>
+#include <string>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "core/engine.hpp"
+
+namespace aa {
+
+namespace {
+
+// Query latencies are host wall-clock (micro- to milliseconds); staleness is
+// dominated by the driver's step cadence, so its buckets stretch further.
+constexpr std::array<double, 11> kLatencyBounds{
+    1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1};
+constexpr std::array<double, 10> kStalenessWallBounds{
+    1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0};
+constexpr std::array<double, 6> kStalenessVersionBounds{0, 1, 2, 4, 8, 16};
+
+}  // namespace
+
+std::string_view freshness_policy_name(FreshnessPolicy policy) {
+    switch (policy) {
+        case FreshnessPolicy::ServeStale: return "stale";
+        case FreshnessPolicy::WaitForNextStep: return "next-step";
+        case FreshnessPolicy::WaitForQuiescence: return "quiescence";
+    }
+    return "?";
+}
+
+QueryService::QueryService(AnytimeEngine& engine, ServeConfig config)
+    : engine_(engine),
+      config_(config),
+      epoch_(std::chrono::steady_clock::now()),
+      tracker_(config.topk_maintained) {
+    if (config_.enable_metrics) {
+        metrics_.enable();
+        latency_point_ = metrics_.histogram("serve.latency.point", kLatencyBounds);
+        latency_batch_ = metrics_.histogram("serve.latency.batch", kLatencyBounds);
+        latency_topk_ = metrics_.histogram("serve.latency.topk", kLatencyBounds);
+        staleness_wall_ =
+            metrics_.histogram("serve.staleness.wall", kStalenessWallBounds);
+        staleness_versions_ = metrics_.histogram("serve.staleness.versions",
+                                                 kStalenessVersionBounds);
+        queries_counter_ = metrics_.counter("serve.queries");
+        shed_counter_ = metrics_.counter("serve.shed");
+    }
+    engine_.set_boundary_hook([this](AnytimeEngine&) { publish(); });
+    if (engine_.initialized()) {
+        publish();
+    }
+}
+
+QueryService::~QueryService() {
+    engine_.set_boundary_hook(nullptr);
+    close();
+}
+
+double QueryService::wall_now() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+}
+
+void QueryService::publish() {
+    const double t0 = wall_now();
+    auto snapshot =
+        build_snapshot(engine_, next_version_, last_published_.get());
+    snapshot->published_wall = wall_now();
+    std::shared_ptr<const ResultSnapshot> frozen = std::move(snapshot);
+
+    // Order matters: snapshot first (point/batch queries see it), then the
+    // top-k view. A reader catching the gap sees a fresh snapshot with a
+    // one-behind top-k view and falls back to a full selection — consistent
+    // either way.
+    store_.publish(frozen);
+    ++next_version_;
+    last_published_ = frozen;
+    publications_.fetch_add(1, std::memory_order_relaxed);
+
+    tracker_.apply(*frozen);
+    auto view = std::make_shared<TopKView>();
+    view->version = frozen->version;
+    view->entries = tracker_.entries();
+    topk_view_.store(std::move(view));
+    topk_patched_.store(tracker_.patched(), std::memory_order_relaxed);
+    topk_rebuilt_.store(tracker_.rebuilt(), std::memory_order_relaxed);
+
+    {
+        // Empty critical section: pairs the publication with the waiters'
+        // predicate re-check so no wakeup can slip between their check and
+        // their wait.
+        std::lock_guard<std::mutex> lock(wait_mutex_);
+    }
+    wait_cv_.notify_all();
+
+    if (config_.enable_metrics) {
+        std::lock_guard<std::mutex> lock(metrics_mutex_);
+        MetricSpan span;
+        span.name = "serve.publish";
+        span.step = static_cast<std::int64_t>(frozen->rc_step);
+        span.t_begin = t0;
+        span.t_end = wall_now();
+        span.attrs.emplace_back("version", std::to_string(frozen->version));
+        span.attrs.emplace_back("changed",
+                                std::to_string(frozen->changed.size()));
+        span.attrs.emplace_back("quiescent", frozen->quiescent ? "1" : "0");
+        metrics_.record_span(std::move(span));
+    }
+    if (on_publish_) {
+        on_publish_(*frozen);
+    }
+}
+
+void QueryService::set_on_publish(
+    std::function<void(const ResultSnapshot&)> on_publish) {
+    on_publish_ = std::move(on_publish);
+}
+
+void QueryService::set_step_driver(std::function<bool()> driver) {
+    step_driver_ = std::move(driver);
+}
+
+void QueryService::close() {
+    {
+        std::lock_guard<std::mutex> lock(wait_mutex_);
+        closed_ = true;
+    }
+    wait_cv_.notify_all();
+}
+
+bool QueryService::satisfied(FreshnessPolicy policy,
+                             const ResultSnapshot* snapshot,
+                             std::uint64_t arrival_version) {
+    if (snapshot == nullptr) {
+        return false;
+    }
+    switch (policy) {
+        case FreshnessPolicy::ServeStale:
+            return true;
+        case FreshnessPolicy::WaitForNextStep:
+            return snapshot->version > arrival_version;
+        case FreshnessPolicy::WaitForQuiescence:
+            return snapshot->quiescent;
+    }
+    return false;
+}
+
+std::shared_ptr<const ResultSnapshot> QueryService::admit(
+    FreshnessPolicy policy, QueryStatus& status) {
+    auto current = store_.current();
+    const std::uint64_t arrival = current ? current->version : 0;
+    if (satisfied(policy, current.get(), arrival)) {
+        status = QueryStatus::Ok;
+        return current;
+    }
+    if (policy == FreshnessPolicy::ServeStale) {
+        // Nothing published yet and ServeStale never waits.
+        status = QueryStatus::Unavailable;
+        return nullptr;
+    }
+
+    if (step_driver_) {
+        // Synchronous mode: advance the engine inline. Each successful step
+        // publishes through the boundary hook; when the engine cannot step
+        // (already quiescent), one out-of-band publication still produces a
+        // fresh — and then necessarily quiescent — snapshot.
+        while (true) {
+            const bool progressed = step_driver_();
+            if (!progressed) {
+                publish();
+            }
+            auto snapshot = store_.current();
+            if (satisfied(policy, snapshot.get(), arrival)) {
+                status = QueryStatus::Ok;
+                return snapshot;
+            }
+            if (!progressed) {
+                status = QueryStatus::Unavailable;
+                return nullptr;
+            }
+        }
+    }
+
+    // Concurrent mode: bounded wait for the driver thread's publications.
+    std::unique_lock<std::mutex> lock(wait_mutex_);
+    if (closed_) {
+        status = QueryStatus::Unavailable;
+        return nullptr;
+    }
+    if (pending_ >= config_.max_pending) {
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        status = QueryStatus::Shed;
+        return nullptr;
+    }
+    ++pending_;
+    wait_cv_.wait(lock, [&] {
+        if (closed_) {
+            return true;
+        }
+        const auto snapshot = store_.current();
+        return satisfied(policy, snapshot.get(), arrival);
+    });
+    --pending_;
+    lock.unlock();
+
+    auto snapshot = store_.current();
+    if (satisfied(policy, snapshot.get(), arrival)) {
+        status = QueryStatus::Ok;
+        return snapshot;
+    }
+    status = QueryStatus::Unavailable;  // closed before the policy was met
+    return nullptr;
+}
+
+ResponseMeta QueryService::make_meta(const ResultSnapshot& snapshot) const {
+    ResponseMeta meta;
+    meta.status = QueryStatus::Ok;
+    meta.version = snapshot.version;
+    meta.rc_step = snapshot.rc_step;
+    meta.sim_seconds = snapshot.sim_seconds;
+    meta.quiescent = snapshot.quiescent;
+    meta.frac_unknown = snapshot.frac_unknown;
+    meta.staleness_versions = store_.latest_version() - snapshot.version;
+    meta.staleness_wall = wall_now() - snapshot.published_wall;
+    return meta;
+}
+
+void QueryService::record_query(MetricsRegistry::Handle latency_histogram,
+                                double latency_seconds,
+                                const ResponseMeta& meta) {
+    if (!config_.enable_metrics) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    metrics_.add(queries_counter_, 1);
+    if (meta.status == QueryStatus::Shed) {
+        metrics_.add(shed_counter_, 1);
+        return;
+    }
+    if (meta.status != QueryStatus::Ok) {
+        return;
+    }
+    metrics_.observe(latency_histogram, latency_seconds);
+    metrics_.observe(staleness_wall_, meta.staleness_wall);
+    metrics_.observe(staleness_versions_,
+                     static_cast<double>(meta.staleness_versions));
+}
+
+PointResult QueryService::point(VertexId v, FreshnessPolicy policy) {
+    const double t0 = wall_now();
+    PointResult result;
+    result.vertex = v;
+    QueryStatus status = QueryStatus::Unavailable;
+    const auto snapshot = admit(policy, status);
+    if (snapshot == nullptr) {
+        result.meta.status = status;
+        record_query(latency_point_, wall_now() - t0, result.meta);
+        return result;
+    }
+    result.meta = make_meta(*snapshot);
+    if (v < snapshot->scores.closeness.size()) {
+        result.closeness = snapshot->scores.closeness[v];
+        result.reachable = snapshot->scores.reachable[v];
+    }
+    // Vertices newer than the snapshot read as (0, 0): the snapshot simply
+    // predates them, which the version on the response makes diagnosable.
+    record_query(latency_point_, wall_now() - t0, result.meta);
+    return result;
+}
+
+BatchResult QueryService::batch(std::span<const VertexId> vertices,
+                                FreshnessPolicy policy) {
+    const double t0 = wall_now();
+    BatchResult result;
+    QueryStatus status = QueryStatus::Unavailable;
+    const auto snapshot = admit(policy, status);
+    if (snapshot == nullptr) {
+        result.meta.status = status;
+        record_query(latency_batch_, wall_now() - t0, result.meta);
+        return result;
+    }
+    result.meta = make_meta(*snapshot);
+    result.closeness.reserve(vertices.size());
+    result.reachable.reserve(vertices.size());
+    const std::size_t known = snapshot->scores.closeness.size();
+    for (const VertexId v : vertices) {
+        result.closeness.push_back(v < known ? snapshot->scores.closeness[v]
+                                             : 0);
+        result.reachable.push_back(v < known ? snapshot->scores.reachable[v]
+                                             : 0);
+    }
+    record_query(latency_batch_, wall_now() - t0, result.meta);
+    return result;
+}
+
+TopKResult QueryService::topk(std::size_t k, FreshnessPolicy policy) {
+    const double t0 = wall_now();
+    TopKResult result;
+    QueryStatus status = QueryStatus::Unavailable;
+    const auto snapshot = admit(policy, status);
+    if (snapshot == nullptr) {
+        result.meta.status = status;
+        record_query(latency_topk_, wall_now() - t0, result.meta);
+        return result;
+    }
+    result.meta = make_meta(*snapshot);
+    const auto view = topk_view_.load();
+    if (k <= config_.topk_maintained && view != nullptr &&
+        view->version == snapshot->version) {
+        // Served from the incrementally patched ranking; a k-prefix of the
+        // maintained top-K is exactly the top-k of the same snapshot.
+        const std::size_t take = std::min(k, view->entries.size());
+        result.entries.assign(view->entries.begin(),
+                              view->entries.begin() + take);
+    } else {
+        result.entries = topk_from_snapshot(*snapshot, k);
+    }
+    record_query(latency_topk_, wall_now() - t0, result.meta);
+    return result;
+}
+
+std::uint64_t QueryService::publications() const {
+    return publications_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t QueryService::shed_count() const {
+    return shed_.load(std::memory_order_relaxed);
+}
+
+std::size_t QueryService::topk_patched() const {
+    return topk_patched_.load(std::memory_order_relaxed);
+}
+
+std::size_t QueryService::topk_rebuilt() const {
+    return topk_rebuilt_.load(std::memory_order_relaxed);
+}
+
+MetricsRegistry QueryService::metrics_copy() const {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    return metrics_;
+}
+
+}  // namespace aa

@@ -1,0 +1,246 @@
+// QueryService: the anytime query-serving layer over one AnytimeEngine.
+//
+// One *driver* thread owns the engine (initialize / rc_step / additions);
+// the service hooks the engine's boundary callback so every RC step and
+// add-phase boundary publishes a fresh immutable ResultSnapshot (see
+// serve/snapshot.hpp). Any number of *reader* threads issue point, batch and
+// top-k closeness queries against the published snapshots — they never touch
+// engine state and never block the RC loop.
+//
+// Freshness policies (per query):
+//   ServeStale        — answer from the current snapshot immediately.
+//   WaitForNextStep   — answer from the first snapshot published after the
+//                       query arrived (one more engine boundary of progress).
+//   WaitForQuiescence — answer only from a quiescent snapshot (exact APSP).
+//
+// Admission control: queries that have to *wait* occupy a slot in a bounded
+// pending set; when `ServeConfig::max_pending` waiters are already parked,
+// further waiting queries are shed immediately (QueryStatus::Shed) instead
+// of growing an unbounded queue. ServeStale queries never wait and are never
+// shed.
+//
+// Two execution modes for the waiting policies:
+//   * concurrent (default): the reader blocks on a condition variable until
+//     the driver thread's next publication satisfies the policy (or the
+//     service is closed).
+//   * synchronous: a single-threaded caller (scenario_runner) installs a
+//     step driver via set_step_driver(); unsatisfied queries advance the
+//     engine inline instead of blocking.
+//
+// Every response carries its snapshot version, the engine progress metadata
+// of that snapshot, and a staleness bound (publications that happened after
+// the served snapshot, plus the snapshot's wall-clock age). Serving metrics
+// (latency/staleness histograms, shed counters, publication spans) are
+// recorded in the service's own internally-locked MetricsRegistry under
+// `serve.*` names.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/topk.hpp"
+
+namespace aa {
+
+class AnytimeEngine;
+
+enum class FreshnessPolicy {
+    ServeStale,
+    WaitForNextStep,
+    WaitForQuiescence,
+};
+
+/// Human-readable policy name ("stale" / "next-step" / "quiescence").
+std::string_view freshness_policy_name(FreshnessPolicy policy);
+
+enum class QueryStatus {
+    /// Served from a snapshot satisfying the policy.
+    Ok,
+    /// Rejected by admission control: the pending-query set was full.
+    Shed,
+    /// The policy cannot be satisfied: service closed while waiting, no
+    /// snapshot exists yet under ServeStale, or the synchronous step driver
+    /// ran out of progress.
+    Unavailable,
+};
+
+struct ServeConfig {
+    /// k of the incrementally maintained top-k ranking; top-k queries with
+    /// k <= this are served from the patched ranking, larger ones fall back
+    /// to a full selection on the snapshot.
+    std::size_t topk_maintained{10};
+    /// Bound on concurrently *waiting* queries before shedding.
+    std::size_t max_pending{64};
+    /// Policy used by the no-policy query overloads.
+    FreshnessPolicy default_policy{FreshnessPolicy::ServeStale};
+    /// Record serve.* metrics (histograms, counters, publish spans).
+    bool enable_metrics{true};
+};
+
+/// Response metadata shared by every query shape.
+struct ResponseMeta {
+    QueryStatus status{QueryStatus::Unavailable};
+    /// Snapshot the answer was read from (0 when status != Ok).
+    std::uint64_t version{0};
+    std::size_t rc_step{0};
+    double sim_seconds{0};
+    bool quiescent{false};
+    double frac_unknown{0};
+    /// Publications that had already superseded the served snapshot when the
+    /// response was assembled (0 = served the latest).
+    std::uint64_t staleness_versions{0};
+    /// Wall-clock age of the served snapshot at response time, seconds.
+    double staleness_wall{0};
+};
+
+struct PointResult {
+    ResponseMeta meta;
+    VertexId vertex{0};
+    Weight closeness{0};
+    std::size_t reachable{0};
+};
+
+struct BatchResult {
+    ResponseMeta meta;
+    /// Parallel to the queried vertex list; all values from one snapshot.
+    std::vector<Weight> closeness;
+    std::vector<std::size_t> reachable;
+};
+
+struct TopKResult {
+    ResponseMeta meta;
+    std::vector<TopKEntry> entries;
+};
+
+class QueryService {
+public:
+    /// Attaches to `engine` (installs its boundary hook) and, if the engine
+    /// is already initialized, publishes snapshot #1 immediately. The engine
+    /// must outlive the service; the service detaches the hook on
+    /// destruction.
+    explicit QueryService(AnytimeEngine& engine, ServeConfig config = {});
+    ~QueryService();
+
+    QueryService(const QueryService&) = delete;
+    QueryService& operator=(const QueryService&) = delete;
+
+    // ---- driver side (the thread stepping the engine) ---------------------
+
+    /// Build and publish a snapshot of the engine's current state. Invoked
+    /// automatically at engine boundaries through the hook; callable
+    /// directly for an extra out-of-band publication.
+    void publish();
+
+    /// Observer called on the driver thread after every publication, with
+    /// the engine guaranteed idle — tests use it to capture ground truth at
+    /// exactly the published boundary.
+    void set_on_publish(
+        std::function<void(const ResultSnapshot&)> on_publish);
+
+    /// Synchronous mode: instead of blocking, unsatisfied waiting queries
+    /// call `driver` (which should advance the engine, e.g. one rc_step) and
+    /// re-check; `driver` returning false means no more progress is
+    /// possible. Only for single-threaded use.
+    void set_step_driver(std::function<bool()> driver);
+
+    /// Wake all waiters with QueryStatus::Unavailable and refuse future
+    /// waiting; ServeStale queries keep being served. Idempotent.
+    void close();
+
+    // ---- reader side (any thread) -----------------------------------------
+
+    PointResult point(VertexId v, FreshnessPolicy policy);
+    PointResult point(VertexId v) { return point(v, config_.default_policy); }
+    BatchResult batch(std::span<const VertexId> vertices, FreshnessPolicy policy);
+    BatchResult batch(std::span<const VertexId> vertices) {
+        return batch(vertices, config_.default_policy);
+    }
+    TopKResult topk(std::size_t k, FreshnessPolicy policy);
+    TopKResult topk(std::size_t k) { return topk(k, config_.default_policy); }
+
+    /// The latest snapshot (wait-free; null before the first publication).
+    std::shared_ptr<const ResultSnapshot> snapshot() const {
+        return store_.current();
+    }
+    const SnapshotStore& store() const { return store_; }
+
+    // ---- introspection ----------------------------------------------------
+
+    std::uint64_t publications() const;
+    std::uint64_t shed_count() const;
+    /// Incremental top-k maintenance counters (see IncrementalTopK).
+    std::size_t topk_patched() const;
+    std::size_t topk_rebuilt() const;
+    /// Seconds since service construction on the service's wall clock (the
+    /// epoch of ResultSnapshot::published_wall).
+    double wall_now() const;
+    /// Thread-safe copy of the serve.* metrics registry.
+    MetricsRegistry metrics_copy() const;
+
+    const ServeConfig& config() const { return config_; }
+
+private:
+    struct TopKView {
+        std::uint64_t version{0};
+        std::vector<TopKEntry> entries;
+    };
+
+    /// Resolve the snapshot a query with `policy` should be served from;
+    /// handles waiting, the step driver and admission control. Null result
+    /// means the query ends with `status` (Shed / Unavailable).
+    std::shared_ptr<const ResultSnapshot> admit(FreshnessPolicy policy,
+                                                QueryStatus& status);
+    static bool satisfied(FreshnessPolicy policy,
+                          const ResultSnapshot* snapshot,
+                          std::uint64_t arrival_version);
+    ResponseMeta make_meta(const ResultSnapshot& snapshot) const;
+    void record_query(MetricsRegistry::Handle latency_histogram,
+                      double latency_seconds, const ResponseMeta& meta);
+
+    AnytimeEngine& engine_;
+    ServeConfig config_;
+    std::chrono::steady_clock::time_point epoch_;
+    SnapshotStore store_;
+    SharedSlot<const TopKView> topk_view_;
+
+    // Driver-thread-only state (publication path).
+    std::uint64_t next_version_{1};
+    std::shared_ptr<const ResultSnapshot> last_published_;
+    IncrementalTopK tracker_;
+    std::function<void(const ResultSnapshot&)> on_publish_;
+    std::function<bool()> step_driver_;
+
+    // Waiting / admission state.
+    mutable std::mutex wait_mutex_;
+    std::condition_variable wait_cv_;
+    std::size_t pending_{0};
+    bool closed_{false};
+    std::atomic<std::uint64_t> shed_{0};
+    std::atomic<std::uint64_t> publications_{0};
+    // Mirrors of the tracker's counters, readable from any thread.
+    std::atomic<std::size_t> topk_patched_{0};
+    std::atomic<std::size_t> topk_rebuilt_{0};
+
+    // serve.* metrics, internally locked (readers record concurrently).
+    mutable std::mutex metrics_mutex_;
+    MetricsRegistry metrics_;
+    MetricsRegistry::Handle latency_point_{MetricsRegistry::kNullHandle};
+    MetricsRegistry::Handle latency_batch_{MetricsRegistry::kNullHandle};
+    MetricsRegistry::Handle latency_topk_{MetricsRegistry::kNullHandle};
+    MetricsRegistry::Handle staleness_wall_{MetricsRegistry::kNullHandle};
+    MetricsRegistry::Handle staleness_versions_{MetricsRegistry::kNullHandle};
+    MetricsRegistry::Handle queries_counter_{MetricsRegistry::kNullHandle};
+    MetricsRegistry::Handle shed_counter_{MetricsRegistry::kNullHandle};
+};
+
+}  // namespace aa

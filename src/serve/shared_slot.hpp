@@ -1,0 +1,66 @@
+// SharedSlot<T>: a single-slot atomic shared_ptr — one writer swaps values
+// in, any number of readers copy the current pointer out.
+//
+// This is exactly the job of std::atomic<std::shared_ptr<T>>, and on this
+// ABI that type is also lock-based (libstdc++ guards the slot with a lock
+// bit). The reason for hand-rolling it: the libstdc++ 12.2 implementation
+// predates the _GLIBCXX_TSAN annotations (added in 12.3/13), so every
+// perfectly valid concurrent load/store pair is reported as a data race by
+// ThreadSanitizer. Building the same protocol from std::atomic_flag — which
+// TSan models natively — gives identical semantics and a clean TSan run.
+//
+// The critical section is a shared_ptr copy or swap (a refcount bump), a few
+// nanoseconds; the outgoing value is released *outside* the lock so a slow
+// destructor can never stall readers.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace aa {
+
+template <typename T>
+class SharedSlot {
+public:
+    SharedSlot() = default;
+    SharedSlot(const SharedSlot&) = delete;
+    SharedSlot& operator=(const SharedSlot&) = delete;
+
+    /// Copy the current pointer out (null until the first store).
+    std::shared_ptr<T> load() const {
+        const SpinGuard guard(lock_);
+        return ptr_;
+    }
+
+    /// Swap a new value in. The previous value is destroyed after the lock
+    /// is released (unless a reader still holds it).
+    void store(std::shared_ptr<T> next) {
+        std::shared_ptr<T> previous;
+        {
+            const SpinGuard guard(lock_);
+            previous = std::exchange(ptr_, std::move(next));
+        }
+    }
+
+private:
+    struct SpinGuard {
+        explicit SpinGuard(std::atomic_flag& f) : flag(f) {
+            while (flag.test_and_set(std::memory_order_acquire)) {
+                // Contended (writer mid-swap or another reader mid-copy):
+                // spin on a plain load until the flag clears.
+                while (flag.test(std::memory_order_relaxed)) {
+                }
+            }
+        }
+        ~SpinGuard() { flag.clear(std::memory_order_release); }
+        SpinGuard(const SpinGuard&) = delete;
+        SpinGuard& operator=(const SpinGuard&) = delete;
+        std::atomic_flag& flag;
+    };
+
+    mutable std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
+    std::shared_ptr<T> ptr_;
+};
+
+}  // namespace aa

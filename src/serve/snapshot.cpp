@@ -1,0 +1,88 @@
+#include "serve/snapshot.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+#include "core/engine.hpp"
+
+namespace aa {
+
+namespace {
+
+/// Bit-level equality: the "changed" list must treat any representational
+/// difference as a change (responses promise bit-identity with the matrix
+/// path), and must not trip on NaN-style surprises.
+bool same_bits(Weight a, Weight b) {
+    return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+}  // namespace
+
+std::shared_ptr<ResultSnapshot> build_snapshot(const AnytimeEngine& engine,
+                                               std::uint64_t version,
+                                               const ResultSnapshot* previous) {
+    auto snapshot = std::make_shared<ResultSnapshot>();
+    snapshot->version = version;
+    snapshot->rc_step = engine.rc_steps_completed();
+    snapshot->sim_seconds = engine.sim_seconds();
+    snapshot->quiescent = engine.quiescent();
+
+    const std::size_t n = engine.num_vertices();
+    const ClosenessVariant variant = engine.config().closeness_variant;
+    snapshot->scores.closeness.assign(n, 0);
+    snapshot->scores.reachable.assign(n, 0);
+
+    // One pass per row, summing in column order — the identical order
+    // closeness_from_matrix uses, so scores agree bit-for-bit with the
+    // full_distance_matrix() path for the same engine state.
+    std::size_t unknown_entries = 0;
+    engine.visit_rows([&](VertexId v, std::span<const Weight> row) {
+        Weight sum = 0;
+        std::size_t reached = 0;
+        for (const Weight d : row) {
+            if (d < kInfinity) {
+                sum += d;
+                ++reached;
+            }
+        }
+        unknown_entries += row.size() - reached;
+        snapshot->scores.reachable[v] = reached;
+        snapshot->scores.closeness[v] = closeness_score(sum, reached, n, variant);
+    });
+    snapshot->frac_unknown =
+        n > 0 ? static_cast<double>(unknown_entries) / (static_cast<double>(n) *
+                                                        static_cast<double>(n))
+              : 0.0;
+
+    if (previous == nullptr) {
+        snapshot->changed.resize(n);
+        for (std::size_t v = 0; v < n; ++v) {
+            snapshot->changed[v] = static_cast<VertexId>(v);
+        }
+    } else {
+        const std::size_t prev_n = previous->scores.closeness.size();
+        for (std::size_t v = 0; v < n; ++v) {
+            if (v >= prev_n ||
+                !same_bits(snapshot->scores.closeness[v],
+                           previous->scores.closeness[v]) ||
+                snapshot->scores.reachable[v] != previous->scores.reachable[v]) {
+                snapshot->changed.push_back(static_cast<VertexId>(v));
+            }
+        }
+    }
+    return snapshot;
+}
+
+void SnapshotStore::publish(std::shared_ptr<const ResultSnapshot> snapshot) {
+    AA_ASSERT_MSG(snapshot != nullptr, "cannot publish a null snapshot");
+    AA_ASSERT_MSG(snapshot->version > latest_version_.load(std::memory_order_relaxed),
+                  "snapshot versions must strictly increase");
+    // Version first, pointer second: latest_version() is always >= the
+    // version of whatever current() returns, so a reader computing
+    // `latest_version() - snapshot->version` never underflows (it may
+    // over-report staleness by one publication mid-swap, never under).
+    latest_version_.store(snapshot->version, std::memory_order_release);
+    current_.store(std::move(snapshot));
+}
+
+}  // namespace aa

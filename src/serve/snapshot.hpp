@@ -1,0 +1,104 @@
+// Versioned, immutable result snapshots: the payload the serve layer hands
+// to concurrent readers while the anytime engine keeps refining.
+//
+// The anytime property says a valid (monotonically improving) closeness
+// result exists after every RC step; the serve layer turns that into a
+// query-able artifact. At each engine boundary (initialize, RC step, dynamic
+// addition) the publisher freezes the current per-vertex closeness scores,
+// reachable counts and quality metadata into a `ResultSnapshot` and swaps it
+// into the `SnapshotStore` through an atomic shared_ptr slot (SharedSlot).
+// Readers therefore never observe a half-built result, never block the RC
+// loop, and keep any snapshot they hold alive for exactly as long as they
+// need it.
+//
+// Memory bound: the store retains one snapshot; during a publication the
+// outgoing and incoming snapshots briefly coexist, so the *store* pins at
+// most two. Older snapshots survive only while a reader still holds its
+// `shared_ptr`, and die with the last reference.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/closeness.hpp"
+#include "serve/shared_slot.hpp"
+
+namespace aa {
+
+class AnytimeEngine;
+
+/// One frozen, immutable view of the engine's current answer. All fields are
+/// set before publication and never mutated afterwards, which is what makes
+/// lock-free sharing across reader threads sound.
+struct ResultSnapshot {
+    /// Strictly increasing across publications of one service.
+    std::uint64_t version{0};
+    /// RC steps the engine had completed when the snapshot was taken.
+    std::size_t rc_step{0};
+    /// Simulated clock at publication.
+    double sim_seconds{0};
+    /// True iff the engine was quiescent (answers are the exact APSP for the
+    /// additive-update workloads the engine supports).
+    bool quiescent{false};
+    /// Self-measured unknown fraction: the share of distance-matrix entries
+    /// still at infinity. An upper bound on QualityMetrics::frac_unknown
+    /// (which also needs the exact matrix to exclude truly unreachable
+    /// pairs); on connected graphs the two coincide at quiescence (both 0).
+    double frac_unknown{0};
+    /// Wall-clock publication time in seconds on the publisher's clock
+    /// (QueryService's epoch); responses derive their staleness bound from
+    /// it. 0 for snapshots built outside a service.
+    double published_wall{0};
+    /// Closeness + reachable per vertex, bit-identical to
+    /// closeness_from_matrix(full_distance_matrix(), variant) at the same
+    /// boundary (same per-row summation order).
+    ClosenessScores scores;
+    /// Vertices whose (closeness, reachable) differ from the previous
+    /// snapshot — newly added vertices included. This is what lets the
+    /// incremental top-k patch instead of rebuild.
+    std::vector<VertexId> changed;
+};
+
+/// Freeze the engine's current state into a snapshot. Observer-only: reads
+/// rank state directly and charges nothing to the simulated clock. Must be
+/// called from the thread driving the engine (snapshot construction races
+/// with RC relaxation otherwise). `previous` (may be null) seeds the
+/// `changed` list.
+std::shared_ptr<ResultSnapshot> build_snapshot(const AnytimeEngine& engine,
+                                               std::uint64_t version,
+                                               const ResultSnapshot* previous);
+
+/// Single-slot snapshot holder. One writer (the RC/driver thread) swaps
+/// snapshots in; any number of readers copy the current `shared_ptr` out.
+/// A reader's critical section is a refcount bump (see SharedSlot), so
+/// readers never wait on engine work and the RC loop never waits on readers.
+class SnapshotStore {
+public:
+    SnapshotStore() = default;
+    SnapshotStore(const SnapshotStore&) = delete;
+    SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+    /// Publish a snapshot. Versions must strictly increase (assert-checked).
+    void publish(std::shared_ptr<const ResultSnapshot> snapshot);
+
+    /// The latest published snapshot (null before the first publication).
+    /// Never blocks on engine work (see SharedSlot); the returned pointer
+    /// keeps the snapshot alive.
+    std::shared_ptr<const ResultSnapshot> current() const {
+        return current_.load();
+    }
+
+    /// Version of the latest published snapshot; 0 before the first.
+    std::uint64_t latest_version() const {
+        return latest_version_.load(std::memory_order_acquire);
+    }
+
+private:
+    SharedSlot<const ResultSnapshot> current_;
+    std::atomic<std::uint64_t> latest_version_{0};
+};
+
+}  // namespace aa

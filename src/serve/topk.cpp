@@ -1,0 +1,86 @@
+#include "serve/topk.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace aa {
+
+std::vector<TopKEntry> topk_from_snapshot(const ResultSnapshot& snapshot,
+                                          std::size_t k) {
+    const std::size_t n = snapshot.scores.closeness.size();
+    std::vector<TopKEntry> entries;
+    entries.reserve(n);
+    for (std::size_t v = 0; v < n; ++v) {
+        entries.push_back(
+            {static_cast<VertexId>(v), snapshot.scores.closeness[v]});
+    }
+    const std::size_t want = std::min(k, n);
+    std::partial_sort(entries.begin(), entries.begin() + want, entries.end(),
+                      topk_outranks);
+    entries.resize(want);
+    return entries;
+}
+
+IncrementalTopK::IncrementalTopK(std::size_t k) : k_(k) {}
+
+void IncrementalTopK::apply(const ResultSnapshot& snapshot) {
+    AA_ASSERT_MSG(version_ == 0 || snapshot.version > version_,
+                  "snapshots must be applied in version order");
+    const auto& closeness = snapshot.scores.closeness;
+    const std::size_t n = closeness.size();
+    const std::size_t want = std::min(k_, n);
+
+    // Patch only across a direct successor: the changed list is relative to
+    // the immediately previous snapshot, so a skipped version breaks the
+    // chain of "unchanged vertices kept their exact bits".
+    const bool chainable =
+        version_ != 0 && snapshot.version == version_ + 1 && want > 0;
+    bool done = false;
+    if (chainable) {
+        // Previous ranking was exact, so any vertex outside entries_ that is
+        // not in `changed` still sorts after the previous k-th entry's key.
+        const bool had_outsiders = last_n_ > entries_.size();
+        const TopKEntry old_kth =
+            had_outsiders ? entries_.back() : TopKEntry{};
+
+        std::vector<TopKEntry> candidates;
+        candidates.reserve(entries_.size() + snapshot.changed.size());
+        for (const TopKEntry& e : entries_) {
+            candidates.push_back({e.vertex, closeness[e.vertex]});
+        }
+        for (const VertexId v : snapshot.changed) {
+            candidates.push_back({v, closeness[v]});
+        }
+        std::sort(candidates.begin(), candidates.end(),
+                  [](const TopKEntry& a, const TopKEntry& b) {
+                      return a.vertex < b.vertex;
+                  });
+        candidates.erase(std::unique(candidates.begin(), candidates.end(),
+                                     [](const TopKEntry& a, const TopKEntry& b) {
+                                         return a.vertex == b.vertex;
+                                     }),
+                         candidates.end());
+        if (candidates.size() >= want) {
+            std::partial_sort(candidates.begin(), candidates.begin() + want,
+                              candidates.end(), topk_outranks);
+            candidates.resize(want);
+            // Exact unless the new k-th is weaker than the old k-th was under
+            // its old score — only then could an unchanged outsider (known
+            // weaker than old_kth) deserve a slot.
+            if (!had_outsiders || !topk_outranks(old_kth, candidates.back())) {
+                entries_ = std::move(candidates);
+                ++patched_;
+                done = true;
+            }
+        }
+    }
+    if (!done) {
+        entries_ = topk_from_snapshot(snapshot, k_);
+        ++rebuilt_;
+    }
+    version_ = snapshot.version;
+    last_n_ = n;
+}
+
+}  // namespace aa

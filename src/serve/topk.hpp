@@ -1,0 +1,84 @@
+// Top-k closeness over result snapshots: a one-shot selection plus an
+// incrementally maintained ranking that is *patched* between consecutive
+// snapshots (using the snapshot's changed-vertex list) and only rebuilt when
+// a patch cannot be proven exact.
+//
+// Ordering is the library-wide ranking order (closeness_ranking): score
+// descending, vertex id ascending on ties — a strict total order, since ids
+// are unique. `topk_from_snapshot` is therefore always the k-prefix of
+// closeness_ranking over the same scores, and the incremental tracker is
+// pinned to produce bit-identical entries (tests enforce it).
+//
+// Why patching is sound: between consecutive snapshots, every vertex whose
+// (closeness, reachable) changed appears in `ResultSnapshot::changed`. A
+// vertex absent from that list kept its exact score bits, and — because the
+// previous top-k was correct — sorted strictly after the previous k-th
+// entry. Re-ranking the union {previous top-k entries, changed vertices}
+// with fresh scores is thus exact *unless* the new k-th entry is weaker than
+// the previous k-th was: only then could an unchanged outsider deserve a
+// slot, and the tracker falls back to a full rebuild (counted, observable).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "serve/snapshot.hpp"
+
+namespace aa {
+
+struct TopKEntry {
+    VertexId vertex{0};
+    Weight score{0};
+
+    friend bool operator==(const TopKEntry&, const TopKEntry&) = default;
+};
+
+/// True if `a` outranks `b`: higher score, ties broken by smaller id.
+inline bool topk_outranks(const TopKEntry& a, const TopKEntry& b) {
+    if (a.score != b.score) {
+        return a.score > b.score;
+    }
+    return a.vertex < b.vertex;
+}
+
+/// The top min(k, n) vertices of a snapshot by full selection — the k-prefix
+/// of closeness_ranking(snapshot.scores), scores included.
+std::vector<TopKEntry> topk_from_snapshot(const ResultSnapshot& snapshot,
+                                          std::size_t k);
+
+/// Maintains the top-k ranking across a stream of snapshots. Not thread-safe
+/// by itself; QueryService serializes updates and hands readers immutable
+/// copies.
+class IncrementalTopK {
+public:
+    explicit IncrementalTopK(std::size_t k);
+
+    /// Advance to `snapshot`. Patches when the snapshot is the direct
+    /// successor of the last one applied and the patch is provably exact;
+    /// rebuilds otherwise. Entries afterwards are bit-identical to
+    /// topk_from_snapshot(snapshot, k).
+    void apply(const ResultSnapshot& snapshot);
+
+    std::size_t k() const { return k_; }
+    /// Version of the last snapshot applied (0 before the first).
+    std::uint64_t version() const { return version_; }
+    const std::vector<TopKEntry>& entries() const { return entries_; }
+
+    /// Maintenance counters: how often apply() patched vs rebuilt.
+    std::size_t patched() const { return patched_; }
+    std::size_t rebuilt() const { return rebuilt_; }
+
+private:
+    std::size_t k_;
+    std::uint64_t version_{0};
+    /// Vertex count of the last snapshot applied: outsiders (vertices beyond
+    /// entries_) exist iff last_n_ > entries_.size(), which is what decides
+    /// whether a patch needs the threshold check at all.
+    std::size_t last_n_{0};
+    std::vector<TopKEntry> entries_;
+    std::size_t patched_{0};
+    std::size_t rebuilt_{0};
+};
+
+}  // namespace aa

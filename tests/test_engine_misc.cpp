@@ -214,6 +214,58 @@ TEST(EngineMisc, QueryDistanceBeforeConvergenceIsUpperBound) {
     }
 }
 
+TEST(EngineMisc, RawVariantThroughFullEnginePath) {
+    // EngineConfig::closeness_variant = Raw must flow through every result
+    // surface: the observer path, the distributed reduction, and exact
+    // recomputation — all agreeing with each other and differing from the
+    // Corrected default wherever the graph is non-trivial.
+    Rng rng(12);
+    const auto g = barabasi_albert(70, 2, rng);
+    EngineConfig config = base_config(4);
+    config.closeness_variant = ClosenessVariant::Raw;
+    AnytimeEngine engine(g, config);
+    engine.initialize();
+    engine.run_to_quiescence();
+
+    const auto exact_raw = exact_closeness(g, ClosenessVariant::Raw);
+    const auto observed = engine.closeness();
+    const auto distributed = engine.compute_closeness_distributed();
+    ASSERT_EQ(observed.closeness.size(), 70u);
+    for (VertexId v = 0; v < 70; ++v) {
+        EXPECT_NEAR(observed.closeness[v], exact_raw.closeness[v], 1e-9)
+            << "v=" << v;
+        EXPECT_NEAR(distributed.closeness[v], exact_raw.closeness[v], 1e-9)
+            << "v=" << v;
+        EXPECT_EQ(observed.reachable[v], exact_raw.reachable[v]);
+    }
+
+    // Sanity: Raw and Corrected genuinely disagree on this graph (otherwise
+    // the test would pass with the variant silently ignored).
+    const auto exact_corrected = exact_closeness(g, ClosenessVariant::Corrected);
+    std::size_t differing = 0;
+    for (VertexId v = 0; v < 70; ++v) {
+        differing += exact_raw.closeness[v] != exact_corrected.closeness[v];
+    }
+    EXPECT_GT(differing, 0u);
+
+    // The variant also survives a dynamic update: scores after growth and
+    // reconvergence are the Raw scores of the grown graph.
+    GrowthConfig gc;
+    gc.num_new = 6;
+    Rng brng(13);
+    const auto batch = grow_batch(70, gc, brng);
+    RoundRobinPS strategy;
+    engine.apply_addition(batch, strategy);
+    engine.run_to_quiescence();
+    const auto grown_raw =
+        exact_closeness(engine.graph(), ClosenessVariant::Raw);
+    const auto after = engine.closeness();
+    for (std::size_t v = 0; v < after.closeness.size(); ++v) {
+        EXPECT_NEAR(after.closeness[v], grown_raw.closeness[v], 1e-9)
+            << "v=" << v;
+    }
+}
+
 TEST(EngineMisc, ReportSimSecondsTracksCluster) {
     Rng rng(8);
     const auto g = barabasi_albert(50, 2, rng);

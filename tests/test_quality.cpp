@@ -48,6 +48,53 @@ TEST(Quality, MatchingInfinitiesAreExact) {
     EXPECT_EQ(q.frac_unknown, 0.0);
 }
 
+TEST(Quality, MonotoneAcrossAllUnknownToAllExact) {
+    // The extreme anytime trajectory: from "nothing known" (everything
+    // off-diagonal unknown) straight to a perfect match. Monotone in that
+    // order, not in the reverse.
+    const Weight inf = kInfinity;
+    const std::vector<std::vector<Weight>> exact{{0, 1, 2}, {1, 0, 1}, {2, 1, 0}};
+    const std::vector<std::vector<Weight>> unknown{
+        {0, inf, inf}, {inf, 0, inf}, {inf, inf, 0}};
+    const auto q_unknown = evaluate_quality(unknown, exact);
+    const auto q_exact = evaluate_quality(exact, exact);
+    EXPECT_EQ(q_unknown.frac_unknown, 6.0 / 9.0);
+    EXPECT_EQ(q_exact.frac_unknown, 0.0);
+    EXPECT_TRUE(quality_monotone(q_unknown, q_exact));
+    EXPECT_FALSE(quality_monotone(q_exact, q_unknown));
+    // A state is always monotone with itself (the predicate is reflexive:
+    // a stalled engine does not violate the anytime property).
+    EXPECT_TRUE(quality_monotone(q_unknown, q_unknown));
+    EXPECT_TRUE(quality_monotone(q_exact, q_exact));
+}
+
+TEST(Quality, InfiniteExactDistancesAreNotUnknown) {
+    // Disconnected exact matrix: an infinite approx entry whose exact value
+    // is also infinite is *exact*, not unknown — frac_unknown only counts
+    // entries the algorithm has yet to discover.
+    const Weight inf = kInfinity;
+    const std::vector<std::vector<Weight>> exact{{0, inf}, {inf, 0}};
+    const auto q_match = evaluate_quality(exact, exact);
+    EXPECT_EQ(q_match.frac_exact, 1.0);
+    EXPECT_EQ(q_match.frac_unknown, 0.0);
+    EXPECT_EQ(q_match.mean_excess, 0.0);
+
+    // A partially discovered disconnected graph: the reachable pair is known
+    // exactly, the cross-component entries match the exact infinities.
+    const std::vector<std::vector<Weight>> split{
+        {0, inf, inf}, {inf, 0, 1}, {inf, 1, 0}};
+    const auto q_split = evaluate_quality(split, split);
+    EXPECT_EQ(q_split.frac_exact, 1.0);
+    EXPECT_EQ(q_split.frac_unknown, 0.0);
+    EXPECT_TRUE(quality_monotone(q_split, q_split));
+
+    // A finite estimate where the exact distance is infinite would mean the
+    // relaxation invented a path; the contract check rejects it outright.
+    const std::vector<std::vector<Weight>> bogus{{0, 5}, {5, 0}};
+    EXPECT_DEATH(evaluate_quality(bogus, exact),
+                 "estimate finite where exact is infinite");
+}
+
 TEST(Quality, MonotonePredicate) {
     QualityMetrics a;
     a.frac_exact = 0.5;

@@ -1,0 +1,421 @@
+// The anytime query-serving layer: versioned snapshot publication, point /
+// batch / top-k queries, freshness policies, admission control, and the
+// monotone-quality guarantee across successive snapshots. The *Concurrent*
+// cases are the ThreadSanitizer targets (reader threads hammer the snapshot
+// store while the driver thread runs the engine to quiescence).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/closeness.hpp"
+#include "core/engine.hpp"
+#include "core/quality.hpp"
+#include "core/strategies.hpp"
+#include "graph/generators.hpp"
+#include "serve/service.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/topk.hpp"
+
+namespace aa {
+namespace {
+
+EngineConfig serve_config(std::uint32_t ranks) {
+    EngineConfig config;
+    config.num_ranks = ranks;
+    config.ia_threads = 1;
+    config.seed = 77;
+    return config;
+}
+
+/// Engine + attached service over a BA graph, initialized (so snapshot #1
+/// exists) but not yet converged.
+struct Fixture {
+    AnytimeEngine engine;
+    QueryService service;
+
+    explicit Fixture(std::size_t n, std::uint32_t ranks, ServeConfig sc = {},
+                     std::uint64_t seed = 3)
+        : engine(
+              [&] {
+                  Rng rng(seed);
+                  return barabasi_albert(n, 2, rng);
+              }(),
+              serve_config(ranks)),
+          service((engine.initialize(), engine), sc) {}
+};
+
+TEST(Serve, SnapshotVersionsStrictlyIncrease) {
+    Fixture f(80, 4);
+    std::vector<std::uint64_t> versions;
+    f.service.set_on_publish([&](const ResultSnapshot& s) {
+        versions.push_back(s.version);
+    });
+
+    f.engine.run_rc_steps(2);
+    GrowthConfig gc;
+    gc.num_new = 8;
+    Rng rng(9);
+    const auto batch = grow_batch(f.engine.num_vertices(), gc, rng);
+    RoundRobinPS strategy;
+    f.engine.apply_addition(batch, strategy);
+    f.engine.run_to_quiescence();
+    f.service.publish();
+
+    ASSERT_GE(versions.size(), 4u);  // 2 steps + add + >=1 converge step + manual
+    for (std::size_t i = 1; i < versions.size(); ++i) {
+        EXPECT_LT(versions[i - 1], versions[i]);
+    }
+    // The initial publication (version 1) predates the observer; the stream
+    // continues right after it.
+    EXPECT_EQ(versions.front(), 2u);
+    EXPECT_EQ(f.service.snapshot()->version, versions.back());
+    EXPECT_EQ(f.service.publications(), versions.back());
+}
+
+TEST(Serve, MidRcQueryMatchesMatrixClosenessBitIdentical) {
+    Fixture f(90, 5);
+    // At every publication boundary the engine is idle, so the snapshot and
+    // the matrix-derived closeness describe the same state; the contract is
+    // bit-identity, hence EXPECT_EQ on doubles.
+    std::size_t checked = 0;
+    f.service.set_on_publish([&](const ResultSnapshot& s) {
+        const auto expected = closeness_from_matrix(
+            f.engine.full_distance_matrix(), f.engine.config().closeness_variant);
+        ASSERT_EQ(s.scores.closeness.size(), expected.closeness.size());
+        for (std::size_t v = 0; v < expected.closeness.size(); ++v) {
+            EXPECT_EQ(s.scores.closeness[v], expected.closeness[v]);
+            EXPECT_EQ(s.scores.reachable[v], expected.reachable[v]);
+        }
+        ++checked;
+    });
+
+    // Step one at a time and query between steps, well before quiescence.
+    for (int step = 0; step < 3 && f.engine.rc_step(); ++step) {
+        const auto snapshot = f.service.snapshot();
+        const auto expected = closeness_from_matrix(
+            f.engine.full_distance_matrix(), f.engine.config().closeness_variant);
+        for (VertexId v = 0; v < 10; ++v) {
+            const auto r = f.service.point(v, FreshnessPolicy::ServeStale);
+            ASSERT_EQ(r.meta.status, QueryStatus::Ok);
+            EXPECT_EQ(r.meta.version, snapshot->version);
+            EXPECT_EQ(r.closeness, expected.closeness[v]);
+            EXPECT_EQ(r.reachable, expected.reachable[v]);
+        }
+    }
+    EXPECT_GE(checked, 3u);
+}
+
+TEST(Serve, RawVariantFlowsThroughSnapshots) {
+    // Same bit-identity when the engine is configured for the paper's raw
+    // inverse-sum variant instead of the corrected default.
+    Rng rng(4);
+    auto g = barabasi_albert(70, 2, rng);
+    EngineConfig config = serve_config(4);
+    config.closeness_variant = ClosenessVariant::Raw;
+    AnytimeEngine engine(std::move(g), config);
+    engine.initialize();
+    QueryService service(engine);
+    engine.run_rc_steps(1);
+    const auto snapshot = service.snapshot();
+    const auto expected = closeness_from_matrix(engine.full_distance_matrix(),
+                                                ClosenessVariant::Raw);
+    for (std::size_t v = 0; v < expected.closeness.size(); ++v) {
+        EXPECT_EQ(snapshot->scores.closeness[v], expected.closeness[v]);
+    }
+}
+
+TEST(Serve, TopKEqualsFullSortOfSnapshot) {
+    Fixture f(100, 4);
+    const std::size_t k = 7;
+    while (true) {
+        const bool progressed = f.engine.rc_step();
+        const auto snapshot = f.service.snapshot();
+        const auto result = f.service.topk(k, FreshnessPolicy::ServeStale);
+        ASSERT_EQ(result.meta.status, QueryStatus::Ok);
+        ASSERT_EQ(result.meta.version, snapshot->version);
+
+        // Reference: a full sort of the same snapshot's scores.
+        const auto ranking = closeness_ranking(snapshot->scores);
+        ASSERT_EQ(result.entries.size(), k);
+        for (std::size_t i = 0; i < k; ++i) {
+            EXPECT_EQ(result.entries[i].vertex, ranking[i]);
+            EXPECT_EQ(result.entries[i].score,
+                      snapshot->scores.closeness[ranking[i]]);
+        }
+        if (!progressed) {
+            break;
+        }
+    }
+    // k beyond the maintained ranking falls back to full selection and must
+    // agree with the same reference.
+    const auto snapshot = f.service.snapshot();
+    const auto big = f.service.topk(23, FreshnessPolicy::ServeStale);
+    const auto ranking = closeness_ranking(snapshot->scores);
+    ASSERT_EQ(big.entries.size(), 23u);
+    for (std::size_t i = 0; i < big.entries.size(); ++i) {
+        EXPECT_EQ(big.entries[i].vertex, ranking[i]);
+    }
+}
+
+TEST(Serve, IncrementalTopKPatchesBetweenSnapshots) {
+    // Drive the tracker directly over the engine's snapshot stream: entries
+    // must stay bit-identical to a full selection at every version, and the
+    // consecutive-version stream must exercise the patch path.
+    Rng rng(11);
+    auto g = barabasi_albert(120, 2, rng);
+    AnytimeEngine engine(std::move(g), serve_config(6));
+    engine.initialize();
+
+    IncrementalTopK tracker(9);
+    std::uint64_t version = 0;
+    std::shared_ptr<ResultSnapshot> previous;
+    const auto check = [&] {
+        auto snapshot = build_snapshot(engine, ++version, previous.get());
+        tracker.apply(*snapshot);
+        EXPECT_EQ(tracker.entries(), topk_from_snapshot(*snapshot, 9))
+            << "version " << version;
+        previous = std::move(snapshot);
+    };
+
+    check();  // initial: rebuild
+    while (engine.rc_step()) {
+        check();
+    }
+    GrowthConfig gc;
+    gc.num_new = 10;
+    Rng brng(5);
+    const auto batch = grow_batch(engine.num_vertices(), gc, brng);
+    RoundRobinPS strategy;
+    engine.apply_addition(batch, strategy);
+    check();
+    while (engine.rc_step()) {
+        check();
+    }
+
+    EXPECT_GT(tracker.patched(), 0u);
+    EXPECT_GE(tracker.rebuilt(), 1u);  // at least the initial build
+}
+
+TEST(Serve, FreshnessPoliciesWithSyncStepDriver) {
+    Fixture f(80, 4);
+    f.service.set_step_driver([&] { return f.engine.rc_step(); });
+
+    // ServeStale: answers from the current snapshot, no engine progress.
+    const auto v0 = f.service.snapshot()->version;
+    const auto steps0 = f.engine.rc_steps_completed();
+    const auto stale = f.service.point(3, FreshnessPolicy::ServeStale);
+    EXPECT_EQ(stale.meta.status, QueryStatus::Ok);
+    EXPECT_EQ(stale.meta.version, v0);
+    EXPECT_EQ(f.engine.rc_steps_completed(), steps0);
+
+    // WaitForNextStep: advances the engine and serves a strictly newer
+    // snapshot.
+    const auto next = f.service.point(3, FreshnessPolicy::WaitForNextStep);
+    EXPECT_EQ(next.meta.status, QueryStatus::Ok);
+    EXPECT_GT(next.meta.version, v0);
+    EXPECT_GT(f.engine.rc_steps_completed(), steps0);
+
+    // WaitForQuiescence: runs to convergence; the served values are exact.
+    const auto exact = exact_closeness(f.engine.graph(),
+                                       f.engine.config().closeness_variant);
+    const auto settled = f.service.point(3, FreshnessPolicy::WaitForQuiescence);
+    EXPECT_EQ(settled.meta.status, QueryStatus::Ok);
+    EXPECT_TRUE(settled.meta.quiescent);
+    EXPECT_TRUE(f.engine.quiescent());
+    EXPECT_NEAR(settled.closeness, exact.closeness[3], 1e-9);
+
+    // Quiescent engine, WaitForNextStep: the out-of-band publication still
+    // yields one fresher (and quiescent) snapshot rather than hanging.
+    const auto after = f.service.point(4, FreshnessPolicy::WaitForNextStep);
+    EXPECT_EQ(after.meta.status, QueryStatus::Ok);
+    EXPECT_GT(after.meta.version, settled.meta.version);
+    EXPECT_TRUE(after.meta.quiescent);
+}
+
+TEST(Serve, AdmissionControlShedsWhenPendingFull) {
+    ServeConfig sc;
+    sc.max_pending = 0;  // no waiting capacity at all
+    Fixture f(60, 4, sc);
+    // No step driver and no concurrent publisher: a waiting policy must be
+    // shed immediately instead of queueing.
+    const auto r = f.service.point(1, FreshnessPolicy::WaitForNextStep);
+    EXPECT_EQ(r.meta.status, QueryStatus::Shed);
+    EXPECT_EQ(f.service.shed_count(), 1u);
+    // ServeStale is never subject to admission control.
+    const auto ok = f.service.point(1, FreshnessPolicy::ServeStale);
+    EXPECT_EQ(ok.meta.status, QueryStatus::Ok);
+}
+
+TEST(Serve, BatchIsConsistentWithinOneSnapshot) {
+    Fixture f(80, 4);
+    f.engine.run_rc_steps(1);
+    const std::vector<VertexId> vs{0, 5, 17, 42, 79};
+    const auto result = f.service.batch(vs, FreshnessPolicy::ServeStale);
+    ASSERT_EQ(result.meta.status, QueryStatus::Ok);
+    ASSERT_EQ(result.closeness.size(), vs.size());
+    const auto snapshot = f.service.snapshot();
+    ASSERT_EQ(snapshot->version, result.meta.version);
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+        EXPECT_EQ(result.closeness[i], snapshot->scores.closeness[vs[i]]);
+        EXPECT_EQ(result.reachable[i], snapshot->scores.reachable[vs[i]]);
+    }
+}
+
+TEST(Serve, MonotoneQualityAcrossSnapshots) {
+    // The paper's anytime property, observed through the serving surface:
+    // every published snapshot is at least as good as its predecessor.
+    Rng rng(6);
+    auto g = barabasi_albert(90, 2, rng);
+    const auto exact = exact_apsp(g);
+    AnytimeEngine engine(std::move(g), serve_config(6));
+    engine.initialize();
+    QueryService service(engine);
+
+    std::vector<QualityMetrics> quality;
+    std::vector<double> frac_unknown;
+    service.set_on_publish([&](const ResultSnapshot& s) {
+        quality.push_back(evaluate_quality(engine.full_distance_matrix(), exact));
+        frac_unknown.push_back(s.frac_unknown);
+    });
+    service.publish();  // baseline right after IA
+    engine.run_to_quiescence();
+
+    ASSERT_GE(quality.size(), 2u);
+    for (std::size_t i = 1; i < quality.size(); ++i) {
+        EXPECT_TRUE(quality_monotone(quality[i - 1], quality[i])) << "snapshot " << i;
+        EXPECT_LE(frac_unknown[i], frac_unknown[i - 1] + 1e-12) << "snapshot " << i;
+    }
+    EXPECT_NEAR(quality.back().frac_exact, 1.0, 1e-12);
+    EXPECT_EQ(frac_unknown.back(), 0.0);
+}
+
+TEST(Serve, StalenessMetaTracksSupersededSnapshots) {
+    Fixture f(60, 4);
+    const auto held = f.service.snapshot();  // pin the current snapshot
+    f.engine.run_rc_steps(2);
+    // The held snapshot is now behind; a fresh query is not.
+    EXPECT_GE(f.service.store().latest_version(), held->version + 2);
+    const auto fresh = f.service.point(0, FreshnessPolicy::ServeStale);
+    EXPECT_EQ(fresh.meta.staleness_versions, 0u);
+    EXPECT_GE(fresh.meta.staleness_wall, 0.0);
+}
+
+// ---- concurrent cases (ThreadSanitizer targets) ---------------------------
+
+TEST(Serve, ConcurrentReadersDuringConvergence) {
+    Rng rng(8);
+    auto g = barabasi_albert(140, 2, rng);
+    AnytimeEngine engine(std::move(g), serve_config(4));
+    engine.initialize();
+    QueryService service(engine);
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::size_t> served{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 4; ++t) {
+        readers.emplace_back([&, t] {
+            std::uint64_t last_version = 0;
+            VertexId v = static_cast<VertexId>(t);
+            while (!stop.load(std::memory_order_relaxed)) {
+                const auto p = service.point(v % 140, FreshnessPolicy::ServeStale);
+                ASSERT_EQ(p.meta.status, QueryStatus::Ok);
+                // Published versions are monotone from any reader's view.
+                ASSERT_GE(p.meta.version, last_version);
+                last_version = p.meta.version;
+                const auto top = service.topk(5, FreshnessPolicy::ServeStale);
+                ASSERT_EQ(top.meta.status, QueryStatus::Ok);
+                ASSERT_EQ(top.entries.size(), 5u);
+                const std::vector<VertexId> vs{v % 140, (v + 7) % 140};
+                const auto b = service.batch(vs, FreshnessPolicy::ServeStale);
+                ASSERT_EQ(b.meta.status, QueryStatus::Ok);
+                served.fetch_add(1, std::memory_order_relaxed);
+                v += 3;
+            }
+        });
+    }
+
+    // Driver: step, inject a batch mid-RC, converge — all while readers run.
+    engine.run_rc_steps(2);
+    GrowthConfig gc;
+    gc.num_new = 12;
+    Rng brng(13);
+    const auto batch = grow_batch(engine.num_vertices(), gc, brng);
+    RoundRobinPS strategy;
+    engine.apply_addition(batch, strategy);
+    engine.run_to_quiescence();
+
+    // The engine may converge before the reader threads have even started;
+    // snapshots keep being served after quiescence, so hold the service open
+    // until every reader has demonstrably done work.
+    while (served.load(std::memory_order_relaxed) < 50) {
+        std::this_thread::yield();
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& thread : readers) {
+        thread.join();
+    }
+    EXPECT_GE(served.load(), 50u);
+    EXPECT_TRUE(service.snapshot()->quiescent);
+}
+
+TEST(Serve, ConcurrentWaitForNextStepIsWokenByPublication) {
+    Fixture f(70, 4);
+    const auto before = f.service.snapshot()->version;
+    std::atomic<bool> done{false};
+    PointResult got;
+    std::thread waiter([&] {
+        got = f.service.point(2, FreshnessPolicy::WaitForNextStep);
+        done.store(true, std::memory_order_release);
+    });
+    // WaitForNextStep is relative to the query's arrival, so the driver must
+    // keep publishing until the waiter has been served — a single
+    // publication could land before the query arrives.
+    while (!done.load(std::memory_order_acquire)) {
+        f.service.publish();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    waiter.join();
+    EXPECT_EQ(got.meta.status, QueryStatus::Ok);
+    EXPECT_GT(got.meta.version, before);
+}
+
+TEST(Serve, ConcurrentWaitForQuiescenceServesExactScores) {
+    Rng rng(10);
+    auto g = barabasi_albert(80, 2, rng);
+    AnytimeEngine engine(std::move(g), serve_config(4));
+    engine.initialize();
+    QueryService service(engine);
+    const auto exact = exact_closeness(engine.graph(),
+                                       engine.config().closeness_variant);
+
+    PointResult got;
+    std::thread waiter([&] {
+        got = service.point(1, FreshnessPolicy::WaitForQuiescence);
+    });
+    engine.run_to_quiescence();
+    waiter.join();
+    EXPECT_EQ(got.meta.status, QueryStatus::Ok);
+    EXPECT_TRUE(got.meta.quiescent);
+    EXPECT_NEAR(got.closeness, exact.closeness[1], 1e-9);
+}
+
+TEST(Serve, ConcurrentCloseUnblocksWaiters) {
+    Fixture f(60, 4);
+    PointResult got;
+    std::thread waiter([&] {
+        got = f.service.point(0, FreshnessPolicy::WaitForQuiescence);
+    });
+    // Never converge; shut the service down instead.
+    f.service.close();
+    waiter.join();
+    EXPECT_EQ(got.meta.status, QueryStatus::Unavailable);
+    // ServeStale keeps working after close.
+    const auto stale = f.service.point(0, FreshnessPolicy::ServeStale);
+    EXPECT_EQ(stale.meta.status, QueryStatus::Ok);
+}
+
+}  // namespace
+}  // namespace aa

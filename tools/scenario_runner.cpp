@@ -26,6 +26,17 @@
 //   checkpoint <path>                 save engine state
 //   restore <path>                    replace the engine from a checkpoint
 //   verify                            check against exact sequential APSP
+//   serve-policy stale|next-step|quiescence   freshness for query/topk
+//   query <v> [policy]                point closeness query via the serve
+//                                     layer (answers from the latest
+//                                     published snapshot)
+//   topk [k] [policy]                 top-k closeness via the serve layer
+//   help                              print this command list
+//
+// query/topk go through the QueryService: they read the versioned snapshot
+// published at the last engine boundary rather than touching engine state,
+// and report which snapshot version answered. Waiting policies run the
+// service in synchronous mode — an unsatisfied query steps the engine inline.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -40,15 +51,58 @@
 #include "core/telemetry.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "serve/service.hpp"
 
 namespace {
 
 using namespace aa;
 
+const char kHelpText[] =
+    "commands (one per line, '#' comments):\n"
+    "  ranks <P>      threads <T>        cluster shape (before graph)\n"
+    "  seed <S>                          RNG seed (before graph)\n"
+    "  kernel dijkstra|delta             IA kernel (before graph)\n"
+    "  graph ba <n> <m>                  Barabasi-Albert host\n"
+    "  graph er <n> <edges>              Erdos-Renyi host\n"
+    "  graph file <path>                 SNAP edge-list host\n"
+    "  steps <k>                         run k RC steps\n"
+    "  add <count> rr|cutedge|repart [communities]   vertex batch\n"
+    "  edges <count>                     random new edges between old vertices\n"
+    "  converge                          run RC to quiescence\n"
+    "  closeness [top]                   print top-k closeness (engine-side)\n"
+    "  telemetry                         print per-step telemetry so far\n"
+    "  metrics [json|csv] [path]         dump the aa.timeline.v1 block\n"
+    "  checkpoint <path>                 save engine state\n"
+    "  restore <path>                    replace the engine from a checkpoint\n"
+    "  verify                            check against exact sequential APSP\n"
+    "  serve-policy stale|next-step|quiescence   freshness for query/topk\n"
+    "  query <v> [policy]                point query via the serve layer\n"
+    "  topk [k] [policy]                 top-k query via the serve layer\n"
+    "  help                              print this command list\n";
+
+bool parse_policy(const std::string& name, FreshnessPolicy& policy) {
+    if (name == "stale") {
+        policy = FreshnessPolicy::ServeStale;
+    } else if (name == "next-step") {
+        policy = FreshnessPolicy::WaitForNextStep;
+    } else if (name == "quiescence") {
+        policy = FreshnessPolicy::WaitForQuiescence;
+    } else {
+        std::fprintf(stderr,
+                     "error: unknown freshness policy '%s' (valid: stale, "
+                     "next-step, quiescence)\n",
+                     name.c_str());
+        return false;
+    }
+    return true;
+}
+
 struct Runner {
     EngineConfig config;
     std::uint64_t seed{42};
     std::unique_ptr<AnytimeEngine> engine;
+    std::unique_ptr<QueryService> service;
+    FreshnessPolicy policy{FreshnessPolicy::ServeStale};
     DynamicGraph mirror;  // for `verify`
     RoundRobinPS round_robin;
     std::unique_ptr<CutEdgePS> cut_edge;
@@ -76,13 +130,27 @@ struct Runner {
         config.seed = seed;
         mirror = graph;
         cut_edge = std::make_unique<CutEdgePS>(seed * 31 + 7);
+        service.reset();  // must detach from the old engine first
         engine = std::make_unique<AnytimeEngine>(std::move(graph), config);
         engine->initialize();
+        attach_service();
         std::printf("[%8.4fs] graph ready: %zu vertices, %zu edges, %u ranks, "
                     "cut %zu\n",
                     engine->sim_seconds(), engine->num_vertices(),
                     mirror.num_edges(), config.num_ranks,
                     engine->current_cut_edges());
+    }
+
+    /// Put a QueryService in synchronous mode over the current engine: every
+    /// engine boundary publishes a snapshot, and a query whose policy the
+    /// current snapshot cannot satisfy advances the engine inline instead of
+    /// blocking (scenario_runner is single-threaded).
+    void attach_service() {
+        ServeConfig sc;
+        sc.enable_metrics = false;  // the engine timeline is the record here
+        service = std::make_unique<QueryService>(*engine, sc);
+        service->set_step_driver(
+            [this] { return engine->run_rc_steps(1) > 0; });
     }
 
     bool handle(const std::string& line) {
@@ -101,8 +169,17 @@ struct Runner {
         } else if (command == "kernel") {
             std::string kernel;
             in >> kernel;
-            config.ia_kernel = kernel == "delta" ? IaKernel::DeltaStepping
-                                                 : IaKernel::Dijkstra;
+            if (kernel == "delta") {
+                config.ia_kernel = IaKernel::DeltaStepping;
+            } else if (kernel == "dijkstra") {
+                config.ia_kernel = IaKernel::Dijkstra;
+            } else {
+                std::fprintf(stderr,
+                             "error: unknown kernel '%s' (valid: dijkstra, "
+                             "delta)\n",
+                             kernel.c_str());
+                return false;
+            }
         } else if (command == "graph") {
             std::string kind;
             in >> kind;
@@ -122,7 +199,9 @@ struct Runner {
                 in >> path;
                 start(read_snap_edge_list_file(path));
             } else {
-                std::fprintf(stderr, "error: unknown graph kind '%s'\n",
+                std::fprintf(stderr,
+                             "error: unknown graph kind '%s' (valid: ba, er, "
+                             "file)\n",
                              kind.c_str());
                 return false;
             }
@@ -151,6 +230,12 @@ struct Runner {
                 strategy = cut_edge.get();
             } else if (strategy_name == "repart") {
                 strategy = &repartition;
+            } else if (strategy_name != "rr") {
+                std::fprintf(stderr,
+                             "error: unknown addition strategy '%s' (valid: "
+                             "rr, cutedge, repart)\n",
+                             strategy_name.c_str());
+                return false;
             }
             engine->apply_addition(batch, *strategy);
             mirror = apply_batch(mirror, batch);
@@ -249,9 +334,11 @@ struct Runner {
                              path.c_str());
                 return false;
             }
+            service.reset();  // detach the boundary hook before the swap
             engine = std::make_unique<AnytimeEngine>(
                 AnytimeEngine::load_checkpoint(file, config));
             mirror = engine->graph();
+            attach_service();
             std::printf("[%8.4fs] restored from %s (RC%zu, %zu vertices)\n",
                         engine->sim_seconds(), path.c_str(),
                         engine->rc_steps_completed(), engine->num_vertices());
@@ -275,8 +362,70 @@ struct Runner {
             if (mismatches != 0) {
                 exit_code = 1;
             }
+        } else if (command == "serve-policy") {
+            std::string name;
+            in >> name;
+            if (!parse_policy(name, policy)) {
+                return false;
+            }
+            std::printf("serve policy: %s\n",
+                        std::string(freshness_policy_name(policy)).c_str());
+        } else if (command == "query") {
+            require_engine(command);
+            std::size_t v = 0;
+            if (!(in >> v)) {
+                std::fprintf(stderr, "error: usage: query <v> [policy]\n");
+                return false;
+            }
+            FreshnessPolicy query_policy = policy;
+            std::string name;
+            if (in >> name && !parse_policy(name, query_policy)) {
+                return false;
+            }
+            const auto result = service->point(static_cast<VertexId>(v),
+                                               query_policy);
+            if (result.meta.status != QueryStatus::Ok) {
+                std::fprintf(stderr, "error: query for %zu not served\n", v);
+                return false;
+            }
+            std::printf("[%8.4fs] query %zu (%s): closeness %.6g, reachable "
+                        "%zu  [snapshot v%llu, RC%zu%s]\n",
+                        engine->sim_seconds(), v,
+                        std::string(freshness_policy_name(query_policy)).c_str(),
+                        result.closeness, result.reachable,
+                        static_cast<unsigned long long>(result.meta.version),
+                        result.meta.rc_step,
+                        result.meta.quiescent ? ", quiescent" : "");
+        } else if (command == "topk") {
+            require_engine(command);
+            std::size_t k = 5;
+            in >> k;
+            FreshnessPolicy query_policy = policy;
+            std::string name;
+            if (in >> name && !parse_policy(name, query_policy)) {
+                return false;
+            }
+            const auto result = service->topk(k, query_policy);
+            if (result.meta.status != QueryStatus::Ok) {
+                std::fprintf(stderr, "error: top-%zu query not served\n", k);
+                return false;
+            }
+            std::printf("[%8.4fs] top-%zu (%s, snapshot v%llu):",
+                        engine->sim_seconds(), k,
+                        std::string(freshness_policy_name(query_policy)).c_str(),
+                        static_cast<unsigned long long>(result.meta.version));
+            for (const auto& entry : result.entries) {
+                std::printf(" %u(%.3g)", entry.vertex, entry.score);
+            }
+            std::printf("\n");
+        } else if (command == "help") {
+            std::fputs(kHelpText, stdout);
         } else {
-            std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
+            std::fprintf(stderr,
+                         "error: unknown command '%s' (run 'help' for the "
+                         "command list)\n",
+                         command.c_str());
+            std::fputs(kHelpText, stderr);
             return false;
         }
         return true;

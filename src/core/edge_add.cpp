@@ -74,8 +74,10 @@ double AnytimeEngine::broadcast_edge_update(VertexId from, VertexId to, Weight w
                         encode_edge_broadcast(b));
 
     // Apply the update at every rank. Receivers parse the wire payload; the
-    // sender applies its own copy directly.
-    for (RankId r = 0; r < num_ranks; ++r) {
+    // sender applies its own copy directly (`b` is read-only from here, so
+    // concurrent rank closures may share it).
+    std::vector<double> rank_ops(num_ranks, 0);
+    run_rank_phase([&](RankId r, std::vector<MetricSpan>&) {
         RankState& state = ranks_[r];
         const EdgeBroadcast* update = &b;
         EdgeBroadcast decoded;
@@ -118,7 +120,10 @@ double AnytimeEngine::broadcast_edge_update(VertexId from, VertexId to, Weight w
             ops += 2;
         }
         cluster_->charge_compute(r, ops);
-        total_ops += ops;
+        rank_ops[r] = ops;
+    });
+    for (RankId r = 0; r < num_ranks; ++r) {
+        total_ops += rank_ops[r];
     }
     return total_ops;
 }
@@ -145,7 +150,8 @@ void AnytimeEngine::anywhere_add(const GrowthBatch& batch,
     }
     graph_.add_vertices(k);
     owners_.insert(owners_.end(), assignment.begin(), assignment.end());
-    for (RankId r = 0; r < num_ranks; ++r) {
+    std::vector<double> extend_ops(num_ranks, 0);
+    run_rank_phase([&](RankId r, std::vector<MetricSpan>&) {
         RankState& state = ranks_[r];
         state.sg.extend_ownership(assignment);
         // DV resize: one new column per existing row (amortized via doubling
@@ -155,7 +161,10 @@ void AnytimeEngine::anywhere_add(const GrowthBatch& batch,
             static_cast<double>(state.store.num_rows()) + static_cast<double>(k);
         state.store.grow_columns(new_n);
         cluster_->charge_compute(r, ops);
-        dynamic_ops += ops;
+        extend_ops[r] = ops;
+    });
+    for (RankId r = 0; r < num_ranks; ++r) {
+        dynamic_ops += extend_ops[r];
     }
     for (std::size_t i = 0; i < k; ++i) {
         const VertexId v = batch.base_id + static_cast<VertexId>(i);
@@ -213,10 +222,15 @@ void AnytimeEngine::anywhere_add(const GrowthBatch& batch,
             sim_seconds());
     }
     const double ops_before_prop = dynamic_ops;
-    for (RankId r = 0; r < num_ranks; ++r) {
-        const double ops = rc_propagate_local(ranks_[r].sg, ranks_[r].store, pool_.get());
+    std::vector<double> prop_ops(num_ranks, 0);
+    run_rank_phase([&](RankId r, std::vector<MetricSpan>&) {
+        const double ops =
+            rc_propagate_local(ranks_[r].sg, ranks_[r].store, kernel_pool());
         cluster_->charge_compute(r, ops);
-        dynamic_ops += ops;
+        prop_ops[r] = ops;
+    });
+    for (RankId r = 0; r < num_ranks; ++r) {
+        dynamic_ops += prop_ops[r];
     }
     cluster_->barrier();
     if (mx) {
@@ -250,10 +264,15 @@ void AnytimeEngine::add_edges(std::span<const Edge> edges) {
         report_.edge_additions += 1;
     }
 
-    for (RankId r = 0; r < num_ranks; ++r) {
-        const double ops = rc_propagate_local(ranks_[r].sg, ranks_[r].store, pool_.get());
+    std::vector<double> prop_ops(num_ranks, 0);
+    run_rank_phase([&](RankId r, std::vector<MetricSpan>&) {
+        const double ops =
+            rc_propagate_local(ranks_[r].sg, ranks_[r].store, kernel_pool());
         cluster_->charge_compute(r, ops);
-        dynamic_ops += ops;
+        prop_ops[r] = ops;
+    });
+    for (RankId r = 0; r < num_ranks; ++r) {
+        dynamic_ops += prop_ops[r];
     }
     cluster_->barrier();
     report_.dynamic_ops += dynamic_ops;
@@ -285,10 +304,15 @@ bool AnytimeEngine::decrease_edge_weight(VertexId u, VertexId v, Weight new_weig
 
     double dynamic_ops = broadcast_edge_update(u, v, new_weight);
     dynamic_ops += broadcast_edge_update(v, u, new_weight);
-    for (RankId r = 0; r < cluster_->num_ranks(); ++r) {
-        const double ops = rc_propagate_local(ranks_[r].sg, ranks_[r].store, pool_.get());
+    std::vector<double> prop_ops(cluster_->num_ranks(), 0);
+    run_rank_phase([&](RankId r, std::vector<MetricSpan>&) {
+        const double ops =
+            rc_propagate_local(ranks_[r].sg, ranks_[r].store, kernel_pool());
         cluster_->charge_compute(r, ops);
-        dynamic_ops += ops;
+        prop_ops[r] = ops;
+    });
+    for (RankId r = 0; r < cluster_->num_ranks(); ++r) {
+        dynamic_ops += prop_ops[r];
     }
     cluster_->barrier();
     report_.dynamic_ops += dynamic_ops;

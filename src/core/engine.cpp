@@ -20,7 +20,10 @@ AnytimeEngine::AnytimeEngine(DynamicGraph graph, EngineConfig config)
       config_(config),
       cluster_(std::make_unique<Cluster>(config.num_ranks, config.logp,
                                          config.schedule)),
+      backend_(make_backend(config.backend, config.num_ranks,
+                            config.backend_threads)),
       pool_(std::make_unique<ThreadPool>(config.ia_threads)),
+      inline_pool_(std::make_unique<ThreadPool>(1)),
       rng_(config.seed),
       metrics_(std::make_unique<MetricsRegistry>()) {
     AA_ASSERT_MSG(config_.num_ranks >= 1, "need at least one rank");
@@ -47,6 +50,33 @@ void AnytimeEngine::fire_boundary_hook() {
     if (boundary_hook_) {
         boundary_hook_(*this);
     }
+}
+
+void AnytimeEngine::run_rank_phase(
+    const std::function<void(RankId, std::vector<MetricSpan>&)>& fn) {
+    // Per-rank span sinks, merged in ascending rank order after the backend's
+    // barrier: the registry sees the exact sequence the sequential loop would
+    // have produced, regardless of completion order.
+    std::vector<std::vector<MetricSpan>> sinks(ranks_.size());
+    backend_->run_ranks(ranks_.size(), [&fn, &sinks](RankId r) {
+        fn(r, sinks[r]);
+    });
+    for (std::vector<MetricSpan>& sink : sinks) {
+        for (MetricSpan& span : sink) {
+            metrics_->record_span(std::move(span));
+        }
+    }
+}
+
+ThreadPool& AnytimeEngine::ia_pool() {
+    // An inline pool (no workers) touches no shared state in parallel_for, so
+    // concurrent rank closures may each drive it; the shared multi-worker pool
+    // may not be entered concurrently.
+    return backend_->concurrent() ? *inline_pool_ : *pool_;
+}
+
+ThreadPool* AnytimeEngine::kernel_pool() {
+    return backend_->concurrent() ? nullptr : pool_.get();
 }
 
 double AnytimeEngine::charge_partition_cost(std::size_t vertices, std::size_t edges) {
@@ -115,22 +145,24 @@ void AnytimeEngine::initialize() {
     }
 
     // ---- IA: per-rank multithreaded SSSP (Dijkstra or delta-stepping). ----
-    for (RankId r = 0; r < num_ranks; ++r) {
+    std::vector<double> ia_ops(num_ranks, 0);
+    run_rank_phase([&](RankId r, std::vector<MetricSpan>& sink) {
         IaProfile profile;
         const double ia_begin = cluster_->time(r);
         double ops = 0;
         if (config_.ia_kernel == IaKernel::DeltaStepping) {
             std::vector<LocalId> sources(ranks_[r].sg.num_local());
             std::iota(sources.begin(), sources.end(), 0);
-            ops = ia_delta_stepping(ranks_[r].sg, ranks_[r].store, *pool_, sources,
+            ops = ia_delta_stepping(ranks_[r].sg, ranks_[r].store, ia_pool(),
+                                    sources,
                                     /*mark_prop=*/false, config_.ia_delta,
                                     mx ? &profile : nullptr);
         } else {
-            ops = ia_dijkstra_all(ranks_[r].sg, ranks_[r].store, *pool_,
+            ops = ia_dijkstra_all(ranks_[r].sg, ranks_[r].store, ia_pool(),
                                   mx ? &profile : nullptr);
         }
         cluster_->charge_compute(r, ops, config_.ia_threads);
-        report_.ia_ops += ops;
+        ia_ops[r] = ops;
         if (mx) {
             MetricSpan span;
             span.name = "ia";
@@ -142,8 +174,11 @@ void AnytimeEngine::initialize() {
             span.attrs.emplace_back("sub_vertices",
                                     std::to_string(profile.sub_vertices));
             span.attrs.emplace_back("folds", std::to_string(profile.folds));
-            metrics_->record_span(std::move(span));
+            sink.push_back(std::move(span));
         }
+    });
+    for (RankId r = 0; r < num_ranks; ++r) {
+        report_.ia_ops += ia_ops[r];
     }
     cluster_->barrier();
     fire_boundary_hook();
@@ -183,15 +218,16 @@ bool AnytimeEngine::rc_step() {
         }
     }
 
-    // Phase 1: package & post boundary DV updates.
-    for (RankId r = 0; r < ranks_.size(); ++r) {
+    // Phase 1: package & post boundary DV updates. Rank-confined throughout
+    // (each closure serializes its own rows and posts from its own outbox).
+    std::vector<double> post_ops(ranks_.size(), 0);
+    run_rank_phase([&](RankId r, std::vector<MetricSpan>& sink) {
         RcPostProfile profile;
         const double t0 = cluster_->time(r);
         const double ops = rc_post_boundary_updates(
             ranks_[r].sg, ranks_[r].store, *cluster_, mx ? &profile : nullptr);
         cluster_->charge_compute(r, ops);
-        report_.rc_ops += ops;
-        stats.ops += ops;
+        post_ops[r] = ops;
         if (mx) {
             MetricSpan span;
             span.name = "rc.post";
@@ -204,8 +240,12 @@ bool AnytimeEngine::rc_step() {
             span.messages = profile.messages;
             span.attrs.emplace_back("blocks", std::to_string(profile.blocks));
             span.attrs.emplace_back("entries", std::to_string(profile.entries));
-            metrics_->record_span(std::move(span));
+            sink.push_back(std::move(span));
         }
+    });
+    for (RankId r = 0; r < ranks_.size(); ++r) {
+        report_.rc_ops += post_ops[r];
+        stats.ops += post_ops[r];
     }
 
     // Phase 2: personalized all-to-all exchange (priced, barrier semantics).
@@ -239,28 +279,29 @@ bool AnytimeEngine::rc_step() {
     }
 
     // Phase 3: ingest external updates, then local propagation to fixpoint.
-    // The batched kernels run the row sweeps on the IA thread pool — that
-    // accelerates host wall-clock time only; the simulated clock still prices
-    // RC single-threaded per rank (the paper's model), so `threads` stays 1
-    // in charge_compute. Ingest and propagate are charged separately so their
-    // spans cover disjoint intervals; compute_time is linear in ops, so the
-    // split charge advances the clock exactly as the former combined one.
-    for (RankId r = 0; r < ranks_.size(); ++r) {
+    // The batched kernels run the row sweeps on the IA thread pool when the
+    // backend is sequential (kernel_pool()) — that accelerates host wall-clock
+    // time only; the simulated clock still prices RC single-threaded per rank
+    // (the paper's model), so `threads` stays 1 in charge_compute. Ingest and
+    // propagate are charged separately so their spans cover disjoint
+    // intervals; compute_time is linear in ops, so the split charge advances
+    // the clock exactly as the former combined one.
+    std::vector<double> phase3_ops(ranks_.size(), 0);
+    run_rank_phase([&](RankId r, std::vector<MetricSpan>& sink) {
         const auto inbox = cluster_->receive(r);
         RcIngestProfile ingest_profile;
         const double t0 = cluster_->time(r);
         const double ingest_ops = rc_ingest_updates(
-            ranks_[r].sg, ranks_[r].store, inbox, pool_.get(),
+            ranks_[r].sg, ranks_[r].store, inbox, kernel_pool(),
             kRcIngestParallelGrain, mx ? &ingest_profile : nullptr);
         cluster_->charge_compute(r, ingest_ops);
         const double t1 = cluster_->time(r);
         RcPropagateProfile prop_profile;
         const double prop_ops = rc_propagate_local(
-            ranks_[r].sg, ranks_[r].store, pool_.get(),
+            ranks_[r].sg, ranks_[r].store, kernel_pool(),
             kRcPropagateParallelGrain, mx ? &prop_profile : nullptr);
         cluster_->charge_compute(r, prop_ops);
-        report_.rc_ops += ingest_ops + prop_ops;
-        stats.ops += ingest_ops + prop_ops;
+        phase3_ops[r] = ingest_ops + prop_ops;
         if (mx) {
             MetricSpan ingest_span;
             ingest_span.name = "rc.ingest";
@@ -275,7 +316,7 @@ bool AnytimeEngine::rc_step() {
                                            std::to_string(ingest_profile.entries));
             ingest_span.attrs.emplace_back("windows",
                                            std::to_string(ingest_profile.windows));
-            metrics_->record_span(std::move(ingest_span));
+            sink.push_back(std::move(ingest_span));
             MetricSpan prop_span;
             prop_span.name = "rc.propagate";
             prop_span.rank = static_cast<std::int32_t>(r);
@@ -285,8 +326,12 @@ bool AnytimeEngine::rc_step() {
             prop_span.ops = prop_ops;
             prop_span.attrs.emplace_back(
                 "rows_drained", std::to_string(prop_profile.rows_drained));
-            metrics_->record_span(std::move(prop_span));
+            sink.push_back(std::move(prop_span));
         }
+    });
+    for (RankId r = 0; r < ranks_.size(); ++r) {
+        report_.rc_ops += phase3_ops[r];
+        stats.ops += phase3_ops[r];
     }
     cluster_->barrier();
 

@@ -36,6 +36,7 @@
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "partition/multilevel.hpp"
+#include "runtime/backend.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -91,6 +92,13 @@ struct EngineConfig {
     /// common/metrics.hpp and core/telemetry.hpp). Off by default: a
     /// disabled registry costs one branch per phase and allocates nothing.
     bool enable_metrics{false};
+    /// Who executes the per-rank phase bodies (see runtime/backend.hpp):
+    /// Sequential (default, rank loops on the driver thread) or Threaded
+    /// (thread-per-rank between collectives). Results, telemetry and
+    /// sim_seconds() are bit-identical across backends by contract.
+    BackendKind backend{BackendKind::Sequential};
+    /// Worker threads for the threaded backend; 0 = one per rank.
+    std::size_t backend_threads{0};
 };
 
 /// Counters describing one engine lifetime; used by benchmarks and reports.
@@ -183,6 +191,8 @@ public:
     double sim_seconds() const;
     const Cluster& cluster() const;
     Cluster& cluster();
+    /// The execution backend running the per-rank phase bodies.
+    const ExecutionBackend& backend() const { return *backend_; }
     const DynamicGraph& graph() const { return graph_; }
     const std::vector<RankId>& owners() const { return owners_; }
     const EngineReport& report() const { return report_; }
@@ -266,6 +276,21 @@ private:
     };
 
     void distribute_edge(VertexId u, VertexId v, Weight w);
+    /// Run one per-rank phase body on the execution backend: fn(r, sink) is
+    /// called once per rank (possibly concurrently — it must confine itself
+    /// to rank-r state plus the rank-confined Cluster entry points), spans
+    /// pushed into `sink` are merged into the registry in ascending rank
+    /// order after the barrier, so telemetry is identical across backends.
+    void run_rank_phase(
+        const std::function<void(RankId, std::vector<MetricSpan>&)>& fn);
+    /// Pool the per-rank kernels may fan intra-rank work out to: the shared
+    /// IA pool under a sequential backend; an inline (no-worker) pool / null
+    /// when ranks run concurrently — ThreadPool::parallel_for must not be
+    /// entered from two ranks at once, and thread-per-rank already owns the
+    /// cores. Pricing never depends on this choice (kernels return identical
+    /// op counts with and without a pool).
+    ThreadPool& ia_pool();
+    ThreadPool* kernel_pool();
     /// Invoke boundary_hook_ if set (phase entry points call this last).
     void fire_boundary_hook();
     /// Returns the total ops charged (for the DD telemetry span).
@@ -277,7 +302,9 @@ private:
     DynamicGraph graph_;  // ground-truth mirror of the distributed graph
     EngineConfig config_;
     std::unique_ptr<Cluster> cluster_;
+    std::unique_ptr<ExecutionBackend> backend_;
     std::unique_ptr<ThreadPool> pool_;
+    std::unique_ptr<ThreadPool> inline_pool_;  // no-worker pool, see ia_pool()
     Rng rng_;
     std::vector<RankId> owners_;
     std::vector<RankState> ranks_;

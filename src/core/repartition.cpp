@@ -269,16 +269,21 @@ void AnytimeEngine::repartition_add(const GrowthBatch& batch) {
     //          the configured kernel); prop marks on so existing local rows
     //          learn about them. ----
     const auto seed_span = open_stage("repartition.seed");
-    for (RankId r = 0; r < num_ranks; ++r) {
+    std::vector<double> seed_ops(num_ranks, 0);
+    run_rank_phase([&](RankId r, std::vector<MetricSpan>&) {
         const double ops =
             config_.ia_kernel == IaKernel::DeltaStepping
-                ? ia_delta_stepping(ranks_[r].sg, ranks_[r].store, *pool_,
+                ? ia_delta_stepping(ranks_[r].sg, ranks_[r].store, ia_pool(),
                                     seeds[r], /*mark_prop=*/true,
                                     config_.ia_delta)
-                : ia_dijkstra(ranks_[r].sg, ranks_[r].store, *pool_, seeds[r],
+                : ia_dijkstra(ranks_[r].sg, ranks_[r].store, ia_pool(),
+                              seeds[r],
                               /*mark_prop=*/true);
         cluster_->charge_compute(r, ops, config_.ia_threads);
-        dynamic_ops += ops;
+        seed_ops[r] = ops;
+    });
+    for (RankId r = 0; r < num_ranks; ++r) {
+        dynamic_ops += seed_ops[r];
     }
     close_stage(seed_span);
 
@@ -292,7 +297,10 @@ void AnytimeEngine::repartition_add(const GrowthBatch& batch) {
     //          true repartition delta; what remains is the paper's
     //          "additional RC steps" cost. ----
     const auto remark_span = open_stage("repartition.remark");
-    for (RankId r = 0; r < num_ranks; ++r) {
+    std::vector<double> remark_ops(num_ranks, 0);
+    run_rank_phase([&](RankId r, std::vector<MetricSpan>&) {
+        // `moved` and `had_pending` are read-only from here, shared across
+        // the concurrent rank closures.
         RankState& state = ranks_[r];
         double ops = 0;
         for (LocalId l = 0; l < state.sg.num_local(); ++l) {
@@ -317,9 +325,12 @@ void AnytimeEngine::repartition_add(const GrowthBatch& batch) {
         }
         // Drain the local sweep now so the first post-repartition RC step
         // already sends locally consistent boundary DVs.
-        ops += rc_propagate_local(state.sg, state.store, pool_.get());
+        ops += rc_propagate_local(state.sg, state.store, kernel_pool());
         cluster_->charge_compute(r, ops);
-        dynamic_ops += ops;
+        remark_ops[r] = ops;
+    });
+    for (RankId r = 0; r < num_ranks; ++r) {
+        dynamic_ops += remark_ops[r];
     }
     cluster_->barrier();
     close_stage(remark_span);

@@ -33,10 +33,11 @@ void Cluster::send(RankId from, RankId to, MessageTag tag,
     message.to = to;
     message.tag = tag;
     message.payload = Message::share(std::move(payload));
+    // Only rank-confined writes (the sender's stats slot and outbox): the
+    // cluster-wide totals are derived in stats() so concurrent senders never
+    // share a cache line, let alone a counter.
     rank_stats_[from].messages_sent += 1;
     rank_stats_[from].bytes_sent += message.size_bytes();
-    stats_.total_messages += 1;
-    stats_.total_bytes += message.size_bytes();
     mailboxes_.post(std::move(message));
 }
 
@@ -123,8 +124,6 @@ double Cluster::broadcast(RankId from, MessageTag tag,
         rank_stats_[to].messages_received += 1;
         rank_stats_[to].bytes_received += bytes;
     }
-    stats_.total_messages += num_ranks_ - 1;
-    stats_.total_bytes += bytes * (num_ranks_ - 1);
     stats_.comm_seconds += duration;
     stats_.broadcasts += 1;
     if (metrics_ != nullptr && metrics_->enabled()) {
@@ -172,6 +171,15 @@ double Cluster::max_time() const {
 const RankStats& Cluster::rank_stats(RankId r) const {
     AA_ASSERT(r < num_ranks_);
     return rank_stats_[r];
+}
+
+ClusterStats Cluster::stats() const {
+    ClusterStats s = stats_;
+    for (const RankStats& r : rank_stats_) {
+        s.total_messages += r.messages_sent;
+        s.total_bytes += r.bytes_sent;
+    }
+    return s;
 }
 
 void Cluster::reset() {

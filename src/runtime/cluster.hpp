@@ -8,6 +8,20 @@
 // The engine executes real work (actual Dijkstra runs, actual DV relaxations,
 // actual serialized payloads); the cluster merely *prices* it, so simulated
 // time faithfully tracks the executed operation and byte counts.
+//
+// Concurrency contract (what lets a ThreadedBackend run ranks in parallel):
+//   * rank-confined entry points — charge_compute(r, ...), send(from=r, ...)
+//     and receive(r) touch only rank r's clock, stats slot, outbox or inbox.
+//     They may be called concurrently from distinct ranks' threads; calling
+//     any of them for the *same* rank from two threads is a data race. There
+//     is no shared mutable state on the send path: the cluster-wide traffic
+//     totals are derived from the per-rank sent counters when stats() is
+//     read, not accumulated at post time.
+//   * driver-only entry points — exchange(), broadcast(), barrier(),
+//     fast_forward(), reset(), has_pending_messages(), time()/max_time(),
+//     rank_stats()/stats() and set_metrics() must run on the driver thread
+//     while no rank closure is in flight (between the backend's barriers).
+// ExecutionBackend::run_ranks provides the happens-before edges at both ends.
 #pragma once
 
 #include <cstdint>
@@ -35,7 +49,9 @@ struct RankStats {
     std::size_t bytes_received{0};
 };
 
-/// Cluster-wide accounting.
+/// Cluster-wide accounting. total_messages/total_bytes count the sent side
+/// (they are the sums of the per-rank sent counters, materialized by
+/// Cluster::stats()); the collective counters advance at exchange/broadcast.
 struct ClusterStats {
     double comm_seconds{0};
     std::size_t exchanges{0};
@@ -54,10 +70,14 @@ public:
     CommSchedule schedule() const { return schedule_; }
 
     /// Charge `ops` abstract operations to rank r's clock, spread over
-    /// `threads` threads (the paper's multithreaded IA model).
+    /// `threads` threads (the paper's multithreaded IA model). Rank-confined:
+    /// safe from concurrent callers for distinct r.
     void charge_compute(RankId r, double ops, std::size_t threads = 1);
 
     /// Post a message; it is delivered (and priced) at the next exchange().
+    /// Rank-confined by `from`: safe from concurrent callers for distinct
+    /// senders (per-sender outboxes, per-sender stats slots, no global
+    /// accumulation).
     void send(RankId from, RankId to, MessageTag tag, std::vector<std::byte> payload);
 
     /// True if any message is waiting to be exchanged.
@@ -73,7 +93,8 @@ public:
     /// pipelined rounds, and synchronizes clocks (it is a collective).
     double broadcast(RankId from, MessageTag tag, std::vector<std::byte> payload);
 
-    /// Drain rank r's inbox.
+    /// Drain rank r's inbox. Rank-confined: safe from concurrent callers for
+    /// distinct r (delivery itself happens in the driver-side collectives).
     std::vector<Message> receive(RankId r) { return mailboxes_.take_inbox(r); }
 
     /// Synchronize all clocks to the maximum. Returns the barrier time.
@@ -87,7 +108,10 @@ public:
     double max_time() const;
 
     const RankStats& rank_stats(RankId r) const;
-    const ClusterStats& stats() const { return stats_; }
+    /// Cluster-wide accounting, materialized on read: the traffic totals are
+    /// the sums of the per-rank sent counters (so the send path stays free of
+    /// shared mutable state — see the concurrency contract above).
+    ClusterStats stats() const;
 
     /// Attach a metrics registry (not owned; may be null). While the registry
     /// is enabled the cluster feeds per-collective histograms ("exchange.bytes",
@@ -98,6 +122,15 @@ public:
     /// Reset clocks and statistics, drop all undelivered messages. Used by
     /// the baseline-restart strategy (a restart forfeits in-flight work) and
     /// by tests.
+    ///
+    /// The attached MetricsRegistry is *intentionally left untouched*: the
+    /// registry is experiment-scoped observability (its collective histograms
+    /// and counters describe everything that happened, including work a
+    /// restart forfeits), while reset() rewinds the machine-scoped accounting
+    /// a restart legitimately starts over. A baseline-restart run therefore
+    /// keeps its full pre-restart telemetry; callers that want a clean
+    /// registry call MetricsRegistry::clear() themselves.
+    /// (Pinned by Cluster.ResetLeavesAttachedMetricsUntouched.)
     void reset();
 
 private:

@@ -2,6 +2,12 @@
 // buffered in the sender's outbox and only become visible in receivers'
 // inboxes after the cluster runs its exchange — mirroring a BSP-style
 // communication phase.
+//
+// Concurrency contract: post(message) touches only outboxes_[message.from]
+// and take_inbox(r) only inboxes_[r], so distinct ranks may post/drain
+// concurrently (the ThreadedBackend compute phase). Everything that crosses
+// boxes — deliver / deliver_all / has_pending / peek_outbox — is driver-only
+// and must not overlap any rank-side call.
 #pragma once
 
 #include <vector>

@@ -361,6 +361,58 @@ TEST(Serve, ConcurrentReadersDuringConvergence) {
     EXPECT_TRUE(service.snapshot()->quiescent);
 }
 
+TEST(Serve, ConcurrentReadersWithThreadedBackend) {
+    // Same workload as above, but the engine itself runs thread-per-rank: the
+    // snapshot readers coexist with the ThreadedBackend's rank workers (the
+    // publication happens on the driver thread at phase boundaries, so the
+    // two thread populations only meet through the snapshot store).
+    Rng rng(8);
+    auto g = barabasi_albert(140, 2, rng);
+    EngineConfig config = serve_config(4);
+    config.backend = BackendKind::Threaded;
+    AnytimeEngine engine(std::move(g), config);
+    engine.initialize();
+    QueryService service(engine);
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::size_t> served{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 4; ++t) {
+        readers.emplace_back([&, t] {
+            std::uint64_t last_version = 0;
+            VertexId v = static_cast<VertexId>(t);
+            while (!stop.load(std::memory_order_relaxed)) {
+                const auto p = service.point(v % 140, FreshnessPolicy::ServeStale);
+                ASSERT_EQ(p.meta.status, QueryStatus::Ok);
+                ASSERT_GE(p.meta.version, last_version);
+                last_version = p.meta.version;
+                const auto top = service.topk(5, FreshnessPolicy::ServeStale);
+                ASSERT_EQ(top.meta.status, QueryStatus::Ok);
+                served.fetch_add(1, std::memory_order_relaxed);
+                v += 3;
+            }
+        });
+    }
+
+    engine.run_rc_steps(2);
+    GrowthConfig gc;
+    gc.num_new = 12;
+    Rng brng(13);
+    const auto batch = grow_batch(engine.num_vertices(), gc, brng);
+    RoundRobinPS strategy;
+    engine.apply_addition(batch, strategy);
+    engine.run_to_quiescence();
+
+    while (served.load(std::memory_order_relaxed) < 50) {
+        std::this_thread::yield();
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& thread : readers) {
+        thread.join();
+    }
+    EXPECT_TRUE(service.snapshot()->quiescent);
+}
+
 TEST(Serve, ConcurrentWaitForNextStepIsWokenByPublication) {
     Fixture f(70, 4);
     const auto before = f.service.snapshot()->version;

@@ -15,6 +15,7 @@
 //   ranks <P>      threads <T>        cluster shape (before graph)
 //   seed <S>                          RNG seed (before graph)
 //   kernel dijkstra|delta             IA kernel (before graph)
+//   backend seq|threaded              rank execution backend (before graph)
 //   steps <k>                         run k RC steps
 //   add <count> rr|cutedge|repart [communities]   vertex batch
 //   edges <count>                     random new edges between old vertices
@@ -62,6 +63,7 @@ const char kHelpText[] =
     "  ranks <P>      threads <T>        cluster shape (before graph)\n"
     "  seed <S>                          RNG seed (before graph)\n"
     "  kernel dijkstra|delta             IA kernel (before graph)\n"
+    "  backend seq|threaded              rank execution backend (before graph)\n"
     "  graph ba <n> <m>                  Barabasi-Albert host\n"
     "  graph er <n> <edges>              Erdos-Renyi host\n"
     "  graph file <path>                 SNAP edge-list host\n"
@@ -178,6 +180,16 @@ struct Runner {
                              "error: unknown kernel '%s' (valid: dijkstra, "
                              "delta)\n",
                              kernel.c_str());
+                return false;
+            }
+        } else if (command == "backend") {
+            std::string backend;
+            in >> backend;
+            if (!parse_backend_kind(backend, config.backend)) {
+                std::fprintf(stderr,
+                             "error: unknown backend '%s' (valid: seq, "
+                             "threaded)\n",
+                             backend.c_str());
                 return false;
             }
         } else if (command == "graph") {

@@ -9,6 +9,7 @@
 // an optional exact verification.
 //
 //   temporal_replay edges.tsv --windows 10 --strategy cutedge --verify
+//   temporal_replay --synth 800 --backend threaded   (thread-per-rank engine)
 //   temporal_replay --synth 800 --windows 8        (no file: synthesize)
 //   temporal_replay --synth 800 --timeline replay.json --timeline-csv spans.csv
 //
@@ -96,6 +97,7 @@ int main(int argc, char** argv) {
     bool verify = false;
     std::string timeline_json;
     std::string timeline_csv;
+    BackendKind backend = BackendKind::Sequential;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -115,6 +117,16 @@ int main(int argc, char** argv) {
         else if (arg == "--verify") verify = true;
         else if (arg == "--timeline") timeline_json = value();
         else if (arg == "--timeline-csv") timeline_csv = value();
+        else if (arg == "--backend") {
+            const std::string name = value();
+            if (!parse_backend_kind(name, backend)) {
+                std::fprintf(stderr,
+                             "error: unknown backend '%s' (valid: seq, "
+                             "threaded)\n",
+                             name.c_str());
+                return 2;
+            }
+        }
         else if (arg[0] == '-') {
             std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
             return 2;
@@ -169,6 +181,7 @@ int main(int argc, char** argv) {
     config.num_ranks = ranks;
     config.ia_threads = 4;
     config.seed = seed;
+    config.backend = backend;
     config.enable_metrics = !timeline_json.empty() || !timeline_csv.empty();
     DynamicGraph mirror = initial;
     AnytimeEngine engine(std::move(initial), config);

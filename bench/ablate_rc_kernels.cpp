@@ -185,6 +185,7 @@ ModeResult run_mode(const RankState& base, Mode mode, std::size_t threads,
             RcPostProfile post_profile;
             const auto p0 = Clock::now();
             result.ops += rc_post_boundary_updates(base.sgs[r], stores[r], cluster,
+                                                   BoundaryWireFormat::V2Soa,
                                                    mx ? &post_profile : nullptr);
             if (mx) {
                 MetricSpan span;
@@ -224,12 +225,16 @@ ModeResult run_mode(const RankState& base, Mode mode, std::size_t threads,
                     break;
                 case Mode::Batched:
                     ingest = rc_ingest_updates(base.sgs[r], stores[r], inbox,
+                                               BoundaryWireFormat::V2Soa,
                                                nullptr, kRcIngestParallelGrain,
+                                               kRcIngestWindowBytes,
                                                mx ? &ingest_profile : nullptr);
                     break;
                 case Mode::Threaded:
                     ingest = rc_ingest_updates(base.sgs[r], stores[r], inbox,
+                                               BoundaryWireFormat::V2Soa,
                                                pool.get(), kRcIngestParallelGrain,
+                                               kRcIngestWindowBytes,
                                                mx ? &ingest_profile : nullptr);
                     break;
             }

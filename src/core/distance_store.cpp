@@ -1,7 +1,19 @@
 #include "core/distance_store.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <utility>
+
+// Explicit SIMD sweeps: compiled only when the build opts in
+// (-DAA_ENABLE_SIMD=ON) on x86-64, taken at runtime only when the CPU
+// reports AVX2 and the store's simd_enabled() toggle is on. The scalar loops
+// below remain the reference semantics; the vector paths reproduce them bit
+// for bit (same IEEE adds, same epsilon compare, improved columns recorded
+// in ascending-entry order reconstructed from the compare mask).
+#if defined(AA_ENABLE_SIMD) && defined(__x86_64__)
+#define AA_SIMD_X86 1
+#include <immintrin.h>
+#endif
 
 namespace aa {
 
@@ -9,6 +21,145 @@ namespace {
 /// Required relative improvement; guards against float-noise ping-pong when
 /// the same path length is derived via different summation orders.
 constexpr Weight kEpsilon = 1e-12;
+
+#if defined(AA_SIMD_X86)
+
+bool detect_avx2() {
+    __builtin_cpu_init();
+    return __builtin_cpu_supports("avx2");
+}
+const bool kHostHasAvx2 = detect_avx2();
+
+/// AVX2 min-plus compare-and-store sweep over an SoA batch: four candidates
+/// offset + dists[i..i+3] are compared against a gather of dist[cols[...]]
+/// at once; stores stay conditional (mask-driven, lane order ascending via
+/// countr_zero) so sweeps that improve nothing never dirty a cache line and
+/// the improved-column sequence matches the scalar loop exactly. The caller
+/// guarantees cols strictly increasing and cols.back() < num_columns, which
+/// rules out intra-gather aliasing and makes the bounds check O(1). The i32
+/// gather indices are read as signed, which is safe because a row of 2^31
+/// doubles (16 GiB) is beyond any per-rank matrix slice this store holds.
+/// Appends improved columns to `improved` and returns how many.
+/// All-lanes-active gather through the masked intrinsic: the plain
+/// _mm256_i32gather_pd leaves its source register formally undefined, which
+/// gcc 12 flags under -Wmaybe-uninitialized; the masked form with an
+/// explicit zero source emits the identical vgatherdpd.
+__attribute__((target("avx2"))) inline __m256d gather_pd(const Weight* base,
+                                                         __m128i vindex) {
+    const __m256d all = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+    return _mm256_mask_i32gather_pd(_mm256_setzero_pd(), base, vindex, all, 8);
+}
+
+__attribute__((target("avx2"))) std::size_t relax_soa_avx2(
+    Weight* dist, const VertexId* cols, const Weight* dists, std::size_t count,
+    Weight offset, VertexId* improved) {
+    const __m256d voffset = _mm256_set1_pd(offset);
+    const __m256d veps = _mm256_set1_pd(kEpsilon);
+    std::size_t m = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+        const __m128i vcols =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(cols + i));
+        const __m256d current = gather_pd(dist, vcols);
+        const __m256d cand = _mm256_add_pd(voffset, _mm256_loadu_pd(dists + i));
+        const __m256d better =
+            _mm256_cmp_pd(cand, _mm256_sub_pd(current, veps), _CMP_LT_OQ);
+        int mask = _mm256_movemask_pd(better);
+        if (mask == 0) {
+            continue;
+        }
+        alignas(32) Weight cand_lanes[4];
+        _mm256_store_pd(cand_lanes, cand);
+        while (mask != 0) {
+            const int lane = std::countr_zero(static_cast<unsigned>(mask));
+            mask &= mask - 1;
+            const VertexId col = cols[i + lane];
+            dist[col] = cand_lanes[lane];
+            improved[m++] = col;
+        }
+    }
+    for (; i < count; ++i) {  // tail: the scalar reference loop verbatim
+        const VertexId col = cols[i];
+        const Weight candidate = offset + dists[i];
+        const bool better = candidate < dist[col] - kEpsilon;
+        if (better) {
+            dist[col] = candidate;
+        }
+        improved[m] = col;
+        m += better;
+    }
+    return m;
+}
+
+/// Same sweep with the candidate gathered from a source row (the propagate
+/// inner loop): cand = offset + src[col]. Columns may arrive in any order
+/// and may even repeat (the contract is "exactly like relax() per column in
+/// order"), so bounds are asserted per chunk and any chunk holding a
+/// duplicate column is relaxed scalar: a duplicate inside one gather would
+/// read the pre-store value for both lanes, where the sequential semantics
+/// make the second attempt observe the first one's store. Duplicates across
+/// chunks are safe (the later chunk re-gathers). Real callers pass drained
+/// dirty sets (unique, sorted), so the fallback is cold.
+__attribute__((target("avx2"))) std::size_t relax_from_row_avx2(
+    Weight* dist, const Weight* src, const VertexId* cols, std::size_t count,
+    Weight offset, VertexId* improved, std::size_t num_columns) {
+    const __m256d voffset = _mm256_set1_pd(offset);
+    const __m256d veps = _mm256_set1_pd(kEpsilon);
+    std::size_t m = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+        const VertexId c0 = cols[i], c1 = cols[i + 1], c2 = cols[i + 2],
+                       c3 = cols[i + 3];
+        AA_ASSERT(c0 < num_columns && c1 < num_columns && c2 < num_columns &&
+                  c3 < num_columns);
+        if (c0 == c1 || c0 == c2 || c0 == c3 || c1 == c2 || c1 == c3 || c2 == c3) {
+            for (std::size_t k = i; k < i + 4; ++k) {
+                const VertexId col = cols[k];
+                const Weight candidate = offset + src[col];
+                const bool better = candidate < dist[col] - kEpsilon;
+                if (better) {
+                    dist[col] = candidate;
+                }
+                improved[m] = col;
+                m += better;
+            }
+            continue;
+        }
+        const __m128i vcols =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(cols + i));
+        const __m256d current = gather_pd(dist, vcols);
+        const __m256d cand = _mm256_add_pd(voffset, gather_pd(src, vcols));
+        const __m256d better =
+            _mm256_cmp_pd(cand, _mm256_sub_pd(current, veps), _CMP_LT_OQ);
+        int mask = _mm256_movemask_pd(better);
+        if (mask == 0) {
+            continue;
+        }
+        alignas(32) Weight cand_lanes[4];
+        _mm256_store_pd(cand_lanes, cand);
+        while (mask != 0) {
+            const int lane = std::countr_zero(static_cast<unsigned>(mask));
+            mask &= mask - 1;
+            const VertexId col = cols[i + lane];
+            dist[col] = cand_lanes[lane];
+            improved[m++] = col;
+        }
+    }
+    for (; i < count; ++i) {
+        const VertexId col = cols[i];
+        AA_ASSERT(col < num_columns);
+        const Weight candidate = offset + src[col];
+        const bool better = candidate < dist[col] - kEpsilon;
+        if (better) {
+            dist[col] = candidate;
+        }
+        improved[m] = col;
+        m += better;
+    }
+    return m;
+}
+
+#endif  // AA_SIMD_X86
 }  // namespace
 
 LocalId DistanceStore::add_row(VertexId self) {
@@ -117,6 +268,52 @@ std::size_t DistanceStore::relax_batch(LocalId r, DvEntrySpan entries, Weight of
     return m;
 }
 
+std::size_t DistanceStore::relax_batch_soa(LocalId r, std::span<const VertexId> cols,
+                                           std::span<const Weight> dists, Weight offset,
+                                           bool mark_prop, bool mark_send) {
+    AA_ASSERT(r < rows_.size());
+    AA_ASSERT(cols.size() == dists.size());
+    Row& row = rows_[r];
+    Weight* dist = row.dist.data();
+    // cols ascending (decoder-validated), so the back() check bounds them all.
+    AA_ASSERT(cols.empty() || cols.back() < num_columns_);
+
+    static thread_local std::vector<VertexId> improved;
+    if (improved.size() < cols.size()) {
+        improved.resize(cols.size());
+    }
+
+    const std::size_t count = cols.size();
+    std::size_t m = 0;
+#if defined(AA_SIMD_X86)
+    if (simd_enabled_ && kHostHasAvx2) {
+        m = relax_soa_avx2(dist, cols.data(), dists.data(), count, offset,
+                           improved.data());
+    } else
+#endif
+    {
+        // Scalar reference sweep — see relax_batch for why the store is
+        // conditional and the append compacting.
+        for (std::size_t i = 0; i < count; ++i) {
+            const VertexId col = cols[i];
+            const Weight candidate = offset + dists[i];
+            const Weight current = dist[col];
+            const bool better = candidate < current - kEpsilon;
+            if (better) {
+                dist[col] = candidate;
+            }
+            improved[m] = col;
+            m += better;
+        }
+    }
+    if (m == 0) {
+        return 0;
+    }
+    record_improved(r, std::span<const VertexId>(improved.data(), m), mark_prop,
+                    mark_send);
+    return m;
+}
+
 std::size_t DistanceStore::relax_batch_from_row(LocalId r, std::span<const VertexId> cols,
                                                 std::span<const Weight> src, Weight offset,
                                                 bool mark_prop, bool mark_send) {
@@ -131,9 +328,17 @@ std::size_t DistanceStore::relax_batch_from_row(LocalId r, std::span<const Verte
     }
 
     // Same compare-and-store sweep as relax_batch, with the candidate read
-    // straight out of the source row instead of a serialized entry.
+    // straight out of the source row instead of a serialized entry. Columns
+    // from a drained dirty set are unique, which is all the gather path needs
+    // (no intra-gather aliasing); they need not be sorted.
     const std::size_t count = cols.size();
     std::size_t m = 0;
+#if defined(AA_SIMD_X86)
+    if (simd_enabled_ && kHostHasAvx2) {
+        m = relax_from_row_avx2(dist, src.data(), cols.data(), count, offset,
+                                improved.data(), num_columns_);
+    } else
+#endif
     for (std::size_t i = 0; i < count; ++i) {
         const VertexId col = cols[i];
         AA_ASSERT(col < num_columns_);

@@ -48,13 +48,30 @@ struct DvEntry {
 };
 static_assert(std::is_trivially_copyable_v<DvEntry>);
 
+/// Layout of the boundary-DV payload blocks exchanged in the RC step (see
+/// core/rc.hpp for the encoders/decoders and the byte-accounting contract).
+enum class BoundaryWireFormat : std::uint8_t {
+    /// Array-of-structs: [u32 vertex][u64 count][count x 12-byte DvEntry].
+    /// The historical format; entry runs sit 12 bytes past the block header,
+    /// so the doubles inside are never 8-aligned.
+    V1Aos = 1,
+    /// Struct-of-arrays: [u32 vertex][varint count][columns: delta-varint or
+    /// run-length, ascending][zero pad to 8][count x aligned f64]. Columns
+    /// cost ~1-2 bytes instead of 4+8-byte-amortized headers, and the
+    /// contiguous aligned distance run is what the vectorized relaxation
+    /// sweeps consume in place.
+    V2Soa = 2,
+};
+
 /// Read-only view over a run of serialized DvEntry records at arbitrary byte
-/// alignment. Wire payloads place each block's entry run 12 bytes past the
+/// alignment. V1Aos payloads place each block's entry run 12 bytes past the
 /// block header, so the doubles inside are not 8-aligned and the records
 /// cannot be aliased as a DvEntry array; operator[] reads through memcpy
-/// instead, which compiles to two plain loads on x86-64. This is what lets
-/// the RC ingest kernel sweep entries straight out of a received payload
-/// without first copying them into an aligned vector.
+/// instead, which compiles to two plain loads on x86-64 — but it also pins
+/// the sweep to scalar loads, which is one of the two costs the V2Soa format
+/// exists to remove. This view is what lets the RC ingest kernel sweep v1
+/// entries straight out of a received payload without first copying them
+/// into an aligned vector.
 class DvEntrySpan {
 public:
     DvEntrySpan() = default;
@@ -122,6 +139,19 @@ public:
         return relax_batch(r, DvEntrySpan(entries), offset, mark_prop, mark_send);
     }
 
+    /// SoA variant of relax_batch: the candidates are offset + dists[i] for
+    /// column cols[i], with `dists` a contiguous (8-aligned) f64 run — the
+    /// shape the v2 wire format delivers, viewable in place. Preconditions:
+    /// cols.size() == dists.size() and cols strictly increasing (the v2
+    /// decoder guarantees both); sortedness makes the bounds check O(1) and
+    /// rules out intra-batch column aliasing, which is what lets the AVX2
+    /// sweep (compiled under AA_ENABLE_SIMD, taken when simd_enabled()) keep
+    /// exactly the scalar reference semantics: same IEEE adds, same epsilon
+    /// compare, improved columns recorded in ascending-entry order.
+    std::size_t relax_batch_soa(LocalId r, std::span<const VertexId> cols,
+                                std::span<const Weight> dists, Weight offset,
+                                bool mark_prop = true, bool mark_send = true);
+
     /// Same sweep, but the candidate for each column is offset + src[col]
     /// instead of a serialized entry — the local-propagation inner loop,
     /// where `src` is the drained row and `cols` its changed columns. Sweeping
@@ -171,6 +201,14 @@ public:
     /// Collect (column, distance) pairs of all finite entries of row r.
     std::vector<DvEntry> finite_entries(LocalId r) const;
 
+    /// Whether the explicit SIMD sweeps may run (effective only when the
+    /// build enables them via -DAA_ENABLE_SIMD=ON and the CPU has AVX2; the
+    /// scalar loop is the reference semantics either way and results are
+    /// bit-identical by construction). Benchmarks flip this off to ablate
+    /// the vector path; EngineConfig::rc_simd plumbs it per engine.
+    void set_simd_enabled(bool enabled) { simd_enabled_ = enabled; }
+    bool simd_enabled() const { return simd_enabled_; }
+
 private:
     /// Shared tail of the batched sweeps: append each improved column to the
     /// requested dirty sets (deduplicated through the epoch marks).
@@ -205,6 +243,7 @@ private:
 
     std::vector<Row> rows_;
     std::size_t num_columns_{0};
+    bool simd_enabled_{true};
     // Flat mark arenas, row-major with stride num_columns_: column c of row r
     // is in the prop set iff prop_mark_[r * num_columns_ + c] == prop epoch.
     std::vector<std::uint8_t> prop_mark_;

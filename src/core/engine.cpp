@@ -135,6 +135,7 @@ void AnytimeEngine::initialize() {
         RankState state;
         state.sg = LocalSubgraph(r, owners_);
         state.store = DistanceStore(n);
+        state.store.set_simd_enabled(config_.rc_simd);
         for (const VertexId v : state.sg.local_vertices()) {
             state.store.add_row(v);
         }
@@ -225,7 +226,8 @@ bool AnytimeEngine::rc_step() {
         RcPostProfile profile;
         const double t0 = cluster_->time(r);
         const double ops = rc_post_boundary_updates(
-            ranks_[r].sg, ranks_[r].store, *cluster_, mx ? &profile : nullptr);
+            ranks_[r].sg, ranks_[r].store, *cluster_, config_.wire_format,
+            mx ? &profile : nullptr);
         cluster_->charge_compute(r, ops);
         post_ops[r] = ops;
         if (mx) {
@@ -292,8 +294,9 @@ bool AnytimeEngine::rc_step() {
         RcIngestProfile ingest_profile;
         const double t0 = cluster_->time(r);
         const double ingest_ops = rc_ingest_updates(
-            ranks_[r].sg, ranks_[r].store, inbox, kernel_pool(),
-            kRcIngestParallelGrain, mx ? &ingest_profile : nullptr);
+            ranks_[r].sg, ranks_[r].store, inbox, config_.wire_format,
+            kernel_pool(), kRcIngestParallelGrain,
+            config_.rc_ingest_window_bytes, mx ? &ingest_profile : nullptr);
         cluster_->charge_compute(r, ingest_ops);
         const double t1 = cluster_->time(r);
         RcPropagateProfile prop_profile;
@@ -593,6 +596,7 @@ AnytimeEngine AnytimeEngine::load_checkpoint(std::istream& in, EngineConfig conf
         RankState state;
         state.sg = LocalSubgraph(r, engine.owners_);
         state.store = DistanceStore(n);
+        state.store.set_simd_enabled(config.rc_simd);
         for (const VertexId v : state.sg.local_vertices()) {
             state.store.add_row(v);
         }

@@ -32,6 +32,7 @@
 #include "common/rng.hpp"
 #include "core/closeness.hpp"
 #include "core/distance_store.hpp"
+#include "core/rc.hpp"
 #include "core/subgraph.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
@@ -99,6 +100,20 @@ struct EngineConfig {
     BackendKind backend{BackendKind::Sequential};
     /// Worker threads for the threaded backend; 0 = one per rank.
     std::size_t backend_threads{0};
+    /// Boundary-DV wire format for the RC exchange (see
+    /// BoundaryWireFormat in core/distance_store.hpp and the accounting note
+    /// in core/rc.hpp). Distances, dirty order and op counts are
+    /// bit-identical across formats; v2 ships fewer bytes, so exchange time
+    /// (and sim_seconds) improves under it.
+    BoundaryWireFormat wire_format{BoundaryWireFormat::V2Soa};
+    /// Payload-window size for the RC ingest kernel (see rc.hpp). Windowing
+    /// never changes results — a 256-byte window and the 128 MB default
+    /// produce bit-identical state — only cache behaviour.
+    std::size_t rc_ingest_window_bytes{kRcIngestWindowBytes};
+    /// Allow the explicit SIMD relaxation sweeps (effective only when built
+    /// with -DAA_ENABLE_SIMD=ON on hardware with AVX2; results are
+    /// bit-identical to the scalar reference either way).
+    bool rc_simd{true};
 };
 
 /// Counters describing one engine lifetime; used by benchmarks and reports.

@@ -10,22 +10,172 @@
 
 namespace aa {
 
-std::vector<std::byte> encode_boundary_blocks(const std::vector<BoundaryBlock>& blocks) {
-    Serializer out;
-    for (const BoundaryBlock& block : blocks) {
-        out.write(block.vertex);
-        out.write_span(std::span<const DvEntry>(block.entries));
-    }
-    return out.take();
-}
-
 namespace {
 
-/// Shared validation pass: walk the block headers and check every declared
-/// entry count against the remaining payload *before* anything is allocated,
-/// so a malformed (or hostile) length prefix cannot trigger a huge
-/// allocation. Returns the number of blocks.
-std::size_t validate_boundary_payload(std::span<const std::byte> payload) {
+/// v2 column-encoding selectors (the u8 after the entry-count varint).
+constexpr std::uint8_t kColDeltaVarint = 0;
+constexpr std::uint8_t kColRunLength = 1;
+
+/// Wire size of the delta-varint encoding of a strictly ascending column
+/// array: first column absolute, then raw deltas (>= 1 by strictness).
+std::size_t delta_columns_size(std::span<const VertexId> cols) {
+    std::size_t bytes = varint_size(cols[0]);
+    for (std::size_t i = 1; i < cols.size(); ++i) {
+        bytes += varint_size(cols[i] - cols[i - 1]);
+    }
+    return bytes;
+}
+
+/// Wire size of the run-length encoding: varint run count, then per maximal
+/// consecutive run a varint start gap (absolute for the first run, offset
+/// from the previous run's last column otherwise — always >= 2, since a gap
+/// of 1 would merge the runs) and a varint (run length - 1). Dense blocks —
+/// later RC rounds ship near-full rows — collapse to a few bytes total,
+/// which is what pushes the aggregate byte reduction past what per-entry
+/// deltas alone can reach (a delta is never smaller than 1 byte/entry).
+std::size_t rle_columns_size(std::span<const VertexId> cols) {
+    std::size_t runs = 0;
+    std::size_t bytes = 0;
+    std::size_t i = 0;
+    while (i < cols.size()) {
+        std::size_t j = i + 1;
+        while (j < cols.size() && cols[j] == cols[j - 1] + 1) {
+            ++j;
+        }
+        const std::uint32_t gap =
+            runs == 0 ? cols[i] : cols[i] - cols[i - 1];  // cols[i-1] = prev run end
+        bytes += varint_size(gap) + varint_size(j - i - 1);
+        ++runs;
+        i = j;
+    }
+    return bytes + varint_size(runs);
+}
+
+void write_delta_columns(Serializer& out, std::span<const VertexId> cols) {
+    out.write_varint(cols[0]);
+    for (std::size_t i = 1; i < cols.size(); ++i) {
+        out.write_varint(cols[i] - cols[i - 1]);
+    }
+}
+
+void write_rle_columns(Serializer& out, std::span<const VertexId> cols,
+                       std::size_t num_runs) {
+    out.write_varint(num_runs);
+    std::size_t runs = 0;
+    std::size_t i = 0;
+    while (i < cols.size()) {
+        std::size_t j = i + 1;
+        while (j < cols.size() && cols[j] == cols[j - 1] + 1) {
+            ++j;
+        }
+        out.write_varint(runs == 0 ? cols[i] : cols[i] - cols[i - 1]);
+        out.write_varint(j - i - 1);
+        ++runs;
+        i = j;
+    }
+    AA_ASSERT(runs == num_runs);
+}
+
+/// Encode one v2 block. `cols` must be strictly ascending (asserted); the
+/// encoder deterministically picks the smaller column encoding (tie goes to
+/// delta-varint) so identical inputs always produce identical bytes. The
+/// trailing pad keeps the block size a multiple of 8 — every block in a
+/// concatenated payload therefore starts 8-aligned and its f64 run can be
+/// read in place.
+void encode_v2_block(Serializer& out, VertexId vertex, std::span<const VertexId> cols,
+                     std::span<const Weight> dists) {
+    AA_ASSERT(cols.size() == dists.size());
+    out.write(vertex);
+    out.write_varint(cols.size());
+    if (cols.empty()) {
+        out.write(kColDeltaVarint);
+    } else {
+        for (std::size_t i = 1; i < cols.size(); ++i) {
+            AA_ASSERT_MSG(cols[i] > cols[i - 1], "v2 block columns not ascending");
+        }
+        const std::size_t delta_bytes = delta_columns_size(cols);
+        // Probe the RLE size only when it can win: it needs at most one
+        // varint pair per run, so with r runs it beats n deltas only if the
+        // run structure is coarse. Computing both sizes is O(n) either way;
+        // keep it simple and exact.
+        const std::size_t rle_bytes = rle_columns_size(cols);
+        if (rle_bytes < delta_bytes) {
+            out.write(kColRunLength);
+            // Recover the run count from the size pass: rle_columns_size
+            // walked the same runs; recompute here to avoid threading state.
+            std::size_t runs = 0;
+            for (std::size_t i = 0; i < cols.size();) {
+                std::size_t j = i + 1;
+                while (j < cols.size() && cols[j] == cols[j - 1] + 1) {
+                    ++j;
+                }
+                ++runs;
+                i = j;
+            }
+            write_rle_columns(out, cols, runs);
+        } else {
+            out.write(kColDeltaVarint);
+            write_delta_columns(out, cols);
+        }
+    }
+    out.pad_to(sizeof(Weight));
+    out.write_bytes(std::as_bytes(dists));
+}
+
+/// Decode the column section of one v2 block into `out` (appending exactly
+/// `count` strictly ascending columns) and advance `cursor` past it. All
+/// structural failure modes assert with greppable messages (see rc.hpp).
+void decode_v2_columns(std::span<const std::byte> payload, std::size_t& cursor,
+                       std::uint32_t count, std::uint8_t encoding,
+                       std::vector<VertexId>& out) {
+    if (encoding == kColDeltaVarint) {
+        std::uint64_t col = read_varint_u32(payload, cursor);
+        out.push_back(static_cast<VertexId>(col));
+        for (std::uint32_t i = 1; i < count; ++i) {
+            const std::uint32_t delta = read_varint_u32(payload, cursor);
+            AA_ASSERT_MSG(delta >= 1, "boundary block non-monotone column delta");
+            col += delta;
+            AA_ASSERT_MSG(col <= std::numeric_limits<VertexId>::max(),
+                          "boundary block column overflow");
+            out.push_back(static_cast<VertexId>(col));
+        }
+    } else {
+        const std::uint32_t num_runs = read_varint_u32(payload, cursor);
+        AA_ASSERT_MSG(num_runs >= 1 && num_runs <= count,
+                      "boundary block run count invalid");
+        std::uint64_t produced = 0;
+        std::uint64_t prev_end = 0;
+        for (std::uint32_t r = 0; r < num_runs; ++r) {
+            const std::uint32_t gap = read_varint_u32(payload, cursor);
+            std::uint64_t start;
+            if (r == 0) {
+                start = gap;
+            } else {
+                AA_ASSERT_MSG(gap >= 1, "boundary block non-monotone column delta");
+                start = prev_end + gap;
+            }
+            const std::uint64_t len =
+                static_cast<std::uint64_t>(read_varint_u32(payload, cursor)) + 1;
+            AA_ASSERT_MSG(produced + len <= count,
+                          "boundary block run length mismatch");
+            const std::uint64_t end = start + len - 1;
+            AA_ASSERT_MSG(end <= std::numeric_limits<VertexId>::max(),
+                          "boundary block column overflow");
+            for (std::uint64_t c = start; c <= end; ++c) {
+                out.push_back(static_cast<VertexId>(c));
+            }
+            produced += len;
+            prev_end = end;
+        }
+        AA_ASSERT_MSG(produced == count, "boundary block run length mismatch");
+    }
+}
+
+/// Shared v1 validation pass: walk the block headers and check every
+/// declared entry count against the remaining payload *before* anything is
+/// allocated, so a malformed (or hostile) length prefix cannot trigger a
+/// huge allocation. Returns the number of blocks.
+std::size_t validate_boundary_payload_v1(std::span<const std::byte> payload) {
     constexpr std::size_t kHeaderBytes = sizeof(VertexId) + sizeof(std::uint64_t);
     std::size_t cursor = 0;
     std::size_t block_count = 0;
@@ -48,9 +198,46 @@ std::size_t validate_boundary_payload(std::span<const std::byte> payload) {
 
 }  // namespace
 
-std::vector<BoundaryBlock> decode_boundary_blocks(std::span<const std::byte> payload) {
+std::vector<std::byte> encode_boundary_blocks(const std::vector<BoundaryBlock>& blocks,
+                                              BoundaryWireFormat format) {
+    Serializer out;
+    std::vector<VertexId> cols;
+    std::vector<Weight> dists;
+    for (const BoundaryBlock& block : blocks) {
+        if (format == BoundaryWireFormat::V1Aos) {
+            out.write(block.vertex);
+            out.write_span(std::span<const DvEntry>(block.entries));
+        } else {
+            cols.clear();
+            dists.clear();
+            for (const DvEntry& entry : block.entries) {
+                cols.push_back(entry.column);
+                dists.push_back(entry.distance);
+            }
+            encode_v2_block(out, block.vertex, cols, dists);
+        }
+    }
+    return out.take();
+}
+
+std::vector<BoundaryBlock> decode_boundary_blocks(std::span<const std::byte> payload,
+                                                  BoundaryWireFormat format) {
     std::vector<BoundaryBlock> blocks;
-    blocks.reserve(validate_boundary_payload(payload));
+    if (format == BoundaryWireFormat::V2Soa) {
+        std::vector<VertexId> arena;
+        for (const BoundaryBlockSoaView& view :
+             decode_boundary_block_soa_views(payload, arena)) {
+            BoundaryBlock block;
+            block.vertex = view.vertex;
+            block.entries.reserve(view.cols.size());
+            for (std::size_t i = 0; i < view.cols.size(); ++i) {
+                block.entries.push_back({view.cols[i], view.dists[i]});
+            }
+            blocks.push_back(std::move(block));
+        }
+        return blocks;
+    }
+    blocks.reserve(validate_boundary_payload_v1(payload));
     Deserializer in(payload);
     while (!in.exhausted()) {
         BoundaryBlock block;
@@ -61,10 +248,71 @@ std::vector<BoundaryBlock> decode_boundary_blocks(std::span<const std::byte> pay
     return blocks;
 }
 
+std::vector<BoundaryBlockSoaView> decode_boundary_block_soa_views(
+    std::span<const std::byte> payload, std::vector<VertexId>& column_arena) {
+    column_arena.clear();
+    // The arena may still reallocate while blocks stream in, so record index
+    // ranges first and convert them to spans only once the walk is done. Any
+    // hostile count is bounded before columns are materialized: `count`
+    // entries need count * 8 distance bytes later in the payload, so a block
+    // can never append more than remaining/8 columns before the exact check
+    // below rejects it — total allocation stays O(payload size).
+    struct RawBlock {
+        VertexId vertex;
+        std::size_t col_start;
+        std::uint32_t count;
+        std::size_t dist_offset;
+    };
+    std::vector<RawBlock> raw;
+    std::size_t cursor = 0;
+    while (cursor < payload.size()) {
+        AA_ASSERT_MSG(payload.size() - cursor >= sizeof(VertexId),
+                      "boundary block header truncated");
+        VertexId vertex;
+        std::memcpy(&vertex, payload.data() + cursor, sizeof(vertex));
+        cursor += sizeof(vertex);
+        const std::uint32_t count = read_varint_u32(payload, cursor);
+        AA_ASSERT_MSG(count <= (payload.size() - cursor) / sizeof(Weight),
+                      "boundary block entry count exceeds payload");
+        AA_ASSERT_MSG(cursor < payload.size(), "boundary block header truncated");
+        const auto encoding = static_cast<std::uint8_t>(payload[cursor++]);
+        AA_ASSERT_MSG(encoding == kColDeltaVarint || encoding == kColRunLength,
+                      "boundary block unknown column encoding");
+        const std::size_t col_start = column_arena.size();
+        if (count > 0) {
+            decode_v2_columns(payload, cursor, count, encoding, column_arena);
+        }
+        while ((cursor & (sizeof(Weight) - 1)) != 0) {
+            AA_ASSERT_MSG(cursor < payload.size(), "boundary block padding truncated");
+            AA_ASSERT_MSG(payload[cursor] == std::byte{0},
+                          "boundary block padding corrupt");
+            ++cursor;
+        }
+        AA_ASSERT_MSG(count <= (payload.size() - cursor) / sizeof(Weight),
+                      "boundary block entry count exceeds payload");
+        raw.push_back({vertex, col_start, count, cursor});
+        cursor += static_cast<std::size_t>(count) * sizeof(Weight);
+    }
+    std::vector<BoundaryBlockSoaView> views;
+    views.reserve(raw.size());
+    for (const RawBlock& block : raw) {
+        const std::byte* dist_bytes = payload.data() + block.dist_offset;
+        // In-place f64 view: the encoder's 8-byte block quantum plus the
+        // allocator's >= 8-byte base alignment make this cast safe; asserted
+        // because a caller handing us an offset sub-span would break it.
+        AA_ASSERT((reinterpret_cast<std::uintptr_t>(dist_bytes) &
+                   (alignof(Weight) - 1)) == 0);
+        views.push_back({block.vertex,
+                         {column_arena.data() + block.col_start, block.count},
+                         {reinterpret_cast<const Weight*>(dist_bytes), block.count}});
+    }
+    return views;
+}
+
 std::vector<BoundaryBlockView> decode_boundary_block_views(
     std::span<const std::byte> payload) {
     std::vector<BoundaryBlockView> blocks;
-    blocks.reserve(validate_boundary_payload(payload));
+    blocks.reserve(validate_boundary_payload_v1(payload));
     constexpr std::size_t kHeaderBytes = sizeof(VertexId) + sizeof(std::uint64_t);
     std::size_t cursor = 0;
     while (cursor < payload.size()) {
@@ -83,17 +331,20 @@ std::vector<BoundaryBlockView> decode_boundary_block_views(
 }
 
 double rc_post_boundary_updates(const LocalSubgraph& sg, DistanceStore& store,
-                                Cluster& cluster, RcPostProfile* profile) {
+                                Cluster& cluster, BoundaryWireFormat format,
+                                RcPostProfile* profile) {
     const RankId me = sg.rank();
     const std::uint32_t num_ranks = cluster.num_ranks();
     double ops = 0;
 
     // Per-destination payloads: each sending row's block is encoded exactly
-    // once and its bytes appended to every destination buffer (the payload
-    // format is a plain concatenation of blocks).
+    // once and its bytes appended to every destination buffer (both payload
+    // formats are plain concatenations of self-aligned blocks).
     std::vector<std::vector<std::byte>> outgoing(num_ranks);
-    std::vector<DvEntry> entries;  // reused across rows
-    Serializer encoder;            // reused across rows
+    std::vector<VertexId> sorted_cols;  // reused across rows
+    std::vector<DvEntry> entries;       // reused across rows (v1)
+    std::vector<Weight> dists;          // reused across rows (v2)
+    Serializer encoder;                 // reused across rows
 
     for (LocalId l = 0; l < sg.num_local(); ++l) {
         if (!store.has_send(l)) {
@@ -108,22 +359,38 @@ double rc_post_boundary_updates(const LocalSubgraph& sg, DistanceStore& store,
         if (destinations.empty()) {
             continue;  // interior row: changes have no external audience
         }
-        entries.clear();
-        entries.reserve(cols.size());
+        // Canonicalize to ascending column order for BOTH formats: columns
+        // within a drain are unique, so ordering cannot change any receiver
+        // outcome or the op count — it makes the block bytes a pure function
+        // of the drained set (v2's delta encoding requires it, v1 follows so
+        // the two formats execute the identical relaxation schedule).
+        sorted_cols.assign(cols.begin(), cols.end());
+        std::sort(sorted_cols.begin(), sorted_cols.end());
         const auto row = store.row(l);
-        for (const VertexId col : cols) {
-            entries.push_back({col, row[col]});
-        }
         encoder.clear();
-        encoder.write(sg.global_id(l));
-        encoder.write_span(std::span<const DvEntry>(entries));
+        if (format == BoundaryWireFormat::V2Soa) {
+            dists.clear();
+            dists.reserve(sorted_cols.size());
+            for (const VertexId col : sorted_cols) {
+                dists.push_back(row[col]);
+            }
+            encode_v2_block(encoder, sg.global_id(l), sorted_cols, dists);
+        } else {
+            entries.clear();
+            entries.reserve(sorted_cols.size());
+            for (const VertexId col : sorted_cols) {
+                entries.push_back({col, row[col]});
+            }
+            encoder.write(sg.global_id(l));
+            encoder.write_span(std::span<const DvEntry>(entries));
+        }
         const auto block_bytes = encoder.view();
         // Serialization cost is charged once per block, not once per
         // destination: the encoded bytes are shared (see rc.hpp).
-        ops += static_cast<double>(entries.size());
+        ops += static_cast<double>(sorted_cols.size());
         if (profile != nullptr) {
             ++profile->blocks;
-            profile->entries += entries.size();
+            profile->entries += sorted_cols.size();
         }
         for (const RankId dest : destinations) {
             outgoing[dest].insert(outgoing[dest].end(), block_bytes.begin(),
@@ -146,12 +413,7 @@ double rc_post_boundary_updates(const LocalSubgraph& sg, DistanceStore& store,
 
 namespace {
 
-/// Payload-window size for the ingest kernel, chosen to keep one window of
-/// wire entries resident in the last-level cache while its destination rows
-/// are swept. See rc_ingest_updates.
-constexpr std::size_t kRcIngestWindowBytes = std::size_t{128} << 20;
-
-/// One relaxation work item: apply `views[block]` to local row `row` through
+/// One relaxation work item: apply block `block` to local row `row` through
 /// a cut edge of weight `w`.
 struct IngestPair {
     LocalId row;
@@ -162,41 +424,80 @@ struct IngestPair {
 }  // namespace
 
 double rc_ingest_updates(const LocalSubgraph& sg, DistanceStore& store,
-                         const std::vector<Message>& inbox, ThreadPool* pool,
-                         std::size_t parallel_grain, RcIngestProfile* profile) {
-    // Pass 1: decode every received block in place (zero copy — the views
-    // point into the message payloads, which outlive this call) and flatten
-    // the work into (row, block, weight) pairs, one per incident cut edge,
-    // in block-arrival order.
+                         const std::vector<Message>& inbox, BoundaryWireFormat format,
+                         ThreadPool* pool, std::size_t parallel_grain,
+                         std::size_t window_bytes, RcIngestProfile* profile) {
+    // Pass 1: decode every received block in place (zero copy — v1 views and
+    // v2 distance spans point into the message payloads, which outlive this
+    // call; v2 column spans point into per-message arenas kept alive below)
+    // and flatten the work into (row, block, weight) pairs, one per incident
+    // cut edge, in block-arrival order.
     double ops = 0;
-    std::vector<BoundaryBlockView> views;
+    std::vector<BoundaryBlockView> views;          // v1 blocks
+    std::vector<BoundaryBlockSoaView> soa_views;   // v2 blocks
+    std::vector<std::vector<VertexId>> arenas;     // v2 column storage
     std::vector<IngestPair> pairs;
+    // Shared admission step: record the block's work if it has a local
+    // audience. Returns true if the caller should keep the decoded block.
+    const auto admit = [&](VertexId vertex, std::size_t entry_count,
+                           std::uint32_t view_index) {
+        const auto locals = sg.external_neighbors(vertex);
+        if (locals.empty() || entry_count == 0) {
+            return false;
+        }
+        ops += static_cast<double>(entry_count) * static_cast<double>(locals.size());
+        if (profile != nullptr) {
+            ++profile->blocks;
+            profile->entries += entry_count;
+            profile->relax_attempts += entry_count * locals.size();
+        }
+        for (const auto& [local, w] : locals) {
+            pairs.push_back({local, view_index, w});
+        }
+        return true;
+    };
     for (const Message& message : inbox) {
         if (message.tag != MessageTag::BoundaryDvUpdate) {
             continue;
         }
-        for (const BoundaryBlockView& block : decode_boundary_block_views(message.bytes())) {
-            const auto locals = sg.external_neighbors(block.vertex);
-            if (locals.empty() || block.entries.size() == 0) {
-                continue;
+        if (format == BoundaryWireFormat::V2Soa) {
+            auto& arena = arenas.emplace_back();
+            for (const BoundaryBlockSoaView& block :
+                 decode_boundary_block_soa_views(message.bytes(), arena)) {
+                if (admit(block.vertex, block.cols.size(),
+                          static_cast<std::uint32_t>(soa_views.size()))) {
+                    soa_views.push_back(block);
+                }
             }
-            ops += static_cast<double>(block.entries.size()) *
-                   static_cast<double>(locals.size());
-            if (profile != nullptr) {
-                ++profile->blocks;
-                profile->entries += block.entries.size();
-                profile->relax_attempts += block.entries.size() * locals.size();
-            }
-            const auto view_index = static_cast<std::uint32_t>(views.size());
-            views.push_back(block);
-            for (const auto& [local, w] : locals) {
-                pairs.push_back({local, view_index, w});
+        } else {
+            for (const BoundaryBlockView& block :
+                 decode_boundary_block_views(message.bytes())) {
+                if (admit(block.vertex, block.entries.size(),
+                          static_cast<std::uint32_t>(views.size()))) {
+                    views.push_back(block);
+                }
             }
         }
     }
     if (pairs.empty()) {
         return ops;
     }
+    // Window accounting and the relaxation sweep, format-abstracted. Window
+    // sizes are measured in *decoded* entry footprint (sizeof(DvEntry) per
+    // entry) for both formats, so the window splits — and therefore the
+    // whole schedule — are identical whichever format is on the wire.
+    const auto block_entries = [&](std::uint32_t b) {
+        return format == BoundaryWireFormat::V2Soa ? soa_views[b].cols.size()
+                                                   : views[b].entries.size();
+    };
+    const auto relax_block = [&](const IngestPair& pr) {
+        if (format == BoundaryWireFormat::V2Soa) {
+            const BoundaryBlockSoaView& b = soa_views[pr.block];
+            store.relax_batch_soa(pr.row, b.cols, b.dists, pr.w);
+        } else {
+            store.relax_batch(pr.row, views[pr.block].entries, pr.w);
+        }
+    };
 
     // Pass 2: process the pairs in payload *windows*. A round's inbox can be
     // far larger than the cache, and the blocks incident to one row arrive
@@ -217,22 +518,24 @@ double rc_ingest_updates(const LocalSubgraph& sg, DistanceStore& store,
     std::size_t p = 0;
     while (p < pairs.size()) {
         const std::size_t begin = p;
-        std::size_t window_bytes = 0;
+        std::size_t accumulated_bytes = 0;
         std::size_t window_attempts = 0;
         std::uint32_t last_block = std::numeric_limits<std::uint32_t>::max();
         while (p < pairs.size()) {
             const IngestPair& pr = pairs[p];
             if (pr.block != last_block) {
                 // Pairs of one block are consecutive, so windows split only
-                // at block boundaries (a block is never torn across windows).
-                const std::size_t bytes = views[pr.block].entries.size() * sizeof(DvEntry);
-                if (window_bytes != 0 && window_bytes + bytes > kRcIngestWindowBytes) {
+                // at block boundaries (a block is never torn across windows,
+                // and a window always takes at least one block even when a
+                // single block exceeds window_bytes).
+                const std::size_t bytes = block_entries(pr.block) * sizeof(DvEntry);
+                if (accumulated_bytes != 0 && accumulated_bytes + bytes > window_bytes) {
                     break;
                 }
-                window_bytes += bytes;
+                accumulated_bytes += bytes;
                 last_block = pr.block;
             }
-            window_attempts += views[pr.block].entries.size();
+            window_attempts += block_entries(pr.block);
             ++p;
         }
 
@@ -270,15 +573,13 @@ double rc_ingest_updates(const LocalSubgraph& sg, DistanceStore& store,
             window_attempts >= parallel_grain) {
             pool->parallel_for(0, num_groups, [&](std::size_t g) {
                 for (std::uint32_t i = group_start[g]; i < group_start[g + 1]; ++i) {
-                    store.relax_batch(by_row[i].row, views[by_row[i].block].entries,
-                                      by_row[i].w);
+                    relax_block(by_row[i]);
                 }
             });
         } else {
             for (std::size_t g = 0; g < num_groups; ++g) {
                 for (std::uint32_t i = group_start[g]; i < group_start[g + 1]; ++i) {
-                    store.relax_batch(by_row[i].row, views[by_row[i].block].entries,
-                                      by_row[i].w);
+                    relax_block(by_row[i]);
                 }
             }
         }
@@ -399,13 +700,14 @@ double rc_propagate_local(const LocalSubgraph& sg, DistanceStore& store,
 }
 
 double rc_ingest_updates_scalar(const LocalSubgraph& sg, DistanceStore& store,
-                                const std::vector<Message>& inbox) {
+                                const std::vector<Message>& inbox,
+                                BoundaryWireFormat format) {
     double ops = 0;
     for (const Message& message : inbox) {
         if (message.tag != MessageTag::BoundaryDvUpdate) {
             continue;
         }
-        for (const BoundaryBlock& block : decode_boundary_blocks(message.bytes())) {
+        for (const BoundaryBlock& block : decode_boundary_blocks(message.bytes(), format)) {
             // Relax every local endpoint of every cut edge to the updated
             // external vertex: d(local, t) <= w(local, ext) + d(ext, t).
             const auto locals = sg.external_neighbors(block.vertex);

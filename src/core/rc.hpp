@@ -37,6 +37,27 @@
 //     edge (each is one relaxation attempt).
 //   * rc_propagate_local — one op per drained column per local neighbour of
 //     the drained row (again one attempted relaxation each).
+//
+// Wire formats and the bytes-on-wire accounting change. The boundary-DV
+// payload exists in two layouts (BoundaryWireFormat in distance_store.hpp):
+// the historical v1 array-of-structs blocks and the v2 struct-of-arrays
+// blocks (delta/run-length varint columns + aligned f64 run). Op pricing is
+// charged identically under both — per drained column and per serialized
+// entry per block, never per byte — so the relaxation schedule, distance
+// matrices, dirty-append order, and op counts are bit-identical across
+// formats. What deliberately changes is the *byte count* handed to the LogP
+// model: v2 payloads are smaller, so exchange time (and therefore
+// sim_seconds) improves under v2. This is an intentional accounting change
+// of the same kind as PR 1's encode-once pricing: the simulated cluster
+// charges for the bytes an MPI rank would actually put on the wire, and the
+// wire just got cheaper. To keep the schedule format-independent, the post
+// kernel canonicalizes each block's columns into ascending order for BOTH
+// formats (columns within a block are unique, so ordering cannot change any
+// relaxation outcome, op count, or dirty-set content — it only fixes the
+// within-block entry order and makes payload bytes a pure function of the
+// drained set), and the ingest window accounting below measures both formats
+// by their *decoded* footprint (entries x sizeof(DvEntry)), so window splits
+// are identical under either format.
 #pragma once
 
 #include "core/distance_store.hpp"
@@ -71,13 +92,15 @@ struct RcPropagateProfile {
 
 /// Phase 1: drain every row's send-list and post one BoundaryDvUpdate message
 /// per neighbouring rank that shares a cut edge with the row's vertex. Each
-/// row's block is serialized once and the encoded bytes are appended to every
+/// row's block is serialized once — in the requested wire format, columns
+/// canonically sorted ascending — and the encoded bytes are appended to every
 /// destination payload (see the accounting note above). Send-lists of
 /// interior rows are drained too (they have no audience; a row that later
 /// becomes boundary is re-marked in full by the edge-addition path).
 /// Returns ops.
 double rc_post_boundary_updates(const LocalSubgraph& sg, DistanceStore& store,
                                 Cluster& cluster,
+                                BoundaryWireFormat format = BoundaryWireFormat::V2Soa,
                                 RcPostProfile* profile = nullptr);
 
 /// Minimum relaxation-attempt count per payload window before the window's
@@ -85,21 +108,34 @@ double rc_post_boundary_updates(const LocalSubgraph& sg, DistanceStore& store,
 /// outweighs the sweeps. Tests force the parallel branch by passing 1.
 inline constexpr std::size_t kRcIngestParallelGrain = 8192;
 
+/// Default payload-window size for the ingest kernel, chosen to keep one
+/// window of decoded wire entries resident in the last-level cache while its
+/// destination rows are swept. Configurable per engine via
+/// EngineConfig::rc_ingest_window_bytes; windowing never changes results
+/// (blocks are never torn, within-row arrival order is preserved), only the
+/// cache behaviour of the sweep.
+inline constexpr std::size_t kRcIngestWindowBytes = std::size_t{128} << 20;
+
 /// Phase 3a: apply received BoundaryDvUpdate messages — relax every local
 /// endpoint of each cut edge incident to an updated external vertex.
 /// Non-BoundaryDvUpdate messages are ignored (callers drain those contexts
-/// separately). Batched: blocks are decoded in place (zero copy) and
-/// processed in LLC-sized payload windows whose work is grouped by
-/// destination row, so a row is streamed from memory once per window instead
-/// of once per incident block and the window's entries stay cache-resident
-/// across all their sweeps; within each row, block-arrival order is
-/// preserved, keeping results bit-identical to the scalar kernel. With a
-/// multi-thread `pool`, a window's row groups (pairwise-disjoint rows) are
-/// relaxed in parallel. Returns ops.
+/// separately). `format` must match what the senders posted (the payload is
+/// not self-describing; the engine applies one config-wide format). Batched:
+/// blocks are decoded in place (zero copy — v2 column arrays are the one
+/// materialized piece) and processed in payload windows of ~window_bytes of
+/// decoded entries whose work is grouped by destination row, so a row is
+/// streamed from memory once per window instead of once per incident block
+/// and the window's entries stay cache-resident across all their sweeps;
+/// within each row, block-arrival order is preserved, keeping results
+/// bit-identical to the scalar kernel. With a multi-thread `pool`, a
+/// window's row groups (pairwise-disjoint rows) are relaxed in parallel.
+/// Returns ops.
 double rc_ingest_updates(const LocalSubgraph& sg, DistanceStore& store,
                          const std::vector<Message>& inbox,
+                         BoundaryWireFormat format = BoundaryWireFormat::V2Soa,
                          ThreadPool* pool = nullptr,
                          std::size_t parallel_grain = kRcIngestParallelGrain,
+                         std::size_t window_bytes = kRcIngestWindowBytes,
                          RcIngestProfile* profile = nullptr);
 
 /// Minimum relaxation-attempt count (drained columns x neighbour rows) before
@@ -124,35 +160,72 @@ double rc_propagate_local(const LocalSubgraph& sg, DistanceStore& store,
 /// kernels. Kept as ground truth for tests and the rc-kernel ablation bench;
 /// bit-identical results and op counts to the batched/threaded paths.
 double rc_ingest_updates_scalar(const LocalSubgraph& sg, DistanceStore& store,
-                                const std::vector<Message>& inbox);
+                                const std::vector<Message>& inbox,
+                                BoundaryWireFormat format = BoundaryWireFormat::V2Soa);
 double rc_propagate_local_scalar(const LocalSubgraph& sg, DistanceStore& store);
 
-/// Serialize the payload of one boundary update: repeated blocks of
-/// [global vertex][entry count][entries].
+/// Serialize the payload of one boundary update: repeated blocks, layout per
+/// `format`.
+///   V1Aos: [u32 vertex][u64 count][count x 12-byte DvEntry].
+///   V2Soa: [u32 vertex][varint count][u8 col_encoding][columns]
+///          [zero pad to 8][count x f64], where the columns are either
+///          delta-varints (encoding 0: first column absolute, then raw
+///          deltas >= 1) or run-length runs (encoding 1: varint run count,
+///          then per run a varint start gap and a varint (length - 1)); the
+///          encoder picks whichever is smaller per block (ties -> deltas).
+///          Every v2 block's total size is a multiple of 8, so concatenated
+///          blocks keep each distance run 8-aligned — the property that lets
+///          receivers view it in place as an aligned f64 span.
+/// V2 requires each block's entries sorted by strictly ascending column
+/// (asserted); rc_post_boundary_updates canonicalizes to that order for both
+/// formats.
 struct BoundaryBlock {
     VertexId vertex;
     std::vector<DvEntry> entries;
 };
-std::vector<std::byte> encode_boundary_blocks(const std::vector<BoundaryBlock>& blocks);
+std::vector<std::byte> encode_boundary_blocks(
+    const std::vector<BoundaryBlock>& blocks,
+    BoundaryWireFormat format = BoundaryWireFormat::V2Soa);
 
 /// Decode a boundary-update payload. The payload is validated structurally
-/// (headers complete, every declared entry count fits in the remaining
-/// bytes — overflow-safely) before any allocation happens; malformed
-/// payloads fail an AA_ASSERT contract check.
-std::vector<BoundaryBlock> decode_boundary_blocks(std::span<const std::byte> payload);
+/// before anything proportional to a declared count is allocated; malformed
+/// payloads (truncated headers or varints, overlong varints, unknown column
+/// encodings, non-monotone or overflowing column deltas, run lengths that
+/// disagree with the entry count, nonzero padding, entry counts past the
+/// payload end — overflow-safely) fail an AA_ASSERT contract check.
+std::vector<BoundaryBlock> decode_boundary_blocks(
+    std::span<const std::byte> payload,
+    BoundaryWireFormat format = BoundaryWireFormat::V2Soa);
 
-/// Zero-copy variant: the same structural validation, but each block's
+/// Zero-copy v1 variant: the same structural validation, but each block's
 /// entries stay in place as a DvEntrySpan over the payload bytes instead of
 /// being copied into an owning vector. Views are valid only while the
 /// payload's storage is alive — the ingest kernel consumes them inside the
-/// message loop. This is the decode the batched kernel uses: the copying
-/// variant would stream every entry through memory twice before the first
-/// relaxation reads it.
+/// message loop. This is the decode the batched kernel uses for v1 payloads:
+/// the copying variant would stream every entry through memory twice before
+/// the first relaxation reads it.
 struct BoundaryBlockView {
     VertexId vertex;
     DvEntrySpan entries;
 };
 std::vector<BoundaryBlockView> decode_boundary_block_views(
     std::span<const std::byte> payload);
+
+/// Zero-copy v2 variant: per block, a strictly-ascending column span and the
+/// aligned in-place f64 distance span — exactly the shape
+/// DistanceStore::relax_batch_soa consumes. The distance spans point into
+/// `payload`; the column spans point into `column_arena`, which the call
+/// clears and refills (varint columns are the one piece that must be
+/// materialized). Views are valid while both the payload bytes and the arena
+/// remain alive and the arena is not mutated. Same validation contract as
+/// decode_boundary_blocks; a hostile payload can never force an allocation
+/// larger than O(payload size).
+struct BoundaryBlockSoaView {
+    VertexId vertex;
+    std::span<const VertexId> cols;
+    std::span<const Weight> dists;
+};
+std::vector<BoundaryBlockSoaView> decode_boundary_block_soa_views(
+    std::span<const std::byte> payload, std::vector<VertexId>& column_arena);
 
 }  // namespace aa

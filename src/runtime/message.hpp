@@ -68,6 +68,36 @@ public:
         buffer_.insert(buffer_.end(), raw, raw + values.size_bytes());
     }
 
+    /// LEB128 unsigned varint: 7 payload bits per byte, high bit = "more
+    /// bytes follow". Small values — sorted-column deltas, entry counts —
+    /// shrink from 4-8 fixed bytes to 1-2, which is what makes the v2
+    /// boundary-DV column array cheap on the (simulated) wire.
+    void write_varint(std::uint64_t value) {
+        while (value >= 0x80) {
+            buffer_.push_back(static_cast<std::byte>((value & 0x7F) | 0x80));
+            value >>= 7;
+        }
+        buffer_.push_back(static_cast<std::byte>(value));
+    }
+
+    /// Append raw bytes with no length prefix — for caller-framed data whose
+    /// extent is recoverable from context (e.g. the v2 boundary block's f64
+    /// run, whose length is the already-written entry count).
+    void write_bytes(std::span<const std::byte> bytes) {
+        buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+    }
+
+    /// Append zero bytes until the buffer size is a multiple of `alignment`
+    /// (a power of two). The v2 boundary-block encoder uses this to land each
+    /// block's f64 distance run on an 8-byte boundary so receivers can read
+    /// it in place as an aligned span.
+    void pad_to(std::size_t alignment) {
+        AA_ASSERT((alignment & (alignment - 1)) == 0);
+        while ((buffer_.size() & (alignment - 1)) != 0) {
+            buffer_.push_back(std::byte{0});
+        }
+    }
+
     std::vector<std::byte> take() { return std::move(buffer_); }
     std::size_t size() const { return buffer_.size(); }
 
@@ -108,7 +138,9 @@ public:
         // a huge allocation.
         AA_ASSERT_MSG(count <= (data_.size() - cursor_) / sizeof(T), "payload underrun");
         std::vector<T> values(count);
-        std::memcpy(values.data(), data_.data() + cursor_, count * sizeof(T));
+        if (count != 0) {  // empty vector data() may be null: UB for memcpy
+            std::memcpy(values.data(), data_.data() + cursor_, count * sizeof(T));
+        }
         cursor_ += count * sizeof(T);
         return values;
     }
@@ -120,5 +152,37 @@ private:
     std::span<const std::byte> data_;
     std::size_t cursor_{0};
 };
+
+/// Decode one LEB128 varint that must fit a u32, advancing `cursor`.
+/// Structural validation is part of the contract: a continuation bit set at
+/// the end of the payload ("varint truncated") or an encoding of five bytes
+/// whose final byte spills past 32 bits ("varint overlong") dies on the
+/// AA_ASSERT check — a hostile payload can never make the decoder read past
+/// `data` or return a silently wrapped value.
+inline std::uint32_t read_varint_u32(std::span<const std::byte> data,
+                                     std::size_t& cursor) {
+    std::uint32_t value = 0;
+    for (unsigned shift = 0; shift < 35; shift += 7) {
+        AA_ASSERT_MSG(cursor < data.size(), "varint truncated");
+        const auto byte = static_cast<std::uint8_t>(data[cursor++]);
+        AA_ASSERT_MSG(shift != 28 || (byte & 0xF0) == 0, "varint overlong");
+        value |= static_cast<std::uint32_t>(byte & 0x7F) << shift;
+        if ((byte & 0x80) == 0) {
+            return value;
+        }
+    }
+    AA_ASSERT_MSG(false, "varint overlong");
+    return 0;  // unreachable
+}
+
+/// Wire size of a value under the LEB128 encoding above.
+inline constexpr std::size_t varint_size(std::uint64_t value) {
+    std::size_t bytes = 1;
+    while (value >= 0x80) {
+        value >>= 7;
+        ++bytes;
+    }
+    return bytes;
+}
 
 }  // namespace aa

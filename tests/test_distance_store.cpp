@@ -248,6 +248,102 @@ TEST(DistanceStore, EpochWrapKeepsDirtyTrackingExact) {
     }
 }
 
+TEST(DistanceStore, EpochWrapCannotAliasStaleMarks) {
+    // The dedupe check is `mark[col] == epoch` over 8-bit stamps. A column
+    // marked once and then left untouched for a full 255-drain cycle ends up
+    // with a stale stamp numerically equal to the live epoch again; without
+    // the wrap-time arena reset in bump_epoch() the next improvement on that
+    // column would look already-marked and silently vanish from the drained
+    // set. This pins the memset branch as load-bearing.
+    DistanceStore store(4);
+    const LocalId r = store.add_row(0);
+    (void)store.take_prop(r);
+    (void)store.take_send(r);
+    // Stamp column 1 at the current epoch, then drain once.
+    store.relax(r, 1, 100.0);
+    ASSERT_EQ(store.take_prop(r).size(), 1u);
+    ASSERT_EQ(store.take_send(r).size(), 1u);
+    // 254 further drains on a different column bring the 8-bit epoch back
+    // around to column 1's stale stamp (255 drains per cycle).
+    double value = 100.0;
+    for (int i = 0; i < 254; ++i) {
+        value -= 0.1;
+        ASSERT_TRUE(store.relax(r, 2, value));
+        ASSERT_EQ(store.take_prop(r).size(), 1u);
+        ASSERT_EQ(store.take_send(r).size(), 1u);
+    }
+    // Column 1 must be re-recorded exactly once and in append order.
+    ASSERT_TRUE(store.relax(r, 1, 50.0));
+    ASSERT_TRUE(store.relax(r, 3, 60.0));
+    const auto prop = store.take_prop(r);
+    ASSERT_EQ(prop.size(), 2u);
+    EXPECT_EQ(prop[0], 1u);
+    EXPECT_EQ(prop[1], 3u);
+    const auto send = store.take_send(r);
+    ASSERT_EQ(send.size(), 2u);
+    EXPECT_EQ(send[0], 1u);
+    EXPECT_EQ(send[1], 3u);
+}
+
+TEST(DistanceStore, RelaxBatchSoaMatchesRelaxLoop) {
+    // relax_batch_soa (the v2 ingest kernel: strictly-ascending column span
+    // plus a parallel distance span) must match per-column relax() exactly —
+    // values, improved count, and dirty-append order — with the SIMD sweep
+    // both enabled and disabled.
+    for (const bool simd : {true, false}) {
+        Rng rng(4242);
+        for (int round = 0; round < 20; ++round) {
+            DistanceStore a(128);
+            DistanceStore b(128);
+            b.set_simd_enabled(simd);
+            const LocalId ra = a.add_row(0);
+            const LocalId rb = b.add_row(0);
+            // Strictly-ascending columns with random gaps; pre-populate a
+            // third of them so the sweep sees a mix of improvements,
+            // rejections, and epsilon-window near-ties.
+            std::vector<VertexId> cols;
+            std::vector<Weight> dists;
+            for (VertexId c = static_cast<VertexId>(rng.uniform(3)); c < 128;
+                 c += 1 + static_cast<VertexId>(rng.uniform(4))) {
+                cols.push_back(c);
+                dists.push_back(rng.uniform(0.0, 10.0));
+            }
+            for (std::size_t i = 0; i < cols.size(); i += 3) {
+                const Weight w = rng.uniform(0.0, 12.0);
+                a.relax(ra, cols[i], w);
+                b.relax(rb, cols[i], w);
+            }
+            (void)a.take_prop(ra);
+            (void)a.take_send(ra);
+            (void)b.take_prop(rb);
+            (void)b.take_send(rb);
+            const Weight offset = rng.uniform(0.0, 2.0);
+            std::size_t improved_loop = 0;
+            for (std::size_t i = 0; i < cols.size(); ++i) {
+                improved_loop +=
+                    a.relax(ra, cols[i], offset + dists[i]) ? 1 : 0;
+            }
+            const std::size_t improved_batch =
+                b.relax_batch_soa(rb, cols, dists, offset);
+            EXPECT_EQ(improved_loop, improved_batch) << "simd " << simd;
+            for (VertexId c = 0; c < 128; ++c) {
+                EXPECT_EQ(a.at(ra, c), b.at(rb, c))
+                    << "col " << c << " simd " << simd;
+            }
+            // Ascending input columns make the loop's append order
+            // deterministic, so the batch must reproduce it exactly.
+            const auto pa = a.take_prop(ra);
+            const auto pb = b.take_prop(rb);
+            ASSERT_EQ(pa.size(), pb.size());
+            EXPECT_TRUE(std::equal(pa.begin(), pa.end(), pb.begin()));
+            const auto sa = a.take_send(ra);
+            const auto sb = b.take_send(rb);
+            ASSERT_EQ(sa.size(), sb.size());
+            EXPECT_TRUE(std::equal(sa.begin(), sa.end(), sb.begin()));
+        }
+    }
+}
+
 TEST(DistanceStore, TakeSpanSurvivesOtherRowActivity) {
     // The drained span stays valid while *other* rows are relaxed and drained
     // (the propagate kernel depends on this: it holds row u's drained columns

@@ -58,7 +58,10 @@ TEST_P(SerializerFuzz, MixedScalarsRoundTrip) {
     EXPECT_TRUE(in.exhausted());
 }
 
-TEST_P(SerializerFuzz, BoundaryBlocksRoundTrip) {
+TEST_P(SerializerFuzz, BoundaryBlocksRoundTripV1) {
+    // The v1 AoS format accepts arbitrary entry streams (unsorted columns,
+    // duplicates included); pin the format explicitly since the default
+    // moved to v2.
     Rng rng(GetParam() ^ 0xB10C);
     std::vector<BoundaryBlock> blocks;
     const std::size_t block_count = rng.uniform(16);
@@ -73,8 +76,10 @@ TEST_P(SerializerFuzz, BoundaryBlocksRoundTrip) {
         }
         blocks.push_back(std::move(block));
     }
-    const auto payload = encode_boundary_blocks(blocks);
-    const auto back = decode_boundary_blocks(payload);
+    const auto payload =
+        encode_boundary_blocks(blocks, BoundaryWireFormat::V1Aos);
+    const auto back =
+        decode_boundary_blocks(payload, BoundaryWireFormat::V1Aos);
     ASSERT_EQ(back.size(), blocks.size());
     for (std::size_t b = 0; b < blocks.size(); ++b) {
         EXPECT_EQ(back[b].vertex, blocks[b].vertex);
@@ -84,6 +89,61 @@ TEST_P(SerializerFuzz, BoundaryBlocksRoundTrip) {
             EXPECT_EQ(back[b].entries[e].distance, blocks[b].entries[e].distance);
         }
     }
+}
+
+TEST_P(SerializerFuzz, BoundaryBlocksRoundTripV2) {
+    // The v2 SoA format requires strictly-ascending columns per block (the
+    // post kernel sorts). Mix dense consecutive runs with sparse gaps so both
+    // column encodings (run-length and delta-varint) get exercised, and check
+    // the copying decoder and the zero-copy SoA-view decoder agree byte for
+    // byte.
+    Rng rng(GetParam() ^ 0x50A2);
+    std::vector<BoundaryBlock> blocks;
+    const std::size_t block_count = rng.uniform(16);
+    for (std::size_t b = 0; b < block_count; ++b) {
+        BoundaryBlock block;
+        block.vertex = static_cast<VertexId>(rng.uniform(1u << 20));
+        const std::size_t entries = rng.uniform(40);
+        VertexId col = static_cast<VertexId>(rng.uniform(1u << 16));
+        for (std::size_t e = 0; e < entries; ++e) {
+            // 70% consecutive step, 30% random jump: dense prefixes favour
+            // RLE, jumpy tails favour delta-varint.
+            col += rng.uniform01() < 0.7
+                       ? 1
+                       : 1 + static_cast<VertexId>(rng.uniform(1u << 12));
+            block.entries.push_back({col, rng.uniform(0.0, 1e6)});
+        }
+        blocks.push_back(std::move(block));
+    }
+    const auto payload =
+        encode_boundary_blocks(blocks, BoundaryWireFormat::V2Soa);
+    const auto back =
+        decode_boundary_blocks(payload, BoundaryWireFormat::V2Soa);
+    ASSERT_EQ(back.size(), blocks.size());
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        EXPECT_EQ(back[b].vertex, blocks[b].vertex);
+        ASSERT_EQ(back[b].entries.size(), blocks[b].entries.size());
+        for (std::size_t e = 0; e < blocks[b].entries.size(); ++e) {
+            EXPECT_EQ(back[b].entries[e].column, blocks[b].entries[e].column);
+            EXPECT_EQ(back[b].entries[e].distance, blocks[b].entries[e].distance);
+        }
+    }
+    // Zero-copy SoA views over the same payload.
+    std::vector<VertexId> arena;
+    const auto views = decode_boundary_block_soa_views(payload, arena);
+    ASSERT_EQ(views.size(), blocks.size());
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        EXPECT_EQ(views[b].vertex, blocks[b].vertex);
+        ASSERT_EQ(views[b].cols.size(), blocks[b].entries.size());
+        ASSERT_EQ(views[b].dists.size(), blocks[b].entries.size());
+        for (std::size_t e = 0; e < blocks[b].entries.size(); ++e) {
+            EXPECT_EQ(views[b].cols[e], blocks[b].entries[e].column);
+            EXPECT_EQ(views[b].dists[e], blocks[b].entries[e].distance);
+        }
+    }
+    // Every v2 block occupies a multiple of 8 bytes (that is what keeps the
+    // f64 runs aligned under concatenation), so the whole payload must too.
+    EXPECT_EQ(payload.size() % sizeof(Weight), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SerializerFuzz,
@@ -99,7 +159,7 @@ TEST(BoundaryBlockValidation, OversizedEntryCountDies) {
     out.write(VertexId{7});
     out.write(std::uint64_t{1} << 61);  // declares ~2.3e18 entries, sends none
     const auto payload = out.take();
-    EXPECT_DEATH((void)decode_boundary_blocks(payload),
+    EXPECT_DEATH((void)decode_boundary_blocks(payload, BoundaryWireFormat::V1Aos),
                  "entry count exceeds payload");
 }
 
@@ -112,7 +172,7 @@ TEST(BoundaryBlockValidation, OverflowWrappingEntryCountDies) {
         (std::numeric_limits<std::uint64_t>::max() / sizeof(DvEntry)) + 2;
     out.write(wrapping);
     const auto payload = out.take();
-    EXPECT_DEATH((void)decode_boundary_blocks(payload),
+    EXPECT_DEATH((void)decode_boundary_blocks(payload, BoundaryWireFormat::V1Aos),
                  "entry count exceeds payload");
 }
 
@@ -126,13 +186,13 @@ TEST(BoundaryBlockValidation, DeclaredCountPastPayloadEndDies) {
         out.write(DvEntry{static_cast<VertexId>(i), 1.5});
     }
     const auto payload = out.take();
-    EXPECT_DEATH((void)decode_boundary_blocks(payload),
+    EXPECT_DEATH((void)decode_boundary_blocks(payload, BoundaryWireFormat::V1Aos),
                  "entry count exceeds payload");
 }
 
 TEST(BoundaryBlockValidation, TruncatedHeaderDies) {
     const std::vector<std::byte> payload(sizeof(VertexId) + 2);  // half a header
-    EXPECT_DEATH((void)decode_boundary_blocks(payload),
+    EXPECT_DEATH((void)decode_boundary_blocks(payload, BoundaryWireFormat::V1Aos),
                  "header truncated");
 }
 
@@ -140,9 +200,9 @@ TEST(BoundaryBlockValidation, TrailingGarbageAfterValidBlockDies) {
     std::vector<BoundaryBlock> blocks(1);
     blocks[0].vertex = 9;
     blocks[0].entries.push_back({4, 2.5});
-    auto payload = encode_boundary_blocks(blocks);
+    auto payload = encode_boundary_blocks(blocks, BoundaryWireFormat::V1Aos);
     payload.resize(payload.size() + 5);  // 5 stray bytes: not even a header
-    EXPECT_DEATH((void)decode_boundary_blocks(payload),
+    EXPECT_DEATH((void)decode_boundary_blocks(payload, BoundaryWireFormat::V1Aos),
                  "header truncated");
 }
 
@@ -175,8 +235,10 @@ TEST(BoundaryBlockValidation, ViewDecoderMatchesCopyingDecoder) {
                 {static_cast<VertexId>(rng.uniform(1000)), rng.uniform(0.1, 9.0)});
         }
     }
-    const auto payload = encode_boundary_blocks(blocks);
-    const auto copies = decode_boundary_blocks(payload);
+    const auto payload =
+        encode_boundary_blocks(blocks, BoundaryWireFormat::V1Aos);
+    const auto copies =
+        decode_boundary_blocks(payload, BoundaryWireFormat::V1Aos);
     const auto views = decode_boundary_block_views(payload);
     ASSERT_EQ(copies.size(), views.size());
     for (std::size_t b = 0; b < copies.size(); ++b) {
@@ -186,6 +248,176 @@ TEST(BoundaryBlockValidation, ViewDecoderMatchesCopyingDecoder) {
             EXPECT_EQ(copies[b].entries[i].column, views[b].entries[i].column);
             EXPECT_EQ(copies[b].entries[i].distance, views[b].entries[i].distance);
         }
+    }
+}
+
+// Hostile v2 payloads. The SoA decoder walks [u32 vertex][varint count]
+// [u8 encoding][columns][zero pad to 8][count × f64] and must reject every
+// malformed shape on a contract check — no UB, no allocation driven by a
+// hostile count. Payloads are crafted byte-by-byte with the Serializer.
+
+namespace v2 {
+constexpr std::uint8_t kDelta = 0;    // delta-varint column encoding tag
+constexpr std::uint8_t kRunLen = 1;   // run-length column encoding tag
+}  // namespace v2
+
+TEST(BoundaryBlockV2Validation, TruncatedCountVarintDies) {
+    Serializer out;
+    out.write(VertexId{7});
+    out.write(std::uint8_t{0x80});  // continuation bit set, stream ends
+    const auto payload = out.take();
+    EXPECT_DEATH((void)decode_boundary_blocks(payload, BoundaryWireFormat::V2Soa),
+                 "varint truncated");
+}
+
+TEST(BoundaryBlockV2Validation, OverlongCountVarintDies) {
+    // Six continuation bytes: a u32 varint never legitimately needs more
+    // than five, so this must die before it can fabricate a huge count.
+    Serializer out;
+    out.write(VertexId{7});
+    for (int i = 0; i < 5; ++i) {
+        out.write(std::uint8_t{0x80});
+    }
+    out.write(std::uint8_t{0x01});
+    const auto payload = out.take();
+    EXPECT_DEATH((void)decode_boundary_blocks(payload, BoundaryWireFormat::V2Soa),
+                 "varint overlong");
+}
+
+TEST(BoundaryBlockV2Validation, DeclaredCountPastPayloadEndDies) {
+    // A count of 2^28 with no bytes behind it: the division-based bound
+    // check must reject it before any column materialization, so a hostile
+    // count can never drive allocation.
+    Serializer out;
+    out.write(VertexId{3});
+    out.write_varint(std::uint64_t{1} << 28);
+    const auto payload = out.take();
+    EXPECT_DEATH((void)decode_boundary_blocks(payload, BoundaryWireFormat::V2Soa),
+                 "entry count exceeds payload");
+}
+
+TEST(BoundaryBlockV2Validation, NonMonotoneColumnDeltaDies) {
+    // Delta 0 between columns encodes a duplicate/regressing column; the
+    // format requires strictly-ascending columns (delta >= 1 after the
+    // first).
+    Serializer out;
+    out.write(VertexId{5});
+    out.write_varint(2);          // two entries
+    out.write(v2::kDelta);
+    out.write_varint(9);          // first column, absolute
+    out.write_varint(0);          // zero delta: non-monotone
+    out.pad_to(sizeof(Weight));
+    out.write(1.5);
+    out.write(2.5);
+    const auto payload = out.take();
+    EXPECT_DEATH((void)decode_boundary_blocks(payload, BoundaryWireFormat::V2Soa),
+                 "non-monotone column delta");
+}
+
+TEST(BoundaryBlockV2Validation, RunLengthSumMismatchDies) {
+    // RLE runs must produce exactly `count` columns; one run of length 2
+    // behind a declared count of 3 is a lie.
+    Serializer out;
+    out.write(VertexId{5});
+    out.write_varint(3);          // declares three entries
+    out.write(v2::kRunLen);
+    out.write_varint(1);          // one run
+    out.write_varint(4);          // run starts at column 4
+    out.write_varint(1);          // run length 2 (encoded as len - 1)
+    out.pad_to(sizeof(Weight));
+    out.write(1.0);
+    out.write(2.0);
+    out.write(3.0);
+    const auto payload = out.take();
+    EXPECT_DEATH((void)decode_boundary_blocks(payload, BoundaryWireFormat::V2Soa),
+                 "run length mismatch");
+}
+
+TEST(BoundaryBlockV2Validation, ZeroRunCountDies) {
+    Serializer out;
+    out.write(VertexId{5});
+    out.write_varint(2);
+    out.write(v2::kRunLen);
+    out.write_varint(0);          // zero runs behind a nonzero count
+    out.pad_to(sizeof(Weight));
+    out.write(1.0);
+    out.write(2.0);
+    const auto payload = out.take();
+    EXPECT_DEATH((void)decode_boundary_blocks(payload, BoundaryWireFormat::V2Soa),
+                 "run count invalid");
+}
+
+TEST(BoundaryBlockV2Validation, UnknownColumnEncodingDies) {
+    Serializer out;
+    out.write(VertexId{5});
+    out.write_varint(1);
+    out.write(std::uint8_t{7});   // no such encoding
+    out.write_varint(4);
+    out.pad_to(sizeof(Weight));
+    out.write(1.0);
+    const auto payload = out.take();
+    EXPECT_DEATH((void)decode_boundary_blocks(payload, BoundaryWireFormat::V2Soa),
+                 "unknown column encoding");
+}
+
+TEST(BoundaryBlockV2Validation, NonZeroPaddingByteDies) {
+    // Craft a valid one-entry block, then flip its single pad byte: the
+    // decoder checks padding is zero so corruption cannot hide there.
+    Serializer out;
+    out.write(VertexId{5});
+    out.write_varint(1);
+    out.write(v2::kDelta);
+    out.write_varint(4);          // 7 bytes so far: exactly one pad byte
+    out.write(std::uint8_t{0xAB});
+    out.write(1.0);
+    const auto payload = out.take();
+    ASSERT_EQ(payload.size() % sizeof(Weight), 0u);
+    EXPECT_DEATH((void)decode_boundary_blocks(payload, BoundaryWireFormat::V2Soa),
+                 "padding corrupt");
+}
+
+TEST(BoundaryBlockV2Validation, PayloadEndingInsidePaddingDies) {
+    // A five-byte column varint pushes the pad region past the hostile-count
+    // bound (which only needs count * 8 bytes behind the count field), so the
+    // stream can end mid-padding without tripping an earlier check.
+    Serializer out;
+    out.write(VertexId{5});
+    out.write_varint(1);
+    out.write(v2::kDelta);
+    out.write_varint(0xFFFFFFFFull);  // 5-byte varint: columns end at byte 11
+    out.write(std::uint8_t{0});       // 3 of the 5 pad bytes, then the stream
+    out.write(std::uint8_t{0});       // stops short of the 16-byte boundary
+    out.write(std::uint8_t{0});
+    const auto payload = out.take();
+    EXPECT_DEATH((void)decode_boundary_blocks(payload, BoundaryWireFormat::V2Soa),
+                 "padding truncated");
+}
+
+TEST(BoundaryBlockV2Validation, TruncatedHeaderDies) {
+    const std::vector<std::byte> payload(sizeof(VertexId) - 1);
+    EXPECT_DEATH((void)decode_boundary_blocks(payload, BoundaryWireFormat::V2Soa),
+                 "header truncated");
+}
+
+TEST(BoundaryBlockV2Validation, SoaViewDecoderRejectsTheSamePayloads) {
+    // The SoA-view decoder is the same validation pass; spot-check the two
+    // highest-risk cases (hostile count, truncated varint) through it.
+    std::vector<VertexId> arena;
+    {
+        Serializer out;
+        out.write(VertexId{3});
+        out.write_varint(std::uint64_t{1} << 28);
+        const auto payload = out.take();
+        EXPECT_DEATH((void)decode_boundary_block_soa_views(payload, arena),
+                     "entry count exceeds payload");
+    }
+    {
+        Serializer out;
+        out.write(VertexId{7});
+        out.write(std::uint8_t{0x80});
+        const auto payload = out.take();
+        EXPECT_DEATH((void)decode_boundary_block_soa_views(payload, arena),
+                     "varint truncated");
     }
 }
 

@@ -1,0 +1,171 @@
+// Wire-format equivalence at the engine level.
+//
+// The v2 SoA boundary-DV format (and its SIMD relaxation sweeps) is a pure
+// transport/kernel optimization: for a fixed seed and config, switching
+// EngineConfig::wire_format (and rc_simd) must leave every distance, the
+// closeness scores, rc ops, and the full telemetry span stream bit-identical
+// to the v1 AoS format with scalar kernels. Only the bytes-on-wire accounting
+// is allowed to change — and it must change downward. The lattice below pins
+// that across rank counts, both execution backends, and both graph
+// generators, with a mid-RC vertex-addition batch in every run.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/strategies.hpp"
+#include "graph/generators.hpp"
+#include "runtime/backend.hpp"
+
+namespace aa {
+namespace {
+
+struct RunResult {
+    std::vector<std::vector<Weight>> matrix;
+    ClosenessScores scores;
+    double sim_seconds{0};
+    std::size_t rc_steps{0};
+    std::size_t total_bytes{0};
+    std::size_t total_messages{0};
+    std::vector<RcStepStats> steps;
+    std::vector<MetricSpan> spans;
+};
+
+struct Scenario {
+    std::uint32_t ranks{4};
+    BackendKind backend{BackendKind::Sequential};
+    bool planted{false};  // false: Barabási–Albert, true: planted partition
+};
+
+RunResult run_scenario(const Scenario& s, BoundaryWireFormat format,
+                       bool simd) {
+    Rng rng(555);
+    DynamicGraph g = s.planted
+                         ? planted_partition(70, 4, 0.2, 0.02, rng)
+                         : barabasi_albert(80, 2, rng, WeightRange{1.0, 4.0});
+
+    EngineConfig config;
+    config.num_ranks = s.ranks;
+    config.seed = 0xF0 + s.ranks;
+    config.backend = s.backend;
+    config.enable_metrics = true;
+    config.wire_format = format;
+    config.rc_simd = simd;
+
+    AnytimeEngine engine(g, config);
+    engine.initialize();
+    engine.run_rc_steps(2);
+
+    // Mid-RC addition batch: the extend/broadcast/propagate loops re-enter
+    // the post+ingest kernels with rows added between steps.
+    GrowthConfig gc;
+    gc.num_new = 6;
+    gc.communities = 2;
+    gc.intra_edges = 2;
+    gc.host_edges = 2;
+    Rng batch_rng(9001);
+    const auto batch = grow_batch(g.num_vertices(), gc, batch_rng);
+    RoundRobinPS strategy;
+    engine.apply_addition(batch, strategy);
+    engine.run_to_quiescence();
+
+    RunResult result;
+    result.matrix = engine.full_distance_matrix();
+    result.scores = engine.closeness();
+    result.sim_seconds = engine.sim_seconds();
+    result.rc_steps = engine.rc_steps_completed();
+    result.total_bytes = engine.cluster().stats().total_bytes;
+    result.total_messages = engine.cluster().stats().total_messages;
+    result.steps = engine.step_history();
+    result.spans = engine.metrics().spans();
+    return result;
+}
+
+void expect_equivalent_modulo_bytes(const RunResult& v1, const RunResult& v2) {
+    // EXPECT_EQ on doubles is exact comparison — bit-identical, not "close".
+    EXPECT_EQ(v1.rc_steps, v2.rc_steps);
+    ASSERT_EQ(v1.matrix.size(), v2.matrix.size());
+    for (std::size_t v = 0; v < v1.matrix.size(); ++v) {
+        ASSERT_EQ(v1.matrix[v], v2.matrix[v]) << "row " << v;
+    }
+    ASSERT_EQ(v1.scores.closeness, v2.scores.closeness);
+    ASSERT_EQ(v1.scores.reachable, v2.scores.reachable);
+    // Per-step relaxation work is priced identically across formats; message
+    // counts match because the exchange fan-out is format-independent.
+    ASSERT_EQ(v1.steps.size(), v2.steps.size());
+    for (std::size_t i = 0; i < v1.steps.size(); ++i) {
+        EXPECT_EQ(v1.steps[i].step, v2.steps[i].step);
+        EXPECT_EQ(v1.steps[i].ops, v2.steps[i].ops) << "step " << i;
+        EXPECT_EQ(v1.steps[i].messages, v2.steps[i].messages) << "step " << i;
+    }
+    EXPECT_EQ(v1.total_messages, v2.total_messages);
+    // Telemetry spans: same names, ranks, steps, and op counts in the same
+    // order. Span *times* are excluded here — exchange duration legitimately
+    // shrinks with the payload (that is the point) — but the compute-side op
+    // totals may not move at all.
+    ASSERT_EQ(v1.spans.size(), v2.spans.size());
+    for (std::size_t i = 0; i < v1.spans.size(); ++i) {
+        const MetricSpan& a = v1.spans[i];
+        const MetricSpan& b = v2.spans[i];
+        EXPECT_EQ(a.name, b.name) << "span " << i;
+        EXPECT_EQ(a.rank, b.rank) << "span " << i;
+        EXPECT_EQ(a.step, b.step) << "span " << i;
+        EXPECT_EQ(a.ops, b.ops) << "span " << i << " (" << a.name << ")";
+    }
+}
+
+using Param = std::tuple<std::uint32_t /*ranks*/, BackendKind, bool /*planted*/>;
+
+class WireFormatEquivalence : public ::testing::TestWithParam<Param> {};
+
+TEST_P(WireFormatEquivalence, V2SimdMatchesV1ScalarBitIdentically) {
+    const auto [ranks, backend, planted] = GetParam();
+    const Scenario s{ranks, backend, planted};
+    const RunResult v1 =
+        run_scenario(s, BoundaryWireFormat::V1Aos, /*simd=*/false);
+    const RunResult v2 =
+        run_scenario(s, BoundaryWireFormat::V2Soa, /*simd=*/true);
+    expect_equivalent_modulo_bytes(v1, v2);
+    // The accounting change the formats are allowed to disagree on, in the
+    // only direction allowed: v2 ships strictly fewer bytes, so under LogP
+    // pricing the simulated clock can only improve.
+    EXPECT_LT(v2.total_bytes, v1.total_bytes);
+    EXPECT_LE(v2.sim_seconds, v1.sim_seconds);
+    for (std::size_t i = 0; i < v1.steps.size(); ++i) {
+        EXPECT_LE(v2.steps[i].bytes, v1.steps[i].bytes) << "step " << i;
+    }
+}
+
+TEST_P(WireFormatEquivalence, SimdToggleIsInvisibleUnderV2) {
+    // With the format held fixed, the SIMD sweeps must be a pure
+    // implementation detail: everything including bytes and sim_seconds is
+    // bit-identical with the kernels forced scalar.
+    const auto [ranks, backend, planted] = GetParam();
+    const Scenario s{ranks, backend, planted};
+    const RunResult vec =
+        run_scenario(s, BoundaryWireFormat::V2Soa, /*simd=*/true);
+    const RunResult scalar =
+        run_scenario(s, BoundaryWireFormat::V2Soa, /*simd=*/false);
+    expect_equivalent_modulo_bytes(vec, scalar);
+    EXPECT_EQ(vec.total_bytes, scalar.total_bytes);
+    EXPECT_EQ(vec.sim_seconds, scalar.sim_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lattice, WireFormatEquivalence,
+    ::testing::Combine(::testing::Values(2u, 4u, 8u),
+                       ::testing::Values(BackendKind::Sequential,
+                                         BackendKind::Threaded),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<Param>& p) {
+        std::string name = "r";
+        name += std::to_string(std::get<0>(p.param));
+        name += std::get<1>(p.param) == BackendKind::Threaded ? "_threaded"
+                                                              : "_seq";
+        name += std::get<2>(p.param) ? "_planted" : "_ba";
+        return name;
+    });
+
+}  // namespace
+}  // namespace aa

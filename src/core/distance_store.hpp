@@ -141,7 +141,9 @@ public:
 
     /// SoA variant of relax_batch: the candidates are offset + dists[i] for
     /// column cols[i], with `dists` a contiguous (8-aligned) f64 run — the
-    /// shape the v2 wire format delivers, viewable in place. Preconditions:
+    /// shape the v2 wire format delivers, viewable in place, and also the
+    /// shape of the row-blocked propagate sweep's gathered tiles (see
+    /// kRcPropagateTileCols in core/rc.hpp). Preconditions:
     /// cols.size() == dists.size() and cols strictly increasing (the v2
     /// decoder guarantees both); sortedness makes the bounds check O(1) and
     /// rules out intra-batch column aliasing, which is what lets the AVX2

@@ -1,5 +1,6 @@
 #include "core/engine.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <cstring>
@@ -19,7 +20,7 @@ AnytimeEngine::AnytimeEngine(DynamicGraph graph, EngineConfig config)
     : graph_(std::move(graph)),
       config_(config),
       cluster_(std::make_unique<Cluster>(config.num_ranks, config.logp,
-                                         config.schedule)),
+                                         config.schedule, config.price_model)),
       backend_(make_backend(config.backend, config.num_ranks,
                             config.backend_threads)),
       pool_(std::make_unique<ThreadPool>(config.ia_threads)),
@@ -27,6 +28,14 @@ AnytimeEngine::AnytimeEngine(DynamicGraph graph, EngineConfig config)
       rng_(config.seed),
       metrics_(std::make_unique<MetricsRegistry>()) {
     AA_ASSERT_MSG(config_.num_ranks >= 1, "need at least one rank");
+    // Resolve the ingest window once: the 0 sentinel adapts to the host LLC
+    // shared by however many ranks ingest concurrently (all of them under a
+    // concurrent backend). An explicit configured value always wins.
+    rc_ingest_window_bytes_ =
+        config_.rc_ingest_window_bytes != 0
+            ? config_.rc_ingest_window_bytes
+            : adaptive_rc_ingest_window_bytes(
+                  backend_->concurrent() ? config_.num_ranks : 1);
     if (config_.enable_metrics) {
         metrics_->enable();
     }
@@ -250,88 +259,96 @@ bool AnytimeEngine::rc_step() {
         stats.ops += post_ops[r];
     }
 
-    // Phase 2: personalized all-to-all exchange (priced, barrier semantics).
-    const double exchange_begin = cluster_->max_time();
-    stats.exchange_seconds = cluster_->exchange();
-    if (mx) {
-        // Everyone enters and leaves the collective at the same instants, so
-        // the per-rank children share the parent's bounds; each carries its
-        // own rank's sent-side load plus the received side as attributes.
-        const auto h = metrics_->span_open("rc.exchange", -1, step_no, exchange_begin);
-        for (RankId r = 0; r < ranks_.size(); ++r) {
-            const RankStats& now = cluster_->rank_stats(r);
-            MetricSpan span;
-            span.name = "rc.exchange.rank";
-            span.rank = static_cast<std::int32_t>(r);
-            span.step = step_no;
-            span.t_begin = exchange_begin;
-            span.t_end = cluster_->max_time();
-            span.bytes = now.bytes_sent - comm_before[r].bytes_sent;
-            span.messages = now.messages_sent - comm_before[r].messages_sent;
-            span.attrs.emplace_back(
-                "bytes_in", std::to_string(now.bytes_received -
-                                           comm_before[r].bytes_received));
-            span.attrs.emplace_back(
-                "messages_in", std::to_string(now.messages_received -
-                                              comm_before[r].messages_received));
-            metrics_->record_span(std::move(span));
-            metrics_->span_add(h, 0, span.bytes, span.messages);
-        }
-        metrics_->span_close(h, cluster_->max_time());
-    }
-
-    // Phase 3: ingest external updates, then local propagation to fixpoint.
-    // The batched kernels run the row sweeps on the IA thread pool when the
-    // backend is sequential (kernel_pool()) — that accelerates host wall-clock
-    // time only; the simulated clock still prices RC single-threaded per rank
-    // (the paper's model), so `threads` stays 1 in charge_compute. Ingest and
-    // propagate are charged separately so their spans cover disjoint
-    // intervals; compute_time is linear in ops, so the split charge advances
-    // the clock exactly as the former combined one.
     std::vector<double> phase3_ops(ranks_.size(), 0);
-    run_rank_phase([&](RankId r, std::vector<MetricSpan>& sink) {
-        const auto inbox = cluster_->receive(r);
-        RcIngestProfile ingest_profile;
-        const double t0 = cluster_->time(r);
-        const double ingest_ops = rc_ingest_updates(
-            ranks_[r].sg, ranks_[r].store, inbox, config_.wire_format,
-            kernel_pool(), kRcIngestParallelGrain,
-            config_.rc_ingest_window_bytes, mx ? &ingest_profile : nullptr);
-        cluster_->charge_compute(r, ingest_ops);
-        const double t1 = cluster_->time(r);
-        RcPropagateProfile prop_profile;
-        const double prop_ops = rc_propagate_local(
-            ranks_[r].sg, ranks_[r].store, kernel_pool(),
-            kRcPropagateParallelGrain, mx ? &prop_profile : nullptr);
-        cluster_->charge_compute(r, prop_ops);
-        phase3_ops[r] = ingest_ops + prop_ops;
+    if (config_.rc_async) {
+        rc_step_async(stats, step_no, comm_before, phase3_ops);
+    } else {
+        // Phase 2: personalized all-to-all exchange (priced, barrier
+        // semantics).
+        const double exchange_begin = cluster_->max_time();
+        stats.exchange_seconds = cluster_->exchange();
         if (mx) {
-            MetricSpan ingest_span;
-            ingest_span.name = "rc.ingest";
-            ingest_span.rank = static_cast<std::int32_t>(r);
-            ingest_span.step = step_no;
-            ingest_span.t_begin = t0;
-            ingest_span.t_end = t1;
-            ingest_span.ops = ingest_ops;
-            ingest_span.attrs.emplace_back("blocks",
-                                           std::to_string(ingest_profile.blocks));
-            ingest_span.attrs.emplace_back("entries",
-                                           std::to_string(ingest_profile.entries));
-            ingest_span.attrs.emplace_back("windows",
-                                           std::to_string(ingest_profile.windows));
-            sink.push_back(std::move(ingest_span));
-            MetricSpan prop_span;
-            prop_span.name = "rc.propagate";
-            prop_span.rank = static_cast<std::int32_t>(r);
-            prop_span.step = step_no;
-            prop_span.t_begin = t1;
-            prop_span.t_end = cluster_->time(r);
-            prop_span.ops = prop_ops;
-            prop_span.attrs.emplace_back(
-                "rows_drained", std::to_string(prop_profile.rows_drained));
-            sink.push_back(std::move(prop_span));
+            // Everyone enters and leaves the collective at the same instants,
+            // so the per-rank children share the parent's bounds; each
+            // carries its own rank's sent-side load plus the received side as
+            // attributes.
+            const auto h =
+                metrics_->span_open("rc.exchange", -1, step_no, exchange_begin);
+            for (RankId r = 0; r < ranks_.size(); ++r) {
+                const RankStats& now = cluster_->rank_stats(r);
+                MetricSpan span;
+                span.name = "rc.exchange.rank";
+                span.rank = static_cast<std::int32_t>(r);
+                span.step = step_no;
+                span.t_begin = exchange_begin;
+                span.t_end = cluster_->max_time();
+                span.bytes = now.bytes_sent - comm_before[r].bytes_sent;
+                span.messages = now.messages_sent - comm_before[r].messages_sent;
+                span.attrs.emplace_back(
+                    "bytes_in", std::to_string(now.bytes_received -
+                                               comm_before[r].bytes_received));
+                span.attrs.emplace_back(
+                    "messages_in", std::to_string(now.messages_received -
+                                                  comm_before[r].messages_received));
+                metrics_->record_span(std::move(span));
+                metrics_->span_add(h, 0, span.bytes, span.messages);
+            }
+            metrics_->span_close(h, cluster_->max_time());
         }
-    });
+
+        // Phase 3: ingest external updates, then local propagation to
+        // fixpoint. The batched kernels run the row sweeps on the IA thread
+        // pool when the backend is sequential (kernel_pool()) — that
+        // accelerates host wall-clock time only; the simulated clock still
+        // prices RC single-threaded per rank (the paper's model), so
+        // `threads` stays 1 in charge_compute. Ingest and propagate are
+        // charged separately so their spans cover disjoint intervals;
+        // compute_time is linear in ops, so the split charge advances the
+        // clock exactly as the former combined one.
+        run_rank_phase([&](RankId r, std::vector<MetricSpan>& sink) {
+            const auto inbox = cluster_->receive(r);
+            RcIngestProfile ingest_profile;
+            const double t0 = cluster_->time(r);
+            const double ingest_ops = rc_ingest_updates(
+                ranks_[r].sg, ranks_[r].store, inbox, config_.wire_format,
+                kernel_pool(), kRcIngestParallelGrain,
+                rc_ingest_window_bytes_, mx ? &ingest_profile : nullptr);
+            cluster_->charge_compute(r, ingest_ops);
+            const double t1 = cluster_->time(r);
+            RcPropagateProfile prop_profile;
+            const double prop_ops = rc_propagate_local(
+                ranks_[r].sg, ranks_[r].store, kernel_pool(),
+                kRcPropagateParallelGrain, mx ? &prop_profile : nullptr);
+            cluster_->charge_compute(r, prop_ops);
+            phase3_ops[r] = ingest_ops + prop_ops;
+            if (mx) {
+                MetricSpan ingest_span;
+                ingest_span.name = "rc.ingest";
+                ingest_span.rank = static_cast<std::int32_t>(r);
+                ingest_span.step = step_no;
+                ingest_span.t_begin = t0;
+                ingest_span.t_end = t1;
+                ingest_span.ops = ingest_ops;
+                ingest_span.attrs.emplace_back(
+                    "blocks", std::to_string(ingest_profile.blocks));
+                ingest_span.attrs.emplace_back(
+                    "entries", std::to_string(ingest_profile.entries));
+                ingest_span.attrs.emplace_back(
+                    "windows", std::to_string(ingest_profile.windows));
+                sink.push_back(std::move(ingest_span));
+                MetricSpan prop_span;
+                prop_span.name = "rc.propagate";
+                prop_span.rank = static_cast<std::int32_t>(r);
+                prop_span.step = step_no;
+                prop_span.t_begin = t1;
+                prop_span.t_end = cluster_->time(r);
+                prop_span.ops = prop_ops;
+                prop_span.attrs.emplace_back(
+                    "rows_drained", std::to_string(prop_profile.rows_drained));
+                sink.push_back(std::move(prop_span));
+            }
+        });
+    }
     for (RankId r = 0; r < ranks_.size(); ++r) {
         report_.rc_ops += phase3_ops[r];
         stats.ops += phase3_ops[r];
@@ -347,6 +364,186 @@ bool AnytimeEngine::rc_step() {
     step_history_.push_back(stats);
     fire_boundary_hook();
     return true;
+}
+
+void AnytimeEngine::rc_step_async(RcStepStats& stats, std::int64_t step_no,
+                                  const std::vector<RankStats>& comm_before,
+                                  std::vector<double>& phase3_ops) {
+    // Event-driven phases 2+3: the pipelined exchange turns every posted
+    // message into a timestamped delivery event; a rank ingests each message
+    // the moment it arrives, then propagates once its whole inbox is in.
+    // Distances, dirty order, op counts, and traffic are bit-identical to the
+    // synchronous path at every step — only the simulated timeline changes
+    // (no entry barrier, no wait for the full exchange to drain).
+    //
+    // Canonical order is the load-bearing detail: relax() acceptance has an
+    // epsilon band, so within one receiver the messages must be relaxed in
+    // exactly the synchronous inbox order (round order of the all-to-all).
+    // Events pop in (time, source, seq) order; each receiver buffers
+    // out-of-order arrivals and ingests its canonical prefix as it completes,
+    // each message starting no earlier than its own arrival instant.
+    const bool mx = metrics_->enabled();
+
+    // Leftover inbox messages (delivered by collectives outside the RC loop)
+    // come first, exactly as receive() would present them ahead of this
+    // step's arrivals in the synchronous path.
+    for (RankId r = 0; r < ranks_.size(); ++r) {
+        const auto leftovers = cluster_->receive(r);
+        if (leftovers.empty()) {
+            continue;
+        }
+        const double t0 = cluster_->time(r);
+        RcIngestProfile profile;
+        const double ops = rc_ingest_updates(
+            ranks_[r].sg, ranks_[r].store, leftovers, config_.wire_format,
+            pool_.get(), kRcIngestParallelGrain, rc_ingest_window_bytes_,
+            mx ? &profile : nullptr);
+        cluster_->charge_compute(r, ops);
+        phase3_ops[r] += ops;
+        if (mx) {
+            MetricSpan span;
+            span.name = "rc.ingest";
+            span.rank = static_cast<std::int32_t>(r);
+            span.step = step_no;
+            span.t_begin = t0;
+            span.t_end = cluster_->time(r);
+            span.ops = ops;
+            span.attrs.emplace_back("blocks", std::to_string(profile.blocks));
+            span.attrs.emplace_back("entries", std::to_string(profile.entries));
+            metrics_->record_span(std::move(span));
+        }
+    }
+
+    // Earliest possible departure: the fastest poster's clock (there is no
+    // entry barrier — that is the point).
+    double inflight_begin = cluster_->time(0);
+    for (RankId r = 1; r < ranks_.size(); ++r) {
+        inflight_begin = std::min(inflight_begin, cluster_->time(r));
+    }
+    std::vector<DeliveryEvent> deliveries = cluster_->pipelined_exchange();
+
+    // Per-receiver canonical order = ascending seq (events are generated in
+    // canonical drain order with a monotone counter).
+    std::vector<std::vector<std::uint64_t>> canon(ranks_.size());
+    for (const DeliveryEvent& e : deliveries) {
+        canon[e.message.to].push_back(e.seq);
+    }
+    std::vector<std::size_t> canon_next(ranks_.size(), 0);
+    std::vector<std::vector<DeliveryEvent>> held(ranks_.size());
+
+    EventQueue queue;
+    double last_arrival = inflight_begin;
+    for (DeliveryEvent& e : deliveries) {
+        last_arrival = std::max(last_arrival, e.time);
+        queue.push(std::move(e));
+    }
+    stats.exchange_seconds = last_arrival - inflight_begin;
+
+    std::vector<Message> inbox_one;
+    while (!queue.empty()) {
+        DeliveryEvent ev = queue.pop();
+        const RankId to = ev.message.to;
+        delivery_trace_.push_back({stats.step, ev.time, ev.source, to, ev.seq,
+                                   ev.message.size_bytes()});
+        held[to].push_back(std::move(ev));
+        // Ingest the canonical prefix that has now fully arrived. The pool is
+        // safe here: the event loop runs on the driver thread with no rank
+        // closure in flight, and pooled sweeps are bit-identical by contract.
+        while (canon_next[to] < canon[to].size()) {
+            const std::uint64_t want = canon[to][canon_next[to]];
+            const auto it = std::find_if(
+                held[to].begin(), held[to].end(),
+                [want](const DeliveryEvent& h) { return h.seq == want; });
+            if (it == held[to].end()) {
+                break;  // a canonical predecessor is still in flight
+            }
+            DeliveryEvent next = std::move(*it);
+            held[to].erase(it);
+            ++canon_next[to];
+            // The receiver cannot touch the payload before it arrives.
+            cluster_->advance_rank_to(to, next.time);
+            const double t0 = cluster_->time(to);
+            RcIngestProfile profile;
+            inbox_one.clear();
+            inbox_one.push_back(std::move(next.message));
+            const double ops = rc_ingest_updates(
+                ranks_[to].sg, ranks_[to].store, inbox_one, config_.wire_format,
+                pool_.get(), kRcIngestParallelGrain, rc_ingest_window_bytes_,
+                mx ? &profile : nullptr);
+            cluster_->charge_compute(to, ops);
+            phase3_ops[to] += ops;
+            if (mx) {
+                MetricSpan span;
+                span.name = "rc.ingest.early";
+                span.rank = static_cast<std::int32_t>(to);
+                span.step = step_no;
+                span.t_begin = t0;
+                span.t_end = cluster_->time(to);
+                span.ops = ops;
+                span.attrs.emplace_back("source", std::to_string(next.source));
+                span.attrs.emplace_back("arrival", std::to_string(next.time));
+                span.attrs.emplace_back("blocks", std::to_string(profile.blocks));
+                span.attrs.emplace_back("entries", std::to_string(profile.entries));
+                metrics_->record_span(std::move(span));
+            }
+        }
+    }
+    for (RankId r = 0; r < ranks_.size(); ++r) {
+        AA_ASSERT_MSG(held[r].empty() && canon_next[r] == canon[r].size(),
+                      "async exchange left undelivered messages");
+    }
+
+    if (mx) {
+        // The in-flight window — earliest departure to last arrival — with
+        // the same per-rank traffic children as the synchronous span.
+        const auto h =
+            metrics_->span_open("rc.exchange.inflight", -1, step_no, inflight_begin);
+        for (RankId r = 0; r < ranks_.size(); ++r) {
+            const RankStats& now = cluster_->rank_stats(r);
+            MetricSpan span;
+            span.name = "rc.exchange.rank";
+            span.rank = static_cast<std::int32_t>(r);
+            span.step = step_no;
+            span.t_begin = inflight_begin;
+            span.t_end = last_arrival;
+            span.bytes = now.bytes_sent - comm_before[r].bytes_sent;
+            span.messages = now.messages_sent - comm_before[r].messages_sent;
+            span.attrs.emplace_back(
+                "bytes_in",
+                std::to_string(now.bytes_received - comm_before[r].bytes_received));
+            span.attrs.emplace_back(
+                "messages_in", std::to_string(now.messages_received -
+                                              comm_before[r].messages_received));
+            metrics_->record_span(std::move(span));
+            metrics_->span_add(h, 0, span.bytes, span.messages);
+        }
+        metrics_->span_close(h, last_arrival);
+    }
+
+    // Phase 3b: propagate to local fixpoint once each rank's inbox is fully
+    // ingested (deferring propagate past the last ingest is what keeps the
+    // per-receiver relaxation order identical to the synchronous step).
+    run_rank_phase([&](RankId r, std::vector<MetricSpan>& sink) {
+        RcPropagateProfile prop_profile;
+        const double t1 = cluster_->time(r);
+        const double prop_ops = rc_propagate_local(
+            ranks_[r].sg, ranks_[r].store, kernel_pool(),
+            kRcPropagateParallelGrain, mx ? &prop_profile : nullptr);
+        cluster_->charge_compute(r, prop_ops);
+        phase3_ops[r] += prop_ops;
+        if (mx) {
+            MetricSpan prop_span;
+            prop_span.name = "rc.propagate";
+            prop_span.rank = static_cast<std::int32_t>(r);
+            prop_span.step = step_no;
+            prop_span.t_begin = t1;
+            prop_span.t_end = cluster_->time(r);
+            prop_span.ops = prop_ops;
+            prop_span.attrs.emplace_back(
+                "rows_drained", std::to_string(prop_profile.rows_drained));
+            sink.push_back(std::move(prop_span));
+        }
+    });
 }
 
 std::size_t AnytimeEngine::run_rc_steps(std::size_t max_steps) {

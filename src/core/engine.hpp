@@ -76,6 +76,21 @@ struct EngineConfig {
     LogPParams logp{};
     /// RC-step communication schedule.
     CommSchedule schedule{CommSchedule::SerializedAllToAll};
+    /// Bandwidth price model for the simulated interconnect (see PriceModel
+    /// in runtime/logp.hpp). PerByte — the default, bit-identical to the
+    /// historical behaviour — charges the serialized wire size; PerEntry
+    /// charges boundary messages by decoded entry footprint so sim_seconds
+    /// stops depending on the wire encoding.
+    PriceModel price_model{PriceModel::PerByte};
+    /// Event-driven RC exchange (relax-on-arrival): boundary messages become
+    /// timestamped delivery events (see runtime/event_loop.hpp) scheduled
+    /// under `schedule` with senders departing at their own clocks, and each
+    /// rank ingests a message as soon as it arrives instead of waiting for
+    /// the collective barrier. Distances, dirty order, op counts, and message
+    /// traffic are bit-identical to the step-synchronous default at every
+    /// step — ingest preserves the canonical per-receiver message order, so
+    /// only the simulated timeline (sim_seconds, span bounds) changes.
+    bool rc_async{false};
     /// DD / Repartition-S partitioner parameters.
     MultilevelConfig partition{};
     /// Seed for the partitioner and any stochastic strategy components.
@@ -107,9 +122,13 @@ struct EngineConfig {
     /// (and sim_seconds) improves under it.
     BoundaryWireFormat wire_format{BoundaryWireFormat::V2Soa};
     /// Payload-window size for the RC ingest kernel (see rc.hpp). Windowing
-    /// never changes results — a 256-byte window and the 128 MB default
-    /// produce bit-identical state — only cache behaviour.
-    std::size_t rc_ingest_window_bytes{kRcIngestWindowBytes};
+    /// never changes results — a 256-byte window and a 128 MB window produce
+    /// bit-identical state — only cache behaviour. 0 (the default) resolves
+    /// adaptively at engine construction: the host LLC divided by the number
+    /// of ranks that ingest concurrently (all of them under the threaded
+    /// backend, one under the sequential), clamped to [4 MiB, 128 MiB] — see
+    /// adaptive_rc_ingest_window_bytes. An explicit value always wins.
+    std::size_t rc_ingest_window_bytes{0};
     /// Allow the explicit SIMD relaxation sweeps (effective only when built
     /// with -DAA_ENABLE_SIMD=ON on hardware with AVX2; results are
     /// bit-identical to the scalar reference either way).
@@ -125,6 +144,20 @@ struct EngineReport {
     double dynamic_ops{0};
     std::size_t vertex_additions{0};
     std::size_t edge_additions{0};
+};
+
+/// One processed delivery event of an event-driven RC step, recorded in
+/// event-loop pop order (the (time, source, seq) total order — see
+/// runtime/event_loop.hpp). The trace is what the determinism tests compare
+/// across backends and across repeated threaded runs: identical traces mean
+/// the whole relax-on-arrival schedule replayed identically.
+struct DeliveryTraceEntry {
+    std::size_t step{0};
+    double time{0};
+    RankId from{0};
+    RankId to{0};
+    std::uint64_t seq{0};
+    std::size_t bytes{0};
 };
 
 /// Telemetry for one RC step (appended by every rc_step()).
@@ -258,6 +291,18 @@ public:
     /// Per-RC-step telemetry since construction.
     const std::vector<RcStepStats>& step_history() const { return step_history_; }
 
+    /// Delivery events processed by event-driven RC steps, in processing
+    /// order (empty unless EngineConfig::rc_async).
+    const std::vector<DeliveryTraceEntry>& delivery_trace() const {
+        return delivery_trace_;
+    }
+
+    /// The ingest window actually in effect (the adaptive resolution of the
+    /// config's 0 sentinel, or the explicit configured value).
+    std::size_t rc_ingest_window_bytes_effective() const {
+        return rc_ingest_window_bytes_;
+    }
+
     /// The engine's metrics registry (always present; enabled iff
     /// EngineConfig::enable_metrics, or by calling metrics().enable() before
     /// the phases of interest). Spans are stamped with the simulated clock.
@@ -306,6 +351,14 @@ private:
     /// op counts with and without a pool).
     ThreadPool& ia_pool();
     ThreadPool* kernel_pool();
+    /// Phases 2+3 of an event-driven rc_step (EngineConfig::rc_async): the
+    /// pipelined exchange, the event loop with relax-on-arrival ingest, and
+    /// the deferred per-rank propagate. Runs on the driver thread between
+    /// backend phases (see runtime/backend.hpp). Fills stats.exchange_seconds
+    /// and accumulates per-rank ingest + propagate ops into phase3_ops.
+    void rc_step_async(RcStepStats& stats, std::int64_t step_no,
+                       const std::vector<RankStats>& comm_before,
+                       std::vector<double>& phase3_ops);
     /// Invoke boundary_hook_ if set (phase entry points call this last).
     void fire_boundary_hook();
     /// Returns the total ops charged (for the DD telemetry span).
@@ -327,6 +380,8 @@ private:
     bool initialized_{false};
     EngineReport report_;
     std::vector<RcStepStats> step_history_;
+    std::vector<DeliveryTraceEntry> delivery_trace_;
+    std::size_t rc_ingest_window_bytes_{0};  // resolved from config at ctor
     std::unique_ptr<MetricsRegistry> metrics_;
     std::size_t last_moved_vertices_{0};
     std::function<void(AnytimeEngine&)> boundary_hook_;

@@ -6,6 +6,10 @@
 #include <deque>
 #include <limits>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "runtime/message.hpp"
 
 namespace aa {
@@ -339,8 +343,11 @@ double rc_post_boundary_updates(const LocalSubgraph& sg, DistanceStore& store,
 
     // Per-destination payloads: each sending row's block is encoded exactly
     // once and its bytes appended to every destination buffer (both payload
-    // formats are plain concatenations of self-aligned blocks).
+    // formats are plain concatenations of self-aligned blocks). The entry
+    // counts ride along so the cluster can price the message by decoded
+    // footprint under PriceModel::PerEntry.
     std::vector<std::vector<std::byte>> outgoing(num_ranks);
+    std::vector<std::size_t> outgoing_entries(num_ranks, 0);
     std::vector<VertexId> sorted_cols;  // reused across rows
     std::vector<DvEntry> entries;       // reused across rows (v1)
     std::vector<Weight> dists;          // reused across rows (v2)
@@ -395,6 +402,7 @@ double rc_post_boundary_updates(const LocalSubgraph& sg, DistanceStore& store,
         for (const RankId dest : destinations) {
             outgoing[dest].insert(outgoing[dest].end(), block_bytes.begin(),
                                   block_bytes.end());
+            outgoing_entries[dest] += sorted_cols.size();
         }
     }
 
@@ -406,9 +414,26 @@ double rc_post_boundary_updates(const LocalSubgraph& sg, DistanceStore& store,
             ++profile->messages;
             profile->bytes += outgoing[dest].size();
         }
-        cluster.send(me, dest, MessageTag::BoundaryDvUpdate, std::move(outgoing[dest]));
+        cluster.send(me, dest, MessageTag::BoundaryDvUpdate, std::move(outgoing[dest]),
+                     outgoing_entries[dest]);
     }
     return ops;
+}
+
+std::size_t adaptive_rc_ingest_window_bytes(std::size_t live_ranks) {
+    long llc = -1;
+#if defined(_SC_LEVEL3_CACHE_SIZE)
+    llc = ::sysconf(_SC_LEVEL3_CACHE_SIZE);
+#endif
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+    if (llc <= 0) {
+        llc = ::sysconf(_SC_LEVEL2_CACHE_SIZE);
+    }
+#endif
+    const std::size_t cache =
+        llc > 0 ? static_cast<std::size_t>(llc) : (std::size_t{32} << 20);
+    const std::size_t share = cache / std::max<std::size_t>(live_ranks, 1);
+    return std::clamp(share, std::size_t{4} << 20, std::size_t{128} << 20);
 }
 
 namespace {
@@ -589,7 +614,7 @@ double rc_ingest_updates(const LocalSubgraph& sg, DistanceStore& store,
 
 double rc_propagate_local(const LocalSubgraph& sg, DistanceStore& store,
                           ThreadPool* pool, std::size_t parallel_grain,
-                          RcPropagateProfile* profile) {
+                          RcPropagateProfile* profile, std::size_t tile_cols) {
     double ops = 0;
     std::deque<LocalId> worklist;
     std::vector<std::uint8_t> queued(sg.num_local(), 0);
@@ -607,6 +632,7 @@ double rc_propagate_local(const LocalSubgraph& sg, DistanceStore& store,
     std::vector<Target> targets;       // reused: local neighbour rows
     std::vector<std::uint8_t> improved;  // reused: per-target improvement flags
     std::vector<VertexId> sorted_cols;   // reused: drained columns in column order
+    std::vector<Weight> gathered;        // reused: contiguous drained source values
     // Scratch bitmap for linear-time column ordering (one bit per column).
     std::vector<std::uint64_t> col_bits((store.num_columns() + 63) / 64, 0);
 
@@ -669,30 +695,70 @@ double rc_propagate_local(const LocalSubgraph& sg, DistanceStore& store,
         // Neighbour rows are pairwise distinct (simple graph) and distinct
         // from u, so each task owns its destination row exclusively; the
         // worklist merge below is the only synchronization point.
-        if (pool != nullptr && pool->num_threads() > 1 && targets.size() > 1 &&
-            sorted_cols.size() * targets.size() >= parallel_grain) {
-            improved.assign(targets.size(), 0);
-            pool->parallel_for(0, targets.size(), [&](std::size_t i) {
-                improved[i] = store.relax_batch_from_row(targets[i].v, sorted_cols,
-                                                         row_u, targets[i].w) > 0
-                                  ? 1
-                                  : 0;
-            });
-            for (std::size_t i = 0; i < targets.size(); ++i) {
-                const LocalId v = targets[i].v;
-                if (improved[i] != 0 && queued[v] == 0) {
-                    worklist.push_back(v);
-                    queued[v] = 1;
+        const bool fan_out = pool != nullptr && pool->num_threads() > 1 &&
+                             targets.size() > 1 &&
+                             sorted_cols.size() * targets.size() >= parallel_grain;
+        if (tile_cols == 0) {
+            // Untiled reference path: every neighbour re-gathers the source
+            // values through the column indices (kept for the kernel bench).
+            if (fan_out) {
+                improved.assign(targets.size(), 0);
+                pool->parallel_for(0, targets.size(), [&](std::size_t i) {
+                    improved[i] = store.relax_batch_from_row(targets[i].v, sorted_cols,
+                                                             row_u, targets[i].w) > 0
+                                      ? 1
+                                      : 0;
+                });
+            } else {
+                improved.assign(targets.size(), 0);
+                for (std::size_t i = 0; i < targets.size(); ++i) {
+                    improved[i] = store.relax_batch_from_row(targets[i].v, sorted_cols,
+                                                             row_u, targets[i].w) > 0
+                                      ? 1
+                                      : 0;
                 }
             }
         } else {
-            for (const Target& t : targets) {
-                const bool any =
-                    store.relax_batch_from_row(t.v, sorted_cols, row_u, t.w) > 0;
-                if (any && queued[t.v] == 0) {
-                    worklist.push_back(t.v);
-                    queued[t.v] = 1;
+            // Row-blocked sweep: gather the drained source values once into a
+            // contiguous buffer, then sweep each tile through every neighbour
+            // while the tile is still cache-hot (see kRcPropagateTileCols in
+            // rc.hpp for why this cannot change results). The parallel branch
+            // sweeps each neighbour's full span instead — threads share the
+            // read-only gathered buffer and tiling across tasks would only
+            // multiply dispatches.
+            gathered.resize(sorted_cols.size());
+            for (std::size_t i = 0; i < sorted_cols.size(); ++i) {
+                gathered[i] = row_u[sorted_cols[i]];
+            }
+            const std::span<const VertexId> all_cols(sorted_cols);
+            const std::span<const Weight> all_dists(gathered);
+            improved.assign(targets.size(), 0);
+            if (fan_out) {
+                pool->parallel_for(0, targets.size(), [&](std::size_t i) {
+                    improved[i] = store.relax_batch_soa(targets[i].v, all_cols,
+                                                        all_dists, targets[i].w) > 0
+                                      ? 1
+                                      : 0;
+                });
+            } else {
+                for (std::size_t tile = 0; tile < all_cols.size(); tile += tile_cols) {
+                    const std::size_t n = std::min(tile_cols, all_cols.size() - tile);
+                    const auto tile_colspan = all_cols.subspan(tile, n);
+                    const auto tile_dists = all_dists.subspan(tile, n);
+                    for (std::size_t i = 0; i < targets.size(); ++i) {
+                        if (store.relax_batch_soa(targets[i].v, tile_colspan,
+                                                  tile_dists, targets[i].w) > 0) {
+                            improved[i] = 1;
+                        }
+                    }
                 }
+            }
+        }
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+            const LocalId v = targets[i].v;
+            if (improved[i] != 0 && queued[v] == 0) {
+                worklist.push_back(v);
+                queued[v] = 1;
             }
         }
     }

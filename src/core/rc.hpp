@@ -116,6 +116,15 @@ inline constexpr std::size_t kRcIngestParallelGrain = 8192;
 /// cache behaviour of the sweep.
 inline constexpr std::size_t kRcIngestWindowBytes = std::size_t{128} << 20;
 
+/// Adaptive resolution of the window size for EngineConfig's 0 sentinel: the
+/// host's last-level cache size divided by the number of ranks whose ingest
+/// phases share it (a ThreadedBackend runs them concurrently), clamped to
+/// [4 MiB, 128 MiB]. Falls back to the L2 size, then to 32 MiB, when the host
+/// does not report an LLC. Windowing never changes results, so the adaptive
+/// choice only moves the cache sweet spot — an explicit config value always
+/// wins (pinned by RcIngest.AdaptiveWindowMatchesFixed).
+std::size_t adaptive_rc_ingest_window_bytes(std::size_t live_ranks);
+
 /// Phase 3a: apply received BoundaryDvUpdate messages — relax every local
 /// endpoint of each cut edge incident to an updated external vertex.
 /// Non-BoundaryDvUpdate messages are ignored (callers drain those contexts
@@ -144,17 +153,31 @@ double rc_ingest_updates(const LocalSubgraph& sg, DistanceStore& store,
 /// passing 1.
 inline constexpr std::size_t kRcPropagateParallelGrain = 8192;
 
+/// Column-tile width of the row-blocked propagate sweep. A drained row's
+/// changed source values are gathered tile-by-tile into a contiguous scratch
+/// buffer (tile_cols x 8 bytes — the default keeps it L1-resident) which is
+/// then swept into *every* neighbour row while still hot, so the scattered
+/// source-row gather happens once per tile instead of once per neighbour.
+/// 0 disables tiling (the per-neighbour relax_batch_from_row reference path,
+/// kept for the kernel ablation bench). Tiling cannot change results: each
+/// (neighbour, column) pair is relaxed exactly once with the same candidate,
+/// columns stay in ascending order per neighbour, and worklist pushes happen
+/// in neighbour order after the row's full sweep either way.
+inline constexpr std::size_t kRcPropagateTileCols = 4096;
+
 /// Phase 3b: within-rank propagation to fixpoint. Drains the prop worklists
 /// in FIFO order, relaxing neighbouring rows through local edges until
-/// quiescent. Batched: each drained row's changed columns are swept into
-/// every local neighbour row with relax_batch; with a multi-thread `pool`,
-/// the neighbour rows of one drained row are relaxed in parallel (they are
-/// pairwise distinct, so only the worklist merge needs coordination).
-/// Returns ops.
+/// quiescent. Batched and row-blocked: each drained row's changed columns are
+/// gathered into contiguous tiles (see kRcPropagateTileCols) and swept into
+/// every local neighbour row with relax_batch_soa; with a multi-thread
+/// `pool`, the neighbour rows of one drained row are relaxed in parallel
+/// (they are pairwise distinct, so only the worklist merge needs
+/// coordination). Returns ops.
 double rc_propagate_local(const LocalSubgraph& sg, DistanceStore& store,
                           ThreadPool* pool = nullptr,
                           std::size_t parallel_grain = kRcPropagateParallelGrain,
-                          RcPropagateProfile* profile = nullptr);
+                          RcPropagateProfile* profile = nullptr,
+                          std::size_t tile_cols = kRcPropagateTileCols);
 
 /// Reference implementations: the original one-(row, column)-at-a-time
 /// kernels. Kept as ground truth for tests and the rc-kernel ablation bench;

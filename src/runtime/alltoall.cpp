@@ -73,6 +73,23 @@ double exchange_duration(const std::vector<std::size_t>& bytes_matrix,
             }
             return longest * static_cast<double>(std::max<std::size_t>(concurrent, 1));
         }
+        case CommSchedule::Pipelined: {
+            // Sender-side serialization only: each sender pushes its messages
+            // back to back, distinct senders overlap. The makespan is the
+            // busiest sender's injection time.
+            double makespan = 0;
+            for (RankId i = 0; i < num_ranks; ++i) {
+                double sender = 0;
+                for (std::uint32_t round = 1; round < num_ranks; ++round) {
+                    const std::size_t bytes = bytes_at(i, (i + round) % num_ranks);
+                    if (bytes > 0) {
+                        sender += params.message_time(bytes);
+                    }
+                }
+                makespan = std::max(makespan, sender);
+            }
+            return makespan;
+        }
     }
     return 0;
 }
@@ -87,6 +104,76 @@ std::vector<std::size_t> per_pair_bytes(const std::vector<const Message*>& messa
             message->size_bytes();
     }
     return matrix;
+}
+
+void schedule_arrivals(std::vector<InFlightMessage>& messages,
+                       std::uint32_t num_ranks, const std::vector<double>& ready,
+                       const LogPParams& params, CommSchedule schedule) {
+    AA_ASSERT(ready.size() == num_ranks);
+    for (const InFlightMessage& m : messages) {
+        AA_ASSERT(m.from < num_ranks && m.to < num_ranks && m.from != m.to);
+    }
+    switch (schedule) {
+        case CommSchedule::SerializedAllToAll: {
+            // One shared wire, canonical order, but a message may depart as
+            // soon as the wire is free AND its sender has finished posting —
+            // a fast rank's traffic no longer waits for the slowest poster.
+            double wire_free = 0;
+            for (InFlightMessage& m : messages) {
+                const double start = std::max(wire_free, ready[m.from]);
+                m.arrive = start + params.message_time(m.bytes);
+                wire_free = m.arrive;
+            }
+            return;
+        }
+        case CommSchedule::ParallelRounds: {
+            // Canonical order is round-major, so consecutive messages of one
+            // round form a run: the round starts when the previous round is
+            // over and all of its senders are ready.
+            const auto round_of = [num_ranks](const InFlightMessage& m) {
+                return (m.to + num_ranks - m.from) % num_ranks;
+            };
+            double prev_round_end = 0;
+            std::size_t i = 0;
+            while (i < messages.size()) {
+                const std::uint32_t round = round_of(messages[i]);
+                std::size_t j = i;
+                double start = prev_round_end;
+                while (j < messages.size() && round_of(messages[j]) == round) {
+                    start = std::max(start, ready[messages[j].from]);
+                    ++j;
+                }
+                double round_end = start;
+                for (std::size_t k = i; k < j; ++k) {
+                    messages[k].arrive = start + params.message_time(messages[k].bytes);
+                    round_end = std::max(round_end, messages[k].arrive);
+                }
+                prev_round_end = round_end;
+                i = j;
+            }
+            return;
+        }
+        case CommSchedule::Flooding: {
+            double start = 0;
+            for (const InFlightMessage& m : messages) {
+                start = std::max(start, ready[m.from]);
+            }
+            const auto concurrent =
+                static_cast<double>(std::max<std::size_t>(messages.size(), 1));
+            for (InFlightMessage& m : messages) {
+                m.arrive = start + params.message_time(m.bytes) * concurrent;
+            }
+            return;
+        }
+        case CommSchedule::Pipelined: {
+            std::vector<double> sender_free(ready);
+            for (InFlightMessage& m : messages) {
+                m.arrive = sender_free[m.from] + params.message_time(m.bytes);
+                sender_free[m.from] = m.arrive;
+            }
+            return;
+        }
+    }
 }
 
 std::vector<RankTraffic> per_rank_traffic(const std::vector<std::size_t>& per_pair_bytes,

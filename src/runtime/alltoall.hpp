@@ -27,6 +27,14 @@ enum class CommSchedule {
     /// Naive flooding: every rank sends simultaneously; the shared network
     /// stretches every transfer by the number of concurrent messages.
     Flooding,
+    /// LogGP pipelined injection: each sender pushes its personalized
+    /// messages back-to-back (in destination round order — the sender-side
+    /// gap serialization of LogGP), while distinct senders' transfers
+    /// proceed concurrently. Receivers are not modeled as a bottleneck
+    /// beyond the per-message overhead already inside message_time. This is
+    /// the schedule that drops the paper's one-message-at-a-time policy and
+    /// makes the network makespan max-per-sender instead of sum-over-pairs.
+    Pipelined,
 };
 
 /// The ordered (sender, receiver) pairs of the personalized all-to-all for P
@@ -53,5 +61,38 @@ struct RankTraffic {
 };
 std::vector<RankTraffic> per_rank_traffic(const std::vector<std::size_t>& per_pair_bytes,
                                           std::uint32_t num_ranks);
+
+/// One message of an event-driven exchange, before and after scheduling.
+/// `bytes` is the *priced* size (wire bytes or per-entry footprint, per the
+/// cluster's PriceModel); `arrive` is filled in by schedule_arrivals.
+struct InFlightMessage {
+    RankId from{0};
+    RankId to{0};
+    std::size_t bytes{0};
+    double arrive{0};
+};
+
+/// Compute deterministic arrival times for an exchange whose senders depart
+/// at their own clocks instead of a collective barrier. `messages` must be
+/// in canonical all-to-all order (pair order of all_to_all_pairs, post order
+/// within a pair — what MailboxSystem::drain_outboxes produces); `ready[i]`
+/// is sender i's simulated clock when the exchange starts. Arrival rules per
+/// schedule (all reduce to the matching exchange_duration makespan when
+/// every ready time is equal):
+///   * SerializedAllToAll — a single shared wire: each message starts at
+///     max(wire free, sender ready) in canonical order and occupies the wire
+///     for its full message_time.
+///   * ParallelRounds — round barriers: round r starts when the previous
+///     round ended and every sender with traffic in round r is ready; its
+///     messages arrive start + message_time each.
+///   * Flooding — everything departs when the last sender is ready; every
+///     transfer is stretched by the number of concurrent non-empty messages.
+///   * Pipelined — per-sender serialization: sender i's k-th message starts
+///     when its (k-1)-th finished (first at ready[i]); distinct senders
+///     overlap freely.
+/// Deterministic: a pure function of (messages, ready, params, schedule).
+void schedule_arrivals(std::vector<InFlightMessage>& messages,
+                       std::uint32_t num_ranks, const std::vector<double>& ready,
+                       const LogPParams& params, CommSchedule schedule);
 
 }  // namespace aa

@@ -35,7 +35,11 @@
 // run_ranks() is a barrier: it returns only after every closure has finished,
 // with all their writes visible to the caller (the driver thread). Collective
 // operations (exchange, broadcast, barrier, stats reads) stay on the driver
-// thread between run_ranks() calls.
+// thread between run_ranks() calls. The event-driven RC exchange keeps the
+// same shape: pipelined_exchange() and the EventQueue processing loop
+// (including relax-on-arrival ingest) run entirely on the driver thread
+// between rank phases, so the event order — and with it the async delivery
+// trace — is identical across backends and across repeated threaded runs.
 #pragma once
 
 #include <cstddef>

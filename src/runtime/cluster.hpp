@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "runtime/alltoall.hpp"
+#include "runtime/event_loop.hpp"
 #include "runtime/logp.hpp"
 #include "runtime/mailbox.hpp"
 #include "runtime/message.hpp"
@@ -63,22 +64,34 @@ struct ClusterStats {
 class Cluster {
 public:
     explicit Cluster(std::uint32_t num_ranks, LogPParams params = {},
-                     CommSchedule schedule = CommSchedule::SerializedAllToAll);
+                     CommSchedule schedule = CommSchedule::SerializedAllToAll,
+                     PriceModel price_model = PriceModel::PerByte);
 
     std::uint32_t num_ranks() const { return num_ranks_; }
     const LogPParams& params() const { return params_; }
     CommSchedule schedule() const { return schedule_; }
+    PriceModel price_model() const { return price_model_; }
+
+    /// Bytes the bandwidth term charges for one message: the wire size under
+    /// PriceModel::PerByte, the decoded entry footprint (16-byte header +
+    /// entries x sizeof(DvEntry)) under PerEntry for messages that declare an
+    /// entry count, the wire size otherwise. Traffic *accounting* (RankStats,
+    /// ClusterStats, metrics histograms) always records wire bytes — the
+    /// price model changes simulated time, never the byte bookkeeping.
+    std::size_t priced_bytes(const Message& message) const;
 
     /// Charge `ops` abstract operations to rank r's clock, spread over
     /// `threads` threads (the paper's multithreaded IA model). Rank-confined:
     /// safe from concurrent callers for distinct r.
     void charge_compute(RankId r, double ops, std::size_t threads = 1);
 
-    /// Post a message; it is delivered (and priced) at the next exchange().
-    /// Rank-confined by `from`: safe from concurrent callers for distinct
-    /// senders (per-sender outboxes, per-sender stats slots, no global
-    /// accumulation).
-    void send(RankId from, RankId to, MessageTag tag, std::vector<std::byte> payload);
+    /// Post a message; it is delivered (and priced) at the next exchange()
+    /// or pipelined_exchange(). Rank-confined by `from`: safe from concurrent
+    /// callers for distinct senders (per-sender outboxes, per-sender stats
+    /// slots, no global accumulation). `entries` is the decoded DV-entry
+    /// count of a boundary payload, used only by PriceModel::PerEntry.
+    void send(RankId from, RankId to, MessageTag tag, std::vector<std::byte> payload,
+              std::size_t entries = 0);
 
     /// True if any message is waiting to be exchanged.
     bool has_pending_messages() const { return mailboxes_.has_pending(); }
@@ -87,6 +100,24 @@ public:
     /// deliver them, and synchronize every clock to (max clock + duration).
     /// Returns the exchange duration.
     double exchange();
+
+    /// Event-driven exchange (driver-only): drain every outbox in canonical
+    /// all-to-all order, price each message under the price model, and
+    /// compute its deterministic arrival time with senders departing at
+    /// their *own* clocks (no entry barrier — see schedule_arrivals). The
+    /// returned events are in canonical order with monotone `seq`; messages
+    /// are NOT placed in inboxes — the caller owns delivery, advancing each
+    /// receiver's clock with advance_rank_to(to, event.time) before handing
+    /// it the payload. Receiver-side traffic accounting advances here (wire
+    /// bytes — delivery is certain once scheduled); comm_seconds accumulates
+    /// the exchange makespan (last arrival minus earliest sender departure)
+    /// and the exchange.* metrics record the same wire-byte totals as the
+    /// collective path. Clocks are left untouched.
+    std::vector<DeliveryEvent> pipelined_exchange();
+
+    /// Advance rank r's clock to at least `t` (event delivery: the receiver
+    /// cannot process a payload before it arrives). Rank-confined.
+    void advance_rank_to(RankId r, double t);
 
     /// Tree broadcast from `from` to all other ranks (the paper's new-vertex
     /// DV row broadcast): delivers immediately, priced as ceil(log2 P)
@@ -137,10 +168,14 @@ private:
     std::uint32_t num_ranks_;
     LogPParams params_;
     CommSchedule schedule_;
+    PriceModel price_model_;
     MailboxSystem mailboxes_;
     std::vector<SimClock> clocks_;
     std::vector<RankStats> rank_stats_;
     ClusterStats stats_;
+    /// Tie-breaker for DeliveryEvents, monotone across pipelined exchanges
+    /// (unique per cluster lifetime; rewound by reset()).
+    std::uint64_t event_seq_{0};
     MetricsRegistry* metrics_{nullptr};
 };
 

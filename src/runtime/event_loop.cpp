@@ -1,0 +1,34 @@
+#include "runtime/event_loop.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace aa {
+
+void EventQueue::push(DeliveryEvent event) {
+    // A NaN timestamp compares false with everything and would quietly
+    // destroy the heap invariant; a negative one would deliver before the
+    // simulation began. Both are scheduler bugs (or hostile inputs in the
+    // fuzz tests), not states to limp through.
+    AA_ASSERT_MSG(std::isfinite(event.time), "event timestamp not finite");
+    AA_ASSERT_MSG(event.time >= 0, "event timestamp negative");
+    heap_.push_back(std::move(event));
+    std::push_heap(heap_.begin(), heap_.end(), DeliveryAfter{});
+}
+
+const DeliveryEvent& EventQueue::top() const {
+    AA_ASSERT_MSG(!heap_.empty(), "top() on empty event queue");
+    return heap_.front();
+}
+
+DeliveryEvent EventQueue::pop() {
+    AA_ASSERT_MSG(!heap_.empty(), "pop() on empty event queue");
+    std::pop_heap(heap_.begin(), heap_.end(), DeliveryAfter{});
+    DeliveryEvent event = std::move(heap_.back());
+    heap_.pop_back();
+    return event;
+}
+
+}  // namespace aa

@@ -53,6 +53,24 @@ std::size_t MailboxSystem::deliver_all() {
     return bytes;
 }
 
+std::vector<Message> MailboxSystem::drain_outboxes(
+    const std::vector<std::pair<RankId, RankId>>& schedule) {
+    std::vector<Message> drained;
+    for (const auto& [from, to] : schedule) {
+        AA_ASSERT(from < num_ranks() && to < num_ranks());
+        auto& outbox = outboxes_[from];
+        for (auto it = outbox.begin(); it != outbox.end();) {
+            if (it->to == to) {
+                drained.push_back(std::move(*it));
+                it = outbox.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    return drained;
+}
+
 std::vector<Message> MailboxSystem::take_inbox(RankId r) {
     AA_ASSERT(r < num_ranks());
     std::vector<Message> out = std::move(inboxes_[r]);

@@ -37,6 +37,17 @@ public:
     /// Deliver everything (arbitrary but deterministic order).
     std::size_t deliver_all();
 
+    /// Drain every outbox *without* delivering: the messages are returned in
+    /// the canonical all-to-all order — pair (from, to) order of the given
+    /// schedule, post order within a pair — which is exactly the inbox order
+    /// deliver() would have produced per receiver. The event-driven exchange
+    /// uses this to take custody of the in-flight messages and hand each to
+    /// its receiver at its own simulated arrival time instead of at a
+    /// collective barrier. Messages not covered by the schedule remain
+    /// buffered. Driver-only, like deliver().
+    std::vector<Message> drain_outboxes(
+        const std::vector<std::pair<RankId, RankId>>& schedule);
+
     /// Drain and return rank r's inbox.
     std::vector<Message> take_inbox(RankId r);
 

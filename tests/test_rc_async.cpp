@@ -1,0 +1,348 @@
+// Event-driven RC exchange (relax-on-arrival) equivalence at the engine
+// level.
+//
+// EngineConfig::rc_async reshapes only the simulated timeline: boundary
+// messages become timestamped delivery events and ranks ingest them as they
+// arrive, but ingest preserves the canonical per-receiver message order and
+// propagation is deferred until a rank has everything — so distances,
+// closeness, dirty order, per-step ops, and message traffic must stay
+// bit-identical to the step-synchronous default at every step. The lattice
+// below pins that across rank counts × both execution backends × both wire
+// formats, with a mid-RC vertex-addition batch in every run. The event loop
+// itself runs on the driver thread, so the delivery trace must also be
+// identical across backends and across repeated threaded runs.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/rc.hpp"
+#include "core/strategies.hpp"
+#include "graph/generators.hpp"
+#include "runtime/backend.hpp"
+
+namespace aa {
+namespace {
+
+struct RunResult {
+    std::vector<std::vector<Weight>> matrix;
+    ClosenessScores scores;
+    double sim_seconds{0};
+    std::size_t rc_steps{0};
+    std::size_t total_bytes{0};
+    std::size_t total_messages{0};
+    std::vector<RcStepStats> steps;
+    std::vector<DeliveryTraceEntry> trace;
+};
+
+struct Overrides {
+    bool rc_async{false};
+    CommSchedule schedule{CommSchedule::SerializedAllToAll};
+    PriceModel price_model{PriceModel::PerByte};
+    std::size_t ingest_window{0};
+};
+
+RunResult run_scenario(std::uint32_t ranks, BackendKind backend,
+                       BoundaryWireFormat format, const Overrides& o) {
+    Rng rng(555);
+    DynamicGraph g = barabasi_albert(80, 2, rng, WeightRange{1.0, 4.0});
+
+    EngineConfig config;
+    config.num_ranks = ranks;
+    config.seed = 0xF0 + ranks;
+    config.backend = backend;
+    config.enable_metrics = true;
+    config.wire_format = format;
+    config.rc_async = o.rc_async;
+    config.schedule = o.schedule;
+    config.price_model = o.price_model;
+    config.rc_ingest_window_bytes = o.ingest_window;
+
+    AnytimeEngine engine(g, config);
+    engine.initialize();
+    engine.run_rc_steps(2);
+
+    // Mid-RC addition batch: async steps must stay equivalent with rows
+    // added (and rank neighbourhoods changed) between steps.
+    GrowthConfig gc;
+    gc.num_new = 6;
+    gc.communities = 2;
+    gc.intra_edges = 2;
+    gc.host_edges = 2;
+    Rng batch_rng(9001);
+    const auto batch = grow_batch(g.num_vertices(), gc, batch_rng);
+    RoundRobinPS strategy;
+    engine.apply_addition(batch, strategy);
+    engine.run_to_quiescence();
+
+    RunResult result;
+    result.matrix = engine.full_distance_matrix();
+    result.scores = engine.closeness();
+    result.sim_seconds = engine.sim_seconds();
+    result.rc_steps = engine.rc_steps_completed();
+    result.total_bytes = engine.cluster().stats().total_bytes;
+    result.total_messages = engine.cluster().stats().total_messages;
+    result.steps = engine.step_history();
+    result.trace = engine.delivery_trace();
+    return result;
+}
+
+/// Everything an event-driven step may NOT change: results, work, traffic.
+/// (EXPECT_EQ on doubles is exact comparison — bit-identical, not "close".)
+/// `same_bytes=false` relaxes only the byte accounting — for comparisons
+/// across wire formats, where payload size legitimately differs.
+void expect_equivalent_modulo_timeline(const RunResult& sync,
+                                       const RunResult& async_r,
+                                       bool same_bytes = true) {
+    EXPECT_EQ(sync.rc_steps, async_r.rc_steps);
+    ASSERT_EQ(sync.matrix.size(), async_r.matrix.size());
+    for (std::size_t v = 0; v < sync.matrix.size(); ++v) {
+        ASSERT_EQ(sync.matrix[v], async_r.matrix[v]) << "row " << v;
+    }
+    ASSERT_EQ(sync.scores.closeness, async_r.scores.closeness);
+    ASSERT_EQ(sync.scores.reachable, async_r.scores.reachable);
+    ASSERT_EQ(sync.steps.size(), async_r.steps.size());
+    for (std::size_t i = 0; i < sync.steps.size(); ++i) {
+        EXPECT_EQ(sync.steps[i].step, async_r.steps[i].step);
+        EXPECT_EQ(sync.steps[i].ops, async_r.steps[i].ops) << "step " << i;
+        EXPECT_EQ(sync.steps[i].messages, async_r.steps[i].messages)
+            << "step " << i;
+        if (same_bytes) {
+            EXPECT_EQ(sync.steps[i].bytes, async_r.steps[i].bytes)
+                << "step " << i;
+        }
+    }
+    EXPECT_EQ(sync.total_messages, async_r.total_messages);
+    if (same_bytes) {
+        EXPECT_EQ(sync.total_bytes, async_r.total_bytes);
+    }
+}
+
+void expect_identical_trace(const RunResult& a, const RunResult& b) {
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (std::size_t i = 0; i < a.trace.size(); ++i) {
+        const DeliveryTraceEntry& x = a.trace[i];
+        const DeliveryTraceEntry& y = b.trace[i];
+        EXPECT_EQ(x.step, y.step) << "event " << i;
+        EXPECT_EQ(x.time, y.time) << "event " << i;
+        EXPECT_EQ(x.from, y.from) << "event " << i;
+        EXPECT_EQ(x.to, y.to) << "event " << i;
+        EXPECT_EQ(x.seq, y.seq) << "event " << i;
+        EXPECT_EQ(x.bytes, y.bytes) << "event " << i;
+    }
+}
+
+using Param =
+    std::tuple<std::uint32_t /*ranks*/, BackendKind, BoundaryWireFormat>;
+
+class RcAsyncEquivalence : public ::testing::TestWithParam<Param> {};
+
+TEST_P(RcAsyncEquivalence, AsyncMatchesSyncModuloTimeline) {
+    const auto [ranks, backend, format] = GetParam();
+    const RunResult sync =
+        run_scenario(ranks, backend, format, {/*rc_async=*/false});
+    const RunResult async_r =
+        run_scenario(ranks, backend, format, {/*rc_async=*/true});
+    expect_equivalent_modulo_timeline(sync, async_r);
+    // The sync run never produces delivery events; the async run produces one
+    // per RC-exchanged message (dynamic-update broadcasts stay collective, so
+    // the trace is a subset of total message traffic).
+    EXPECT_TRUE(sync.trace.empty());
+    EXPECT_FALSE(async_r.trace.empty());
+    EXPECT_LE(async_r.trace.size(), async_r.total_messages);
+    // Relax-on-arrival can only shorten the timeline: ingest overlaps the
+    // in-flight tail instead of waiting for the full collective.
+    EXPECT_LE(async_r.sim_seconds, sync.sim_seconds * (1 + 1e-12));
+}
+
+TEST_P(RcAsyncEquivalence, PipelinedScheduleSameFixpoint) {
+    // Changing the communication schedule under async changes arrival times
+    // only — the canonical ingest order keeps the fixpoint (and all work
+    // accounting) bit-identical; the pipelined wire can only be faster than
+    // the serialized one.
+    const auto [ranks, backend, format] = GetParam();
+    Overrides serialized{/*rc_async=*/true, CommSchedule::SerializedAllToAll};
+    Overrides pipelined{/*rc_async=*/true, CommSchedule::Pipelined};
+    const RunResult a = run_scenario(ranks, backend, format, serialized);
+    const RunResult b = run_scenario(ranks, backend, format, pipelined);
+    expect_equivalent_modulo_timeline(a, b);
+    EXPECT_LE(b.sim_seconds, a.sim_seconds * (1 + 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lattice, RcAsyncEquivalence,
+    ::testing::Combine(::testing::Values(2u, 4u, 8u),
+                       ::testing::Values(BackendKind::Sequential,
+                                         BackendKind::Threaded),
+                       ::testing::Values(BoundaryWireFormat::V1Aos,
+                                         BoundaryWireFormat::V2Soa)),
+    [](const ::testing::TestParamInfo<Param>& p) {
+        std::string name = "r";
+        name += std::to_string(std::get<0>(p.param));
+        name += std::get<1>(p.param) == BackendKind::Threaded ? "_threaded"
+                                                              : "_seq";
+        name += std::get<2>(p.param) == BoundaryWireFormat::V2Soa ? "_v2"
+                                                                  : "_v1";
+        return name;
+    });
+
+TEST(RcAsyncDeterminism, ThreadedRunsReplayIdentically) {
+    // Same seed, same config, two fresh engines on the threaded backend: the
+    // delivery traces (event pop order with timestamps) must match event for
+    // event, and so must every result. The event loop runs on the driver
+    // thread between rank phases, so worker scheduling cannot perturb it.
+    const Overrides async_pipelined{/*rc_async=*/true, CommSchedule::Pipelined};
+    const RunResult a = run_scenario(8, BackendKind::Threaded,
+                                     BoundaryWireFormat::V2Soa, async_pipelined);
+    const RunResult b = run_scenario(8, BackendKind::Threaded,
+                                     BoundaryWireFormat::V2Soa, async_pipelined);
+    expect_identical_trace(a, b);
+    expect_equivalent_modulo_timeline(a, b);
+    EXPECT_EQ(a.sim_seconds, b.sim_seconds);
+    EXPECT_FALSE(a.trace.empty());
+}
+
+TEST(RcAsyncDeterminism, BackendsShareOneTrace) {
+    const Overrides async_pipelined{/*rc_async=*/true, CommSchedule::Pipelined};
+    const RunResult seq = run_scenario(4, BackendKind::Sequential,
+                                       BoundaryWireFormat::V2Soa, async_pipelined);
+    const RunResult thr = run_scenario(4, BackendKind::Threaded,
+                                       BoundaryWireFormat::V2Soa, async_pipelined);
+    expect_identical_trace(seq, thr);
+    expect_equivalent_modulo_timeline(seq, thr);
+    EXPECT_EQ(seq.sim_seconds, thr.sim_seconds);
+}
+
+TEST(RcAsyncDeterminism, TraceIsInEventOrderPerStep) {
+    const Overrides async_serialized{/*rc_async=*/true};
+    const RunResult r = run_scenario(4, BackendKind::Sequential,
+                                     BoundaryWireFormat::V2Soa, async_serialized);
+    ASSERT_FALSE(r.trace.empty());
+    for (std::size_t i = 1; i < r.trace.size(); ++i) {
+        const DeliveryTraceEntry& prev = r.trace[i - 1];
+        const DeliveryTraceEntry& cur = r.trace[i];
+        if (prev.step != cur.step) {
+            continue;  // new exchange, clock keyed from its own inflight start
+        }
+        // (time, source, seq) lexicographic — the EventQueue contract.
+        const bool ordered =
+            prev.time < cur.time ||
+            (prev.time == cur.time &&
+             (prev.from < cur.from || (prev.from == cur.from && prev.seq < cur.seq)));
+        EXPECT_TRUE(ordered) << "events " << i - 1 << " and " << i;
+    }
+}
+
+TEST(RcIngest, AdaptiveWindowMatchesFixed) {
+    // The 0 sentinel resolves to a host-dependent window; windowing is
+    // contractually invisible to results, so the adaptive run must be
+    // bit-identical — including sim_seconds — to the historical fixed
+    // 128 MiB window, sync and async alike.
+    for (const bool rc_async : {false, true}) {
+        Overrides adaptive{rc_async};
+        Overrides fixed{rc_async};
+        fixed.ingest_window = kRcIngestWindowBytes;
+        const RunResult a = run_scenario(4, BackendKind::Sequential,
+                                         BoundaryWireFormat::V2Soa, adaptive);
+        const RunResult f = run_scenario(4, BackendKind::Sequential,
+                                         BoundaryWireFormat::V2Soa, fixed);
+        expect_equivalent_modulo_timeline(a, f);
+        expect_identical_trace(a, f);
+        EXPECT_EQ(a.sim_seconds, f.sim_seconds) << "rc_async=" << rc_async;
+    }
+}
+
+TEST(RcIngest, AdaptiveResolutionRules) {
+    // Explicit values win verbatim; the sentinel resolves into the documented
+    // clamp range, and concurrent backends get a share no larger than the
+    // sequential backend's whole-LLC window.
+    Rng rng(7);
+    DynamicGraph g = barabasi_albert(40, 2, rng, WeightRange{1.0, 2.0});
+    EngineConfig config;
+    config.num_ranks = 4;
+    config.rc_ingest_window_bytes = 12345;
+    AnytimeEngine explicit_engine(g, config);
+    EXPECT_EQ(explicit_engine.rc_ingest_window_bytes_effective(), 12345u);
+
+    config.rc_ingest_window_bytes = 0;
+    AnytimeEngine seq_engine(g, config);
+    const std::size_t seq_window = seq_engine.rc_ingest_window_bytes_effective();
+    EXPECT_GE(seq_window, std::size_t{4} << 20);
+    EXPECT_LE(seq_window, std::size_t{128} << 20);
+    EXPECT_EQ(seq_window, adaptive_rc_ingest_window_bytes(1));
+
+    config.backend = BackendKind::Threaded;
+    AnytimeEngine thr_engine(g, config);
+    const std::size_t thr_window = thr_engine.rc_ingest_window_bytes_effective();
+    EXPECT_GE(thr_window, std::size_t{4} << 20);
+    EXPECT_LE(thr_window, seq_window);
+    EXPECT_EQ(thr_window, adaptive_rc_ingest_window_bytes(4));
+}
+
+TEST(PriceModel, PerEntryMakesSimSecondsFormatIndependent) {
+    // The point of the per-entry price model: v1 and v2 runs still ship
+    // different wire bytes (accounting is always wire-truthful), but the
+    // priced exchange time — and with it sim_seconds — no longer depends on
+    // the encoding.
+    const Overrides per_entry{/*rc_async=*/false,
+                              CommSchedule::SerializedAllToAll,
+                              PriceModel::PerEntry};
+    const RunResult v1 = run_scenario(4, BackendKind::Sequential,
+                                      BoundaryWireFormat::V1Aos, per_entry);
+    const RunResult v2 = run_scenario(4, BackendKind::Sequential,
+                                      BoundaryWireFormat::V2Soa, per_entry);
+    EXPECT_EQ(v1.sim_seconds, v2.sim_seconds);
+    ASSERT_EQ(v1.steps.size(), v2.steps.size());
+    for (std::size_t i = 0; i < v1.steps.size(); ++i) {
+        EXPECT_EQ(v1.steps[i].exchange_seconds, v2.steps[i].exchange_seconds)
+            << "step " << i;
+    }
+    EXPECT_LT(v2.total_bytes, v1.total_bytes);  // accounting stays wire-truthful
+    // And the results lattice still holds across formats under PerEntry.
+    expect_equivalent_modulo_timeline(v1, v2, /*same_bytes=*/false);
+}
+
+TEST(PriceModel, PerByteIsTheHistoricalDefault) {
+    const Overrides defaulted{};
+    Overrides explicit_per_byte{};
+    explicit_per_byte.price_model = PriceModel::PerByte;
+    const RunResult a = run_scenario(4, BackendKind::Sequential,
+                                     BoundaryWireFormat::V2Soa, defaulted);
+    const RunResult b = run_scenario(4, BackendKind::Sequential,
+                                     BoundaryWireFormat::V2Soa, explicit_per_byte);
+    expect_equivalent_modulo_timeline(a, b);
+    EXPECT_EQ(a.sim_seconds, b.sim_seconds);
+}
+
+TEST(PriceModel, PerEntryAsyncStillBitIdenticalToSync) {
+    // Price model and event-driven exchange compose: under PerEntry the
+    // async run must still reach the sync run's exact fixpoint.
+    Overrides sync_pe{/*rc_async=*/false, CommSchedule::SerializedAllToAll,
+                      PriceModel::PerEntry};
+    Overrides async_pe{/*rc_async=*/true, CommSchedule::SerializedAllToAll,
+                       PriceModel::PerEntry};
+    const RunResult s = run_scenario(4, BackendKind::Sequential,
+                                     BoundaryWireFormat::V2Soa, sync_pe);
+    const RunResult a = run_scenario(4, BackendKind::Sequential,
+                                     BoundaryWireFormat::V2Soa, async_pe);
+    expect_equivalent_modulo_timeline(s, a);
+    EXPECT_LE(a.sim_seconds, s.sim_seconds * (1 + 1e-12));
+}
+
+TEST(CommSchedule, PipelinedSyncMatchesSerializedResults) {
+    // The Pipelined schedule in the step-synchronous engine: pure pricing
+    // change, same fixpoint and work, never slower than the serialized wire.
+    Overrides serialized{};
+    Overrides pipelined{};
+    pipelined.schedule = CommSchedule::Pipelined;
+    const RunResult a = run_scenario(8, BackendKind::Sequential,
+                                     BoundaryWireFormat::V2Soa, serialized);
+    const RunResult b = run_scenario(8, BackendKind::Sequential,
+                                     BoundaryWireFormat::V2Soa, pipelined);
+    expect_equivalent_modulo_timeline(a, b);
+    EXPECT_LE(b.sim_seconds, a.sim_seconds);
+}
+
+}  // namespace
+}  // namespace aa

@@ -441,6 +441,35 @@ void DistanceStore::mark_row_for_prop(LocalId r) {
     }
 }
 
+void DistanceStore::mark_for_prop(LocalId r, VertexId col) {
+    AA_ASSERT(r < rows_.size() && col < num_columns_);
+    Row& row = rows_[r];
+    std::uint8_t* mark = this->prop_mark(r);
+    if (mark[col] != row.prop.epoch) {
+        mark[col] = row.prop.epoch;
+        row.prop.cols.push_back(col);
+    }
+}
+
+void DistanceStore::mark_for_send(LocalId r, VertexId col) {
+    AA_ASSERT(r < rows_.size() && col < num_columns_);
+    Row& row = rows_[r];
+    std::uint8_t* mark = this->send_mark(r);
+    if (mark[col] != row.send.epoch) {
+        mark[col] = row.send.epoch;
+        row.send.cols.push_back(col);
+    }
+}
+
+void DistanceStore::mark_invalidated(LocalId r, VertexId col) {
+    AA_ASSERT(r < rows_.size() && col < num_columns_);
+    Row& row = rows_[r];
+    AA_ASSERT_MSG(col != row.self, "the zero diagonal cannot be invalidated");
+    row.dist[col] = kInfinity;
+    mark_for_prop(r, col);
+    mark_for_send(r, col);
+}
+
 void DistanceStore::clear_dirty(LocalId r) {
     Row& row = rows_[r];
     (void)drain(row.prop, prop_mark(r));

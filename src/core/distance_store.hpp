@@ -1,9 +1,12 @@
 // Distance vectors (DVs) — the per-rank partial APSP state.
 //
 // Rank p stores one row per owned vertex: row(v)[t] = the current upper bound
-// on d(v, t) for every global vertex t. Rows only ever decrease (the
-// distance-vector-routing invariant for additive updates), which is both the
-// anytime monotonicity property and the termination argument.
+// on d(v, t) for every global vertex t. Under additive updates rows only ever
+// decrease via relax() (the distance-vector-routing invariant), which is both
+// the anytime monotonicity property and the termination argument. The fully
+// dynamic shrink path (core/edge_delete.cpp) raises entries through exactly
+// one door: mark_invalidated() resets an entry to kInfinity — no min-compare —
+// and re-dirties it, after which re-settlement is monotone decrease again.
 //
 // Two pieces of dirty tracking drive the incremental algorithm:
 //   * prop columns  — entries changed but not yet propagated to the rank's
@@ -191,6 +194,23 @@ public:
     /// Repartition-S rebuilds rank state: newly co-located rows have never
     /// been relaxed against each other, so a full local sweep is owed.
     void mark_row_for_prop(LocalId r);
+
+    /// Mark a single (finite) entry for local propagation without touching
+    /// its value — the deletion path's re-seed: a surviving neighbour entry
+    /// must re-relax into a freshly invalidated one even though it never
+    /// improved.
+    void mark_for_prop(LocalId r, VertexId col);
+
+    /// Single-entry analogue of mark_row_for_send, same re-seed purpose but
+    /// for cut edges: the surviving value must travel to the rank that just
+    /// invalidated its neighbour.
+    void mark_for_send(LocalId r, VertexId col);
+
+    /// Invalidate one entry: reset it to kInfinity *without* the min-compare
+    /// (the only operation that may raise a value) and re-dirty both
+    /// worklists through the same epoch marks relax() uses. The self column
+    /// is never invalidated (d(v, v) = 0 by definition).
+    void mark_invalidated(LocalId r, VertexId col);
 
     /// Install a full row received via migration (Repartition-S). Overwrites
     /// (the incoming row is the authoritative state for that vertex).

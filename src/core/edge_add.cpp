@@ -5,9 +5,9 @@
 //                                        vertices ("new relationship
 //                                        formations", [9]),
 //   * AnytimeEngine::decrease_edge_weight — edge weight decreases ([7];
-//                                        increases need the deletion
-//                                        machinery the paper defers to
-//                                        future work).
+//                                        increases are routed to the
+//                                        deletion machinery in
+//                                        core/edge_delete.cpp).
 //
 // All three share one primitive: the owner of an endpoint tree-broadcasts
 // that endpoint's DV row; every rank folds the row in through its cut edges,
@@ -287,9 +287,14 @@ bool AnytimeEngine::decrease_edge_weight(VertexId u, VertexId v, Weight new_weig
     if (!(current < kInfinity)) {
         return false;  // no such edge
     }
-    AA_ASSERT_MSG(new_weight <= current,
-                  "weight increases require the deletion machinery, which the "
-                  "paper defers to future work");
+    if (new_weight > current) {
+        // A weight increase can raise distances; route it through the
+        // invalidate/re-settle machinery instead of the monotone broadcast.
+        ShrinkBatch batch;
+        batch.reweights.push_back({u, v, new_weight});
+        apply_deletion(batch);
+        return true;
+    }
     if (new_weight == current) {
         return true;
     }

@@ -32,6 +32,7 @@
 #include "common/rng.hpp"
 #include "core/closeness.hpp"
 #include "core/distance_store.hpp"
+#include "core/edge_delete.hpp"
 #include "core/rc.hpp"
 #include "core/subgraph.hpp"
 #include "graph/generators.hpp"
@@ -144,6 +145,10 @@ struct EngineReport {
     double dynamic_ops{0};
     std::size_t vertex_additions{0};
     std::size_t edge_additions{0};
+    std::size_t edge_deletions{0};
+    std::size_t weight_updates{0};
+    /// (row, column) entries reset to infinity by deletion cascades.
+    std::size_t invalidated_entries{0};
 };
 
 /// One processed delivery event of an event-driven RC step, recorded in
@@ -199,8 +204,8 @@ public:
     std::size_t run_to_quiescence();
 
     /// True when no rank holds unsent/unpropagated changes and no message is
-    /// in flight: the distance vectors equal the exact APSP (for additive
-    /// updates).
+    /// in flight: the distance vectors equal the exact APSP of the current
+    /// graph (within the relaxation epsilon; exactly, for uniform weights).
     bool quiescent() const;
 
     // ---- dynamic updates --------------------------------------------------
@@ -225,9 +230,21 @@ public:
     void add_edges(std::span<const Edge> edges);
 
     /// Anywhere edge-weight decrease (prior work [7]). Returns false if the
-    /// edge does not exist. Weight *increases* are rejected: they require
-    /// the deletion machinery the paper defers to future work.
+    /// edge does not exist. Weight *increases* are routed through the
+    /// deletion machinery (apply_deletion's invalidate/re-settle path).
     bool decrease_edge_weight(VertexId u, VertexId v, Weight new_weight);
+
+    /// Fully-dynamic shrink updates: edge/vertex deletions and weight
+    /// increases via SSSP-Del-style invalidate/re-settle, weight decreases
+    /// via the growth-path broadcast (see core/edge_delete.hpp for the batch
+    /// semantics and the phase overview). Resume RC stepping afterwards; at
+    /// quiescence the state matches a from-scratch engine on the final graph.
+    ShrinkReport apply_deletion(const ShrinkBatch& batch);
+
+    /// Mixed edge-weight updates (weight = the new weight): increases run
+    /// through apply_deletion's cascade, decreases through the broadcast
+    /// path, in one atomic batch. Absent edges are skipped.
+    ShrinkReport update_edge_weights(std::span<const Edge> updates);
 
     // ---- results & introspection -------------------------------------------
 

@@ -13,6 +13,17 @@ namespace {
 
 /// The local sub-graph in index-compressed form: owned vertices keep their
 /// LocalId; external boundary vertices get ids [num_local, num_local + |B_p|).
+///
+/// External vertices are *terminals*, not transit nodes: cut edges point into
+/// them but they have no outgoing adjacency. A path that left the partition
+/// and re-entered through a second cut edge would produce an estimate whose
+/// intermediate value exists in no rank's row (the external owner never
+/// computed it), silently breaking the support invariant every row write
+/// otherwise maintains — each finite d(x, t) is witnessed by a graph
+/// neighbour y with d(x, t) >= w(x, y) + d(y, t) against y's owner row.
+/// Fully-dynamic deletions depend on that invariant to find every stale
+/// entry (see edge_delete.cpp); the through-boundary shortcuts IA would
+/// otherwise discover arrive anyway with the first RC exchange.
 struct SubCsr {
     std::vector<VertexId> sub_to_global;
     std::vector<std::vector<std::pair<std::uint32_t, Weight>>> adjacency;
@@ -42,9 +53,9 @@ SubCsr build_sub_csr(const LocalSubgraph& sg) {
                 // adding only the forward direction here keeps them single.
                 csr.adjacency[l].push_back({target, nb.weight});
             } else {
+                // Terminal only: no reverse entry (see the SubCsr comment).
                 target = external_index.at(nb.to);
                 csr.adjacency[l].push_back({target, nb.weight});
-                csr.adjacency[target].push_back({l, nb.weight});
             }
         }
     }

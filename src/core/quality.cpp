@@ -9,7 +9,8 @@
 namespace aa {
 
 QualityMetrics evaluate_quality(const std::vector<std::vector<Weight>>& approx,
-                                const std::vector<std::vector<Weight>>& exact) {
+                                const std::vector<std::vector<Weight>>& exact,
+                                QualityContract contract) {
     AA_ASSERT(approx.size() == exact.size());
     QualityMetrics metrics;
     const std::size_t n = exact.size();
@@ -35,11 +36,23 @@ QualityMetrics evaluate_quality(const std::vector<std::vector<Weight>>& approx,
                 ++exact_count;
             } else if (a_inf && !e_inf) {
                 ++unknown;
+            } else if (e_inf) {
+                // Finite estimate for an unreachable pair: impossible in a
+                // growth-only history, expected mid-settle after a deletion.
+                AA_ASSERT_MSG(contract == QualityContract::FullyDynamic,
+                              "estimate finite where exact is infinite");
+                ++metrics.stale_finite;
             } else {
-                AA_ASSERT_MSG(!e_inf, "estimate finite where exact is infinite");
-                ++both_finite;
                 const double excess = a - e;
-                AA_ASSERT_MSG(excess > -1e-6, "estimate below the true distance");
+                if (excess <= -1e-6) {
+                    // Below the true distance: a stale path through a
+                    // removed or raised edge awaiting invalidation.
+                    AA_ASSERT_MSG(contract == QualityContract::FullyDynamic,
+                                  "estimate below the true distance");
+                    ++metrics.stale_low;
+                    continue;
+                }
+                ++both_finite;
                 excess_sum += std::max(excess, 0.0);
                 metrics.max_excess = std::max(metrics.max_excess, excess);
                 if (excess <= 1e-9) {

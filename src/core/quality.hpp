@@ -1,16 +1,37 @@
 // Anytime solution quality: how close the current (interruptible) partial
-// results are to the exact answer. Distances in the store are always upper
-// bounds, so quality improves monotonically across RC steps — the paper's
-// "monotonically non-decreasing" anytime property, which these metrics make
-// measurable (and testable).
+// results are to the exact answer. For growth-only workloads distances in
+// the store are always upper bounds, so quality improves monotonically
+// across RC steps — the paper's "monotonically non-decreasing" anytime
+// property, which these metrics make measurable (and testable).
+//
+// Fully-dynamic workloads (deletions, weight increases) weaken the contract:
+// between a shrinking structural update and requiescence an estimate may be
+// *stale* — finite where the new graph disconnects the pair, or below the
+// new exact distance — until the invalidation cascade and re-settlement
+// catch up. Quality is then monotone only *between* structural updates; the
+// QualityContract below selects whether staleness asserts (GrowthOnly, the
+// historical behaviour) or is counted (FullyDynamic).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "common/types.hpp"
 #include "graph/graph.hpp"
 
 namespace aa {
+
+/// Which workload invariants evaluate_quality may assume.
+enum class QualityContract {
+    /// Additive-only history: estimates are upper bounds and never finite
+    /// where the exact distance is infinite. Violations are programming
+    /// errors and assert (the historical strict behaviour).
+    GrowthOnly,
+    /// History contains deletions / weight increases: staleness is expected
+    /// mid-settle and is counted in QualityMetrics::stale_finite /
+    /// stale_low instead of asserting.
+    FullyDynamic,
+};
 
 struct QualityMetrics {
     /// Fraction of matrix entries equal to the exact value (infinite entries
@@ -25,14 +46,25 @@ struct QualityMetrics {
     /// Mean relative error of closeness scores vs exact (over vertices whose
     /// exact closeness is positive).
     double closeness_mean_rel_error{0};
+    /// FullyDynamic only (always 0 under GrowthOnly, where either condition
+    /// asserts instead): entries finite in the estimate but infinite in the
+    /// exact matrix (reachability not yet invalidated), and finite entries
+    /// strictly below the exact distance (stale paths through removed or
+    /// raised edges). Neither kind counts toward frac_exact.
+    std::size_t stale_finite{0};
+    std::size_t stale_low{0};
 };
 
-/// Compare a (partial) distance matrix against the exact one.
+/// Compare a (partial) distance matrix against the exact one under the given
+/// workload contract (strict GrowthOnly by default).
 QualityMetrics evaluate_quality(const std::vector<std::vector<Weight>>& approx,
-                                const std::vector<std::vector<Weight>>& exact);
+                                const std::vector<std::vector<Weight>>& exact,
+                                QualityContract contract = QualityContract::GrowthOnly);
 
 /// True if `later` is at least as good as `earlier` in every monotone metric
-/// (frac_exact non-decreasing, frac_unknown and mean_excess non-increasing).
+/// (frac_exact non-decreasing, frac_unknown non-increasing). For
+/// fully-dynamic workloads this holds between consecutive measurements *of
+/// the same graph* — i.e. between structural updates — not across them.
 bool quality_monotone(const QualityMetrics& earlier, const QualityMetrics& later);
 
 }  // namespace aa

@@ -371,9 +371,21 @@ double rc_post_boundary_updates(const LocalSubgraph& sg, DistanceStore& store,
         // outcome or the op count — it makes the block bytes a pure function
         // of the drained set (v2's delta encoding requires it, v1 follows so
         // the two formats execute the identical relaxation schedule).
-        sorted_cols.assign(cols.begin(), cols.end());
-        std::sort(sorted_cols.begin(), sorted_cols.end());
+        // Non-finite entries are dropped at drain time: an invalidated column
+        // may sit in the send set (the deletion path re-dirties what it
+        // raises), but infinity relaxes nothing remotely — raises travel as
+        // explicit ShrinkRaise messages, never as boundary-DV entries.
         const auto row = store.row(l);
+        sorted_cols.clear();
+        for (const VertexId col : cols) {
+            if (row[col] < kInfinity) {
+                sorted_cols.push_back(col);
+            }
+        }
+        std::sort(sorted_cols.begin(), sorted_cols.end());
+        if (sorted_cols.empty()) {
+            continue;
+        }
         encoder.clear();
         if (format == BoundaryWireFormat::V2Soa) {
             dists.clear();

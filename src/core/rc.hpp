@@ -27,7 +27,11 @@
 //
 // Op accounting (what each kernel charges to the simulated clock):
 //   * rc_post_boundary_updates — one op per drained send column (drain +
-//     pack), plus one op per serialized DV entry *per block*, charged once
+//     pack; invalidated — non-finite — columns are drained and charged but
+//     never serialized: infinity relaxes nothing remotely, and distance
+//     raises travel as explicit ShrinkRaise messages in the deletion path,
+//     see core/edge_delete.cpp), plus one op per serialized DV entry *per
+//     block*, charged once
 //     even when the block is replicated to several destination ranks: the
 //     block is encoded once and the bytes are shared across the outgoing
 //     messages, so charging per destination would double-count work the

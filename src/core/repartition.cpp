@@ -1,18 +1,16 @@
 // AnytimeEngine::repartition_add — the Repartition-S strategy (paper
 // §IV.C.1.b).
 //
-// Instead of paying the per-edge anywhere-update overhead, integrate the
-// batch structurally, repartition the *whole* grown graph with the multilevel
-// partitioner, migrate existing DV rows to their new owners (reusing the
-// anytime partial results — this is what separates Repartition-S from a
-// restart), seed the new vertices' rows with a local Dijkstra, and let the
-// subsequent RC steps converge the rest.
+// Integrate the batch structurally, repartition the *whole* grown graph with
+// the multilevel partitioner, migrate existing DV rows to their new owners
+// (reusing the anytime partial results — this is what separates
+// Repartition-S from a restart), seed the batch edges through the anywhere
+// broadcasts, and let the subsequent RC steps converge the rest.
 #include <algorithm>
 #include <unordered_map>
 
 #include "common/assert.hpp"
 #include "core/engine.hpp"
-#include "core/ia.hpp"
 #include "core/rc.hpp"
 #include "partition/refine.hpp"
 #include "runtime/message.hpp"
@@ -248,8 +246,8 @@ void AnytimeEngine::repartition_add(const GrowthBatch& batch) {
         distribute_edge(e.u, e.v, e.weight);
     }
 
-    // Install retained/migrated rows; collect the new vertices for seeding.
-    std::vector<std::vector<LocalId>> seeds(num_ranks);
+    // Install retained/migrated rows; new vertices keep their near-empty
+    // (diagonal-only) rows and are seeded through the edge broadcasts below.
     for (RankId r = 0; r < num_ranks; ++r) {
         RankState& state = ranks_[r];
         for (LocalId l = 0; l < state.sg.num_local(); ++l) {
@@ -259,32 +257,32 @@ void AnytimeEngine::repartition_add(const GrowthBatch& batch) {
                 state.store.install_row(l, std::move(it->second));
             } else {
                 AA_ASSERT_MSG(g >= old_n, "existing vertex lost its row");
-                seeds[r].push_back(l);
             }
         }
     }
 
     close_stage(rebuild_span);
 
-    // ---- 5. Seed new rows with a local SSSP (IA for the new portion, using
-    //          the configured kernel); prop marks on so existing local rows
-    //          learn about them. ----
+    // ---- 5. Seed the batch through the anywhere edge broadcasts (the same
+    //          primitive as anywhere_add): each batch edge folds the lower
+    //          endpoint's row through the cut edges and bridges the endpoint
+    //          columns of every local row. A local SSSP from only the new
+    //          vertices is NOT sound here: its paths route through old local
+    //          vertices whose rows never learn the new columns, leaving
+    //          estimates that no owner row witnesses — and the fully-dynamic
+    //          deletion cascade (edge_delete.cpp) finds stale entries by
+    //          walking exactly those owner-row witnesses. The broadcasts
+    //          preserve the invariant; through-partition shortcuts the SSSP
+    //          would have found arrive with the next RC exchanges. ----
     const auto seed_span = open_stage("repartition.seed");
-    std::vector<double> seed_ops(num_ranks, 0);
-    run_rank_phase([&](RankId r, std::vector<MetricSpan>&) {
-        const double ops =
-            config_.ia_kernel == IaKernel::DeltaStepping
-                ? ia_delta_stepping(ranks_[r].sg, ranks_[r].store, ia_pool(),
-                                    seeds[r], /*mark_prop=*/true,
-                                    config_.ia_delta)
-                : ia_dijkstra(ranks_[r].sg, ranks_[r].store, ia_pool(),
-                              seeds[r],
-                              /*mark_prop=*/true);
-        cluster_->charge_compute(r, ops, config_.ia_threads);
-        seed_ops[r] = ops;
-    });
-    for (RankId r = 0; r < num_ranks; ++r) {
-        dynamic_ops += seed_ops[r];
+    const double ops_before_seed = dynamic_ops;
+    for (const Edge& e : batch.edges) {
+        const VertexId lo = std::min(e.u, e.v);
+        const VertexId hi = std::max(e.u, e.v);
+        dynamic_ops += broadcast_edge_update(lo, hi, graph_.edge_weight(lo, hi));
+    }
+    if (mx) {
+        metrics_->span_add(seed_span, dynamic_ops - ops_before_seed);
     }
     close_stage(seed_span);
 

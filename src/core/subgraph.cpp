@@ -76,6 +76,33 @@ void LocalSubgraph::update_edge_weight(VertexId u, VertexId v, Weight w) {
     }
 }
 
+void LocalSubgraph::remove_local_edge(VertexId u, VertexId v) {
+    AA_ASSERT_MSG(owns(u) || owns(v), "edge touches no owned vertex");
+    const auto remove_from = [this](VertexId owned, VertexId other) {
+        const LocalId local = index_.at(owned);
+        std::erase_if(adjacency_[local],
+                      [other](const Neighbor& nb) { return nb.to == other; });
+        if (!owns(other)) {
+            const auto it = external_adj_.find(other);
+            if (it != external_adj_.end()) {
+                std::erase_if(it->second,
+                              [local](const std::pair<LocalId, Weight>& e) {
+                                  return e.first == local;
+                              });
+                if (it->second.empty()) {
+                    external_adj_.erase(it);
+                }
+            }
+        }
+    };
+    if (owns(u)) {
+        remove_from(u, v);
+    }
+    if (owns(v)) {
+        remove_from(v, u);
+    }
+}
+
 std::span<const std::pair<LocalId, Weight>> LocalSubgraph::external_neighbors(
     VertexId global) const {
     const auto it = external_adj_.find(global);

@@ -76,6 +76,11 @@ public:
     /// endpoint (including the external-adjacency mirror entries).
     void update_edge_weight(VertexId u, VertexId v, Weight w);
 
+    /// Remove edge {u, v} from every owned endpoint's adjacency and from the
+    /// external-adjacency mirror. A vertex left with no cut edges drops out of
+    /// external_boundary(). No-op if the edge is not present locally.
+    void remove_local_edge(VertexId u, VertexId v);
+
     /// True if the owned vertex has at least one neighbor on another rank.
     bool is_boundary(LocalId local) const;
 

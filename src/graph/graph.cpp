@@ -79,6 +79,18 @@ bool DynamicGraph::set_edge_weight(VertexId u, VertexId v, Weight weight) {
     return found;
 }
 
+Weight DynamicGraph::remove_edge(VertexId u, VertexId v) {
+    AA_ASSERT(u < adjacency_.size() && v < adjacency_.size());
+    const Weight old = edge_weight(u, v);
+    if (!(old < kInfinity)) {
+        return kInfinity;
+    }
+    std::erase_if(adjacency_[u], [v](const Neighbor& nb) { return nb.to == v; });
+    std::erase_if(adjacency_[v], [u](const Neighbor& nb) { return nb.to == u; });
+    --num_edges_;
+    return old;
+}
+
 std::vector<Edge> DynamicGraph::edges() const {
     std::vector<Edge> out;
     out.reserve(num_edges_);

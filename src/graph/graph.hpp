@@ -6,8 +6,9 @@
 //   * cheap vertex/edge addition (the paper's dynamic updates),
 //   * adjacency iteration for Dijkstra / partitioning / Louvain.
 //
-// Vertices are never removed (vertex deletions are explicit future work in the
-// paper), so ids are stable once assigned.
+// Vertex ids are stable once assigned: "deleting" a vertex means removing all
+// of its incident edges (see AnytimeEngine::apply_deletion), which leaves the
+// id in place and the vertex isolated. Edges can be removed and reweighted.
 #pragma once
 
 #include <cstddef>
@@ -62,6 +63,10 @@ public:
     /// Change the weight of an existing edge {u, v} (both directions).
     /// Returns false if the edge does not exist.
     bool set_edge_weight(VertexId u, VertexId v, Weight weight);
+
+    /// Remove edge {u, v} (both directions). Returns its old weight, or
+    /// kInfinity if the edge was not present (removal is then a no-op).
+    Weight remove_edge(VertexId u, VertexId v);
 
     std::size_t degree(VertexId v) const {
         AA_ASSERT(v < adjacency_.size());

@@ -25,6 +25,11 @@ enum class MessageTag : std::uint32_t {
     NewVertexDvRow = 2,     // vertex addition: broadcast DV row of a new vertex
     MigratedRows = 3,       // Repartition-S: DV rows moving to a new owner
     Control = 4,            // small control messages (counts, convergence votes)
+    // Fully-dynamic shrink path (core/edge_delete.cpp):
+    ShrinkEndpointRow = 5,      // pre-cascade DV row of a deleted edge's endpoint
+    ShrinkAffectedColumns = 6,  // gather/broadcast of the affected-column union
+    ShrinkBoundaryView = 7,     // boundary rows restricted to affected columns
+    ShrinkRaise = 8,            // invalidated (vertex, column, old value) raises
 };
 
 struct Message {

@@ -40,8 +40,9 @@ struct ResultSnapshot {
     std::size_t rc_step{0};
     /// Simulated clock at publication.
     double sim_seconds{0};
-    /// True iff the engine was quiescent (answers are the exact APSP for the
-    /// additive-update workloads the engine supports).
+    /// True iff the engine was quiescent (answers are the exact APSP of the
+    /// current graph — additions *and* deletions/reweights settled; exactly
+    /// so for uniform weights, within the relaxation epsilon otherwise).
     bool quiescent{false};
     /// Self-measured unknown fraction: the share of distance-matrix entries
     /// still at infinity. An upper bound on QualityMetrics::frac_unknown

@@ -30,6 +30,9 @@ void IncrementalTopK::apply(const ResultSnapshot& snapshot) {
     const auto& closeness = snapshot.scores.closeness;
     const std::size_t n = closeness.size();
     const std::size_t want = std::min(k_, n);
+    // The maintained exact prefix is deeper than what is served: demotions
+    // that stay within the reserve patch instead of rebuilding.
+    const std::size_t depth = std::min(2 * k_, n);
 
     // Patch only across a direct successor: the changed list is relative to
     // the immediately previous snapshot, so a skipped version breaks the
@@ -38,15 +41,15 @@ void IncrementalTopK::apply(const ResultSnapshot& snapshot) {
         version_ != 0 && snapshot.version == version_ + 1 && want > 0;
     bool done = false;
     if (chainable) {
-        // Previous ranking was exact, so any vertex outside entries_ that is
-        // not in `changed` still sorts after the previous k-th entry's key.
-        const bool had_outsiders = last_n_ > entries_.size();
-        const TopKEntry old_kth =
-            had_outsiders ? entries_.back() : TopKEntry{};
+        // Previous reserve was exact, so any vertex outside reserve_ that is
+        // not in `changed` still sorts after the previous R-th entry's key.
+        const bool had_outsiders = last_n_ > reserve_.size();
+        const TopKEntry old_rth =
+            had_outsiders ? reserve_.back() : TopKEntry{};
 
         std::vector<TopKEntry> candidates;
-        candidates.reserve(entries_.size() + snapshot.changed.size());
-        for (const TopKEntry& e : entries_) {
+        candidates.reserve(reserve_.size() + snapshot.changed.size());
+        for (const TopKEntry& e : reserve_) {
             candidates.push_back({e.vertex, closeness[e.vertex]});
         }
         for (const VertexId v : snapshot.changed) {
@@ -61,22 +64,28 @@ void IncrementalTopK::apply(const ResultSnapshot& snapshot) {
                                          return a.vertex == b.vertex;
                                      }),
                          candidates.end());
-        if (candidates.size() >= want) {
-            std::partial_sort(candidates.begin(), candidates.begin() + want,
+        if (candidates.size() >= depth) {
+            std::partial_sort(candidates.begin(), candidates.begin() + depth,
                               candidates.end(), topk_outranks);
-            candidates.resize(want);
-            // Exact unless the new k-th is weaker than the old k-th was under
+            candidates.resize(depth);
+            // Exact unless the new R-th is weaker than the old R-th was under
             // its old score — only then could an unchanged outsider (known
-            // weaker than old_kth) deserve a slot.
-            if (!had_outsiders || !topk_outranks(old_kth, candidates.back())) {
-                entries_ = std::move(candidates);
+            // weaker than old_rth) deserve a reserve slot. A hub demoted out
+            // of the top k but not past the R-th entry passes this check and
+            // is evicted from the served prefix by the re-rank itself.
+            if (!had_outsiders || !topk_outranks(old_rth, candidates.back())) {
+                reserve_ = std::move(candidates);
+                entries_.assign(reserve_.begin(), reserve_.begin() + want);
                 ++patched_;
                 done = true;
             }
         }
     }
     if (!done) {
-        entries_ = topk_from_snapshot(snapshot, k_);
+        reserve_ = topk_from_snapshot(snapshot, depth);
+        entries_.assign(reserve_.begin(),
+                        reserve_.begin() +
+                            std::min(want, reserve_.size()));
         ++rebuilt_;
     }
     version_ = snapshot.version;

@@ -12,11 +12,22 @@
 // Why patching is sound: between consecutive snapshots, every vertex whose
 // (closeness, reachable) changed appears in `ResultSnapshot::changed`. A
 // vertex absent from that list kept its exact score bits, and — because the
-// previous top-k was correct — sorted strictly after the previous k-th
-// entry. Re-ranking the union {previous top-k entries, changed vertices}
-// with fresh scores is thus exact *unless* the new k-th entry is weaker than
-// the previous k-th was: only then could an unchanged outsider deserve a
-// slot, and the tracker falls back to a full rebuild (counted, observable).
+// previous ranking prefix was correct — sorted strictly after the previous
+// last maintained entry. Re-ranking the union {previous entries, changed
+// vertices} with fresh scores is thus exact *unless* the new last entry is
+// weaker than the previous last entry was: only then could an unchanged
+// outsider deserve a slot, and the tracker falls back to a full rebuild
+// (counted, observable). That threshold check is what keeps score
+// *decreases* (deletions, weight raises) exact — a demoted hub either stays
+// rankable from the maintained set or triggers the rebuild.
+//
+// To keep decreases cheap, the tracker maintains a *reserve*: the exact top
+// R = min(2k, n) prefix of the ranking, of which entries() is the k-prefix.
+// A demotion that drops a hub out of the top k but not out of the top R is
+// then absorbed as a patch (the demoted entry is evicted from the served
+// prefix and the next reserve entry promoted); only a demotion past the
+// R-th entry — where unchanged outsiders could overtake — forces the O(n)
+// rebuild.
 #pragma once
 
 #include <cstdint>
@@ -64,6 +75,9 @@ public:
     /// Version of the last snapshot applied (0 before the first).
     std::uint64_t version() const { return version_; }
     const std::vector<TopKEntry>& entries() const { return entries_; }
+    /// The maintained exact ranking prefix (top min(2k, n)); entries() is
+    /// its k-prefix. Exposed for tests and introspection.
+    const std::vector<TopKEntry>& reserve() const { return reserve_; }
 
     /// Maintenance counters: how often apply() patched vs rebuilt.
     std::size_t patched() const { return patched_; }
@@ -73,10 +87,11 @@ private:
     std::size_t k_;
     std::uint64_t version_{0};
     /// Vertex count of the last snapshot applied: outsiders (vertices beyond
-    /// entries_) exist iff last_n_ > entries_.size(), which is what decides
+    /// reserve_) exist iff last_n_ > reserve_.size(), which is what decides
     /// whether a patch needs the threshold check at all.
     std::size_t last_n_{0};
     std::vector<TopKEntry> entries_;
+    std::vector<TopKEntry> reserve_;
     std::size_t patched_{0};
     std::size_t rebuilt_{0};
 };

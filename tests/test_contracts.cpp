@@ -84,13 +84,19 @@ TEST(Contracts, EngineRejectsStaleBatch) {
     EXPECT_DEATH(engine.anywhere_add(batch, {0}), "vertex space");
 }
 
-TEST(Contracts, EngineRejectsWeightIncrease) {
+// Weight increases used to be rejected ("future work"); they now route
+// through the invalidate/re-settle machinery and must land exactly.
+TEST(Contracts, EngineAcceptsWeightIncrease) {
     DynamicGraph g(3);
     g.add_edge(0, 1, 1.0);
     g.add_edge(1, 2, 1.0);
     AnytimeEngine engine(g, EngineConfig{.num_ranks = 2, .ia_threads = 1});
     engine.initialize();
-    EXPECT_DEATH(engine.decrease_edge_weight(0, 1, 5.0), "future work");
+    EXPECT_TRUE(engine.decrease_edge_weight(0, 1, 5.0));
+    engine.run_to_quiescence();
+    const auto matrix = engine.full_distance_matrix();
+    EXPECT_DOUBLE_EQ(matrix[0][1], 5.0);
+    EXPECT_DOUBLE_EQ(matrix[0][2], 6.0);
 }
 
 TEST(Contracts, ClockRejectsNegativeAdvance) {

@@ -285,6 +285,70 @@ TEST(DistanceStore, EpochWrapCannotAliasStaleMarks) {
     EXPECT_EQ(send[1], 3u);
 }
 
+TEST(DistanceStore, MarkInvalidatedRaisesWithoutMinCompare) {
+    // The shrink path's single door: unlike relax(), mark_invalidated must
+    // overwrite unconditionally (infinity never wins a min-compare) and
+    // stamp both worklists so the raise is re-propagated and re-sent.
+    DistanceStore store(5);
+    const LocalId r = store.add_row(0);
+    (void)store.take_prop(r);
+    (void)store.take_send(r);
+    ASSERT_TRUE(store.relax(r, 2, 7.0));
+    (void)store.take_prop(r);
+    (void)store.take_send(r);
+
+    store.mark_invalidated(r, 2);
+    EXPECT_GE(store.row(r)[2], kInfinity);
+    const auto prop = store.take_prop(r);
+    ASSERT_EQ(prop.size(), 1u);
+    EXPECT_EQ(prop[0], 2u);
+    const auto send = store.take_send(r);
+    ASSERT_EQ(send.size(), 1u);
+    EXPECT_EQ(send[0], 2u);
+
+    // Invalidating an already-infinite column is idempotent: marked once,
+    // value still infinite, and a later relax can re-learn it.
+    store.mark_invalidated(r, 2);
+    store.mark_invalidated(r, 2);
+    EXPECT_EQ(store.take_prop(r).size(), 1u);
+    ASSERT_TRUE(store.relax(r, 2, 9.0));  // worse than the old 7.0, but fresh
+    EXPECT_EQ(store.row(r)[2], 9.0);
+}
+
+TEST(DistanceStore, EpochWrapSurvivesInterleavedInvalidation) {
+    // Satellite regression for the fully-dynamic path: mark_invalidated
+    // shares the 8-bit epoch machinery with relax(), so interleave raises
+    // through several full 255-drain cycles and check that (a) no mark is
+    // ever lost to a stale stamp aliasing the live epoch and (b) the
+    // invalidate-then-relearn sequence drains exactly once per cycle.
+    DistanceStore store(8);
+    const LocalId r = store.add_row(0);
+    (void)store.take_prop(r);
+    (void)store.take_send(r);
+    double value = 2000.0;
+    for (int cycle = 0; cycle < 600; ++cycle) {
+        const VertexId col = 1 + static_cast<VertexId>(cycle % 7);
+        value -= 1.0;
+        if (cycle % 3 == 0) {
+            // Raise an entry that was finite in some earlier cycle (or is
+            // still fresh-infinite: idempotent) and re-learn it worse —
+            // legal after invalidation, impossible under pure relax().
+            store.mark_invalidated(r, col);
+            ASSERT_TRUE(store.relax(r, col, value + 0.5));
+        } else {
+            ASSERT_TRUE(store.relax(r, col, value));
+        }
+        const auto prop = store.take_prop(r);
+        ASSERT_EQ(prop.size(), 1u) << "cycle " << cycle;
+        EXPECT_EQ(prop[0], col);
+        const auto send = store.take_send(r);
+        ASSERT_EQ(send.size(), 1u) << "cycle " << cycle;
+        EXPECT_EQ(send[0], col);
+        EXPECT_FALSE(store.has_prop(r));
+        EXPECT_FALSE(store.has_send(r));
+    }
+}
+
 TEST(DistanceStore, RelaxBatchSoaMatchesRelaxLoop) {
     // relax_batch_soa (the v2 ingest kernel: strictly-ascending column span
     // plus a parallel distance span) must match per-column relax() exactly —

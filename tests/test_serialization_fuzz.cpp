@@ -146,6 +146,53 @@ TEST_P(SerializerFuzz, BoundaryBlocksRoundTripV2) {
     EXPECT_EQ(payload.size() % sizeof(Weight), 0u);
 }
 
+TEST_P(SerializerFuzz, RaiseBlocksAgreeAcrossFormats) {
+    // ShrinkRaise payloads (core/edge_delete.cpp) reuse the boundary-block
+    // codecs with a distinctive shape: columns are an ascending *subset* of
+    // the affected-column set (dense runs where a whole region was
+    // invalidated, gaps where entries survived) and distances carry the
+    // finite pre-raise values. Both wire formats must reproduce that shape
+    // entry-for-entry and agree with each other.
+    Rng rng(GetParam() ^ 0x5A15E);
+    std::vector<BoundaryBlock> blocks;
+    const std::size_t block_count = 1 + rng.uniform(8);
+    for (std::size_t b = 0; b < block_count; ++b) {
+        BoundaryBlock block;
+        block.vertex = static_cast<VertexId>(rng.uniform(1u << 20));
+        // Walk a sorted universe of affected columns, keeping ~half: long
+        // kept stretches exercise RLE, skipped stretches the delta path.
+        VertexId col = static_cast<VertexId>(rng.uniform(1u << 10));
+        const std::size_t universe = rng.uniform(60);
+        for (std::size_t e = 0; e < universe; ++e) {
+            col += 1;
+            if (rng.uniform01() < 0.55) {
+                block.entries.push_back({col, rng.uniform(1.0, 1e4)});
+            }
+        }
+        blocks.push_back(std::move(block));
+    }
+    const auto v1 = decode_boundary_blocks(
+        encode_boundary_blocks(blocks, BoundaryWireFormat::V1Aos),
+        BoundaryWireFormat::V1Aos);
+    const auto v2 = decode_boundary_blocks(
+        encode_boundary_blocks(blocks, BoundaryWireFormat::V2Soa),
+        BoundaryWireFormat::V2Soa);
+    ASSERT_EQ(v1.size(), blocks.size());
+    ASSERT_EQ(v2.size(), blocks.size());
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        EXPECT_EQ(v1[b].vertex, blocks[b].vertex);
+        EXPECT_EQ(v2[b].vertex, blocks[b].vertex);
+        ASSERT_EQ(v1[b].entries.size(), blocks[b].entries.size());
+        ASSERT_EQ(v2[b].entries.size(), blocks[b].entries.size());
+        for (std::size_t e = 0; e < blocks[b].entries.size(); ++e) {
+            EXPECT_EQ(v1[b].entries[e].column, blocks[b].entries[e].column);
+            EXPECT_EQ(v1[b].entries[e].distance, blocks[b].entries[e].distance);
+            EXPECT_EQ(v2[b].entries[e].column, blocks[b].entries[e].column);
+            EXPECT_EQ(v2[b].entries[e].distance, blocks[b].entries[e].distance);
+        }
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, SerializerFuzz,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
                                            55u, 89u));
@@ -397,6 +444,88 @@ TEST(BoundaryBlockV2Validation, TruncatedHeaderDies) {
     const std::vector<std::byte> payload(sizeof(VertexId) - 1);
     EXPECT_DEATH((void)decode_boundary_blocks(payload, BoundaryWireFormat::V2Soa),
                  "header truncated");
+}
+
+// Hostile shrink payloads: a raise message names the columns being pushed to
+// infinity, so corruption there silently redirects the invalidation. Every
+// malformed column stream must die on a contract check before ingest.
+
+TEST(BoundaryBlockV2Validation, InflatedRunLengthOnRaiseColumnsDies) {
+    // One RLE run claiming *more* columns than the declared entry count: the
+    // run would invalidate columns the sender never named.
+    Serializer out;
+    out.write(VertexId{5});
+    out.write_varint(2);          // declares two raised columns
+    out.write(v2::kRunLen);
+    out.write_varint(1);          // one run
+    out.write_varint(10);         // starting at column 10
+    out.write_varint(3);          // run length 4 (len - 1): two columns extra
+    out.pad_to(sizeof(Weight));
+    out.write(1.0);
+    out.write(2.0);
+    const auto payload = out.take();
+    EXPECT_DEATH((void)decode_boundary_blocks(payload, BoundaryWireFormat::V2Soa),
+                 "run length mismatch");
+}
+
+TEST(BoundaryBlockV2Validation, ColumnVarintCorruptionCannotEatValueRun) {
+    // Flip the second column delta into a continuation-bit run: the varint
+    // reader would otherwise march through the padding and pre-raise values
+    // reinterpreting them as column bytes. The overlong guard (a u32 varint
+    // never needs more than five bytes) stops it first. A *short* payload
+    // with the same corruption instead dies on the count bound before the
+    // column walk even starts — both paths are pinned here.
+    Serializer out;
+    out.write(VertexId{5});
+    out.write_varint(2);
+    out.write(v2::kDelta);
+    out.write_varint(4);               // first column, absolute
+    for (int i = 0; i < 16; ++i) {     // "values" now look like continuations
+        out.write(std::uint8_t{0x80});
+    }
+    const auto payload = out.take();
+    EXPECT_DEATH((void)decode_boundary_blocks(payload, BoundaryWireFormat::V2Soa),
+                 "varint overlong");
+
+    Serializer short_out;
+    short_out.write(VertexId{5});
+    short_out.write_varint(2);
+    short_out.write(v2::kDelta);
+    short_out.write_varint(4);
+    short_out.write(std::uint8_t{0x80});  // stream ends mid-varint
+    const auto short_payload = short_out.take();
+    EXPECT_DEATH(
+        (void)decode_boundary_blocks(short_payload, BoundaryWireFormat::V2Soa),
+        "entry count exceeds payload");
+}
+
+TEST(BoundaryBlockV2Validation, TruncatedPreRaiseValueRunDies) {
+    // A structurally valid two-column block whose f64 value run was cut to
+    // one value: the count-versus-payload bound must reject it up front.
+    Serializer out;
+    out.write(VertexId{5});
+    out.write_varint(2);
+    out.write(v2::kDelta);
+    out.write_varint(4);
+    out.write_varint(1);
+    out.pad_to(sizeof(Weight));
+    out.write(1.0);               // second value missing
+    const auto payload = out.take();
+    EXPECT_DEATH((void)decode_boundary_blocks(payload, BoundaryWireFormat::V2Soa),
+                 "entry count exceeds payload");
+}
+
+TEST(BoundaryBlockValidation, TruncatedPreRaiseValueRunDiesV1) {
+    // Same corruption through the v1 AoS path: count says two DvEntry
+    // records, the stream carries one and a half.
+    Serializer out;
+    out.write(VertexId{5});
+    out.write(std::uint64_t{2});
+    out.write(DvEntry{4, 1.0});
+    out.write(VertexId{6});       // half an entry
+    const auto payload = out.take();
+    EXPECT_DEATH((void)decode_boundary_blocks(payload, BoundaryWireFormat::V1Aos),
+                 "entry count exceeds payload");
 }
 
 TEST(BoundaryBlockV2Validation, SoaViewDecoderRejectsTheSamePayloads) {

@@ -5,12 +5,14 @@
 // store while the driver thread runs the engine to quiescence).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
 #include <vector>
 
 #include "core/closeness.hpp"
+#include "core/edge_delete.hpp"
 #include "core/engine.hpp"
 #include "core/quality.hpp"
 #include "core/strategies.hpp"
@@ -197,6 +199,98 @@ TEST(Serve, IncrementalTopKPatchesBetweenSnapshots) {
 
     EXPECT_GT(tracker.patched(), 0u);
     EXPECT_GE(tracker.rebuilt(), 1u);  // at least the initial build
+}
+
+TEST(Serve, IncrementalTopKAbsorbsInReserveDemotion) {
+    // Score *decreases* (the fully-dynamic workload): a hub demoted out of
+    // the served top-k but not out of the maintained reserve must be evicted
+    // by a patch; a demotion past the reserve must force the rebuild the
+    // soundness threshold demands. Synthetic snapshots pin both paths.
+    const std::size_t n = 10;
+    const auto make = [&](std::uint64_t version,
+                          const std::vector<Weight>& scores,
+                          std::vector<VertexId> changed) {
+        ResultSnapshot s;
+        s.version = version;
+        s.scores.closeness = scores;
+        s.scores.reachable.assign(n, n);
+        s.changed = std::move(changed);
+        return s;
+    };
+    std::vector<Weight> scores;
+    for (std::size_t v = 0; v < n; ++v) {
+        scores.push_back(1.0 - 0.05 * static_cast<Weight>(v));
+    }
+
+    IncrementalTopK tracker(3);  // reserve depth = 6
+    ResultSnapshot s1 = make(1, scores, {});
+    tracker.apply(s1);
+    EXPECT_EQ(tracker.entries(), topk_from_snapshot(s1, 3));
+    ASSERT_EQ(tracker.reserve().size(), 6u);
+    EXPECT_EQ(tracker.rebuilt(), 1u);
+
+    // Demote vertex 0 from rank 1 to rank 5: outside the top-3, inside the
+    // reserve. The reserve boundary (vertex 5's bits) is untouched → patch.
+    scores[0] = 0.77;
+    ResultSnapshot s2 = make(2, scores, {0});
+    tracker.apply(s2);
+    EXPECT_EQ(tracker.entries(), topk_from_snapshot(s2, 3));
+    EXPECT_EQ(tracker.patched(), 1u);
+    EXPECT_EQ(tracker.rebuilt(), 1u);
+    EXPECT_EQ(tracker.entries()[0].vertex, 1u);
+
+    // Demote vertex 1 below the reserve: an unchanged outsider could now
+    // deserve a slot, so the threshold check must force a rebuild.
+    scores[1] = 0.10;
+    ResultSnapshot s3 = make(3, scores, {1});
+    tracker.apply(s3);
+    EXPECT_EQ(tracker.entries(), topk_from_snapshot(s3, 3));
+    EXPECT_EQ(tracker.patched(), 1u);
+    EXPECT_EQ(tracker.rebuilt(), 2u);
+}
+
+TEST(Serve, IncrementalTopKTracksHubShrink) {
+    // End-to-end hub-shrink regression: delete the reigning hub's edges via
+    // the shrink path and keep the tracker bit-identical to a full selection
+    // across the whole (non-monotone) snapshot stream. The changed list must
+    // name the invalidated hub — that is what lets the patch see the demotion.
+    Rng rng(13);
+    DynamicGraph g = barabasi_albert(100, 3, rng);
+    const DynamicGraph host = g;
+    AnytimeEngine engine(std::move(g), serve_config(4));
+    engine.initialize();
+    engine.run_to_quiescence();
+
+    IncrementalTopK tracker(5);
+    std::uint64_t version = 0;
+    std::shared_ptr<ResultSnapshot> previous;
+    const auto advance = [&] {
+        auto snapshot = build_snapshot(engine, ++version, previous.get());
+        tracker.apply(*snapshot);
+        ASSERT_EQ(tracker.entries(), topk_from_snapshot(*snapshot, 5))
+            << "version " << version;
+        previous = std::move(snapshot);
+    };
+    advance();
+
+    const VertexId hub = tracker.entries().front().vertex;
+    ShrinkBatch batch;
+    for (const Neighbor& nb : host.neighbors(hub)) {
+        batch.deletions.push_back({hub, nb.to, 0.0});
+        if (batch.deletions.size() == host.neighbors(hub).size() - 1) {
+            break;  // keep one edge: shrink the hub, don't isolate it
+        }
+    }
+    engine.apply_deletion(batch);
+    advance();  // mid-settle snapshot: scores already reflect invalidation
+    ASSERT_NE(std::find(previous->changed.begin(), previous->changed.end(),
+                        hub),
+              previous->changed.end())
+        << "invalidated hub missing from the changed list";
+    while (engine.rc_step()) {
+        advance();
+    }
+    EXPECT_NE(tracker.entries().front().vertex, hub);
 }
 
 TEST(Serve, FreshnessPoliciesWithSyncStepDriver) {

@@ -19,6 +19,9 @@
 //   steps <k>                         run k RC steps
 //   add <count> rr|cutedge|repart [communities]   vertex batch
 //   edges <count>                     random new edges between old vertices
+//   delete <u> <v>                    remove one edge (invalidate/re-settle)
+//   delete-vertex <v>                 remove every edge incident to v
+//   reweight <u> <v> <w>              set an edge weight (raises allowed)
 //   converge                          run RC to quiescence
 //   closeness [top]                   print top-k closeness (default 5)
 //   telemetry                         print per-step telemetry so far
@@ -70,6 +73,9 @@ const char kHelpText[] =
     "  steps <k>                         run k RC steps\n"
     "  add <count> rr|cutedge|repart [communities]   vertex batch\n"
     "  edges <count>                     random new edges between old vertices\n"
+    "  delete <u> <v>                    remove one edge (invalidate/re-settle)\n"
+    "  delete-vertex <v>                 remove every edge incident to v\n"
+    "  reweight <u> <v> <w>              set an edge weight (raises allowed)\n"
     "  converge                          run RC to quiescence\n"
     "  closeness [top]                   print top-k closeness (engine-side)\n"
     "  telemetry                         print per-step telemetry so far\n"
@@ -274,6 +280,68 @@ struct Runner {
             engine->add_edges(new_edges);
             std::printf("[%8.4fs] +%zu edges between existing vertices\n",
                         engine->sim_seconds(), new_edges.size());
+        } else if (command == "delete") {
+            require_engine(command);
+            std::size_t u = 0;
+            std::size_t v = 0;
+            if (!(in >> u >> v)) {
+                std::fprintf(stderr, "error: usage: delete <u> <v>\n");
+                return false;
+            }
+            ShrinkBatch batch;
+            batch.deletions.push_back(
+                {static_cast<VertexId>(u), static_cast<VertexId>(v), 0.0});
+            const ShrinkReport rep = engine->apply_deletion(batch);
+            mirror.remove_edge(static_cast<VertexId>(u),
+                               static_cast<VertexId>(v));
+            std::printf("[%8.4fs] -edge %zu-%zu: %zu removed, %zu entries "
+                        "invalidated in %zu cascade round(s)\n",
+                        engine->sim_seconds(), u, v, rep.edges_removed,
+                        rep.invalidated_entries, rep.cascade_rounds);
+        } else if (command == "delete-vertex") {
+            require_engine(command);
+            std::size_t v = 0;
+            if (!(in >> v)) {
+                std::fprintf(stderr, "error: usage: delete-vertex <v>\n");
+                return false;
+            }
+            if (v >= mirror.num_vertices()) {
+                std::fprintf(stderr, "error: vertex %zu out of range\n", v);
+                return false;
+            }
+            ShrinkBatch batch;
+            batch.vertices.push_back(static_cast<VertexId>(v));
+            const ShrinkReport rep = engine->apply_deletion(batch);
+            std::vector<VertexId> targets;
+            for (const Neighbor& nb :
+                 mirror.neighbors(static_cast<VertexId>(v))) {
+                targets.push_back(nb.to);
+            }
+            for (const VertexId t : targets) {
+                mirror.remove_edge(static_cast<VertexId>(v), t);
+            }
+            std::printf("[%8.4fs] -vertex %zu: %zu incident edge(s) removed, "
+                        "%zu entries invalidated in %zu cascade round(s)\n",
+                        engine->sim_seconds(), v, rep.edges_removed,
+                        rep.invalidated_entries, rep.cascade_rounds);
+        } else if (command == "reweight") {
+            require_engine(command);
+            std::size_t u = 0;
+            std::size_t v = 0;
+            double w = 0;
+            if (!(in >> u >> v >> w) || w <= 0) {
+                std::fprintf(stderr,
+                             "error: usage: reweight <u> <v> <w>, w > 0\n");
+                return false;
+            }
+            const Edge update{static_cast<VertexId>(u),
+                              static_cast<VertexId>(v), w};
+            const ShrinkReport rep = engine->update_edge_weights({&update, 1});
+            mirror.set_edge_weight(update.u, update.v, w);
+            std::printf("[%8.4fs] reweight %zu-%zu -> %g: %zu raise(s), %zu "
+                        "decrease(s), %zu entries invalidated\n",
+                        engine->sim_seconds(), u, v, w, rep.weight_increases,
+                        rep.weight_decreases, rep.invalidated_entries);
         } else if (command == "converge") {
             require_engine(command);
             const std::size_t ran = engine->run_to_quiescence();
@@ -364,6 +432,14 @@ struct Runner {
                     const bool both_inf =
                         !(matrix[v][t] < kInfinity) && !(exact[v][t] < kInfinity);
                     if (!both_inf && std::abs(matrix[v][t] - exact[v][t]) > 1e-9) {
+                        if (mismatches < 10) {
+                            std::printf("  mismatch d(%zu,%zu): engine %g, "
+                                        "exact %g (%s)\n",
+                                        v, t, matrix[v][t], exact[v][t],
+                                        matrix[v][t] < exact[v][t]
+                                            ? "stale-low"
+                                            : "not settled");
+                        }
                         ++mismatches;
                     }
                 }

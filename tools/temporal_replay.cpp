@@ -1,21 +1,34 @@
 // temporal_replay — replay a timestamped edge stream through the engine.
 //
 // Input: SNAP temporal edge-list lines "u v t [w]" ('#' comments ignored).
+// A line may carry a leading op keyword for fully-dynamic traces:
+//
+//   add u v t [w]       same as the bare form (w defaults to 1)
+//   remove u v t        delete the edge (absent edges are skipped)
+//   reweight u v t w    set the edge weight to w (increase or decrease)
+//
 // The stream is split into time windows; the first `--warmup` fraction forms
-// the initial static graph, then each window is applied as a dynamic update:
-// previously unseen endpoints become a vertex-addition batch (assigned via
-// the chosen strategy), edges between known vertices go through the anywhere
-// edge-addition path. Prints a timeline and a final centrality report, with
-// an optional exact verification.
+// the initial static graph (ops in the warmup prefix mutate it directly),
+// then each window is applied as a dynamic update: previously unseen
+// endpoints become a vertex-addition batch (assigned via the chosen
+// strategy), edges between known vertices go through the anywhere
+// edge-addition path, and the window's removes/reweights form one
+// ShrinkBatch applied after the adds. Prints a timeline and a final
+// centrality report, with an optional exact verification.
 //
 //   temporal_replay edges.tsv --windows 10 --strategy cutedge --verify
 //   temporal_replay --synth 800 --backend threaded   (thread-per-rank engine)
 //   temporal_replay --synth 800 --windows 8        (no file: synthesize)
 //   temporal_replay --synth 800 --timeline replay.json --timeline-csv spans.csv
 //
+// Synthesized streams (--synth) include a churn tail: a deterministic
+// selection of early edges is removed or reweighted in the later windows,
+// so the fully-dynamic path is exercised without an input file.
+//
 // --timeline / --timeline-csv write the aa.timeline.v1 block (JSON) or the
 // raw span stream (CSV) for the whole replay after convergence.
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -25,6 +38,7 @@
 
 #include "core/baseline.hpp"
 #include "core/closeness.hpp"
+#include "core/edge_delete.hpp"
 #include "core/engine.hpp"
 #include "core/strategies.hpp"
 #include "core/telemetry.hpp"
@@ -34,11 +48,14 @@ namespace {
 
 using namespace aa;
 
+enum class TraceOp { Add, Remove, Reweight };
+
 struct TemporalEdge {
     std::uint64_t u;
     std::uint64_t v;
     double time;
     Weight w;
+    TraceOp op = TraceOp::Add;
 };
 
 std::vector<TemporalEdge> load_stream(std::istream& in) {
@@ -49,13 +66,32 @@ std::vector<TemporalEdge> load_stream(std::istream& in) {
             continue;
         }
         std::istringstream fields(line);
-        TemporalEdge e{0, 0, 0, 1.0};
+        TemporalEdge e{0, 0, 0, 1.0, TraceOp::Add};
+        if (std::isalpha(static_cast<unsigned char>(line[0]))) {
+            std::string op;
+            fields >> op;
+            if (op == "add") {
+                e.op = TraceOp::Add;
+            } else if (op == "remove" || op == "del" || op == "delete") {
+                e.op = TraceOp::Remove;
+            } else if (op == "reweight") {
+                e.op = TraceOp::Reweight;
+            } else {
+                std::fprintf(stderr, "skipping unknown op: %s\n", line.c_str());
+                continue;
+            }
+        }
         if (!(fields >> e.u >> e.v >> e.time)) {
             std::fprintf(stderr, "skipping malformed line: %s\n", line.c_str());
             continue;
         }
-        fields >> e.w;
-        if (e.u != e.v && e.w > 0) {
+        const bool got_weight = static_cast<bool>(fields >> e.w);
+        if (e.op == TraceOp::Reweight && !got_weight) {
+            std::fprintf(stderr, "skipping reweight without weight: %s\n",
+                         line.c_str());
+            continue;
+        }
+        if (e.u != e.v && (e.op == TraceOp::Remove || e.w > 0)) {
             edges.push_back(e);
         }
     }
@@ -67,13 +103,36 @@ std::vector<TemporalEdge> load_stream(std::istream& in) {
 }
 
 /// Synthesize a growth-like temporal stream: a BA graph whose edges are
-/// timestamped by the creation order of their newer endpoint.
+/// timestamped by the creation order of their newer endpoint, plus a churn
+/// tail — some early edges are later removed, others reweighted — so the
+/// fully-dynamic remove/reweight path runs even without an input file.
 std::vector<TemporalEdge> synth_stream(std::size_t n, std::uint64_t seed) {
     Rng rng(seed);
     const auto g = barabasi_albert(n, 3, rng);
     std::vector<TemporalEdge> edges;
+    std::vector<Edge> early;
     for (const Edge& e : g.edges()) {
-        edges.push_back({e.u, e.v, static_cast<double>(std::max(e.u, e.v)), 1.0});
+        edges.push_back(
+            {e.u, e.v, static_cast<double>(std::max(e.u, e.v)), 1.0});
+        if (std::max(e.u, e.v) < n / 4) {
+            early.push_back(e);
+        }
+    }
+    const std::size_t churn = std::min(early.size() / 2, n / 25 + 1);
+    const double spread = static_cast<double>(n) / 2.0;
+    for (std::size_t i = 0; i < churn; ++i) {
+        // Deterministic pick without replacement from the early edges.
+        const std::size_t pick = rng.uniform(early.size());
+        const Edge e = early[pick];
+        early.erase(early.begin() + static_cast<std::ptrdiff_t>(pick));
+        const double when =
+            spread + spread * static_cast<double>(i + 1) /
+                         static_cast<double>(churn + 1);
+        if (i % 2 == 0) {
+            edges.push_back({e.u, e.v, when, 1.0, TraceOp::Remove});
+        } else {
+            edges.push_back({e.u, e.v, when, 2.0, TraceOp::Reweight});
+        }
     }
     std::stable_sort(edges.begin(), edges.end(),
                      [](const TemporalEdge& a, const TemporalEdge& b) {
@@ -168,6 +227,21 @@ int main(int argc, char** argv) {
 
     DynamicGraph initial;
     for (std::size_t i = 0; i < warmup_edges; ++i) {
+        if (stream[i].op != TraceOp::Add) {
+            // Warmup-prefix churn mutates the initial graph directly.
+            const auto u = remap.find(stream[i].u);
+            const auto v = remap.find(stream[i].v);
+            if (u == remap.end() || v == remap.end() ||
+                !(initial.edge_weight(u->second, v->second) < kInfinity)) {
+                continue;
+            }
+            if (stream[i].op == TraceOp::Remove) {
+                initial.remove_edge(u->second, v->second);
+            } else {
+                initial.set_edge_weight(u->second, v->second, stream[i].w);
+            }
+            continue;
+        }
         const auto u = intern(stream[i].u);
         const auto v = intern(stream[i].v);
         const auto needed = static_cast<std::size_t>(std::max(u, v)) + 1;
@@ -213,8 +287,28 @@ int main(int argc, char** argv) {
         GrowthBatch batch;
         batch.base_id = static_cast<VertexId>(mirror.num_vertices());
         std::vector<Edge> old_edges;
+        ShrinkBatch shrink;
         std::map<std::uint64_t, VertexId> fresh;  // raw -> new dense id
         for (std::size_t i = cursor; i < end; ++i) {
+            if (stream[i].op != TraceOp::Add) {
+                // Removes/reweights can only touch already-known vertices.
+                const auto u = remap.find(stream[i].u);
+                const auto v = remap.find(stream[i].v);
+                if (u == remap.end() || v == remap.end()) {
+                    std::fprintf(stderr,
+                                 "skipping op on unknown vertices %llu %llu\n",
+                                 static_cast<unsigned long long>(stream[i].u),
+                                 static_cast<unsigned long long>(stream[i].v));
+                    continue;
+                }
+                const Edge e{u->second, v->second, stream[i].w};
+                if (stream[i].op == TraceOp::Remove) {
+                    shrink.deletions.push_back(e);
+                } else {
+                    shrink.reweights.push_back(e);
+                }
+                continue;
+            }
             const auto resolve = [&](std::uint64_t raw) -> VertexId {
                 const auto known = remap.find(raw);
                 if (known != remap.end()) {
@@ -247,11 +341,27 @@ int main(int argc, char** argv) {
                 mirror.add_edge(e.u, e.v, e.weight);
             }
         }
+        if (!shrink.deletions.empty() || !shrink.reweights.empty()) {
+            // Adds first, then the shrink batch: a remove of an edge added
+            // in the same window deletes it, matching the mirror below.
+            engine.apply_deletion(shrink);
+            for (const Edge& e : shrink.deletions) {
+                if (mirror.edge_weight(e.u, e.v) < kInfinity) {
+                    mirror.remove_edge(e.u, e.v);
+                }
+            }
+            for (const Edge& e : shrink.reweights) {
+                if (mirror.edge_weight(e.u, e.v) < kInfinity) {
+                    mirror.set_edge_weight(e.u, e.v, e.weight);
+                }
+            }
+        }
         engine.rc_step();  // one refinement step between windows
         std::printf("[%8.4fs] window %zu: +%zu vertices, +%zu edges (%zu to "
-                    "existing) -> %zu vertices\n",
+                    "existing), -%zu edges, %zu reweights -> %zu vertices\n",
                     engine.sim_seconds(), ++window_index, batch.num_new,
                     batch.edges.size() + old_edges.size(), old_edges.size(),
+                    shrink.deletions.size(), shrink.reweights.size(),
                     engine.num_vertices());
         cursor = end;
     }

@@ -238,6 +238,7 @@ void AnytimeEngine::anywhere_add(const GrowthBatch& batch,
         metrics_->span_close(propagate_span, sim_seconds());
     }
     report_.dynamic_ops += dynamic_ops;
+    note_structural_change();
 }
 
 void AnytimeEngine::add_edges(std::span<const Edge> edges) {
@@ -276,6 +277,7 @@ void AnytimeEngine::add_edges(std::span<const Edge> edges) {
     }
     cluster_->barrier();
     report_.dynamic_ops += dynamic_ops;
+    note_structural_change();
     fire_boundary_hook();
 }
 
@@ -321,6 +323,7 @@ bool AnytimeEngine::decrease_edge_weight(VertexId u, VertexId v, Weight new_weig
     }
     cluster_->barrier();
     report_.dynamic_ops += dynamic_ops;
+    note_structural_change();
     fire_boundary_hook();
     return true;
 }

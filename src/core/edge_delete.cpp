@@ -509,6 +509,7 @@ ShrinkReport AnytimeEngine::apply_deletion(const ShrinkBatch& batch) {
         metrics_->span_add(span, dynamic_ops);
         metrics_->span_close(span, sim_seconds());
     }
+    note_structural_change();
     fire_boundary_hook();
     return rep;
 }

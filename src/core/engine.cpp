@@ -26,7 +26,8 @@ AnytimeEngine::AnytimeEngine(DynamicGraph graph, EngineConfig config)
       pool_(std::make_unique<ThreadPool>(config.ia_threads)),
       inline_pool_(std::make_unique<ThreadPool>(1)),
       rng_(config.seed),
-      metrics_(std::make_unique<MetricsRegistry>()) {
+      metrics_(std::make_unique<MetricsRegistry>()),
+      demand_(std::make_unique<DemandTracker>(graph_.num_vertices())) {
     AA_ASSERT_MSG(config_.num_ranks >= 1, "need at least one rank");
     // Resolve the ingest window once: the 0 sentinel adapts to the host LLC
     // shared by however many ranks ingest concurrently (all of them under a
@@ -56,9 +57,93 @@ void AnytimeEngine::set_boundary_hook(std::function<void(AnytimeEngine&)> hook) 
 }
 
 void AnytimeEngine::fire_boundary_hook() {
+    // Query heat ages once per engine boundary so stale interest fades; the
+    // decay skips zero cells, so an idle tracker costs one pass of loads.
+    demand_->decay(kDefaultHeatDecay);
+    if (metrics_->enabled()) {
+        const DemandTracker::Totals totals = demand_->totals();
+        metrics_->set(metrics_->gauge("refine.demand.total"), totals.total);
+        metrics_->set(metrics_->gauge("refine.demand.max"), totals.max);
+        metrics_->set(metrics_->gauge("refine.demand.hot"),
+                      static_cast<double>(totals.hot));
+    }
     if (boundary_hook_) {
         boundary_hook_(*this);
     }
+}
+
+void AnytimeEngine::set_refine_focus(const std::vector<VertexId>& focus) {
+    refine_focus_mask_.assign(graph_.num_vertices(), 0);
+    refine_focus_any_ = false;
+    for (const VertexId v : focus) {
+        if (v < refine_focus_mask_.size()) {
+            refine_focus_mask_[v] = 1;
+            refine_focus_any_ = true;
+        }
+    }
+}
+
+std::vector<std::vector<LocalId>> AnytimeEngine::plan_refine_orders() {
+    std::vector<std::vector<LocalId>> plans(ranks_.size());
+    if (config_.refine_policy == RefinePolicy::Uniform) {
+        return plans;  // contract: empty plans = the historical schedule
+    }
+    std::vector<double> heat;
+    const bool any_heat = demand_->snapshot(heat);
+    const bool use_focus = config_.refine_policy == RefinePolicy::TopKPruned &&
+                           refine_focus_any_;
+    if (!any_heat && !use_focus) {
+        return plans;  // no demand signal: bit-identical to Uniform
+    }
+    const std::span<const double> heat_span =
+        any_heat ? std::span<const double>(heat) : std::span<const double>{};
+    const std::span<const std::uint8_t> focus_span =
+        use_focus ? std::span<const std::uint8_t>(refine_focus_mask_)
+                  : std::span<const std::uint8_t>{};
+    for (RankId r = 0; r < ranks_.size(); ++r) {
+        plans[r] = plan_rank_order(ranks_[r].sg, heat_span, focus_span);
+    }
+    return plans;
+}
+
+void AnytimeEngine::refresh_weight_extremes() {
+    w_min_ = kInfinity;
+    w_max_ = 0;
+    for (const Edge& e : graph_.edges()) {
+        w_min_ = std::min(w_min_, e.weight);
+        w_max_ = std::max(w_max_, e.weight);
+    }
+}
+
+void AnytimeEngine::note_structural_change() {
+    // Every caller has just re-settled its ranks to the local fixpoint (and
+    // the deletion cascade only leaves certified-or-invalidated entries), so
+    // the wavefront certificate restarts from its intra-rank base case.
+    wavefront_k_ = 0;
+    refresh_weight_extremes();
+    demand_->resize(graph_.num_vertices());
+    if (refine_focus_mask_.size() != graph_.num_vertices()) {
+        refine_focus_mask_.resize(graph_.num_vertices(), 0);
+    }
+}
+
+BoundsParams AnytimeEngine::bounds_params() const {
+    BoundsParams params;
+    params.n = graph_.num_vertices();
+    params.variant = config_.closeness_variant;
+    params.w_min = w_min_;
+    params.w_max = w_max_;
+    params.wavefront_k = wavefront_k_;
+    params.quiescent = initialized_ && quiescent();
+    return params;
+}
+
+ClosenessInterval AnytimeEngine::closeness_interval(VertexId v) const {
+    AA_ASSERT_MSG(initialized_, "initialize() must run first");
+    AA_ASSERT(v < owners_.size());
+    const RankState& state = ranks_[owners_[v]];
+    return row_closeness_interval(state.store.row(state.sg.local_id(v)), v,
+                                  bounds_params());
 }
 
 void AnytimeEngine::run_rank_phase(
@@ -191,6 +276,11 @@ void AnytimeEngine::initialize() {
         report_.ia_ops += ia_ops[r];
     }
     cluster_->barrier();
+    // IA leaves every intra-rank pair exact: the wavefront certificate's
+    // k = 0 base case (see refine/bounds.hpp).
+    wavefront_k_ = 0;
+    refresh_weight_extremes();
+    demand_->resize(n);
     fire_boundary_hook();
 }
 
@@ -228,6 +318,13 @@ bool AnytimeEngine::rc_step() {
         }
     }
 
+    // Refine plans for this step: per-rank sweep orders from the query-heat
+    // and top-k focus signals (all empty under Uniform / no demand — the
+    // kernels then take their historical ascending sweeps, bit-identically).
+    // Planned once on the driver thread so both phases below — and both the
+    // sync and async propagate paths — order work consistently.
+    const std::vector<std::vector<LocalId>> refine_plans = plan_refine_orders();
+
     // Phase 1: package & post boundary DV updates. Rank-confined throughout
     // (each closure serializes its own rows and posts from its own outbox).
     std::vector<double> post_ops(ranks_.size(), 0);
@@ -236,7 +333,7 @@ bool AnytimeEngine::rc_step() {
         const double t0 = cluster_->time(r);
         const double ops = rc_post_boundary_updates(
             ranks_[r].sg, ranks_[r].store, *cluster_, config_.wire_format,
-            mx ? &profile : nullptr);
+            mx ? &profile : nullptr, refine_plans[r]);
         cluster_->charge_compute(r, ops);
         post_ops[r] = ops;
         if (mx) {
@@ -261,7 +358,7 @@ bool AnytimeEngine::rc_step() {
 
     std::vector<double> phase3_ops(ranks_.size(), 0);
     if (config_.rc_async) {
-        rc_step_async(stats, step_no, comm_before, phase3_ops);
+        rc_step_async(stats, step_no, comm_before, phase3_ops, refine_plans);
     } else {
         // Phase 2: personalized all-to-all exchange (priced, barrier
         // semantics).
@@ -318,7 +415,9 @@ bool AnytimeEngine::rc_step() {
             RcPropagateProfile prop_profile;
             const double prop_ops = rc_propagate_local(
                 ranks_[r].sg, ranks_[r].store, kernel_pool(),
-                kRcPropagateParallelGrain, mx ? &prop_profile : nullptr);
+                kRcPropagateParallelGrain, mx ? &prop_profile : nullptr,
+                kRcPropagateTileCols, refine_plans[r],
+                config_.refine_budget_ops);
             cluster_->charge_compute(r, prop_ops);
             phase3_ops[r] = ingest_ops + prop_ops;
             if (mx) {
@@ -356,6 +455,13 @@ bool AnytimeEngine::rc_step() {
     cluster_->barrier();
 
     ++rc_steps_;
+    // Advance the wavefront certificate only for full-fixpoint steps: a
+    // budgeted propagate may stop short of the local fixpoint the
+    // certificate's induction needs (settled entries stay settled either
+    // way, so a stale k is sound, just loose).
+    if (config_.refine_budget_ops <= 0) {
+        wavefront_k_ = wavefront_k_ < 0 ? 0 : wavefront_k_ + 1;
+    }
     report_.rc_steps = rc_steps_;
     report_.sim_seconds = sim_seconds();
     stats.messages = cluster_->stats().total_messages - messages_before;
@@ -366,9 +472,10 @@ bool AnytimeEngine::rc_step() {
     return true;
 }
 
-void AnytimeEngine::rc_step_async(RcStepStats& stats, std::int64_t step_no,
-                                  const std::vector<RankStats>& comm_before,
-                                  std::vector<double>& phase3_ops) {
+void AnytimeEngine::rc_step_async(
+    RcStepStats& stats, std::int64_t step_no,
+    const std::vector<RankStats>& comm_before, std::vector<double>& phase3_ops,
+    const std::vector<std::vector<LocalId>>& refine_plans) {
     // Event-driven phases 2+3: the pipelined exchange turns every posted
     // message into a timestamped delivery event; a rank ingests each message
     // the moment it arrives, then propagates once its whole inbox is in.
@@ -528,7 +635,9 @@ void AnytimeEngine::rc_step_async(RcStepStats& stats, std::int64_t step_no,
         const double t1 = cluster_->time(r);
         const double prop_ops = rc_propagate_local(
             ranks_[r].sg, ranks_[r].store, kernel_pool(),
-            kRcPropagateParallelGrain, mx ? &prop_profile : nullptr);
+            kRcPropagateParallelGrain, mx ? &prop_profile : nullptr,
+            kRcPropagateTileCols, refine_plans[r],
+            config_.refine_budget_ops);
         cluster_->charge_compute(r, prop_ops);
         phase3_ops[r] += prop_ops;
         if (mx) {
@@ -809,6 +918,12 @@ AnytimeEngine AnytimeEngine::load_checkpoint(std::istream& in, EngineConfig conf
         state.store.install_row(state.sg.local_id(v), std::move(values));
     }
     AA_ASSERT_MSG(d.exhausted(), "trailing bytes in checkpoint");
+    // The wavefront certificate is not checkpointed: after a restore only
+    // the (exact) diagonal is trusted until one full RC step re-establishes
+    // the intra-rank base case.
+    engine.wavefront_k_ = -1;
+    engine.refresh_weight_extremes();
+    engine.demand_->resize(n);
 
     // Pending worklist marks are not checkpointed; re-establish consistency
     // conservatively (one full sweep, like Repartition-S after migration).

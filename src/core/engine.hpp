@@ -38,6 +38,9 @@
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "partition/multilevel.hpp"
+#include "refine/bounds.hpp"
+#include "refine/demand.hpp"
+#include "refine/planner.hpp"
 #include "runtime/backend.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/thread_pool.hpp"
@@ -134,6 +137,22 @@ struct EngineConfig {
     /// with -DAA_ENABLE_SIMD=ON on hardware with AVX2; results are
     /// bit-identical to the scalar reference either way).
     bool rc_simd{true};
+    /// How the RC kernels order per-rank work (see refine/planner.hpp).
+    /// Uniform — the default — keeps the historical ascending sweeps and is
+    /// bit-identical to the pre-refine engine by contract (schedule, ops,
+    /// dirty-append order, span sequence); QueryHeat / TopKPruned reorder
+    /// the post and propagate worklists toward query-hot rows whenever the
+    /// DemandTracker (or the top-k focus set) holds a positive signal.
+    /// Reordering never changes the converged state, only which rows become
+    /// exact first.
+    RefinePolicy refine_policy{RefinePolicy::Uniform};
+    /// Per-rank, per-step cap on propagate relaxation attempts (see
+    /// rc_propagate_local's max_ops). 0 — the default — drains to the local
+    /// fixpoint every step, the historical behaviour. A positive budget
+    /// makes steps incremental: undrained rows stay marked and convergence
+    /// is spread over more (cheaper) steps, which is what gives a refine
+    /// policy room to finish hot rows first. Applies under any policy.
+    double refine_budget_ops{0};
 };
 
 /// Counters describing one engine lifetime; used by benchmarks and reports.
@@ -292,8 +311,44 @@ public:
     /// dynamic-update entry point (apply_addition, add_edges, and a
     /// decrease_edge_weight that changed a weight). Runs on the calling
     /// thread with the engine idle between phases; the hook must only
-    /// observe (query state, build snapshots), never mutate the engine.
+    /// observe the algorithmic state (query state, build snapshots) — never
+    /// mutate it. Refinement *hints* (demand().record, set_refine_focus) are
+    /// the one sanctioned exception: they steer the schedule, not the answer.
     void set_boundary_hook(std::function<void(AnytimeEngine&)> hook);
+
+    // ---- demand-driven refinement ------------------------------------------
+
+    /// The per-vertex query-heat accumulator the serve layer feeds and the
+    /// refine planner reads (see refine/demand.hpp). record() is safe from
+    /// any thread; the engine decays it once per boundary.
+    DemandTracker& demand() { return *demand_; }
+    const DemandTracker& demand() const { return *demand_; }
+
+    RefinePolicy refine_policy() const { return config_.refine_policy; }
+    void set_refine_policy(RefinePolicy policy) {
+        config_.refine_policy = policy;
+    }
+    void set_refine_budget_ops(double ops) { config_.refine_budget_ops = ops; }
+
+    /// Replace the top-k focus set (the serve layer's uncertain top-k
+    /// candidates). Only consulted under RefinePolicy::TopKPruned; focus
+    /// rows order ahead of plain heat. Out-of-range ids are ignored.
+    void set_refine_focus(const std::vector<VertexId>& focus);
+
+    /// Completed RC steps since the last structural base case (-1 right
+    /// after a checkpoint restore) — the k of the wavefront settledness
+    /// certificate in refine/bounds.hpp. Budgeted steps (refine_budget_ops
+    /// > 0) do not advance it: they may stop short of the local fixpoint the
+    /// certificate's induction needs.
+    std::int64_t wavefront_steps() const { return wavefront_k_; }
+
+    /// The engine-side inputs of the closeness interval math, captured from
+    /// the current state (see refine/bounds.hpp).
+    BoundsParams bounds_params() const;
+
+    /// Certified [lo, hi] enclosure of v's *converged* closeness score from
+    /// its current row. Observer only (no charges); O(n) row scan.
+    ClosenessInterval closeness_interval(VertexId v) const;
 
     /// Closeness scores from the current (possibly partial) DVs.
     /// Observer only: reads rank state directly, charges nothing.
@@ -375,9 +430,22 @@ private:
     /// and accumulates per-rank ingest + propagate ops into phase3_ops.
     void rc_step_async(RcStepStats& stats, std::int64_t step_no,
                        const std::vector<RankStats>& comm_before,
-                       std::vector<double>& phase3_ops);
-    /// Invoke boundary_hook_ if set (phase entry points call this last).
+                       std::vector<double>& phase3_ops,
+                       const std::vector<std::vector<LocalId>>& refine_plans);
+    /// Decay query heat, export the refine.demand.* gauges, then invoke
+    /// boundary_hook_ if set (phase entry points call this last).
     void fire_boundary_hook();
+    /// Per-rank refine sweep orders for the starting RC step (empty vectors
+    /// = the historical ascending order). Runs on the driver thread before
+    /// the post phase; deterministic given the heat/focus state.
+    std::vector<std::vector<LocalId>> plan_refine_orders();
+    /// Every structural-update path calls this after its local re-settlement:
+    /// resets the wavefront certificate to its k = 0 base case, recomputes
+    /// the live w_min/w_max, and grows demand/focus state to the new vertex
+    /// count.
+    void note_structural_change();
+    /// Recompute w_min_/w_max_ from the live graph.
+    void refresh_weight_extremes();
     /// Returns the total ops charged (for the DD telemetry span).
     double charge_partition_cost(std::size_t vertices, std::size_t edges);
     /// Broadcast row(from) and apply the new/changed edge {from, to, w}
@@ -402,6 +470,17 @@ private:
     std::unique_ptr<MetricsRegistry> metrics_;
     std::size_t last_moved_vertices_{0};
     std::function<void(AnytimeEngine&)> boundary_hook_;
+    // unique_ptr because DemandTracker (SharedSlot member) is neither
+    // copyable nor movable, and the engine keeps its defaulted moves.
+    std::unique_ptr<DemandTracker> demand_;
+    std::vector<std::uint8_t> refine_focus_mask_;  // 0/1 per global vertex
+    bool refine_focus_any_{false};
+    /// Wavefront certificate counter (see wavefront_steps()).
+    std::int64_t wavefront_k_{-1};
+    /// Live min/max edge weight (kInfinity / 0 on an edgeless graph),
+    /// recomputed at every structural boundary.
+    Weight w_min_{kInfinity};
+    Weight w_max_{0};
 };
 
 }  // namespace aa

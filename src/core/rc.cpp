@@ -336,7 +336,10 @@ std::vector<BoundaryBlockView> decode_boundary_block_views(
 
 double rc_post_boundary_updates(const LocalSubgraph& sg, DistanceStore& store,
                                 Cluster& cluster, BoundaryWireFormat format,
-                                RcPostProfile* profile) {
+                                RcPostProfile* profile,
+                                std::span<const LocalId> row_order) {
+    AA_ASSERT_MSG(row_order.empty() || row_order.size() == sg.num_local(),
+                  "refine plan must be a permutation of all local rows");
     const RankId me = sg.rank();
     const std::uint32_t num_ranks = cluster.num_ranks();
     double ops = 0;
@@ -353,7 +356,11 @@ double rc_post_boundary_updates(const LocalSubgraph& sg, DistanceStore& store,
     std::vector<Weight> dists;          // reused across rows (v2)
     Serializer encoder;                 // reused across rows
 
-    for (LocalId l = 0; l < sg.num_local(); ++l) {
+    for (std::size_t i = 0; i < sg.num_local(); ++i) {
+        // A refine plan visits rows in planner priority order; the empty
+        // default is the historical ascending sweep (see rc.hpp).
+        const LocalId l =
+            row_order.empty() ? static_cast<LocalId>(i) : row_order[i];
         if (!store.has_send(l)) {
             continue;
         }
@@ -626,11 +633,16 @@ double rc_ingest_updates(const LocalSubgraph& sg, DistanceStore& store,
 
 double rc_propagate_local(const LocalSubgraph& sg, DistanceStore& store,
                           ThreadPool* pool, std::size_t parallel_grain,
-                          RcPropagateProfile* profile, std::size_t tile_cols) {
+                          RcPropagateProfile* profile, std::size_t tile_cols,
+                          std::span<const LocalId> seed_order, double max_ops) {
+    AA_ASSERT_MSG(seed_order.empty() || seed_order.size() == sg.num_local(),
+                  "refine plan must be a permutation of all local rows");
     double ops = 0;
     std::deque<LocalId> worklist;
     std::vector<std::uint8_t> queued(sg.num_local(), 0);
-    for (LocalId l = 0; l < sg.num_local(); ++l) {
+    for (std::size_t i = 0; i < sg.num_local(); ++i) {
+        const LocalId l =
+            seed_order.empty() ? static_cast<LocalId>(i) : seed_order[i];
         if (store.has_prop(l)) {
             worklist.push_back(l);
             queued[l] = 1;
@@ -649,6 +661,13 @@ double rc_propagate_local(const LocalSubgraph& sg, DistanceStore& store,
     std::vector<std::uint64_t> col_bits((store.num_columns() + 63) / 64, 0);
 
     while (!worklist.empty()) {
+        // Budget check *before* the pop: an exhausted call leaves every
+        // undrained row marked, so nothing is lost — later steps finish the
+        // drain (see rc.hpp). ops starts at 0 < max_ops, so at least one
+        // marked row always drains per call.
+        if (max_ops > 0 && ops >= max_ops) {
+            break;
+        }
         const LocalId u = worklist.front();
         worklist.pop_front();
         queued[u] = 0;

@@ -101,11 +101,20 @@ struct RcPropagateProfile {
 /// destination payload (see the accounting note above). Send-lists of
 /// interior rows are drained too (they have no audience; a row that later
 /// becomes boundary is re-marked in full by the edge-addition path).
+///
+/// `row_order` (the refine planner's output, see refine/planner.hpp) makes
+/// the drain visit rows in that order instead of ascending LocalId; it must
+/// be a permutation of all local rows when non-empty. Reordering the drain
+/// changes which blocks land earlier in each destination payload — and
+/// therefore the receivers' relaxation order — never the drained set, the
+/// op count, or any converged value. An empty order is the historical
+/// ascending sweep, byte-identical to the pre-refine kernel.
 /// Returns ops.
 double rc_post_boundary_updates(const LocalSubgraph& sg, DistanceStore& store,
                                 Cluster& cluster,
                                 BoundaryWireFormat format = BoundaryWireFormat::V2Soa,
-                                RcPostProfile* profile = nullptr);
+                                RcPostProfile* profile = nullptr,
+                                std::span<const LocalId> row_order = {});
 
 /// Minimum relaxation-attempt count per payload window before the window's
 /// row groups fan out to the pool: below this, parallel_for dispatch latency
@@ -176,12 +185,29 @@ inline constexpr std::size_t kRcPropagateTileCols = 4096;
 /// every local neighbour row with relax_batch_soa; with a multi-thread
 /// `pool`, the neighbour rows of one drained row are relaxed in parallel
 /// (they are pairwise distinct, so only the worklist merge needs
-/// coordination). Returns ops.
+/// coordination).
+///
+/// `seed_order` (the refine planner's output) seeds the FIFO in that order
+/// instead of ascending LocalId, so hot rows drain — and their improvements
+/// recirculate — first. It must be a permutation of all local rows when
+/// non-empty; an empty order is the historical ascending seed, byte-identical
+/// schedule to the pre-refine kernel. Either way every marked row drains and
+/// the same fixpoint is reached (relaxations are monotone), though epsilon-
+/// band acceptance means intermediate bits can differ between orders.
+///
+/// `max_ops` > 0 bounds this call's relaxation attempts: the budget is
+/// checked at the top of the drain loop, *before* a row is popped, so an
+/// exhausted call leaves every undrained row still marked (convergence is
+/// deferred to later steps, never lost) and at least one marked row always
+/// drains. 0 = unlimited (the historical drain-to-fixpoint behaviour).
+/// Returns ops.
 double rc_propagate_local(const LocalSubgraph& sg, DistanceStore& store,
                           ThreadPool* pool = nullptr,
                           std::size_t parallel_grain = kRcPropagateParallelGrain,
                           RcPropagateProfile* profile = nullptr,
-                          std::size_t tile_cols = kRcPropagateTileCols);
+                          std::size_t tile_cols = kRcPropagateTileCols,
+                          std::span<const LocalId> seed_order = {},
+                          double max_ops = 0);
 
 /// Reference implementations: the original one-(row, column)-at-a-time
 /// kernels. Kept as ground truth for tests and the rc-kernel ablation bench;

@@ -334,6 +334,7 @@ void AnytimeEngine::repartition_add(const GrowthBatch& batch) {
     cluster_->barrier();
     close_stage(remark_span);
     report_.dynamic_ops += dynamic_ops;
+    note_structural_change();
 }
 
 }  // namespace aa

@@ -1,0 +1,151 @@
+#include "refine/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aa {
+namespace {
+
+/// Candidate list for the "how many unknown entries are truly reachable"
+/// variable: small fixed-size set, deduplicated, clamped to [0, max_j].
+struct JCandidates {
+    std::size_t values[4];
+    std::size_t count{0};
+
+    void add(std::size_t j, std::size_t max_j) {
+        j = std::min(j, max_j);
+        for (std::size_t i = 0; i < count; ++i) {
+            if (values[i] == j) {
+                return;
+            }
+        }
+        values[count++] = j;
+    }
+};
+
+}  // namespace
+
+ClosenessInterval row_closeness_interval(std::span<const Weight> row,
+                                         VertexId self,
+                                         const BoundsParams& params) {
+    const std::size_t n = params.n;
+    ClosenessInterval out;
+    if (n <= 1 || row.size() != n || self >= n) {
+        out.exact = n <= 1;
+        out.settled = n;
+        out.reached = n;
+        return out;
+    }
+
+    // One pass: split the row into settled-exact, finite-unsettled and
+    // unknown entries. Settledness is the wavefront certificate from the
+    // header comment; a zero entry is exact unconditionally (distances are
+    // nonnegative and d̂ is an upper bound).
+    const std::int64_t k = params.wavefront_k;
+    const Weight w_min = params.w_min;
+    const Weight settle_threshold =
+        k >= 1 ? static_cast<Weight>(k) * w_min : 0.0;
+    Weight s1 = 0;        // sum of all finite entries (upper-bound sum)
+    Weight s0 = 0;        // sum of settled entries (exact part)
+    std::size_t r1 = 0;   // finite count, including self
+    std::size_t settled = 0;
+    std::size_t unsettled_finite = 0;
+    for (std::size_t t = 0; t < n; ++t) {
+        const Weight d = row[t];
+        if (!(d < kInfinity)) {
+            continue;
+        }
+        s1 += d;
+        ++r1;
+        if (params.quiescent || d <= settle_threshold) {
+            s0 += d;
+            ++settled;
+        } else {
+            ++unsettled_finite;
+        }
+    }
+    const std::size_t unknown = n - r1;
+    out.reached = r1;
+
+    if (params.quiescent) {
+        // Quiescence certifies the +inf entries as truly unreachable too.
+        const double score =
+            closeness_score(s1, r1, n, params.variant);
+        out.lo = score;
+        out.hi = score;
+        out.exact = true;
+        out.settled = n;
+        return out;
+    }
+    out.settled = settled;
+    if (unknown == 0 && unsettled_finite == 0) {
+        const double score =
+            closeness_score(s1, r1, n, params.variant);
+        out.lo = score;
+        out.hi = score;
+        out.exact = true;
+        return out;
+    }
+
+    // Per-entry true-distance bounds: an unsettled entry escaped the k-step
+    // wavefront, so its true distance exceeds k * w_min (and is at least
+    // w_min regardless); a reachable vertex is at most (n-1) * w_max away.
+    // Products are guarded against 0 * inf (edgeless graph: w_min = +inf).
+    const double L =
+        (k >= 1 ? static_cast<double>(k) : 1.0) * w_min;
+    const double d_max = static_cast<double>(n - 1) * params.w_max;
+
+    // Upper endpoint: every non-exact distance at its lower bound. The
+    // score as a function of j reachable unknowns is a convex ratio, so the
+    // max over j in [0, unknown] is at an endpoint; j = 1 additionally
+    // covers Raw's 1/sum jump away from sum == 0.
+    const double base_near =
+        s0 + (unsettled_finite > 0
+                  ? static_cast<double>(unsettled_finite) * L
+                  : 0.0);
+    JCandidates hi_js;
+    hi_js.add(0, unknown);
+    hi_js.add(1, unknown);
+    hi_js.add(unknown, unknown);
+    double hi = 0;
+    for (std::size_t i = 0; i < hi_js.count; ++i) {
+        const std::size_t j = hi_js.values[i];
+        const double sum =
+            j > 0 ? base_near + static_cast<double>(j) * L : base_near;
+        hi = std::max(hi,
+                      closeness_score(sum, r1 + j, n, params.variant));
+    }
+
+    // Lower endpoint: every finite entry at its upper bound d̂, unknowns
+    // reachable at d_max. Corrected closeness has one interior minimum in j
+    // at j* = (r1 - 1) - 2 * s1 / d_max; evaluating floor/ceil of j* plus
+    // the endpoints is exact over the integers (the ratio is convex).
+    JCandidates lo_js;
+    lo_js.add(0, unknown);
+    lo_js.add(unknown, unknown);
+    if (params.variant == ClosenessVariant::Corrected && d_max > 0) {
+        const double j_star =
+            static_cast<double>(r1 - 1) - 2.0 * s1 / d_max;
+        if (j_star > 0) {
+            lo_js.add(static_cast<std::size_t>(std::floor(j_star)), unknown);
+            lo_js.add(static_cast<std::size_t>(std::ceil(j_star)), unknown);
+        }
+    }
+    double lo = kInfinity;
+    for (std::size_t i = 0; i < lo_js.count; ++i) {
+        const std::size_t j = lo_js.values[i];
+        const double sum =
+            j > 0 ? s1 + static_cast<double>(j) * d_max : s1;
+        lo = std::min(lo,
+                      closeness_score(sum, r1 + j, n, params.variant));
+    }
+
+    // Slack mirrors the repo-wide comparison tolerance: converged values sit
+    // within the relaxation epsilon of the infinite-precision score, and a
+    // sound interval must still contain them.
+    out.lo = std::max(0.0, lo - kIntervalSlack);
+    out.hi = hi + kIntervalSlack;
+    return out;
+}
+
+}  // namespace aa

@@ -1,0 +1,111 @@
+#include "refine/demand.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aa {
+
+void DemandTracker::resize(std::size_t n) {
+    const auto old = cells_.load();
+    if (old && old->heat.size() == n) {
+        return;
+    }
+    auto next = std::make_shared<Cells>(n);
+    if (old) {
+        const std::size_t keep = std::min(n, old->heat.size());
+        for (std::size_t i = 0; i < keep; ++i) {
+            next->heat[i].store(old->heat[i].load(std::memory_order_relaxed),
+                                std::memory_order_relaxed);
+        }
+    }
+    cells_.store(std::move(next));
+}
+
+void DemandTracker::record(VertexId v, double weight) {
+    if (!(weight > 0)) {
+        return;
+    }
+    const auto cells = cells_.load();
+    if (!cells || v >= cells->heat.size()) {
+        return;
+    }
+    const auto units = static_cast<std::uint64_t>(weight * kHeatScale);
+    if (units == 0) {
+        return;
+    }
+    cells->heat[v].fetch_add(units, std::memory_order_relaxed);
+}
+
+void DemandTracker::decay(double factor) {
+    const auto cells = cells_.load();
+    if (!cells) {
+        return;
+    }
+    if (!(factor > 0)) {
+        for (auto& cell : cells->heat) {
+            cell.store(0, std::memory_order_relaxed);
+        }
+        return;
+    }
+    if (factor >= 1.0) {
+        return;
+    }
+    for (auto& cell : cells->heat) {
+        const std::uint64_t units = cell.load(std::memory_order_relaxed);
+        if (units == 0) {
+            continue;
+        }
+        // Racy-lossy by contract: a record() between this load and store is
+        // dropped. Heat steers a heuristic schedule, never correctness.
+        cell.store(static_cast<std::uint64_t>(
+                       static_cast<double>(units) * factor),
+                   std::memory_order_relaxed);
+    }
+}
+
+double DemandTracker::heat(VertexId v) const {
+    const auto cells = cells_.load();
+    if (!cells || v >= cells->heat.size()) {
+        return 0;
+    }
+    return static_cast<double>(cells->heat[v].load(std::memory_order_relaxed)) /
+           kHeatScale;
+}
+
+bool DemandTracker::snapshot(std::vector<double>& out) const {
+    const auto cells = cells_.load();
+    if (!cells) {
+        out.clear();
+        return false;
+    }
+    out.resize(cells->heat.size());
+    bool any = false;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const std::uint64_t units =
+            cells->heat[i].load(std::memory_order_relaxed);
+        out[i] = static_cast<double>(units) / kHeatScale;
+        any = any || units != 0;
+    }
+    return any;
+}
+
+DemandTracker::Totals DemandTracker::totals() const {
+    Totals t;
+    const auto cells = cells_.load();
+    if (!cells) {
+        return t;
+    }
+    for (const auto& cell : cells->heat) {
+        const std::uint64_t units = cell.load(std::memory_order_relaxed);
+        if (units == 0) {
+            continue;
+        }
+        const double h = static_cast<double>(units) / kHeatScale;
+        t.total += h;
+        t.max = std::max(t.max, h);
+        ++t.hot;
+    }
+    return t;
+}
+
+}  // namespace aa

@@ -1,0 +1,89 @@
+// DemandTracker: a lock-cheap per-vertex query-heat accumulator.
+//
+// The serve layer records which vertices users actually touch (point reads,
+// batch reads, top-k candidate scans); the engine reads the accumulated heat
+// back at every boundary to steer RC refinement toward the hot rows (see
+// refine/planner.hpp). Heat decays exponentially per engine boundary so
+// stale interest fades instead of pinning the schedule forever.
+//
+// Concurrency contract (the reason this is not a plain std::vector<double>):
+//   - record() may run from any number of service reader threads at once —
+//     it is one relaxed fetch_add on a fixed-point cell, no locks.
+//   - decay(), snapshot() and resize() run on the engine driver thread at
+//     boundaries. decay() is a per-cell load/multiply/store; an increment
+//     that lands between the load and the store is scaled away or lost —
+//     benign by design (heat is a heuristic, not an invariant) and clean
+//     under ThreadSanitizer because every access is an atomic op.
+//   - resize() installs a fresh cell block behind a SharedSlot; records that
+//     raced into the old block during the swap are dropped, which is the
+//     same benign loss.
+//
+// Heat is stored as fixed-point (kHeatScale units per 1.0) so record() can
+// stay a single integer fetch_add instead of a CAS loop on doubles.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "serve/shared_slot.hpp"
+
+namespace aa {
+
+/// Per-boundary multiplicative decay applied by the engine: heat halves at
+/// every boundary, so a vertex stops influencing the schedule a few steps
+/// after users stop asking about it.
+inline constexpr double kDefaultHeatDecay = 0.5;
+
+class DemandTracker {
+public:
+    explicit DemandTracker(std::size_t n = 0) { resize(n); }
+
+    /// Number of vertices tracked.
+    std::size_t size() const {
+        const auto cells = cells_.load();
+        return cells ? cells->heat.size() : 0;
+    }
+
+    /// Grow (or shrink) to n vertices, preserving existing heat. Driver
+    /// thread only; concurrent record()s during the swap may be dropped.
+    void resize(std::size_t n);
+
+    /// Add `weight` heat to vertex v. Thread-safe from any thread; out-of
+    /// -range vertices (a query racing a resize) are ignored. Negative or
+    /// zero weights are ignored.
+    void record(VertexId v, double weight = 1.0);
+
+    /// Multiply all heat by `factor` in [0, 1]. Driver thread only.
+    void decay(double factor = kDefaultHeatDecay);
+
+    /// Current heat of one vertex (0 when out of range).
+    double heat(VertexId v) const;
+
+    /// Copy all heat into `out` (resized to size()). Returns true iff any
+    /// cell is nonzero — the planner's "is there demand at all" test.
+    bool snapshot(std::vector<double>& out) const;
+
+    /// Sum / max / count of nonzero cells, for the refine.demand.* gauges.
+    struct Totals {
+        double total{0};
+        double max{0};
+        std::size_t hot{0};
+    };
+    Totals totals() const;
+
+private:
+    /// Fixed-point units per 1.0 of heat.
+    static constexpr double kHeatScale = static_cast<double>(1u << 20);
+
+    struct Cells {
+        explicit Cells(std::size_t n) : heat(n) {}
+        std::vector<std::atomic<std::uint64_t>> heat;
+    };
+
+    SharedSlot<Cells> cells_;
+};
+
+}  // namespace aa

@@ -26,6 +26,7 @@ std::string_view freshness_policy_name(FreshnessPolicy policy) {
         case FreshnessPolicy::ServeStale: return "stale";
         case FreshnessPolicy::WaitForNextStep: return "next-step";
         case FreshnessPolicy::WaitForQuiescence: return "quiescence";
+        case FreshnessPolicy::BoundedError: return "bounded-error";
     }
     return "?";
 }
@@ -66,8 +67,8 @@ double QueryService::wall_now() const {
 
 void QueryService::publish() {
     const double t0 = wall_now();
-    auto snapshot =
-        build_snapshot(engine_, next_version_, last_published_.get());
+    auto snapshot = build_snapshot(engine_, next_version_,
+                                   last_published_.get(), config_.enable_bounds);
     snapshot->published_wall = wall_now();
     std::shared_ptr<const ResultSnapshot> frozen = std::move(snapshot);
 
@@ -87,6 +88,30 @@ void QueryService::publish() {
     topk_view_.store(std::move(view));
     topk_patched_.store(tracker_.patched(), std::memory_order_relaxed);
     topk_rebuilt_.store(tracker_.rebuilt(), std::memory_order_relaxed);
+
+    if (engine_.refine_policy() == RefinePolicy::TopKPruned) {
+        // Steer refinement at the vertices that decide the top-k answer: the
+        // maintained reserve (the exact top-2k prefix) plus, when bounds are
+        // available, every outsider whose upper bound still reaches into it.
+        // A scheduling hint only — the focus never changes what converges.
+        std::vector<VertexId> focus;
+        focus.reserve(tracker_.reserve().size());
+        double weakest_lo = kInfinity;
+        for (const TopKEntry& e : tracker_.reserve()) {
+            focus.push_back(e.vertex);
+            if (frozen->has_bounds && e.vertex < frozen->bound_lo.size()) {
+                weakest_lo = std::min(weakest_lo, frozen->bound_lo[e.vertex]);
+            }
+        }
+        if (frozen->has_bounds && !focus.empty()) {
+            for (std::size_t v = 0; v < frozen->bound_hi.size(); ++v) {
+                if (frozen->bound_hi[v] > weakest_lo) {
+                    focus.push_back(static_cast<VertexId>(v));
+                }
+            }
+        }
+        engine_.set_refine_focus(focus);
+    }
 
     {
         // Empty critical section: pairs the publication with the waiters'
@@ -144,6 +169,8 @@ bool QueryService::satisfied(FreshnessPolicy policy,
             return snapshot->version > arrival_version;
         case FreshnessPolicy::WaitForQuiescence:
             return snapshot->quiescent;
+        case FreshnessPolicy::BoundedError:
+            return snapshot->has_bounds;
     }
     return false;
 }
@@ -156,8 +183,12 @@ std::shared_ptr<const ResultSnapshot> QueryService::admit(
         status = QueryStatus::Ok;
         return current;
     }
-    if (policy == FreshnessPolicy::ServeStale) {
-        // Nothing published yet and ServeStale never waits.
+    if (policy == FreshnessPolicy::ServeStale ||
+        policy == FreshnessPolicy::BoundedError) {
+        // Neither policy ever waits. ServeStale fails only before the first
+        // publication; BoundedError also fails when snapshots carry no
+        // bounds — a static configuration (enable_bounds) that waiting
+        // could never fix.
         status = QueryStatus::Unavailable;
         return nullptr;
     }
@@ -251,6 +282,9 @@ void QueryService::record_query(MetricsRegistry::Handle latency_histogram,
 
 PointResult QueryService::point(VertexId v, FreshnessPolicy policy) {
     const double t0 = wall_now();
+    if (config_.record_demand) {
+        engine_.demand().record(v);
+    }
     PointResult result;
     result.vertex = v;
     QueryStatus status = QueryStatus::Unavailable;
@@ -261,9 +295,14 @@ PointResult QueryService::point(VertexId v, FreshnessPolicy policy) {
         return result;
     }
     result.meta = make_meta(*snapshot);
-    if (v < snapshot->scores.closeness.size()) {
-        result.closeness = snapshot->scores.closeness[v];
-        result.reachable = snapshot->scores.reachable[v];
+    if (v < snapshot->scores.size()) {
+        result.closeness = snapshot->scores.closeness(v);
+        result.reachable = snapshot->scores.reachable(v);
+    }
+    if (snapshot->has_bounds && v < snapshot->bound_lo.size()) {
+        result.bound_lo = snapshot->bound_lo[v];
+        result.bound_hi = snapshot->bound_hi[v];
+        result.exact = snapshot->bound_exact[v] != 0;
     }
     // Vertices newer than the snapshot read as (0, 0): the snapshot simply
     // predates them, which the version on the response makes diagnosable.
@@ -274,6 +313,11 @@ PointResult QueryService::point(VertexId v, FreshnessPolicy policy) {
 BatchResult QueryService::batch(std::span<const VertexId> vertices,
                                 FreshnessPolicy policy) {
     const double t0 = wall_now();
+    if (config_.record_demand) {
+        for (const VertexId v : vertices) {
+            engine_.demand().record(v);
+        }
+    }
     BatchResult result;
     QueryStatus status = QueryStatus::Unavailable;
     const auto snapshot = admit(policy, status);
@@ -285,12 +329,21 @@ BatchResult QueryService::batch(std::span<const VertexId> vertices,
     result.meta = make_meta(*snapshot);
     result.closeness.reserve(vertices.size());
     result.reachable.reserve(vertices.size());
-    const std::size_t known = snapshot->scores.closeness.size();
+    const std::size_t known = snapshot->scores.size();
     for (const VertexId v : vertices) {
-        result.closeness.push_back(v < known ? snapshot->scores.closeness[v]
+        result.closeness.push_back(v < known ? snapshot->scores.closeness(v)
                                              : 0);
-        result.reachable.push_back(v < known ? snapshot->scores.reachable[v]
+        result.reachable.push_back(v < known ? snapshot->scores.reachable(v)
                                              : 0);
+    }
+    if (snapshot->has_bounds) {
+        result.bound_lo.reserve(vertices.size());
+        result.bound_hi.reserve(vertices.size());
+        for (const VertexId v : vertices) {
+            const bool in = v < snapshot->bound_lo.size();
+            result.bound_lo.push_back(in ? snapshot->bound_lo[v] : 0);
+            result.bound_hi.push_back(in ? snapshot->bound_hi[v] : 0);
+        }
     }
     record_query(latency_batch_, wall_now() - t0, result.meta);
     return result;
@@ -317,6 +370,37 @@ TopKResult QueryService::topk(std::size_t k, FreshnessPolicy policy) {
                               view->entries.begin() + take);
     } else {
         result.entries = topk_from_snapshot(*snapshot, k);
+    }
+    if (config_.record_demand) {
+        for (const TopKEntry& e : result.entries) {
+            engine_.demand().record(e.vertex);
+        }
+    }
+    if (snapshot->has_bounds && !result.entries.empty()) {
+        // The *set* is certified once every member's certified lower bound
+        // strictly exceeds every non-member's upper bound: no remaining
+        // refinement can move a non-member above a member. Strictness means
+        // a tie at the k-th score never certifies — correctly, since the
+        // set is genuinely ambiguous there.
+        const std::size_t n = snapshot->bound_lo.size();
+        std::vector<std::uint8_t> member(n, 0);
+        double weakest_member = kInfinity;
+        for (const TopKEntry& e : result.entries) {
+            if (e.vertex < n) {
+                member[e.vertex] = 1;
+                weakest_member =
+                    std::min(weakest_member, snapshot->bound_lo[e.vertex]);
+            }
+        }
+        double strongest_outsider = -kInfinity;
+        for (std::size_t v = 0; v < n; ++v) {
+            if (!member[v]) {
+                strongest_outsider =
+                    std::max(strongest_outsider, snapshot->bound_hi[v]);
+            }
+        }
+        result.certified = result.entries.size() >= n ||
+                           weakest_member > strongest_outsider;
     }
     record_query(latency_topk_, wall_now() - t0, result.meta);
     return result;

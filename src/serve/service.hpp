@@ -12,6 +12,10 @@
 //   WaitForNextStep   — answer from the first snapshot published after the
 //                       query arrived (one more engine boundary of progress).
 //   WaitForQuiescence — answer only from a quiescent snapshot (exact APSP).
+//   BoundedError      — answer immediately like ServeStale, but attach the
+//                       certified closeness interval [bound_lo, bound_hi]
+//                       that contains the converged score (Unavailable when
+//                       the service was not configured with enable_bounds).
 //
 // Admission control: queries that have to *wait* occupy a slot in a bounded
 // pending set; when `ServeConfig::max_pending` waiters are already parked,
@@ -58,9 +62,14 @@ enum class FreshnessPolicy {
     ServeStale,
     WaitForNextStep,
     WaitForQuiescence,
+    /// Never waits; returns (score, certified error interval) pairs from the
+    /// current snapshot. Requires snapshots built with bounds
+    /// (ServeConfig::enable_bounds) — Unavailable otherwise.
+    BoundedError,
 };
 
-/// Human-readable policy name ("stale" / "next-step" / "quiescence").
+/// Human-readable policy name
+/// ("stale" / "next-step" / "quiescence" / "bounded-error").
 std::string_view freshness_policy_name(FreshnessPolicy policy);
 
 enum class QueryStatus {
@@ -85,6 +94,16 @@ struct ServeConfig {
     FreshnessPolicy default_policy{FreshnessPolicy::ServeStale};
     /// Record serve.* metrics (histograms, counters, publish spans).
     bool enable_metrics{true};
+    /// Capture certified closeness intervals (refine/bounds.hpp) into every
+    /// snapshot. Required by the BoundedError policy and by top-k
+    /// certification; costs one interval computation per row per
+    /// publication, so off by default.
+    bool enable_bounds{false};
+    /// Feed queried vertices into the engine's DemandTracker so the
+    /// QueryHeat refinement policy can steer RC work toward them. Recording
+    /// is wait-free and, under the default Uniform policy, has no effect on
+    /// the engine schedule.
+    bool record_demand{true};
 };
 
 /// Response metadata shared by every query shape.
@@ -108,6 +127,13 @@ struct PointResult {
     VertexId vertex{0};
     Weight closeness{0};
     std::size_t reachable{0};
+    /// Certified interval containing the converged closeness score and
+    /// whether it has already collapsed onto it. Meaningful iff the served
+    /// snapshot carried bounds (ServeConfig::enable_bounds); [0, 0] / false
+    /// otherwise.
+    double bound_lo{0};
+    double bound_hi{0};
+    bool exact{false};
 };
 
 struct BatchResult {
@@ -115,11 +141,21 @@ struct BatchResult {
     /// Parallel to the queried vertex list; all values from one snapshot.
     std::vector<Weight> closeness;
     std::vector<std::size_t> reachable;
+    /// Certified intervals parallel to the vertex list; empty unless the
+    /// served snapshot carried bounds (ServeConfig::enable_bounds).
+    std::vector<double> bound_lo;
+    std::vector<double> bound_hi;
 };
 
 struct TopKResult {
     ResponseMeta meta;
     std::vector<TopKEntry> entries;
+    /// True iff the returned *set* of vertices is provably the converged
+    /// top-k: every member's certified lower bound strictly exceeds every
+    /// non-member's certified upper bound. Only a bounds-carrying snapshot
+    /// can certify; ties at the k-th score never do (the set is genuinely
+    /// ambiguous there).
+    bool certified{false};
 };
 
 class QueryService {

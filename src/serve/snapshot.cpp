@@ -1,9 +1,11 @@
 #include "serve/snapshot.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/assert.hpp"
 #include "core/engine.hpp"
+#include "refine/bounds.hpp"
 
 namespace aa {
 
@@ -18,9 +20,62 @@ bool same_bits(Weight a, Weight b) {
 
 }  // namespace
 
+CowScores CowScores::build(const std::vector<Weight>& closeness,
+                           const std::vector<std::size_t>& reachable,
+                           const CowScores* previous,
+                           std::span<const VertexId> changed) {
+    AA_ASSERT_MSG(closeness.size() == reachable.size(),
+                  "score planes must have equal length");
+    CowScores out;
+    out.size_ = closeness.size();
+    const std::size_t num_chunks = (out.size_ + kChunkSize - 1) / kChunkSize;
+    out.chunks_.reserve(num_chunks);
+    std::size_t next_changed = 0;  // cursor into the ascending changed list
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+        const std::size_t lo = c * kChunkSize;
+        const std::size_t hi = std::min(lo + kChunkSize, out.size_);
+        while (next_changed < changed.size() &&
+               static_cast<std::size_t>(changed[next_changed]) < lo) {
+            ++next_changed;
+        }
+        const bool touched = next_changed < changed.size() &&
+                             static_cast<std::size_t>(changed[next_changed]) < hi;
+        if (!touched && previous != nullptr && c < previous->chunks_.size() &&
+            previous->chunks_[c]->closeness.size() == hi - lo) {
+            out.chunks_.push_back(previous->chunks_[c]);
+            continue;
+        }
+        auto chunk = std::make_shared<Chunk>();
+        chunk->closeness.assign(closeness.begin() + static_cast<std::ptrdiff_t>(lo),
+                                closeness.begin() + static_cast<std::ptrdiff_t>(hi));
+        chunk->reachable.assign(reachable.begin() + static_cast<std::ptrdiff_t>(lo),
+                                reachable.begin() + static_cast<std::ptrdiff_t>(hi));
+        out.chunks_.push_back(std::move(chunk));
+    }
+    return out;
+}
+
+CowScores CowScores::from(const ClosenessScores& scores) {
+    return build(scores.closeness, scores.reachable, nullptr, {});
+}
+
+ClosenessScores CowScores::materialize() const {
+    ClosenessScores out;
+    out.closeness.reserve(size_);
+    out.reachable.reserve(size_);
+    for (const auto& chunk : chunks_) {
+        out.closeness.insert(out.closeness.end(), chunk->closeness.begin(),
+                             chunk->closeness.end());
+        out.reachable.insert(out.reachable.end(), chunk->reachable.begin(),
+                             chunk->reachable.end());
+    }
+    return out;
+}
+
 std::shared_ptr<ResultSnapshot> build_snapshot(const AnytimeEngine& engine,
                                                std::uint64_t version,
-                                               const ResultSnapshot* previous) {
+                                               const ResultSnapshot* previous,
+                                               bool with_bounds) {
     auto snapshot = std::make_shared<ResultSnapshot>();
     snapshot->version = version;
     snapshot->rc_step = engine.rc_steps_completed();
@@ -29,8 +84,16 @@ std::shared_ptr<ResultSnapshot> build_snapshot(const AnytimeEngine& engine,
 
     const std::size_t n = engine.num_vertices();
     const ClosenessVariant variant = engine.config().closeness_variant;
-    snapshot->scores.closeness.assign(n, 0);
-    snapshot->scores.reachable.assign(n, 0);
+    std::vector<Weight> closeness(n, 0);
+    std::vector<std::size_t> reachable(n, 0);
+    const BoundsParams bounds_params =
+        with_bounds ? engine.bounds_params() : BoundsParams{};
+    if (with_bounds) {
+        snapshot->has_bounds = true;
+        snapshot->bound_lo.assign(n, 0);
+        snapshot->bound_hi.assign(n, 0);
+        snapshot->bound_exact.assign(n, 0);
+    }
 
     // One pass per row, summing in column order — the identical order
     // closeness_from_matrix uses, so scores agree bit-for-bit with the
@@ -46,8 +109,15 @@ std::shared_ptr<ResultSnapshot> build_snapshot(const AnytimeEngine& engine,
             }
         }
         unknown_entries += row.size() - reached;
-        snapshot->scores.reachable[v] = reached;
-        snapshot->scores.closeness[v] = closeness_score(sum, reached, n, variant);
+        reachable[v] = reached;
+        closeness[v] = closeness_score(sum, reached, n, variant);
+        if (with_bounds) {
+            const ClosenessInterval interval =
+                row_closeness_interval(row, v, bounds_params);
+            snapshot->bound_lo[v] = interval.lo;
+            snapshot->bound_hi[v] = interval.hi;
+            snapshot->bound_exact[v] = interval.exact ? 1 : 0;
+        }
     });
     snapshot->frac_unknown =
         n > 0 ? static_cast<double>(unknown_entries) / (static_cast<double>(n) *
@@ -60,16 +130,19 @@ std::shared_ptr<ResultSnapshot> build_snapshot(const AnytimeEngine& engine,
             snapshot->changed[v] = static_cast<VertexId>(v);
         }
     } else {
-        const std::size_t prev_n = previous->scores.closeness.size();
+        const std::size_t prev_n = previous->scores.size();
         for (std::size_t v = 0; v < n; ++v) {
             if (v >= prev_n ||
-                !same_bits(snapshot->scores.closeness[v],
-                           previous->scores.closeness[v]) ||
-                snapshot->scores.reachable[v] != previous->scores.reachable[v]) {
+                !same_bits(closeness[v], previous->scores.closeness(v)) ||
+                reachable[v] != previous->scores.reachable(v)) {
                 snapshot->changed.push_back(static_cast<VertexId>(v));
             }
         }
     }
+    snapshot->scores =
+        CowScores::build(closeness, reachable,
+                         previous != nullptr ? &previous->scores : nullptr,
+                         snapshot->changed);
     return snapshot;
 }
 

@@ -20,6 +20,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -29,6 +30,64 @@
 namespace aa {
 
 class AnytimeEngine;
+
+/// Chunked copy-on-write score planes. Publication used to copy all n
+/// closeness values every boundary even when the changed-vertex list was
+/// tiny; CowScores shares the unchanged backing chunks with the previous
+/// snapshot instead (groundwork for full snapshot deltas, ROADMAP item 5).
+/// Chunks are immutable once built, so sharing them across snapshots is as
+/// sound as sharing the snapshots themselves; a quiescent re-publication
+/// shares every chunk and allocates only the chunk-pointer table.
+class CowScores {
+public:
+    /// Vertices per chunk: small enough that test-scale graphs (a few
+    /// hundred vertices) span several chunks, large enough that the
+    /// per-chunk pointer overhead is negligible at production n.
+    static constexpr std::size_t kChunkSize = 256;
+
+    struct Chunk {
+        std::vector<Weight> closeness;
+        std::vector<std::size_t> reachable;
+    };
+
+    CowScores() = default;
+
+    std::size_t size() const { return size_; }
+    Weight closeness(std::size_t v) const {
+        return chunks_[v / kChunkSize]->closeness[v % kChunkSize];
+    }
+    std::size_t reachable(std::size_t v) const {
+        return chunks_[v / kChunkSize]->reachable[v % kChunkSize];
+    }
+
+    /// Build from fully materialized planes, sharing each chunk with
+    /// `previous` when it has a size-compatible chunk at the same index and
+    /// no vertex in `changed` (ascending ids) falls inside the chunk's
+    /// range; chunks touched by a change (or beyond the previous snapshot)
+    /// are freshly copied.
+    static CowScores build(const std::vector<Weight>& closeness,
+                           const std::vector<std::size_t>& reachable,
+                           const CowScores* previous,
+                           std::span<const VertexId> changed);
+
+    /// Adopt plain planes with every chunk freshly owned (no sharing) —
+    /// test fixtures and adapters.
+    static CowScores from(const ClosenessScores& scores);
+
+    /// Copy back out to plain planes.
+    ClosenessScores materialize() const;
+
+    // Chunk identity, exposed for the memory-behaviour tests: two snapshots
+    // share storage exactly when their chunk pointers compare equal.
+    std::size_t num_chunks() const { return chunks_.size(); }
+    const std::shared_ptr<const Chunk>& chunk(std::size_t i) const {
+        return chunks_[i];
+    }
+
+private:
+    std::size_t size_{0};
+    std::vector<std::shared_ptr<const Chunk>> chunks_;
+};
 
 /// One frozen, immutable view of the engine's current answer. All fields are
 /// set before publication and never mutated afterwards, which is what makes
@@ -55,22 +114,35 @@ struct ResultSnapshot {
     double published_wall{0};
     /// Closeness + reachable per vertex, bit-identical to
     /// closeness_from_matrix(full_distance_matrix(), variant) at the same
-    /// boundary (same per-row summation order).
-    ClosenessScores scores;
+    /// boundary (same per-row summation order). Chunks unchanged since the
+    /// previous snapshot share its backing storage (copy-on-write).
+    CowScores scores;
     /// Vertices whose (closeness, reachable) differ from the previous
     /// snapshot — newly added vertices included. This is what lets the
     /// incremental top-k patch instead of rebuild.
     std::vector<VertexId> changed;
+    /// Certified closeness intervals, present iff has_bounds (the service's
+    /// enable_bounds config). bound_lo/bound_hi bracket the converged score
+    /// of every vertex via the wavefront certificate (see refine/bounds.hpp);
+    /// bound_exact[v] != 0 means the interval has collapsed — v's published
+    /// score is already its converged value.
+    bool has_bounds{false};
+    std::vector<double> bound_lo;
+    std::vector<double> bound_hi;
+    std::vector<std::uint8_t> bound_exact;
 };
 
 /// Freeze the engine's current state into a snapshot. Observer-only: reads
 /// rank state directly and charges nothing to the simulated clock. Must be
 /// called from the thread driving the engine (snapshot construction races
 /// with RC relaxation otherwise). `previous` (may be null) seeds the
-/// `changed` list.
+/// `changed` list and donates unchanged score chunks. `with_bounds` also
+/// captures per-vertex closeness intervals (one extra pass-free scan of the
+/// same rows; needed by the BoundedError freshness policy).
 std::shared_ptr<ResultSnapshot> build_snapshot(const AnytimeEngine& engine,
                                                std::uint64_t version,
-                                               const ResultSnapshot* previous);
+                                               const ResultSnapshot* previous,
+                                               bool with_bounds = false);
 
 /// Single-slot snapshot holder. One writer (the RC/driver thread) swaps
 /// snapshots in; any number of readers copy the current `shared_ptr` out.

@@ -8,12 +8,12 @@ namespace aa {
 
 std::vector<TopKEntry> topk_from_snapshot(const ResultSnapshot& snapshot,
                                           std::size_t k) {
-    const std::size_t n = snapshot.scores.closeness.size();
+    const std::size_t n = snapshot.scores.size();
     std::vector<TopKEntry> entries;
     entries.reserve(n);
     for (std::size_t v = 0; v < n; ++v) {
         entries.push_back(
-            {static_cast<VertexId>(v), snapshot.scores.closeness[v]});
+            {static_cast<VertexId>(v), snapshot.scores.closeness(v)});
     }
     const std::size_t want = std::min(k, n);
     std::partial_sort(entries.begin(), entries.begin() + want, entries.end(),
@@ -27,8 +27,8 @@ IncrementalTopK::IncrementalTopK(std::size_t k) : k_(k) {}
 void IncrementalTopK::apply(const ResultSnapshot& snapshot) {
     AA_ASSERT_MSG(version_ == 0 || snapshot.version > version_,
                   "snapshots must be applied in version order");
-    const auto& closeness = snapshot.scores.closeness;
-    const std::size_t n = closeness.size();
+    const CowScores& scores = snapshot.scores;
+    const std::size_t n = scores.size();
     const std::size_t want = std::min(k_, n);
     // The maintained exact prefix is deeper than what is served: demotions
     // that stay within the reserve patch instead of rebuilding.
@@ -50,10 +50,10 @@ void IncrementalTopK::apply(const ResultSnapshot& snapshot) {
         std::vector<TopKEntry> candidates;
         candidates.reserve(reserve_.size() + snapshot.changed.size());
         for (const TopKEntry& e : reserve_) {
-            candidates.push_back({e.vertex, closeness[e.vertex]});
+            candidates.push_back({e.vertex, scores.closeness(e.vertex)});
         }
         for (const VertexId v : snapshot.changed) {
-            candidates.push_back({v, closeness[v]});
+            candidates.push_back({v, scores.closeness(v)});
         }
         std::sort(candidates.begin(), candidates.end(),
                   [](const TopKEntry& a, const TopKEntry& b) {

@@ -86,10 +86,10 @@ TEST(Serve, MidRcQueryMatchesMatrixClosenessBitIdentical) {
     f.service.set_on_publish([&](const ResultSnapshot& s) {
         const auto expected = closeness_from_matrix(
             f.engine.full_distance_matrix(), f.engine.config().closeness_variant);
-        ASSERT_EQ(s.scores.closeness.size(), expected.closeness.size());
+        ASSERT_EQ(s.scores.size(), expected.closeness.size());
         for (std::size_t v = 0; v < expected.closeness.size(); ++v) {
-            EXPECT_EQ(s.scores.closeness[v], expected.closeness[v]);
-            EXPECT_EQ(s.scores.reachable[v], expected.reachable[v]);
+            EXPECT_EQ(s.scores.closeness(v), expected.closeness[v]);
+            EXPECT_EQ(s.scores.reachable(v), expected.reachable[v]);
         }
         ++checked;
     });
@@ -125,7 +125,7 @@ TEST(Serve, RawVariantFlowsThroughSnapshots) {
     const auto expected = closeness_from_matrix(engine.full_distance_matrix(),
                                                 ClosenessVariant::Raw);
     for (std::size_t v = 0; v < expected.closeness.size(); ++v) {
-        EXPECT_EQ(snapshot->scores.closeness[v], expected.closeness[v]);
+        EXPECT_EQ(snapshot->scores.closeness(v), expected.closeness[v]);
     }
 }
 
@@ -140,12 +140,12 @@ TEST(Serve, TopKEqualsFullSortOfSnapshot) {
         ASSERT_EQ(result.meta.version, snapshot->version);
 
         // Reference: a full sort of the same snapshot's scores.
-        const auto ranking = closeness_ranking(snapshot->scores);
+        const auto ranking = closeness_ranking(snapshot->scores.materialize());
         ASSERT_EQ(result.entries.size(), k);
         for (std::size_t i = 0; i < k; ++i) {
             EXPECT_EQ(result.entries[i].vertex, ranking[i]);
             EXPECT_EQ(result.entries[i].score,
-                      snapshot->scores.closeness[ranking[i]]);
+                      snapshot->scores.closeness(ranking[i]));
         }
         if (!progressed) {
             break;
@@ -155,7 +155,7 @@ TEST(Serve, TopKEqualsFullSortOfSnapshot) {
     // agree with the same reference.
     const auto snapshot = f.service.snapshot();
     const auto big = f.service.topk(23, FreshnessPolicy::ServeStale);
-    const auto ranking = closeness_ranking(snapshot->scores);
+    const auto ranking = closeness_ranking(snapshot->scores.materialize());
     ASSERT_EQ(big.entries.size(), 23u);
     for (std::size_t i = 0; i < big.entries.size(); ++i) {
         EXPECT_EQ(big.entries[i].vertex, ranking[i]);
@@ -201,6 +201,71 @@ TEST(Serve, IncrementalTopKPatchesBetweenSnapshots) {
     EXPECT_GE(tracker.rebuilt(), 1u);  // at least the initial build
 }
 
+TEST(Serve, CowScoresBuildSharesUntouchedChunks) {
+    // Pin the copy-on-write memory behaviour at the chunk level: a chunk is
+    // shared with the previous snapshot iff no changed vertex lands in it and
+    // its size is compatible; everything else is freshly copied.
+    const std::size_t n = CowScores::kChunkSize * 2 + 10;
+    std::vector<Weight> c1(n);
+    std::vector<std::size_t> r1(n);
+    for (std::size_t v = 0; v < n; ++v) {
+        c1[v] = 0.5 * static_cast<Weight>(v);
+        r1[v] = v;
+    }
+    const CowScores a = CowScores::build(c1, r1, nullptr, {});
+    ASSERT_EQ(a.num_chunks(), 3u);
+    ASSERT_EQ(a.size(), n);
+
+    // One change in the middle chunk: chunks 0 and 2 share, chunk 1 copies.
+    auto c2 = c1;
+    const VertexId touched = static_cast<VertexId>(CowScores::kChunkSize + 3);
+    c2[touched] = 99;
+    const std::vector<VertexId> changed{touched};
+    const CowScores b = CowScores::build(c2, r1, &a, changed);
+    EXPECT_EQ(b.chunk(0), a.chunk(0));
+    EXPECT_NE(b.chunk(1), a.chunk(1));
+    EXPECT_EQ(b.chunk(2), a.chunk(2));
+
+    // Accessors and materialize() agree with the plain planes.
+    const ClosenessScores plain = b.materialize();
+    EXPECT_EQ(plain.closeness, c2);
+    EXPECT_EQ(plain.reachable, r1);
+    EXPECT_EQ(b.closeness(touched), 99.0);
+    EXPECT_EQ(b.reachable(touched), static_cast<std::size_t>(touched));
+
+    // Growth: the tail chunk changes size, so it is never shared even though
+    // the only changed vertex is the new one.
+    auto c3 = c2;
+    auto r3 = r1;
+    c3.push_back(1);
+    r3.push_back(2);
+    const std::vector<VertexId> grew{static_cast<VertexId>(n)};
+    const CowScores c = CowScores::build(c3, r3, &b, grew);
+    EXPECT_EQ(c.chunk(0), b.chunk(0));
+    EXPECT_EQ(c.chunk(1), b.chunk(1));
+    EXPECT_NE(c.chunk(2), b.chunk(2));
+}
+
+TEST(Serve, CowQuiescentRepublicationSharesEveryChunk) {
+    // An out-of-band publication of an unchanged engine must not copy the
+    // score planes at all: every chunk of the new snapshot is the previous
+    // snapshot's chunk. This is the memory contract that makes per-boundary
+    // publication cheap once the engine settles.
+    Fixture f(600, 4);  // 600 vertices -> 3 chunks of 256
+    f.engine.run_to_quiescence();
+    const auto before = f.service.snapshot();
+    f.service.publish();
+    const auto after = f.service.snapshot();
+    ASSERT_NE(before, after);
+    ASSERT_TRUE(after->changed.empty());
+    ASSERT_EQ(before->scores.num_chunks(), after->scores.num_chunks());
+    ASSERT_GE(after->scores.num_chunks(), 3u);
+    for (std::size_t i = 0; i < after->scores.num_chunks(); ++i) {
+        EXPECT_EQ(before->scores.chunk(i), after->scores.chunk(i))
+            << "chunk " << i;
+    }
+}
+
 TEST(Serve, IncrementalTopKAbsorbsInReserveDemotion) {
     // Score *decreases* (the fully-dynamic workload): a hub demoted out of
     // the served top-k but not out of the maintained reserve must be evicted
@@ -212,8 +277,10 @@ TEST(Serve, IncrementalTopKAbsorbsInReserveDemotion) {
                           std::vector<VertexId> changed) {
         ResultSnapshot s;
         s.version = version;
-        s.scores.closeness = scores;
-        s.scores.reachable.assign(n, n);
+        ClosenessScores plain;
+        plain.closeness = scores;
+        plain.reachable.assign(n, n);
+        s.scores = CowScores::from(plain);
         s.changed = std::move(changed);
         return s;
     };
@@ -353,8 +420,8 @@ TEST(Serve, BatchIsConsistentWithinOneSnapshot) {
     const auto snapshot = f.service.snapshot();
     ASSERT_EQ(snapshot->version, result.meta.version);
     for (std::size_t i = 0; i < vs.size(); ++i) {
-        EXPECT_EQ(result.closeness[i], snapshot->scores.closeness[vs[i]]);
-        EXPECT_EQ(result.reachable[i], snapshot->scores.reachable[vs[i]]);
+        EXPECT_EQ(result.closeness[i], snapshot->scores.closeness(vs[i]));
+        EXPECT_EQ(result.reachable[i], snapshot->scores.reachable(vs[i]));
     }
 }
 

@@ -30,11 +30,15 @@
 //   checkpoint <path>                 save engine state
 //   restore <path>                    replace the engine from a checkpoint
 //   verify                            check against exact sequential APSP
-//   serve-policy stale|next-step|quiescence   freshness for query/topk
+//   serve-policy stale|next-step|quiescence|bounded-error
+//                                     freshness for query/topk
 //   query <v> [policy]                point closeness query via the serve
 //                                     layer (answers from the latest
 //                                     published snapshot)
 //   topk [k] [policy]                 top-k closeness via the serve layer
+//   refine-policy uniform|heat|topk   RC worklist-ordering policy
+//   heat <v> [weight]                 inject query heat at a vertex
+//   bounds <v>                        print the certified closeness interval
 //   help                              print this command list
 //
 // query/topk go through the QueryService: they read the versioned snapshot
@@ -83,9 +87,13 @@ const char kHelpText[] =
     "  checkpoint <path>                 save engine state\n"
     "  restore <path>                    replace the engine from a checkpoint\n"
     "  verify                            check against exact sequential APSP\n"
-    "  serve-policy stale|next-step|quiescence   freshness for query/topk\n"
+    "  serve-policy stale|next-step|quiescence|bounded-error\n"
+    "                                    freshness for query/topk\n"
     "  query <v> [policy]                point query via the serve layer\n"
     "  topk [k] [policy]                 top-k query via the serve layer\n"
+    "  refine-policy uniform|heat|topk   RC worklist-ordering policy\n"
+    "  heat <v> [weight]                 inject query heat at a vertex\n"
+    "  bounds <v>                        print the certified closeness interval\n"
     "  help                              print this command list\n";
 
 bool parse_policy(const std::string& name, FreshnessPolicy& policy) {
@@ -95,10 +103,12 @@ bool parse_policy(const std::string& name, FreshnessPolicy& policy) {
         policy = FreshnessPolicy::WaitForNextStep;
     } else if (name == "quiescence") {
         policy = FreshnessPolicy::WaitForQuiescence;
+    } else if (name == "bounded-error") {
+        policy = FreshnessPolicy::BoundedError;
     } else {
         std::fprintf(stderr,
                      "error: unknown freshness policy '%s' (valid: stale, "
-                     "next-step, quiescence)\n",
+                     "next-step, quiescence, bounded-error)\n",
                      name.c_str());
         return false;
     }
@@ -156,6 +166,7 @@ struct Runner {
     void attach_service() {
         ServeConfig sc;
         sc.enable_metrics = false;  // the engine timeline is the record here
+        sc.enable_bounds = true;    // bounded-error queries need intervals
         service = std::make_unique<QueryService>(*engine, sc);
         service->set_step_driver(
             [this] { return engine->run_rc_steps(1) > 0; });
@@ -476,6 +487,17 @@ struct Runner {
                 std::fprintf(stderr, "error: query for %zu not served\n", v);
                 return false;
             }
+            if (query_policy == FreshnessPolicy::BoundedError) {
+                std::printf("[%8.4fs] query %zu (bounded-error): closeness "
+                            "%.6g in [%.6g, %.6g]%s  [snapshot v%llu, RC%zu%s]\n",
+                            engine->sim_seconds(), v, result.closeness,
+                            result.bound_lo, result.bound_hi,
+                            result.exact ? ", EXACT" : "",
+                            static_cast<unsigned long long>(result.meta.version),
+                            result.meta.rc_step,
+                            result.meta.quiescent ? ", quiescent" : "");
+                return true;
+            }
             std::printf("[%8.4fs] query %zu (%s): closeness %.6g, reachable "
                         "%zu  [snapshot v%llu, RC%zu%s]\n",
                         engine->sim_seconds(), v,
@@ -498,14 +520,71 @@ struct Runner {
                 std::fprintf(stderr, "error: top-%zu query not served\n", k);
                 return false;
             }
-            std::printf("[%8.4fs] top-%zu (%s, snapshot v%llu):",
+            std::printf("[%8.4fs] top-%zu (%s, snapshot v%llu%s):",
                         engine->sim_seconds(), k,
                         std::string(freshness_policy_name(query_policy)).c_str(),
-                        static_cast<unsigned long long>(result.meta.version));
+                        static_cast<unsigned long long>(result.meta.version),
+                        result.certified ? ", certified" : "");
             for (const auto& entry : result.entries) {
                 std::printf(" %u(%.3g)", entry.vertex, entry.score);
             }
             std::printf("\n");
+        } else if (command == "refine-policy") {
+            std::string name;
+            in >> name;
+            RefinePolicy rp{RefinePolicy::Uniform};
+            if (!parse_refine_policy(name, rp)) {
+                std::fprintf(stderr,
+                             "error: unknown refine policy '%s' (valid: "
+                             "uniform, heat, topk)\n",
+                             name.c_str());
+                return false;
+            }
+            config.refine_policy = rp;  // future engines inherit it
+            if (engine) {
+                engine->set_refine_policy(rp);
+            }
+            std::printf("refine policy: %s\n",
+                        std::string(refine_policy_name(rp)).c_str());
+        } else if (command == "heat") {
+            require_engine(command);
+            std::size_t v = 0;
+            if (!(in >> v)) {
+                std::fprintf(stderr, "error: usage: heat <v> [weight]\n");
+                return false;
+            }
+            double weight = 1.0;
+            if (in >> weight && !(weight > 0)) {
+                std::fprintf(stderr, "error: heat weight must be > 0\n");
+                return false;
+            }
+            if (v >= engine->num_vertices()) {
+                std::fprintf(stderr, "error: vertex %zu out of range\n", v);
+                return false;
+            }
+            engine->demand().record(static_cast<VertexId>(v), weight);
+            std::printf("[%8.4fs] heat %zu += %g (now %.3g)\n",
+                        engine->sim_seconds(), v, weight,
+                        engine->demand().heat(static_cast<VertexId>(v)));
+        } else if (command == "bounds") {
+            require_engine(command);
+            std::size_t v = 0;
+            if (!(in >> v)) {
+                std::fprintf(stderr, "error: usage: bounds <v>\n");
+                return false;
+            }
+            if (v >= engine->num_vertices()) {
+                std::fprintf(stderr, "error: vertex %zu out of range\n", v);
+                return false;
+            }
+            const ClosenessInterval iv =
+                engine->closeness_interval(static_cast<VertexId>(v));
+            std::printf("[%8.4fs] bounds %zu: closeness in [%.6g, %.6g] "
+                        "(%s), %zu/%zu entries settled, wavefront k=%lld\n",
+                        engine->sim_seconds(), v, iv.lo, iv.hi,
+                        iv.exact ? "EXACT" : "pending", iv.settled,
+                        engine->num_vertices(),
+                        static_cast<long long>(engine->wavefront_steps()));
         } else if (command == "help") {
             std::fputs(kHelpText, stdout);
         } else {

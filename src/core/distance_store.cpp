@@ -495,6 +495,27 @@ std::vector<Weight> DistanceStore::extract_row(LocalId r) {
     return values;
 }
 
+std::vector<Weight> DistanceStore::swap_remove_row(LocalId r) {
+    AA_ASSERT(r < rows_.size());
+    std::vector<Weight> values = std::move(rows_[r].dist);
+    const auto last = static_cast<LocalId>(rows_.size() - 1);
+    if (r != last) {
+        rows_[r] = std::move(rows_[last]);
+        // The displaced row's mark-arena slices move with it so its dirty-set
+        // epochs keep validating the right bytes.
+        std::copy_n(prop_mark_.data() + static_cast<std::size_t>(last) * num_columns_,
+                    num_columns_,
+                    prop_mark_.data() + static_cast<std::size_t>(r) * num_columns_);
+        std::copy_n(send_mark_.data() + static_cast<std::size_t>(last) * num_columns_,
+                    num_columns_,
+                    send_mark_.data() + static_cast<std::size_t>(r) * num_columns_);
+    }
+    rows_.pop_back();
+    prop_mark_.resize(rows_.size() * num_columns_);
+    send_mark_.resize(rows_.size() * num_columns_);
+    return values;
+}
+
 std::vector<DvEntry> DistanceStore::finite_entries(LocalId r) const {
     AA_ASSERT(r < rows_.size());
     const Row& row = rows_[r];

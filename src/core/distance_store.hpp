@@ -220,6 +220,12 @@ public:
     /// infinity. Returns the values.
     std::vector<Weight> extract_row(LocalId r);
 
+    /// Remove row r entirely by swapping the last row into its slot — the
+    /// DistanceStore mirror of LocalSubgraph::release (shard migration).
+    /// The displaced row keeps its dirty sets and epoch marks (its arena
+    /// slices move with it); the removed row's values are returned.
+    std::vector<Weight> swap_remove_row(LocalId r);
+
     /// Collect (column, distance) pairs of all finite entries of row r.
     std::vector<DvEntry> finite_entries(LocalId r) const;
 

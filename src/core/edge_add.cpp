@@ -58,8 +58,8 @@ EdgeBroadcast decode_edge_broadcast(std::span<const std::byte> payload) {
 
 double AnytimeEngine::broadcast_edge_update(VertexId from, VertexId to, Weight w) {
     const auto num_ranks = cluster_->num_ranks();
-    const RankId r_from = owners_[from];
-    const RankId r_to = owners_[to];
+    const RankId r_from = ownership_.owner(from);
+    const RankId r_to = ownership_.owner(to);
     double total_ops = 0;
 
     // Tree broadcast of row(from) — paper Figure 3, line 22.
@@ -149,7 +149,7 @@ void AnytimeEngine::anywhere_add(const GrowthBatch& batch,
                                           sim_seconds());
     }
     graph_.add_vertices(k);
-    owners_.insert(owners_.end(), assignment.begin(), assignment.end());
+    ownership_.extend(assignment);
     std::vector<double> extend_ops(num_ranks, 0);
     run_rank_phase([&](RankId r, std::vector<MetricSpan>&) {
         RankState& state = ranks_[r];
@@ -199,8 +199,8 @@ void AnytimeEngine::anywhere_add(const GrowthBatch& batch,
         if (!graph_.add_edge(lo, hi, e.weight)) {
             continue;  // duplicate within the batch
         }
-        const RankId r_lo = owners_[lo];
-        const RankId r_hi = owners_[hi];
+        const RankId r_lo = ownership_.owner(lo);
+        const RankId r_hi = ownership_.owner(hi);
         ranks_[r_lo].sg.add_local_edge(lo, hi, e.weight);
         if (r_hi != r_lo) {
             ranks_[r_hi].sg.add_local_edge(lo, hi, e.weight);
@@ -251,8 +251,8 @@ void AnytimeEngine::add_edges(std::span<const Edge> edges) {
         if (!graph_.add_edge(e.u, e.v, e.weight)) {
             continue;  // duplicate
         }
-        const RankId r_u = owners_[e.u];
-        const RankId r_v = owners_[e.v];
+        const RankId r_u = ownership_.owner(e.u);
+        const RankId r_v = ownership_.owner(e.v);
         ranks_[r_u].sg.add_local_edge(e.u, e.v, e.weight);
         if (r_v != r_u) {
             ranks_[r_v].sg.add_local_edge(e.u, e.v, e.weight);
@@ -302,8 +302,8 @@ bool AnytimeEngine::decrease_edge_weight(VertexId u, VertexId v, Weight new_weig
     }
 
     graph_.set_edge_weight(u, v, new_weight);
-    const RankId r_u = owners_[u];
-    const RankId r_v = owners_[v];
+    const RankId r_u = ownership_.owner(u);
+    const RankId r_v = ownership_.owner(v);
     ranks_[r_u].sg.update_edge_weight(u, v, new_weight);
     if (r_v != r_u) {
         ranks_[r_v].sg.update_edge_weight(u, v, new_weight);

@@ -88,9 +88,9 @@ ShrinkReport AnytimeEngine::apply_deletion(const ShrinkBatch& batch) {
         if (!(w_old < kInfinity)) {
             continue;  // not present (e.g. already deleted): a no-op
         }
-        ranks_[owners_[e.u]].sg.remove_local_edge(e.u, e.v);
-        if (owners_[e.v] != owners_[e.u]) {
-            ranks_[owners_[e.v]].sg.remove_local_edge(e.u, e.v);
+        ranks_[ownership_.owner(e.u)].sg.remove_local_edge(e.u, e.v);
+        if (ownership_.owner(e.v) != ownership_.owner(e.u)) {
+            ranks_[ownership_.owner(e.v)].sg.remove_local_edge(e.u, e.v);
         }
         affected.push_back({key.first, key.second, w_old});
         ++rep.edges_removed;
@@ -111,9 +111,9 @@ ShrinkReport AnytimeEngine::apply_deletion(const ShrinkBatch& batch) {
             continue;
         }
         graph_.set_edge_weight(e.u, e.v, e.weight);
-        ranks_[owners_[e.u]].sg.update_edge_weight(e.u, e.v, e.weight);
-        if (owners_[e.v] != owners_[e.u]) {
-            ranks_[owners_[e.v]].sg.update_edge_weight(e.u, e.v, e.weight);
+        ranks_[ownership_.owner(e.u)].sg.update_edge_weight(e.u, e.v, e.weight);
+        if (ownership_.owner(e.v) != ownership_.owner(e.u)) {
+            ranks_[ownership_.owner(e.v)].sg.update_edge_weight(e.u, e.v, e.weight);
         }
         affected.push_back({key.first, key.second, w_old});
         ++rep.weight_increases;
@@ -125,15 +125,15 @@ ShrinkReport AnytimeEngine::apply_deletion(const ShrinkBatch& batch) {
     // read now are exactly the pre-change estimates.
     std::set<std::pair<VertexId, RankId>> row_requests;  // (vertex, needed by)
     for (const AffectedEdge& a : affected) {
-        const RankId ru = owners_[a.u];
-        const RankId rv = owners_[a.v];
+        const RankId ru = ownership_.owner(a.u);
+        const RankId rv = ownership_.owner(a.v);
         if (ru != rv) {
             row_requests.insert({a.v, ru});
             row_requests.insert({a.u, rv});
         }
     }
     for (const auto& [vtx, dest] : row_requests) {
-        const RankId src = owners_[vtx];
+        const RankId src = ownership_.owner(vtx);
         RankState& st = ranks_[src];
         const auto entries = st.store.finite_entries(st.sg.local_id(vtx));
         cluster_->charge_compute(src, static_cast<double>(entries.size()));
@@ -174,12 +174,12 @@ ShrinkReport AnytimeEngine::apply_deletion(const ShrinkBatch& batch) {
     std::vector<std::deque<std::pair<LocalId, VertexId>>> queue(num_ranks);
     std::vector<std::set<VertexId>> rank_cols(num_ranks);
     const auto seed_endpoint = [&](VertexId u, VertexId v, Weight w_old) {
-        const RankId ru = owners_[u];
+        const RankId ru = ownership_.owner(u);
         RankState& st = ranks_[ru];
         const LocalId lu = st.sg.local_id(u);
         const auto row_u = st.store.row(lu);
         std::span<const Weight> row_v;
-        if (owners_[v] == ru) {
+        if (ownership_.owner(v) == ru) {
             row_v = st.store.row(st.sg.local_id(v));
         } else {
             row_v = peer_rows[ru].at(v);
@@ -468,9 +468,9 @@ ShrinkReport AnytimeEngine::apply_deletion(const ShrinkBatch& batch) {
     // broadcast is sound now that no stale-low entry survives.
     for (const Edge& e : decreases) {
         graph_.set_edge_weight(e.u, e.v, e.weight);
-        ranks_[owners_[e.u]].sg.update_edge_weight(e.u, e.v, e.weight);
-        if (owners_[e.v] != owners_[e.u]) {
-            ranks_[owners_[e.v]].sg.update_edge_weight(e.u, e.v, e.weight);
+        ranks_[ownership_.owner(e.u)].sg.update_edge_weight(e.u, e.v, e.weight);
+        if (ownership_.owner(e.v) != ownership_.owner(e.u)) {
+            ranks_[ownership_.owner(e.v)].sg.update_edge_weight(e.u, e.v, e.weight);
         }
         dynamic_ops += broadcast_edge_update(e.u, e.v, e.weight);
         dynamic_ops += broadcast_edge_update(e.v, e.u, e.weight);

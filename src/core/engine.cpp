@@ -140,8 +140,8 @@ BoundsParams AnytimeEngine::bounds_params() const {
 
 ClosenessInterval AnytimeEngine::closeness_interval(VertexId v) const {
     AA_ASSERT_MSG(initialized_, "initialize() must run first");
-    AA_ASSERT(v < owners_.size());
-    const RankState& state = ranks_[owners_[v]];
+    AA_ASSERT(v < ownership_.num_vertices());
+    const RankState& state = ranks_[ownership_.owner(v)];
     return row_closeness_interval(state.store.row(state.sg.local_id(v)), v,
                                   bounds_params());
 }
@@ -187,8 +187,8 @@ double AnytimeEngine::charge_partition_cost(std::size_t vertices, std::size_t ed
 }
 
 void AnytimeEngine::distribute_edge(VertexId u, VertexId v, Weight w) {
-    const RankId ru = owners_[u];
-    const RankId rv = owners_[v];
+    const RankId ru = ownership_.owner(u);
+    const RankId rv = ownership_.owner(v);
     ranks_[ru].sg.add_local_edge(u, v, w);
     if (rv != ru) {
         ranks_[rv].sg.add_local_edge(u, v, w);
@@ -208,7 +208,10 @@ void AnytimeEngine::initialize() {
     Rng partition_rng = rng_.fork();
     const Partitioning partition =
         multilevel_partition(graph_, num_ranks, partition_rng, config_.partition);
-    owners_ = partition.assignment;
+    // The flat assignment becomes the two-level shard map; owner resolution
+    // is identical for any shards_per_rank until a shard is migrated.
+    ownership_ = ShardOwnership::from_partition(partition.assignment, num_ranks,
+                                                config_.shards_per_rank);
     const double dd_ops = charge_partition_cost(n, graph_.num_edges());
     if (mx) {
         MetricSpan span;
@@ -227,7 +230,7 @@ void AnytimeEngine::initialize() {
     ranks_.reserve(num_ranks);
     for (RankId r = 0; r < num_ranks; ++r) {
         RankState state;
-        state.sg = LocalSubgraph(r, owners_);
+        state.sg = LocalSubgraph(r, ownership_);
         state.store = DistanceStore(n);
         state.store.set_simd_enabled(config_.rc_simd);
         for (const VertexId v : state.sg.local_vertices()) {
@@ -324,6 +327,10 @@ bool AnytimeEngine::rc_step() {
     // Planned once on the driver thread so both phases below — and both the
     // sync and async propagate paths — order work consistently.
     const std::vector<std::vector<LocalId>> refine_plans = plan_refine_orders();
+    // Per-rank propagate budgets (static split: the configured per-rank
+    // budget everywhere, bit-identically; demand split: the same total
+    // steered toward the query-hot ranks).
+    const std::vector<double> step_budgets = plan_step_budgets();
 
     // Phase 1: package & post boundary DV updates. Rank-confined throughout
     // (each closure serializes its own rows and posts from its own outbox).
@@ -358,7 +365,8 @@ bool AnytimeEngine::rc_step() {
 
     std::vector<double> phase3_ops(ranks_.size(), 0);
     if (config_.rc_async) {
-        rc_step_async(stats, step_no, comm_before, phase3_ops, refine_plans);
+        rc_step_async(stats, step_no, comm_before, phase3_ops, refine_plans,
+                      step_budgets);
     } else {
         // Phase 2: personalized all-to-all exchange (priced, barrier
         // semantics).
@@ -416,8 +424,7 @@ bool AnytimeEngine::rc_step() {
             const double prop_ops = rc_propagate_local(
                 ranks_[r].sg, ranks_[r].store, kernel_pool(),
                 kRcPropagateParallelGrain, mx ? &prop_profile : nullptr,
-                kRcPropagateTileCols, refine_plans[r],
-                config_.refine_budget_ops);
+                kRcPropagateTileCols, refine_plans[r], step_budgets[r]);
             cluster_->charge_compute(r, prop_ops);
             phase3_ops[r] = ingest_ops + prop_ops;
             if (mx) {
@@ -468,14 +475,77 @@ bool AnytimeEngine::rc_step() {
     stats.bytes = cluster_->stats().total_bytes - bytes_before;
     stats.sim_seconds_after = sim_seconds();
     step_history_.push_back(stats);
+
+    // Feed the migration planner the step's measured per-rank relax load
+    // (post + ingest + propagate ops — the same numbers the phase spans
+    // record). Observing is free bookkeeping; shards only move when
+    // auto_migrate opts in.
+    std::vector<double> rank_ops(ranks_.size(), 0);
+    for (RankId r = 0; r < ranks_.size(); ++r) {
+        rank_ops[r] = post_ops[r] + phase3_ops[r];
+    }
+    planner_.observe(rank_ops);
+    if (mx) {
+        metrics_->set(metrics_->gauge("shard.load.imbalance"),
+                      planner_.imbalance());
+    }
+    // Auto-migration needs a warm EWMA: migrate_shards resets the planner, so
+    // requiring a few boundaries of fresh observations before the next move
+    // keeps the drain work of a migration (itself skewed toward the receiving
+    // rank) from re-triggering the planner forever — the drain quiesces in
+    // fewer steps than the warmup, so only sustained real load can migrate.
+    constexpr std::size_t kAutoMigrateWarmupSteps = 4;
+    if (config_.auto_migrate &&
+        planner_.observations() >= kAutoMigrateWarmupSteps) {
+        const std::vector<ShardMove> moves =
+            plan_migration(config_.migrate_max_shards);
+        if (!moves.empty()) {
+            migrate_shards(moves);
+        }
+    }
     fire_boundary_hook();
     return true;
+}
+
+std::vector<double> AnytimeEngine::plan_step_budgets() const {
+    const auto num_ranks = static_cast<std::uint32_t>(ranks_.size());
+    if (config_.refine_budget_split == RefineBudgetSplit::Static ||
+        config_.refine_budget_ops <= 0) {
+        return std::vector<double>(num_ranks, config_.refine_budget_ops);
+    }
+    std::vector<double> heat;
+    if (!demand_->snapshot(heat)) {
+        return std::vector<double>(num_ranks, config_.refine_budget_ops);
+    }
+    return plan_rank_budgets(config_.refine_budget_ops, ownership_, num_ranks,
+                             heat, config_.refine_budget_split);
+}
+
+std::vector<double> AnytimeEngine::shard_static_weights() const {
+    std::vector<double> weights(ownership_.num_shards(), 0.0);
+    for (const RankState& state : ranks_) {
+        for (LocalId l = 0; l < state.sg.num_local(); ++l) {
+            weights[ownership_.shard(state.sg.global_id(l))] +=
+                1.0 + static_cast<double>(state.sg.neighbors(l).size());
+        }
+    }
+    return weights;
+}
+
+std::vector<ShardMove> AnytimeEngine::plan_migration(
+    std::uint32_t max_moves) const {
+    if (!initialized_) {
+        return {};
+    }
+    return planner_.plan(ownership_, shard_static_weights(), max_moves,
+                         config_.migrate_imbalance_threshold);
 }
 
 void AnytimeEngine::rc_step_async(
     RcStepStats& stats, std::int64_t step_no,
     const std::vector<RankStats>& comm_before, std::vector<double>& phase3_ops,
-    const std::vector<std::vector<LocalId>>& refine_plans) {
+    const std::vector<std::vector<LocalId>>& refine_plans,
+    const std::vector<double>& step_budgets) {
     // Event-driven phases 2+3: the pipelined exchange turns every posted
     // message into a timestamped delivery event; a rank ingests each message
     // the moment it arrives, then propagates once its whole inbox is in.
@@ -636,8 +706,7 @@ void AnytimeEngine::rc_step_async(
         const double prop_ops = rc_propagate_local(
             ranks_[r].sg, ranks_[r].store, kernel_pool(),
             kRcPropagateParallelGrain, mx ? &prop_profile : nullptr,
-            kRcPropagateTileCols, refine_plans[r],
-            config_.refine_budget_ops);
+            kRcPropagateTileCols, refine_plans[r], step_budgets[r]);
         cluster_->charge_compute(r, prop_ops);
         phase3_ops[r] += prop_ops;
         if (mx) {
@@ -689,7 +758,7 @@ void AnytimeEngine::apply_addition(const GrowthBatch& batch,
         // placement — the paper's "new cut edges" quality signal (Figure 7).
         std::size_t new_cut = 0;
         for (const Edge& e : batch.edges) {
-            if (owners_[e.u] != owners_[e.v]) {
+            if (ownership_.owner(e.u) != ownership_.owner(e.v)) {
                 ++new_cut;
             }
         }
@@ -706,7 +775,7 @@ void AnytimeEngine::apply_addition(const GrowthBatch& batch,
 std::size_t AnytimeEngine::current_cut_edges() const {
     std::size_t cut = 0;
     for (const Edge& e : graph_.edges()) {
-        if (owners_[e.u] != owners_[e.v]) {
+        if (ownership_.owner(e.u) != ownership_.owner(e.v)) {
             ++cut;
         }
     }
@@ -714,16 +783,16 @@ std::size_t AnytimeEngine::current_cut_edges() const {
 }
 
 std::vector<Weight> AnytimeEngine::distance_row(VertexId v) const {
-    AA_ASSERT(v < owners_.size());
-    const RankState& state = ranks_[owners_[v]];
+    AA_ASSERT(v < ownership_.num_vertices());
+    const RankState& state = ranks_[ownership_.owner(v)];
     const auto row = state.store.row(state.sg.local_id(v));
     return {row.begin(), row.end()};
 }
 
 Weight AnytimeEngine::query_distance(VertexId u, VertexId v) {
     AA_ASSERT_MSG(initialized_, "initialize() must run first");
-    AA_ASSERT(u < owners_.size() && v < owners_.size());
-    const RankId owner = owners_[u];
+    AA_ASSERT(u < ownership_.num_vertices() && v < ownership_.num_vertices());
+    const RankId owner = ownership_.owner(u);
     const RankState& state = ranks_[owner];
     const Weight result = state.store.at(state.sg.local_id(u), v);
     // Price the round trip: an 8-byte request and a 16-byte reply between
@@ -847,12 +916,17 @@ void AnytimeEngine::save_checkpoint(std::ostream& out) const {
         s.write(e.v);
         s.write(e.weight);
     }
-    s.write_span(std::span<const RankId>(owners_));
+    // Ownership travels as the two-level shard tables so a migrated
+    // assignment (which no flat from_partition construction reproduces)
+    // restores exactly.
+    s.write_span(std::span<const ShardId>(ownership_.shard_of()));
+    s.write_span(std::span<const RankId>(ownership_.shard_map()));
+    s.write(ownership_.shards_per_rank());
     s.write(static_cast<std::uint64_t>(rc_steps_));
     s.write(sim_seconds());
     // Rows in ascending global-vertex order, full width.
     for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
-        const RankState& state = ranks_[owners_[v]];
+        const RankState& state = ranks_[ownership_.owner(v)];
         s.write_span(state.store.row(state.sg.local_id(v)));
     }
     const auto buffer = s.take();
@@ -885,22 +959,25 @@ AnytimeEngine AnytimeEngine::load_checkpoint(std::istream& in, EngineConfig conf
         const auto w = d.read<Weight>();
         graph.add_edge(u, v, w);
     }
-    auto owners = d.read_vector<RankId>();
-    AA_ASSERT(owners.size() == n);
+    auto shard_of = d.read_vector<ShardId>();
+    AA_ASSERT(shard_of.size() == n);
+    auto shard_map = d.read_vector<RankId>();
+    const auto shards_per_rank = d.read<std::uint32_t>();
     const auto rc_steps = static_cast<std::size_t>(d.read<std::uint64_t>());
     const auto sim_time = d.read<double>();
 
     AnytimeEngine engine(std::move(graph), config);
     engine.initialized_ = true;
     engine.rc_steps_ = rc_steps;
-    engine.owners_ = std::move(owners);
+    engine.ownership_ = ShardOwnership(std::move(shard_of), std::move(shard_map),
+                                       shards_per_rank);
 
     // Rebuild rank state from the checkpointed ownership (no DD re-run).
     engine.ranks_.clear();
     engine.ranks_.reserve(ranks);
     for (RankId r = 0; r < ranks; ++r) {
         RankState state;
-        state.sg = LocalSubgraph(r, engine.owners_);
+        state.sg = LocalSubgraph(r, engine.ownership_);
         state.store = DistanceStore(n);
         state.store.set_simd_enabled(config.rc_simd);
         for (const VertexId v : state.sg.local_vertices()) {
@@ -914,7 +991,7 @@ AnytimeEngine AnytimeEngine::load_checkpoint(std::istream& in, EngineConfig conf
     for (VertexId v = 0; v < n; ++v) {
         auto values = d.read_vector<Weight>();
         AA_ASSERT(values.size() == n);
-        RankState& state = engine.ranks_[engine.owners_[v]];
+        RankState& state = engine.ranks_[engine.ownership_.owner(v)];
         state.store.install_row(state.sg.local_id(v), std::move(values));
     }
     AA_ASSERT_MSG(d.exhausted(), "trailing bytes in checkpoint");

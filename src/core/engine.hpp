@@ -44,6 +44,8 @@
 #include "runtime/backend.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/thread_pool.hpp"
+#include "shard/migration.hpp"
+#include "shard/ownership.hpp"
 
 namespace aa {
 
@@ -153,6 +155,29 @@ struct EngineConfig {
     /// is spread over more (cheaper) steps, which is what gives a refine
     /// policy room to finish hot rows first. Applies under any policy.
     double refine_budget_ops{0};
+    /// How a positive refine_budget_ops is split across ranks (see
+    /// refine/planner.hpp). Static — the default — gives every rank the
+    /// configured per-rank budget, bit-identical to the pre-split engine;
+    /// DemandProportional steers the same total toward the ranks owning the
+    /// query-hot vertices.
+    RefineBudgetSplit refine_budget_split{RefineBudgetSplit::Static};
+    /// Logical shards per rank in the vertex -> shard -> rank ownership
+    /// indirection (see shard/ownership.hpp). Any granularity resolves
+    /// ownership identically while no shard has been migrated — results,
+    /// ops, messages and span sequences are bit-identical across values —
+    /// but a larger count gives the migration planner finer moves. 1
+    /// degenerates to the historical one-bucket-per-rank map.
+    std::uint32_t shards_per_rank{8};
+    /// Plan and apply shard migrations automatically at RC-step boundaries
+    /// (see shard/migration.hpp). Off by default: a disabled planner still
+    /// observes load (free) but the engine never moves a shard, keeping the
+    /// bit-identity contract with the pre-shard engine.
+    bool auto_migrate{false};
+    /// Auto-migration: most shards moved per RC-step boundary.
+    std::uint32_t migrate_max_shards{1};
+    /// Auto-migration: max/mean per-rank load (EWMA of measured relax ops)
+    /// that must be exceeded before a move is planned.
+    double migrate_imbalance_threshold{1.25};
 };
 
 /// Counters describing one engine lifetime; used by benchmarks and reports.
@@ -168,6 +193,10 @@ struct EngineReport {
     std::size_t weight_updates{0};
     /// (row, column) entries reset to infinity by deletion cascades.
     std::size_t invalidated_entries{0};
+    /// Shards repointed to another rank (incremental migration).
+    std::size_t shard_migrations{0};
+    /// DV rows shipped by those migrations.
+    std::size_t migrated_rows{0};
 };
 
 /// One processed delivery event of an event-driven RC step, recorded in
@@ -265,6 +294,26 @@ public:
     /// path, in one atomic batch. Absent edges are skipped.
     ShrinkReport update_edge_weights(std::span<const Edge> updates);
 
+    // ---- incremental shard migration ---------------------------------------
+
+    /// Apply the given shard moves through the migration protocol
+    /// (core/migrate.cpp): drain in-flight boundary messages, ship each
+    /// moving shard's DV rows + adjacency over the wire (boundary-block
+    /// encoding, both formats), republish the shard map, splice the rows out
+    /// of / into the rank states, and re-settle locally. Converged state
+    /// afterwards is bit-identical to a from-scratch engine on the final
+    /// assignment. No-op moves (unknown shard, same rank) are skipped.
+    void migrate_shards(std::span<const ShardMove> moves);
+
+    /// What the telemetry-driven planner would move right now (bounded by
+    /// `max_moves`); empty while measured load stays under the configured
+    /// imbalance threshold. Pure planning — applies nothing.
+    std::vector<ShardMove> plan_migration(std::uint32_t max_moves) const;
+
+    /// The telemetry-driven migration planner (per-rank load EWMA fed from
+    /// each RC step's measured relax ops).
+    const MigrationPlanner& migration_planner() const { return planner_; }
+
     // ---- results & introspection -------------------------------------------
 
     std::size_t num_vertices() const { return graph_.num_vertices(); }
@@ -278,7 +327,11 @@ public:
     /// The execution backend running the per-rank phase bodies.
     const ExecutionBackend& backend() const { return *backend_; }
     const DynamicGraph& graph() const { return graph_; }
-    const std::vector<RankId>& owners() const { return owners_; }
+    /// The flat vertex -> rank map, materialized from the shard indirection
+    /// (partition evaluation, placement strategies).
+    std::vector<RankId> owners() const { return ownership_.owners(); }
+    /// The two-level vertex -> shard -> rank ownership map.
+    const ShardOwnership& shard_ownership() const { return ownership_; }
     const EngineReport& report() const { return report_; }
     Rng& rng() { return rng_; }
     const EngineConfig& config() const { return config_; }
@@ -329,6 +382,13 @@ public:
         config_.refine_policy = policy;
     }
     void set_refine_budget_ops(double ops) { config_.refine_budget_ops = ops; }
+    /// Toggle planner-driven migration at RC-step boundaries (scenario
+    /// tooling; construction-time config everywhere else).
+    void set_auto_migrate(bool on) { config_.auto_migrate = on; }
+    /// Adjust the planner's max/mean load trigger (scenario tooling).
+    void set_migrate_imbalance_threshold(double threshold) {
+        config_.migrate_imbalance_threshold = threshold;
+    }
 
     /// Replace the top-k focus set (the serve layer's uncertain top-k
     /// candidates). Only consulted under RefinePolicy::TopKPruned; focus
@@ -431,7 +491,8 @@ private:
     void rc_step_async(RcStepStats& stats, std::int64_t step_no,
                        const std::vector<RankStats>& comm_before,
                        std::vector<double>& phase3_ops,
-                       const std::vector<std::vector<LocalId>>& refine_plans);
+                       const std::vector<std::vector<LocalId>>& refine_plans,
+                       const std::vector<double>& step_budgets);
     /// Decay query heat, export the refine.demand.* gauges, then invoke
     /// boundary_hook_ if set (phase entry points call this last).
     void fire_boundary_hook();
@@ -439,6 +500,17 @@ private:
     /// = the historical ascending order). Runs on the driver thread before
     /// the post phase; deterministic given the heat/focus state.
     std::vector<std::vector<LocalId>> plan_refine_orders();
+    /// Per-rank propagate budgets for the starting RC step (see
+    /// plan_rank_budgets in refine/planner.hpp). Static split returns the
+    /// configured per-rank budget for every rank.
+    std::vector<double> plan_step_budgets() const;
+    /// Static per-shard weight (vertices + incident edges) the migration
+    /// planner scales measured rank load by.
+    std::vector<double> shard_static_weights() const;
+    /// Deliver and ingest any in-flight boundary messages (migration
+    /// prologue: blocks addressed under the old shard map must land before
+    /// rows move). Charged like a regular ingest phase.
+    void drain_in_flight_updates();
     /// Every structural-update path calls this after its local re-settlement:
     /// resets the wavefront certificate to its k = 0 base case, recomputes
     /// the live w_min/w_max, and grows demand/focus state to the new vertex
@@ -459,7 +531,8 @@ private:
     std::unique_ptr<ThreadPool> pool_;
     std::unique_ptr<ThreadPool> inline_pool_;  // no-worker pool, see ia_pool()
     Rng rng_;
-    std::vector<RankId> owners_;
+    ShardOwnership ownership_;
+    MigrationPlanner planner_;
     std::vector<RankState> ranks_;
     std::size_t rc_steps_{0};
     bool initialized_{false};

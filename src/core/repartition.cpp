@@ -61,7 +61,7 @@ void AnytimeEngine::repartition_add(const GrowthBatch& batch) {
     if (config_.repartition_mode == RepartitionMode::Adaptive) {
         // Adaptive: start from the current assignment, place each new vertex
         // on its max-affinity rank (ties to the lightest), then FM-refine.
-        new_owners = owners_;
+        new_owners = ownership_.owners();
         new_owners.resize(new_n, 0);
         std::vector<std::size_t> load(num_ranks, 0);
         for (VertexId v = 0; v < old_n; ++v) {
@@ -114,7 +114,7 @@ void AnytimeEngine::repartition_add(const GrowthBatch& batch) {
         std::vector<std::vector<std::size_t>> overlap(
             num_ranks, std::vector<std::size_t>(num_ranks, 0));
         for (VertexId v = 0; v < old_n; ++v) {
-            ++overlap[new_owners[v]][owners_[v]];
+            ++overlap[new_owners[v]][ownership_.owner(v)];
         }
         std::vector<RankId> relabel(num_ranks, kInvalidVertex);
         std::vector<bool> rank_taken(num_ranks, false);
@@ -156,7 +156,7 @@ void AnytimeEngine::repartition_add(const GrowthBatch& batch) {
     std::vector<std::uint8_t> moved(new_n, 0);
     std::size_t moved_existing = 0;
     for (VertexId v = 0; v < old_n; ++v) {
-        moved[v] = new_owners[v] != owners_[v] ? 1 : 0;
+        moved[v] = new_owners[v] != ownership_.owner(v) ? 1 : 0;
         moved_existing += moved[v];
     }
     for (VertexId v = static_cast<VertexId>(old_n); v < new_n; ++v) {
@@ -232,10 +232,15 @@ void AnytimeEngine::repartition_add(const GrowthBatch& batch) {
 
     // ---- 4. Rebuild rank state under the new ownership. ----
     const auto rebuild_span = open_stage("repartition.rebuild");
-    owners_ = std::move(new_owners);
+    // A repartition re-deals the logical shards from scratch: the fresh
+    // assignment defines the new shard layout (owner resolution is identical
+    // for any shards_per_rank, so this does not perturb bit-identity).
+    ownership_ = ShardOwnership::from_partition(new_owners, num_ranks,
+                                                config_.shards_per_rank);
+    planner_.reset();
     for (RankId r = 0; r < num_ranks; ++r) {
         RankState& state = ranks_[r];
-        state.sg = LocalSubgraph(r, owners_);
+        state.sg = LocalSubgraph(r, ownership_);
         state.store = DistanceStore(new_n);
         state.store.set_simd_enabled(config_.rc_simd);
         for (const VertexId v : state.sg.local_vertices()) {

@@ -8,7 +8,10 @@
 // gets exchanged in each RC step.
 //
 // Each rank also keeps the global ownership map (as every MPI rank would
-// after the DD phase broadcast) so it can route updates.
+// after the DD phase broadcast) so it can route updates. Since PR 9 that map
+// is the two-level ShardOwnership (vertex -> shard -> rank): repointing a
+// shard re-routes every vertex in it without touching the per-vertex table,
+// which is what incremental migration (release()/adopt_migrated()) keys off.
 #pragma once
 
 #include <unordered_map>
@@ -17,6 +20,7 @@
 #include "common/assert.hpp"
 #include "common/types.hpp"
 #include "graph/graph.hpp"
+#include "shard/ownership.hpp"
 
 namespace aa {
 
@@ -24,23 +28,26 @@ class LocalSubgraph {
 public:
     LocalSubgraph() = default;
 
-    /// Create for rank `rank` given the global ownership map; adopts every
-    /// vertex v with owners[v] == rank. Adjacency must then be populated via
-    /// add_local_edge for each global edge incident to an owned vertex.
+    /// Create for rank `rank` given the shard ownership map; adopts every
+    /// vertex v with owner(v) == rank in ascending global order. Adjacency
+    /// must then be populated via add_local_edge for each global edge
+    /// incident to an owned vertex.
+    LocalSubgraph(RankId rank, ShardOwnership ownership);
+
+    /// Flat-map convenience (tests, kernel fixtures): wraps `owners` in a
+    /// one-shard-per-rank ShardOwnership, which resolves identically.
     LocalSubgraph(RankId rank, std::vector<RankId> owners);
 
     RankId rank() const { return rank_; }
 
     std::size_t num_local() const { return locals_.size(); }
-    std::size_t num_global() const { return owners_.size(); }
+    std::size_t num_global() const { return ownership_.num_vertices(); }
 
-    bool owns(VertexId global) const {
-        return global < owners_.size() && owners_[global] == rank_;
-    }
-    RankId owner(VertexId global) const {
-        AA_ASSERT(global < owners_.size());
-        return owners_[global];
-    }
+    bool owns(VertexId global) const { return ownership_.owned_by(global, rank_); }
+    RankId owner(VertexId global) const { return ownership_.owner(global); }
+
+    /// This rank's replica of the global shard map.
+    const ShardOwnership& ownership() const { return ownership_; }
 
     LocalId local_id(VertexId global) const {
         const auto it = index_.find(global);
@@ -66,6 +73,24 @@ public:
 
     /// Adopt ownership of an (already registered) global vertex.
     LocalId adopt(VertexId global);
+
+    /// Repoint shard `s` in this rank's replica of the shard map (migration
+    /// publish). Pure metadata: local rows are moved separately via
+    /// release()/adopt_migrated().
+    void set_shard_rank(ShardId s, RankId rank) { ownership_.set_shard_rank(s, rank); }
+
+    /// Migration, outbound side: drop the (formerly owned, now remote) vertex
+    /// from the local structures. The shard map must already point its shard
+    /// elsewhere. Its still-local neighbors keep their adjacency entries and
+    /// gain the matching external (cut-edge) reverse index; the last local row
+    /// is swap-moved into the vacated slot. Returns that slot so the caller
+    /// can mirror the swap in its DistanceStore (swap_remove_row).
+    LocalId release(VertexId global);
+
+    /// Migration, inbound side: adopt `global` (whose shard now maps here)
+    /// together with its full adjacency as shipped by the releasing rank.
+    /// Reverse cut-edge indices are rebuilt on both sides of the move.
+    LocalId adopt_migrated(VertexId global, std::span<const Neighbor> adjacency);
 
     /// Add edge {u, v} to the local adjacency; at least one endpoint must be
     /// owned. Stored on each owned endpoint. Idempotent additions are the
@@ -98,11 +123,14 @@ public:
 
     /// Replace the ownership map wholesale (Repartition-S). The caller must
     /// rebuild locals/adjacency afterwards via adopt()/add_local_edge().
+    void reset_ownership(ShardOwnership ownership);
+
+    /// Flat-map convenience overload (tests): one shard per rank.
     void reset_ownership(std::vector<RankId> owners);
 
 private:
     RankId rank_{0};
-    std::vector<RankId> owners_;                     // global vertex -> rank
+    ShardOwnership ownership_;                       // global vertex -> shard -> rank
     std::vector<VertexId> locals_;                   // local -> global
     std::unordered_map<VertexId, LocalId> index_;    // global -> local
     std::vector<std::vector<Neighbor>> adjacency_;   // by local id, global targets

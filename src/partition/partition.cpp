@@ -67,6 +67,28 @@ PartitionQuality evaluate_partition(const CsrGraph& g, const Partitioning& p) {
     return evaluate_impl(g, p);
 }
 
+PartitionQuality evaluate_partition(const DynamicGraph& g,
+                                    const ShardOwnership& ownership,
+                                    std::uint32_t num_parts) {
+    Partitioning p;
+    p.assignment = ownership.owners();
+    p.num_parts = num_parts;
+    PartitionQuality q = evaluate_impl(g, p);
+    q.shard_loads.assign(ownership.num_shards(), 0.0);
+    q.shard_cut_edges.assign(ownership.num_shards(), 0);
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+        const ShardId su = ownership.shard(u);
+        q.shard_loads[su] += 1.0 + static_cast<double>(g.neighbors(u).size());
+        for (const Neighbor& nb : g.neighbors(u)) {
+            if (u < nb.to && p.assignment[u] != p.assignment[nb.to]) {
+                ++q.shard_cut_edges[su];
+                ++q.shard_cut_edges[ownership.shard(nb.to)];
+            }
+        }
+    }
+    return q;
+}
+
 std::size_t count_cut_edges(const DynamicGraph& g, const Partitioning& p) {
     AA_ASSERT(p.assignment.size() == g.num_vertices());
     std::size_t cut = 0;

@@ -10,6 +10,7 @@
 #include "common/types.hpp"
 #include "graph/csr.hpp"
 #include "graph/graph.hpp"
+#include "shard/ownership.hpp"
 
 namespace aa {
 
@@ -33,10 +34,23 @@ struct PartitionQuality {
     double imbalance{0};
     /// Cut edges incident to each part (a part's communication volume).
     std::vector<std::size_t> part_cut_edges;
+    /// Per-shard load (vertices + incident edge endpoints) and per-shard cut
+    /// edges — filled only by the ShardOwnership overload (empty otherwise).
+    /// This is the migration telemetry: which logical buckets carry the
+    /// weight a shard move would redistribute.
+    std::vector<double> shard_loads;
+    std::vector<std::size_t> shard_cut_edges;
 };
 
 PartitionQuality evaluate_partition(const DynamicGraph& g, const Partitioning& p);
 PartitionQuality evaluate_partition(const CsrGraph& g, const Partitioning& p);
+
+/// Shard-aware evaluation: the rank-level metrics of the materialized
+/// assignment plus per-shard load and cut telemetry (shard_loads /
+/// shard_cut_edges). num_parts is taken as the shard map's rank span.
+PartitionQuality evaluate_partition(const DynamicGraph& g,
+                                    const ShardOwnership& ownership,
+                                    std::uint32_t num_parts);
 
 /// Number of cut edges only (cheaper than full evaluation).
 std::size_t count_cut_edges(const DynamicGraph& g, const Partitioning& p);

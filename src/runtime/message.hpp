@@ -30,6 +30,8 @@ enum class MessageTag : std::uint32_t {
     ShrinkAffectedColumns = 6,  // gather/broadcast of the affected-column union
     ShrinkBoundaryView = 7,     // boundary rows restricted to affected columns
     ShrinkRaise = 8,            // invalidated (vertex, column, old value) raises
+    // Incremental shard migration (core/migrate.cpp):
+    ShardMigration = 9,  // one shard's DV rows + adjacency moving to a new rank
 };
 
 struct Message {

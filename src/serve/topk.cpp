@@ -22,6 +22,38 @@ std::vector<TopKEntry> topk_from_snapshot(const ResultSnapshot& snapshot,
     return entries;
 }
 
+std::vector<TopKEntry> topk_sharded(const ResultSnapshot& snapshot,
+                                    const ShardOwnership& ownership,
+                                    std::size_t k) {
+    const std::size_t n = snapshot.scores.size();
+    const std::size_t want = std::min(k, n);
+    if (want == 0) {
+        return {};
+    }
+    // Bucket by shard; the trailing pseudo-bucket catches vertices the map
+    // has not registered yet.
+    std::vector<std::vector<TopKEntry>> partials(ownership.num_shards() + 1);
+    for (std::size_t v = 0; v < n; ++v) {
+        const std::size_t s = v < ownership.num_vertices()
+                                  ? ownership.shard(static_cast<VertexId>(v))
+                                  : ownership.num_shards();
+        partials[s].push_back(
+            {static_cast<VertexId>(v), snapshot.scores.closeness(v)});
+    }
+    std::vector<TopKEntry> pool;
+    for (auto& partial : partials) {
+        const std::size_t take = std::min(want, partial.size());
+        std::partial_sort(partial.begin(), partial.begin() + take,
+                          partial.end(), topk_outranks);
+        pool.insert(pool.end(), partial.begin(), partial.begin() + take);
+    }
+    const std::size_t out = std::min(want, pool.size());
+    std::partial_sort(pool.begin(), pool.begin() + out, pool.end(),
+                      topk_outranks);
+    pool.resize(out);
+    return pool;
+}
+
 IncrementalTopK::IncrementalTopK(std::size_t k) : k_(k) {}
 
 void IncrementalTopK::apply(const ResultSnapshot& snapshot) {

@@ -35,6 +35,7 @@
 
 #include "common/types.hpp"
 #include "serve/snapshot.hpp"
+#include "shard/ownership.hpp"
 
 namespace aa {
 
@@ -57,6 +58,19 @@ inline bool topk_outranks(const TopKEntry& a, const TopKEntry& b) {
 /// of closeness_ranking(snapshot.scores), scores included.
 std::vector<TopKEntry> topk_from_snapshot(const ResultSnapshot& snapshot,
                                           std::size_t k);
+
+/// Shard-decomposed selection: one partial top-k per logical shard, merged at
+/// read. Bit-identical to topk_from_snapshot (pinned by tests): the ranking
+/// is a strict total order and the global k-prefix is contained in the union
+/// of the per-shard k-prefixes. The decomposition is the serve layer's
+/// sharding hook — each partial is computable by (and cacheable on) the
+/// shard's owning rank, and a migration invalidates only the moved shard's
+/// partial. Snapshot vertices the ownership map has not registered yet (a
+/// snapshot can outrun the map across a growth batch) are pooled in one
+/// extra pseudo-shard so no candidate is ever dropped.
+std::vector<TopKEntry> topk_sharded(const ResultSnapshot& snapshot,
+                                    const ShardOwnership& ownership,
+                                    std::size_t k);
 
 /// Maintains the top-k ranking across a stream of snapshots. Not thread-safe
 /// by itself; QueryService serializes updates and hands readers immutable

@@ -1,0 +1,134 @@
+#include "shard/migration.hpp"
+
+#include <algorithm>
+
+namespace aa {
+
+void MigrationPlanner::observe(std::span<const double> rank_ops) {
+    if (load_.size() != rank_ops.size()) {
+        load_.assign(rank_ops.begin(), rank_ops.end());
+        observations_ = 1;
+        return;
+    }
+    for (std::size_t r = 0; r < rank_ops.size(); ++r) {
+        load_[r] = (1.0 - alpha_) * load_[r] + alpha_ * rank_ops[r];
+    }
+    ++observations_;
+}
+
+double MigrationPlanner::imbalance() const {
+    if (load_.empty()) {
+        return 1.0;
+    }
+    double sum = 0;
+    double max = 0;
+    for (const double l : load_) {
+        sum += l;
+        max = std::max(max, l);
+    }
+    const double mean = sum / static_cast<double>(load_.size());
+    return mean > 0 ? max / mean : 1.0;
+}
+
+void MigrationPlanner::reset() {
+    load_.clear();
+    observations_ = 0;
+}
+
+std::vector<ShardMove> MigrationPlanner::plan(const ShardOwnership& ownership,
+                                              std::span<const double> shard_weights,
+                                              std::uint32_t max_moves,
+                                              double imbalance_threshold) const {
+    std::vector<ShardMove> moves;
+    const std::size_t num_ranks = load_.size();
+    if (num_ranks < 2 || max_moves == 0) {
+        return moves;
+    }
+    AA_ASSERT(shard_weights.size() == ownership.num_shards());
+
+    // Working copies the greedy loop updates as it commits moves.
+    std::vector<double> load = load_;
+    std::vector<RankId> shard_rank(ownership.shard_map());
+    std::vector<double> rank_weight(num_ranks, 0.0);
+    std::vector<std::uint32_t> populated(num_ranks, 0);
+    for (ShardId s = 0; s < shard_rank.size(); ++s) {
+        const RankId r = shard_rank[s];
+        if (r < num_ranks) {
+            rank_weight[r] += shard_weights[s];
+            populated[r] += shard_weights[s] > 0 ? 1 : 0;
+        }
+    }
+
+    double mean = 0;
+    for (const double l : load) {
+        mean += l;
+    }
+    mean /= static_cast<double>(num_ranks);
+    if (mean <= 0) {
+        return moves;
+    }
+
+    for (std::uint32_t m = 0; m < max_moves; ++m) {
+        RankId hot = 0;
+        RankId cold = 0;
+        for (RankId r = 1; r < num_ranks; ++r) {
+            if (load[r] > load[hot]) {
+                hot = r;
+            }
+            if (load[r] < load[cold]) {
+                cold = r;
+            }
+        }
+        if (hot == cold || load[hot] < imbalance_threshold * mean) {
+            break;
+        }
+        if (populated[hot] <= 1 || rank_weight[hot] <= 0) {
+            break;  // never drain a rank's last populated shard
+        }
+
+        // Pick the hot rank's heaviest shard whose attributed load still fits
+        // into half the gap (so the move can't overshoot and flip the
+        // imbalance); fall back to its lightest shard when even that is too
+        // big, as long as moving it strictly shrinks the gap.
+        const double gap = load[hot] - load[cold];
+        ShardId best_fit = kInvalidShard;
+        double best_fit_delta = -1.0;
+        ShardId lightest = kInvalidShard;
+        double lightest_delta = 0.0;
+        for (ShardId s = 0; s < shard_rank.size(); ++s) {
+            if (shard_rank[s] != hot || shard_weights[s] <= 0) {
+                continue;
+            }
+            const double delta = load[hot] * shard_weights[s] / rank_weight[hot];
+            if (delta <= gap / 2 && delta > best_fit_delta) {
+                best_fit = s;
+                best_fit_delta = delta;
+            }
+            if (lightest == kInvalidShard || delta < lightest_delta) {
+                lightest = s;
+                lightest_delta = delta;
+            }
+        }
+        ShardId chosen = best_fit;
+        double delta = best_fit_delta;
+        if (chosen == kInvalidShard) {
+            chosen = lightest;
+            delta = lightest_delta;
+        }
+        if (chosen == kInvalidShard || delta >= gap) {
+            break;  // no shard move shrinks the gap
+        }
+
+        moves.push_back({chosen, hot, cold});
+        load[hot] -= delta;
+        load[cold] += delta;
+        rank_weight[hot] -= shard_weights[chosen];
+        rank_weight[cold] += shard_weights[chosen];
+        populated[hot] -= 1;
+        populated[cold] += 1;
+        shard_rank[chosen] = cold;
+    }
+    return moves;
+}
+
+}  // namespace aa

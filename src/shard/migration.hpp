@@ -1,0 +1,71 @@
+// Telemetry-driven incremental shard migration planning (xDGP-style).
+//
+// The planner watches the per-rank relaxation load the engine already
+// measures (post + propagate ops per RC step — the same numbers the
+// MetricsRegistry spans record) through an exponentially weighted moving
+// average, and at engine boundaries emits a *bounded* list of shard moves:
+// hottest rank donates its best-fitting shard to the coldest rank, repeated
+// at most `max_moves` times. The engine applies the moves through the
+// boundary-block wire machinery (core/migrate.cpp) — no stop-the-world
+// repartition.
+//
+// Planning is deterministic: ties break toward the lowest rank / shard id,
+// and the per-shard load attribution is the rank's EWMA load scaled by the
+// shard's share of the rank's static weight (vertices + incident edges).
+// A move is only emitted when it strictly shrinks the hot/cold gap, and a
+// rank is never drained of its last populated shard.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "shard/ownership.hpp"
+
+namespace aa {
+
+/// One planned (or applied) shard move.
+struct ShardMove {
+    ShardId shard{kInvalidShard};
+    RankId from{0};
+    RankId to{0};
+
+    friend bool operator==(const ShardMove&, const ShardMove&) = default;
+};
+
+class MigrationPlanner {
+public:
+    /// `alpha` is the EWMA weight of the newest observation.
+    explicit MigrationPlanner(double alpha = 0.5) : alpha_(alpha) {}
+
+    /// Fold one engine boundary's measured per-rank relax ops into the EWMA.
+    void observe(std::span<const double> rank_ops);
+
+    /// Smoothed per-rank load (empty before the first observation).
+    const std::vector<double>& rank_load() const { return load_; }
+    std::size_t observations() const { return observations_; }
+
+    /// max(load) / mean(load); 1.0 when unobserved or all-idle.
+    double imbalance() const;
+
+    /// Forget all observations (structural changes that reshuffle load).
+    void reset();
+
+    /// Plan at most `max_moves` shard moves against the current ownership.
+    /// `shard_weights` is the static per-shard weight (engine supplies
+    /// vertices + incident edges); a shard's load estimate is
+    /// rank_load[r] * weight(s) / weight(r). Returns an empty plan while
+    /// max/mean load stays below `imbalance_threshold`.
+    std::vector<ShardMove> plan(const ShardOwnership& ownership,
+                                std::span<const double> shard_weights,
+                                std::uint32_t max_moves,
+                                double imbalance_threshold) const;
+
+private:
+    double alpha_;
+    std::vector<double> load_;
+    std::size_t observations_{0};
+};
+
+}  // namespace aa

@@ -1,0 +1,96 @@
+#include "shard/ownership.hpp"
+
+namespace aa {
+
+ShardOwnership::ShardOwnership(std::vector<ShardId> shard_of,
+                               std::vector<RankId> shard_to_rank,
+                               std::uint32_t shards_per_rank)
+    : shard_of_(std::move(shard_of)),
+      shard_to_rank_(std::move(shard_to_rank)),
+      shards_per_rank_(shards_per_rank == 0 ? 1 : shards_per_rank) {
+    for (const ShardId s : shard_of_) {
+        AA_ASSERT_MSG(s < shard_to_rank_.size(), "vertex maps to unknown shard");
+    }
+}
+
+ShardOwnership ShardOwnership::from_partition(std::span<const RankId> owners,
+                                              std::uint32_t num_ranks,
+                                              std::uint32_t shards_per_rank) {
+    ShardOwnership o;
+    o.shards_per_rank_ = shards_per_rank == 0 ? 1 : shards_per_rank;
+    o.shard_to_rank_.resize(static_cast<std::size_t>(num_ranks) * o.shards_per_rank_);
+    for (RankId r = 0; r < num_ranks; ++r) {
+        for (std::uint32_t j = 0; j < o.shards_per_rank_; ++j) {
+            o.shard_to_rank_[static_cast<std::size_t>(r) * o.shards_per_rank_ + j] = r;
+        }
+    }
+    o.shard_of_.resize(owners.size());
+    std::vector<std::uint32_t> dealt(num_ranks, 0);
+    for (VertexId v = 0; v < owners.size(); ++v) {
+        const RankId r = owners[v];
+        AA_ASSERT_MSG(r < num_ranks, "assignment names a rank beyond num_ranks");
+        o.shard_of_[v] = static_cast<ShardId>(r) * o.shards_per_rank_ +
+                         dealt[r]++ % o.shards_per_rank_;
+    }
+    return o;
+}
+
+void ShardOwnership::extend(std::span<const RankId> new_owners) {
+    const auto base = static_cast<VertexId>(shard_of_.size());
+    shard_of_.reserve(shard_of_.size() + new_owners.size());
+    for (std::size_t i = 0; i < new_owners.size(); ++i) {
+        shard_of_.push_back(
+            shard_for_new_vertex(base + static_cast<VertexId>(i), new_owners[i]));
+    }
+}
+
+ShardId ShardOwnership::shard_for_new_vertex(VertexId v, RankId rank) {
+    std::uint32_t count = 0;
+    for (const RankId r : shard_to_rank_) {
+        count += r == rank ? 1 : 0;
+    }
+    if (count == 0) {
+        shard_to_rank_.push_back(rank);
+        return static_cast<ShardId>(shard_to_rank_.size() - 1);
+    }
+    // The (v mod count)-th of the rank's shards in ascending ShardId order.
+    // Before any migration, rank r's shards are exactly [r*S, (r+1)*S), so
+    // this reduces to r*S + v%S — a pure function of the flat assignment,
+    // which keeps identity-map runs bit-identical to the pre-shard engine.
+    std::uint32_t pick = static_cast<std::uint32_t>(v % count);
+    for (ShardId s = 0; s < shard_to_rank_.size(); ++s) {
+        if (shard_to_rank_[s] == rank && pick-- == 0) {
+            return s;
+        }
+    }
+    AA_ASSERT_MSG(false, "unreachable: rank shard count changed mid-scan");
+    return kInvalidShard;
+}
+
+std::vector<RankId> ShardOwnership::owners() const {
+    std::vector<RankId> flat(shard_of_.size());
+    for (std::size_t v = 0; v < shard_of_.size(); ++v) {
+        flat[v] = shard_to_rank_[shard_of_[v]];
+    }
+    return flat;
+}
+
+std::vector<VertexId> ShardOwnership::shard_vertices(ShardId s) const {
+    std::vector<VertexId> verts;
+    for (VertexId v = 0; v < shard_of_.size(); ++v) {
+        if (shard_of_[v] == s) {
+            verts.push_back(v);
+        }
+    }
+    return verts;
+}
+
+std::vector<std::size_t> ShardOwnership::shard_sizes() const {
+    std::vector<std::size_t> sizes(shard_to_rank_.size(), 0);
+    for (const ShardId s : shard_of_) {
+        ++sizes[s];
+    }
+    return sizes;
+}
+
+}  // namespace aa

@@ -1,0 +1,117 @@
+// Logical-shard ownership: the two-level vertex -> shard -> rank indirection
+// that decouples *what* a rank owns from *which* rank that is.
+//
+// The flat `owners_[v] -> RankId` map the engine used through PR 8 bakes the
+// physical rank into every vertex, so any ownership change is a stop-the-world
+// repartition (rebuild every subgraph, re-route every row). Splitting the map
+// into
+//
+//   shard_of_[v]      : VertexId -> ShardId   (stable, fine-grained buckets)
+//   shard_to_rank_[s] : ShardId  -> RankId    (small, republishable cheaply)
+//
+// makes ownership changes O(shards) metadata plus O(moved vertices) state:
+// repointing one shard re-routes every vertex in it at once, which is what
+// the incremental hotspot migration (shard/migration.hpp, xDGP-style) and a
+// future elastic rank count both need.
+//
+// Bit-identity contract: `from_partition` distributes rank r's vertices
+// round-robin over shards [r*S, (r+1)*S), so `owner(v)` resolves to exactly
+// the flat map's value for *any* shard granularity S — the refactored engine
+// is bit-identical to the pre-shard engine (ops, messages, dirty order, span
+// sequence) as long as no shard is repointed. S == 1 degenerates to the old
+// one-bucket-per-rank map.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace aa {
+
+/// Logical shard identifier. Shards are densely numbered [0, num_shards).
+using ShardId = std::uint32_t;
+
+/// Sentinel for "no shard".
+inline constexpr ShardId kInvalidShard = std::numeric_limits<ShardId>::max();
+
+class ShardOwnership {
+public:
+    ShardOwnership() = default;
+
+    /// Rebuild from explicit tables (checkpoint restore, tests).
+    ShardOwnership(std::vector<ShardId> shard_of, std::vector<RankId> shard_to_rank,
+                   std::uint32_t shards_per_rank);
+
+    /// Build from a flat partition assignment: rank r gets shards
+    /// [r*shards_per_rank, (r+1)*shards_per_rank) and its vertices are dealt
+    /// round-robin (in ascending global id) across them, so owner(v) ==
+    /// owners[v] for every vertex and every granularity.
+    static ShardOwnership from_partition(std::span<const RankId> owners,
+                                         std::uint32_t num_ranks,
+                                         std::uint32_t shards_per_rank);
+
+    std::size_t num_vertices() const { return shard_of_.size(); }
+    std::size_t num_shards() const { return shard_to_rank_.size(); }
+    std::uint32_t shards_per_rank() const { return shards_per_rank_; }
+
+    ShardId shard(VertexId v) const {
+        AA_ASSERT(v < shard_of_.size());
+        return shard_of_[v];
+    }
+    RankId rank_of(ShardId s) const {
+        AA_ASSERT(s < shard_to_rank_.size());
+        return shard_to_rank_[s];
+    }
+    RankId owner(VertexId v) const {
+        AA_ASSERT(v < shard_of_.size());
+        return shard_to_rank_[shard_of_[v]];
+    }
+    bool owned_by(VertexId v, RankId rank) const {
+        return v < shard_of_.size() && shard_to_rank_[shard_of_[v]] == rank;
+    }
+
+    /// Repoint one shard — the whole migration publish step. O(1); every
+    /// vertex in the shard re-routes on the next ownership lookup.
+    void set_shard_rank(ShardId s, RankId rank) {
+        AA_ASSERT(s < shard_to_rank_.size());
+        shard_to_rank_[s] = rank;
+    }
+
+    /// Register newly added global vertices, one per entry. Each lands in its
+    /// owning rank's shard picked by shard_for_new_vertex (deterministic, so
+    /// every rank's replica of the map extends identically).
+    void extend(std::span<const RankId> new_owners);
+
+    /// Deterministic shard for a new vertex owned by `rank`: the (v mod k)-th
+    /// of the rank's k current shards in ascending ShardId order. If the rank
+    /// currently maps no shard (possible after migration drained it), a fresh
+    /// shard is appended for it.
+    ShardId shard_for_new_vertex(VertexId v, RankId rank);
+
+    /// Materialize the flat vertex -> rank map (partition evaluation,
+    /// placement strategies).
+    std::vector<RankId> owners() const;
+
+    /// Vertices of shard `s`, ascending. O(n) scan — migration-path only.
+    std::vector<VertexId> shard_vertices(ShardId s) const;
+
+    /// Per-shard vertex counts.
+    std::vector<std::size_t> shard_sizes() const;
+
+    // Raw tables, exposed for checkpointing and telemetry.
+    const std::vector<ShardId>& shard_of() const { return shard_of_; }
+    const std::vector<RankId>& shard_map() const { return shard_to_rank_; }
+
+    friend bool operator==(const ShardOwnership&, const ShardOwnership&) = default;
+
+private:
+    std::vector<ShardId> shard_of_;
+    std::vector<RankId> shard_to_rank_;
+    std::uint32_t shards_per_rank_{1};
+};
+
+}  // namespace aa

@@ -39,6 +39,9 @@
 //   refine-policy uniform|heat|topk   RC worklist-ordering policy
 //   heat <v> [weight]                 inject query heat at a vertex
 //   bounds <v>                        print the certified closeness interval
+//   shards                            print per-rank shard ownership + load
+//   migrate <n>                       plan and apply up to n shard moves
+//   auto-migrate on|off [threshold]   planner-driven moves at step boundaries
 //   help                              print this command list
 //
 // query/topk go through the QueryService: they read the versioned snapshot
@@ -94,6 +97,9 @@ const char kHelpText[] =
     "  refine-policy uniform|heat|topk   RC worklist-ordering policy\n"
     "  heat <v> [weight]                 inject query heat at a vertex\n"
     "  bounds <v>                        print the certified closeness interval\n"
+    "  shards                            print per-rank shard ownership + load\n"
+    "  migrate <n>                       plan and apply up to n shard moves\n"
+    "  auto-migrate on|off [threshold]   planner-driven moves at step boundaries\n"
     "  help                              print this command list\n";
 
 bool parse_policy(const std::string& name, FreshnessPolicy& policy) {
@@ -585,6 +591,71 @@ struct Runner {
                         iv.exact ? "EXACT" : "pending", iv.settled,
                         engine->num_vertices(),
                         static_cast<long long>(engine->wavefront_steps()));
+        } else if (command == "shards") {
+            require_engine(command);
+            const ShardOwnership& ownership = engine->shard_ownership();
+            const auto sizes = ownership.shard_sizes();
+            const auto& load = engine->migration_planner().rank_load();
+            std::printf("[%8.4fs] %zu shards over %u ranks "
+                        "(load imbalance %.3f, %zu shard(s) migrated)\n",
+                        engine->sim_seconds(), ownership.num_shards(),
+                        config.num_ranks,
+                        engine->migration_planner().imbalance(),
+                        engine->report().shard_migrations);
+            for (RankId r = 0; r < config.num_ranks; ++r) {
+                std::size_t shards = 0;
+                std::size_t vertices = 0;
+                for (ShardId s = 0; s < ownership.num_shards(); ++s) {
+                    if (ownership.rank_of(s) == r) {
+                        ++shards;
+                        vertices += sizes[s];
+                    }
+                }
+                std::printf("  rank %-3u %3zu shard(s) %5zu vertices"
+                            "  load %.3g\n",
+                            r, shards, vertices,
+                            r < load.size() ? load[r] : 0.0);
+            }
+        } else if (command == "migrate") {
+            require_engine(command);
+            std::size_t n = 0;
+            if (!(in >> n) || n == 0) {
+                std::fprintf(stderr, "error: usage: migrate <n>, n > 0\n");
+                return false;
+            }
+            const auto moves =
+                engine->plan_migration(static_cast<std::uint32_t>(n));
+            const std::size_t before = engine->report().shard_migrations;
+            const std::size_t rows_before = engine->report().migrated_rows;
+            engine->migrate_shards(moves);
+            std::printf("[%8.4fs] migrate: planned %zu move(s), applied %zu "
+                        "(%zu row(s) shipped)\n",
+                        engine->sim_seconds(), moves.size(),
+                        engine->report().shard_migrations - before,
+                        engine->report().migrated_rows - rows_before);
+        } else if (command == "auto-migrate") {
+            require_engine(command);
+            std::string value;
+            in >> value;
+            if (value != "on" && value != "off") {
+                std::fprintf(stderr,
+                             "error: auto-migrate must be on or off, got "
+                             "'%s'\n",
+                             value.c_str());
+                return false;
+            }
+            double threshold = config.migrate_imbalance_threshold;
+            if (in >> threshold && !(threshold >= 1.0)) {
+                std::fprintf(stderr,
+                             "error: auto-migrate threshold must be >= 1.0\n");
+                return false;
+            }
+            config.auto_migrate = value == "on";  // future engines inherit it
+            config.migrate_imbalance_threshold = threshold;
+            engine->set_auto_migrate(config.auto_migrate);
+            engine->set_migrate_imbalance_threshold(threshold);
+            std::printf("auto-migrate: %s (threshold %.3g)\n", value.c_str(),
+                        threshold);
         } else if (command == "help") {
             std::fputs(kHelpText, stdout);
         } else {

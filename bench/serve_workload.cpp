@@ -3,28 +3,43 @@
 // busy — RC steps with vertex-addition batches injected mid-convergence, the
 // exact situation the anytime serving layer exists for.
 //
-// Two load modes run back to back:
+// Three measurements run back to back:
+//   * publication reduction — the identical engine schedule twice, once with
+//     O(changed) delta publication + sharded read planes and once forced to
+//     whole-snapshot publication. Every boundary's snapshot is compared
+//     bit-for-bit across the two services (scores, reachable, changed list,
+//     frac_unknown, top-k), and the delta path must cut published bytes by
+//     at least 50% on this churny schedule. Both checks gate the run: any
+//     divergence or a reduction below the bar fails the bench BEFORE the
+//     JSON report is written.
 //   * closed loop — every reader fires its next query the moment the previous
-//     one returns (measures peak service throughput and best-case latency),
+//     one returns (peak throughput / best-case latency); the default budget
+//     is ten million queries so the multi-tenant serve path is measured at
+//     production-like volume, not a few warm-cache microseconds.
 //   * open loop — readers fire on a fixed arrival schedule regardless of
-//     completion (measures latency at a controlled offered rate).
-// A slice of the queries uses WaitForNextStep against a small pending budget,
-// so admission control (shedding) is exercised, not just the stale fast path.
+//     completion (latency at a controlled offered rate).
 //
-// The report (--out, default BENCH_serve.json) carries per-shape latency
-// percentiles from raw samples, the staleness distribution (versions behind
-// and wall-clock age), shed counts, incremental top-k patch/rebuild counters,
-// the service's own serve.* metrics registry, and a publication-overhead
-// check: the identical engine schedule run bare vs. with an attached (idle)
-// service must agree on simulated seconds (snapshot building is observer-only
-// and charges nothing) and stay within a few percent of wall clock.
+// Readers are spread over five tenants (default + four registered ones, one
+// of them with a zero pending budget so its waiting queries always shed);
+// a slice of the queries uses WaitForNextStep against those budgets, so
+// per-tenant admission control is exercised, not just the stale fast path.
+//
+// The report (--out, default BENCH_serve.json, schema v2) carries per-shape
+// latency percentiles, global and per-tenant staleness distributions, shed /
+// SLO-miss counts per tenant, publication-path statistics (delta vs full,
+// rows scanned, published bytes), incremental top-k patch/rebuild counters,
+// the host's hardware concurrency, the service's own serve.* metrics
+// registry, and the publication-overhead check (bare vs idle-service
+// simulated clocks must agree — snapshot building is observer-only).
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -43,7 +58,7 @@ namespace {
 struct BenchOptions {
     std::size_t vertices{1200};
     std::uint32_t ranks{8};
-    std::size_t readers{4};
+    std::size_t readers{6};
     std::size_t batches{3};
     std::size_t batch_size{40};
     std::size_t steps_between{2};
@@ -51,10 +66,13 @@ struct BenchOptions {
     std::size_t max_pending{2};
     /// Offered rate for the open-loop phase, queries/second across all
     /// readers.
-    double open_qps{4000};
-    /// Each load mode keeps the service open until this many queries have
-    /// completed (the engine schedule itself may finish much earlier).
-    std::size_t min_queries{20000};
+    double open_qps{50000};
+    /// The closed loop keeps the service open until this many queries have
+    /// completed (the engine schedule itself finishes much earlier).
+    std::size_t min_queries{10000000};
+    /// Query budget of the open-loop phase (its duration is therefore
+    /// roughly open_queries / open_qps seconds).
+    std::size_t open_queries{250000};
     std::uint64_t seed{42};
     std::string out{"BENCH_serve.json"};
 };
@@ -91,6 +109,8 @@ BenchOptions parse(int argc, char** argv) {
             opt.open_qps = std::strtod(next().c_str(), nullptr);
         } else if (flag == "--min-queries") {
             opt.min_queries = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (flag == "--open-queries") {
+            opt.open_queries = std::strtoull(next().c_str(), nullptr, 10);
         } else if (flag == "--seed") {
             opt.seed = std::strtoull(next().c_str(), nullptr, 10);
         } else if (flag == "--out") {
@@ -101,7 +121,8 @@ BenchOptions parse(int argc, char** argv) {
                 "usage: serve_workload [--n N] [--ranks P] [--readers R] "
                 "[--batches B] [--batch-size K] [--steps-between S] "
                 "[--topk K] [--max-pending Q] [--open-qps RATE] "
-                "[--min-queries N] [--seed S] [--out PATH]\n");
+                "[--min-queries N] [--open-queries N] [--seed S] "
+                "[--out PATH]\n");
             std::exit(2);
         }
     }
@@ -134,6 +155,24 @@ void drive_engine(AnytimeEngine& engine, const BenchOptions& opt) {
         engine.apply_addition(batch, strategy);
     }
     engine.run_to_quiescence();
+}
+
+/// The bench's tenant population: the default tenant plus four registered
+/// ones with distinct admission budgets and freshness SLOs. `throttled` has
+/// a zero pending budget — every one of its waiting queries is shed, which
+/// pins the per-tenant isolation property at bench scale.
+struct TenantSpec {
+    const char* name;
+    TenantConfig config;
+};
+
+std::vector<TenantSpec> tenant_specs() {
+    return {
+        {"interactive", {4, 0.05, 2.0}},
+        {"dashboard", {16, 0.25, 1.0}},
+        {"batch", {64, std::numeric_limits<double>::infinity(), 0.5}},
+        {"throttled", {0, 0.02, 1.0}},
+    };
 }
 
 struct ReaderStats {
@@ -175,19 +214,29 @@ double percentile(std::vector<double>& samples, double p) {
     return samples[lo] * (1.0 - frac) + samples[hi] * frac;
 }
 
+struct TenantResult {
+    std::string name;
+    TenantConfig config;
+    ReaderStats stats;        // reader-side counts + sampled staleness
+    TenantCounters counters;  // service-side served / shed / slo_misses
+};
+
 struct WorkloadResult {
     ReaderStats stats;
+    std::vector<TenantResult> tenants;
     std::uint64_t publications{0};
     std::uint64_t shed_counter{0};
     std::size_t topk_patched{0};
     std::size_t topk_rebuilt{0};
+    PublicationStats pub_stats;
     double sim_seconds{0};
     double wall_seconds{0};
     std::string metrics_json;
 };
 
-/// One full run: fresh engine + service, concurrent readers in the requested
-/// load mode, the standard engine schedule on the driver thread.
+/// One full run: fresh engine + service with the five-tenant population,
+/// concurrent readers in the requested load mode, the standard engine
+/// schedule on the driver thread.
 WorkloadResult run_workload(const BenchOptions& opt, bool open_loop) {
     Rng graph_rng(opt.seed);
     AnytimeEngine engine(barabasi_albert(opt.vertices, 2, graph_rng),
@@ -197,9 +246,15 @@ WorkloadResult run_workload(const BenchOptions& opt, bool open_loop) {
     sc.topk_maintained = opt.topk;
     sc.max_pending = opt.max_pending;
     QueryService service(engine, sc);
+    const std::vector<TenantSpec> specs = tenant_specs();
+    std::vector<TenantId> tenant_ids{kDefaultTenant};
+    for (const TenantSpec& spec : specs) {
+        tenant_ids.push_back(service.register_tenant(spec.name, spec.config));
+    }
 
     std::atomic<bool> stop{false};
     std::atomic<std::uint64_t> completed{0};
+    const std::uint64_t budget = open_loop ? opt.open_queries : opt.min_queries;
     // Queries stay within the initial vertex range so every query is valid
     // for every snapshot version; the added vertices show up in top-k.
     const std::size_t query_range = opt.vertices;
@@ -213,6 +268,7 @@ WorkloadResult run_workload(const BenchOptions& opt, bool open_loop) {
         readers.emplace_back([&, t] {
             using Clock = std::chrono::steady_clock;
             ReaderStats& stats = per_reader[t];
+            const TenantId tenant = tenant_ids[t % tenant_ids.size()];
             Rng rng(opt.seed ^ (0xC0FFEEull + t));
             auto next_fire = Clock::now();
             std::uint64_t i = 0;
@@ -235,7 +291,7 @@ WorkloadResult run_workload(const BenchOptions& opt, bool open_loop) {
                 };
                 // Mix: mostly stale point reads, some batch and top-k, and
                 // every 16th query waits for the next step (the shape that
-                // exercises the pending budget and shedding).
+                // exercises the pending budget and per-tenant shedding).
                 std::vector<double>* bucket = nullptr;
                 switch (i % 16) {
                     case 3:
@@ -245,7 +301,8 @@ WorkloadResult run_workload(const BenchOptions& opt, bool open_loop) {
                             static_cast<VertexId>((v + 101) % query_range),
                             static_cast<VertexId>((v + 331) % query_range)};
                         timed([&] {
-                            return service.batch(vs, FreshnessPolicy::ServeStale);
+                            return service.batch(vs, FreshnessPolicy::ServeStale,
+                                                 tenant);
                         });
                         bucket = &stats.lat_batch;
                         break;
@@ -254,32 +311,39 @@ WorkloadResult run_workload(const BenchOptions& opt, bool open_loop) {
                     case 15:
                         timed([&] {
                             return service.topk(opt.topk,
-                                                FreshnessPolicy::ServeStale);
+                                                FreshnessPolicy::ServeStale,
+                                                tenant);
                         });
                         bucket = &stats.lat_topk;
                         break;
                     case 5:
                         timed([&] {
                             return service.point(
-                                v, FreshnessPolicy::WaitForNextStep);
+                                v, FreshnessPolicy::WaitForNextStep, tenant);
                         });
                         bucket = &stats.lat_point;
                         break;
                     default:
                         timed([&] {
-                            return service.point(v, FreshnessPolicy::ServeStale);
+                            return service.point(v, FreshnessPolicy::ServeStale,
+                                                 tenant);
                         });
                         bucket = &stats.lat_point;
                         break;
                 }
                 ++i;
+                // Counters are exact; sample vectors keep every 8th query so
+                // a ten-million-query run stays within a few dozen MB.
+                const bool sampled = (i & 7) == 0;
                 switch (meta.status) {
                     case QueryStatus::Ok:
                         ++stats.ok;
-                        bucket->push_back(latency);
-                        stats.stale_wall.push_back(meta.staleness_wall);
-                        stats.stale_versions.push_back(
-                            static_cast<double>(meta.staleness_versions));
+                        if (sampled) {
+                            bucket->push_back(latency);
+                            stats.stale_wall.push_back(meta.staleness_wall);
+                            stats.stale_versions.push_back(
+                                static_cast<double>(meta.staleness_versions));
+                        }
                         break;
                     case QueryStatus::Shed:
                         ++stats.shed;
@@ -298,7 +362,7 @@ WorkloadResult run_workload(const BenchOptions& opt, bool open_loop) {
     // The engine schedule may finish before the readers have produced a
     // meaningful sample; keep publishing (out of band, still versioned) until
     // the query budget is met, then close to wake any parked waiter.
-    while (completed.load(std::memory_order_relaxed) < opt.min_queries) {
+    while (completed.load(std::memory_order_relaxed) < budget) {
         service.publish();
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
@@ -309,13 +373,22 @@ WorkloadResult run_workload(const BenchOptions& opt, bool open_loop) {
     }
 
     WorkloadResult result;
-    for (auto& stats : per_reader) {
-        result.stats.merge(std::move(stats));
+    result.tenants.resize(tenant_ids.size());
+    for (std::size_t id = 0; id < tenant_ids.size(); ++id) {
+        result.tenants[id].counters = service.tenant_counters(tenant_ids[id]);
+        result.tenants[id].name = result.tenants[id].counters.name;
+        result.tenants[id].config = result.tenants[id].counters.config;
+    }
+    for (std::size_t t = 0; t < per_reader.size(); ++t) {
+        ReaderStats copy = per_reader[t];
+        result.tenants[t % tenant_ids.size()].stats.merge(std::move(copy));
+        result.stats.merge(std::move(per_reader[t]));
     }
     result.publications = service.publications();
     result.shed_counter = service.shed_count();
     result.topk_patched = service.topk_patched();
     result.topk_rebuilt = service.topk_rebuilt();
+    result.pub_stats = service.publication_stats();
     result.sim_seconds = engine.sim_seconds();
     result.wall_seconds = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - wall0)
@@ -364,6 +437,129 @@ OverheadResult measure_overhead(const BenchOptions& opt) {
     return result;
 }
 
+bool same_bits(double a, double b) {
+    return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/// Full cross-check of two snapshots that must be bit-indistinguishable:
+/// metadata, changed list, every score/reachable pair.
+bool snapshots_identical(const ResultSnapshot& a, const ResultSnapshot& b) {
+    if (a.version != b.version || a.rc_step != b.rc_step ||
+        a.quiescent != b.quiescent ||
+        a.total_reachable != b.total_reachable ||
+        !same_bits(a.frac_unknown, b.frac_unknown) ||
+        a.scores.size() != b.scores.size() || a.changed != b.changed) {
+        return false;
+    }
+    for (std::size_t v = 0; v < a.scores.size(); ++v) {
+        if (!same_bits(a.scores.closeness(v), b.scores.closeness(v)) ||
+            a.scores.reachable(v) != b.scores.reachable(v)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/// Delta-vs-full publication comparison: the identical engine schedule on
+/// two engines, one service publishing O(changed) deltas into sharded read
+/// planes, the other forced to whole-snapshot publication with global reads.
+/// Every boundary is compared bit-for-bit (plus the served top-k at each
+/// addition boundary); the accumulated PublicationStats of the two services
+/// quantify the work reduction.
+struct ReductionResult {
+    PublicationStats delta_stats;
+    PublicationStats full_stats;
+    bool bit_identical{true};
+    std::uint64_t boundaries_compared{0};
+};
+
+ReductionResult measure_reduction(const BenchOptions& opt) {
+    Rng rng_a(opt.seed);
+    Rng rng_b(opt.seed);
+    AnytimeEngine ea(barabasi_albert(opt.vertices, 2, rng_a),
+                     engine_config(opt));
+    AnytimeEngine eb(barabasi_albert(opt.vertices, 2, rng_b),
+                     engine_config(opt));
+    ea.initialize();
+    eb.initialize();
+    ServeConfig with_delta;
+    with_delta.topk_maintained = opt.topk;
+    with_delta.enable_metrics = false;
+    ServeConfig full_only = with_delta;
+    full_only.delta_publication = false;
+    full_only.shard_reads = false;
+    QueryService sa(ea, with_delta);
+    QueryService sb(eb, full_only);
+
+    ReductionResult result;
+    const auto compare = [&] {
+        const auto a = sa.point(0, FreshnessPolicy::ServeStale);
+        const auto b = sb.point(0, FreshnessPolicy::ServeStale);
+        if (a.meta.version != b.meta.version ||
+            !same_bits(a.closeness, b.closeness) ||
+            a.reachable != b.reachable) {
+            result.bit_identical = false;
+        }
+        const auto ta = sa.topk(opt.topk, FreshnessPolicy::ServeStale);
+        const auto tb = sb.topk(opt.topk, FreshnessPolicy::ServeStale);
+        if (ta.entries.size() != tb.entries.size()) {
+            result.bit_identical = false;
+        } else {
+            for (std::size_t i = 0; i < ta.entries.size(); ++i) {
+                if (ta.entries[i].vertex != tb.entries[i].vertex ||
+                    !same_bits(ta.entries[i].score, tb.entries[i].score)) {
+                    result.bit_identical = false;
+                }
+            }
+        }
+        if (!snapshots_identical(*sa.snapshot(),
+                                 *sb.snapshot())) {
+            result.bit_identical = false;
+        }
+        ++result.boundaries_compared;
+    };
+
+    // Each engine boundary is followed by one out-of-band republication —
+    // the serve loop's timer-driven publish (run_workload issues these every
+    // millisecond once the schedule drains). That publish is where the two
+    // paths diverge hardest: the delta ships only the rows that moved since
+    // the boundary (usually none), the full path re-scans and re-materializes
+    // all n rows every time.
+    const auto republish = [&] {
+        sa.publish();
+        sb.publish();
+        compare();
+    };
+    Rng batch_rng(opt.seed ^ 0x9E3779B97F4A7C15ull);
+    RoundRobinPS strategy_a;
+    RoundRobinPS strategy_b;
+    for (std::size_t b = 0; b < opt.batches; ++b) {
+        for (std::size_t s = 0; s < opt.steps_between; ++s) {
+            ea.run_rc_steps(1);
+            eb.run_rc_steps(1);
+            compare();
+            republish();
+        }
+        GrowthConfig gc;
+        gc.num_new = opt.batch_size;
+        const auto batch = grow_batch(ea.num_vertices(), gc, batch_rng);
+        ea.apply_addition(batch, strategy_a);
+        eb.apply_addition(batch, strategy_b);
+        compare();
+        republish();
+    }
+    while (ea.run_rc_steps(1) > 0) {
+        eb.run_rc_steps(1);
+        compare();
+        republish();
+    }
+    eb.run_to_quiescence();  // no-op when the schedules agree
+    compare();
+    result.delta_stats = sa.publication_stats();
+    result.full_stats = sb.publication_stats();
+    return result;
+}
+
 std::string shape_json(const char* name, std::vector<double>& samples) {
     char buf[256];
     std::snprintf(buf, sizeof(buf),
@@ -375,6 +571,47 @@ std::string shape_json(const char* name, std::vector<double>& samples) {
                                   : *std::max_element(samples.begin(),
                                                       samples.end()));
     return buf;
+}
+
+std::string publication_stats_json(const PublicationStats& s) {
+    char buf[384];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"publications\": %llu, \"delta\": %llu, \"full\": %llu, "
+        "\"changed_rows\": %zu, \"rows_scanned\": %zu, "
+        "\"chunks_copied\": %zu, \"chunks_shared\": %zu, "
+        "\"published_bytes\": %zu}",
+        static_cast<unsigned long long>(s.publications),
+        static_cast<unsigned long long>(s.delta_publications),
+        static_cast<unsigned long long>(s.full_publications), s.changed_rows,
+        s.rows_scanned, s.chunks_copied, s.chunks_shared, s.published_bytes);
+    return buf;
+}
+
+std::string tenant_json(TenantResult& t) {
+    std::string json = "       {\"name\": \"" + t.name + "\", ";
+    char buf[384];
+    char slo[32];
+    if (t.config.freshness_slo == std::numeric_limits<double>::infinity()) {
+        std::snprintf(slo, sizeof(slo), "\"inf\"");
+    } else {
+        std::snprintf(slo, sizeof(slo), "%.4g", t.config.freshness_slo);
+    }
+    std::snprintf(
+        buf, sizeof(buf),
+        "\"max_pending\": %zu, \"freshness_slo\": %s, "
+        "\"demand_weight\": %.3g,\n        \"ok\": %llu, \"shed\": %llu, "
+        "\"unavailable\": %llu, \"served\": %llu, \"slo_misses\": %llu,\n",
+        t.config.max_pending, slo, t.config.demand_weight,
+        static_cast<unsigned long long>(t.stats.ok),
+        static_cast<unsigned long long>(t.stats.shed),
+        static_cast<unsigned long long>(t.stats.unavailable),
+        static_cast<unsigned long long>(t.counters.served),
+        static_cast<unsigned long long>(t.counters.slo_misses));
+    json += buf;
+    json += "        \"staleness_wall_seconds\": " +
+            shape_json("wall", t.stats.stale_wall) + "}";
+    return json;
 }
 
 std::string workload_json(const char* mode, WorkloadResult& r) {
@@ -391,6 +628,14 @@ std::string workload_json(const char* mode, WorkloadResult& r) {
             shape_json("wall", r.stats.stale_wall) +
             ",\n                   \"versions_behind\": " +
             shape_json("versions", r.stats.stale_versions) + "},\n";
+    json += "     \"per_tenant\": [\n";
+    for (std::size_t i = 0; i < r.tenants.size(); ++i) {
+        json += tenant_json(r.tenants[i]);
+        json += i + 1 < r.tenants.size() ? ",\n" : "\n";
+    }
+    json += "     ],\n";
+    json += "     \"publication\": " + publication_stats_json(r.pub_stats) +
+            ",\n";
     char buf[256];
     std::snprintf(buf, sizeof(buf),
                   "     \"publications\": %llu, \"shed_count\": %llu, "
@@ -435,8 +680,54 @@ int main(int argc, char** argv) {
         return 1;
     }
 
+    // Delta-vs-full gate: the report is only written if the O(changed) path
+    // is bit-indistinguishable from whole-snapshot publication AND cuts the
+    // published bytes by at least half on this churny schedule.
+    std::printf("-- delta vs full publication (bit-identity + reduction)...\n");
+    const ReductionResult reduction = measure_reduction(opt);
+    const double bytes_reduction =
+        reduction.full_stats.published_bytes > 0
+            ? 1.0 - static_cast<double>(reduction.delta_stats.published_bytes) /
+                        static_cast<double>(reduction.full_stats.published_bytes)
+            : 0.0;
+    const double rows_reduction =
+        reduction.full_stats.rows_scanned > 0
+            ? 1.0 - static_cast<double>(reduction.delta_stats.rows_scanned) /
+                        static_cast<double>(reduction.full_stats.rows_scanned)
+            : 0.0;
+    std::printf(
+        "   %llu boundaries compared, %llu delta / %llu full publications\n"
+        "   published bytes %zu (delta) vs %zu (full): %.1f%% reduction\n"
+        "   rows scanned %zu (delta) vs %zu (full): %.1f%% reduction\n",
+        static_cast<unsigned long long>(reduction.boundaries_compared),
+        static_cast<unsigned long long>(reduction.delta_stats.delta_publications),
+        static_cast<unsigned long long>(reduction.full_stats.full_publications),
+        reduction.delta_stats.published_bytes,
+        reduction.full_stats.published_bytes, bytes_reduction * 100.0,
+        reduction.delta_stats.rows_scanned, reduction.full_stats.rows_scanned,
+        rows_reduction * 100.0);
+    if (!reduction.bit_identical) {
+        std::fprintf(stderr,
+                     "FAIL: delta-published snapshots diverged from the "
+                     "full-snapshot path — results must be bit-identical\n");
+        return 1;
+    }
+    if (reduction.delta_stats.delta_publications == 0) {
+        std::fprintf(stderr,
+                     "FAIL: the delta path never engaged on the churny "
+                     "schedule\n");
+        return 1;
+    }
+    if (bytes_reduction < 0.5) {
+        std::fprintf(stderr,
+                     "FAIL: published bytes dropped only %.1f%% vs "
+                     "whole-snapshot publication (bar: >= 50%%)\n",
+                     bytes_reduction * 100.0);
+        return 1;
+    }
+
     std::string json;
-    json += "{\n  \"bench\": \"serve_workload\",\n";
+    json += "{\n  \"bench\": \"serve_workload\",\n  \"schema\": 2,\n";
     json += "  \"config\": {\"n\": " + std::to_string(opt.vertices) +
             ", \"ranks\": " + std::to_string(opt.ranks) +
             ", \"readers\": " + std::to_string(opt.readers) +
@@ -446,8 +737,11 @@ int main(int argc, char** argv) {
             ", \"max_pending\": " + std::to_string(opt.max_pending) +
             ", \"open_qps\": " + std::to_string(opt.open_qps) +
             ", \"min_queries\": " + std::to_string(opt.min_queries) +
-            ", \"seed\": " + std::to_string(opt.seed) + "},\n";
-    char buf[256];
+            ", \"open_queries\": " + std::to_string(opt.open_queries) +
+            ", \"seed\": " + std::to_string(opt.seed) +
+            ",\n             \"host_hardware_concurrency\": " +
+            std::to_string(std::thread::hardware_concurrency()) + "},\n";
+    char buf[512];
     std::snprintf(buf, sizeof(buf),
                   "  \"publication_overhead\": {\"sim_seconds_bare\": %.6f, "
                   "\"sim_seconds_idle_service\": %.6f, \"sim_delta_frac\": "
@@ -456,6 +750,16 @@ int main(int argc, char** argv) {
                   overhead.sim_bare, overhead.sim_idle, sim_delta,
                   overhead.wall_bare, overhead.wall_idle);
     json += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"publication_reduction\": {\"boundaries_compared\": %llu, "
+                  "\"bit_identical\": true,\n    \"published_bytes_reduction\": "
+                  "%.4f, \"rows_scanned_reduction\": %.4f,\n    \"delta\": ",
+                  static_cast<unsigned long long>(reduction.boundaries_compared),
+                  bytes_reduction, rows_reduction);
+    json += buf;
+    json += publication_stats_json(reduction.delta_stats);
+    json += ",\n    \"full\": " + publication_stats_json(reduction.full_stats) +
+            "},\n";
     json += "  \"workloads\": [\n";
 
     for (const bool open_loop : {false, true}) {
@@ -464,12 +768,14 @@ int main(int argc, char** argv) {
         WorkloadResult result = run_workload(opt, open_loop);
         std::vector<double> p50_copy = result.stats.lat_point;
         std::printf(
-            "   %llu ok / %llu shed / %llu unavailable, %llu publications, "
-            "point p50 %.2e s, topk patched %zu rebuilt %zu\n",
+            "   %llu ok / %llu shed / %llu unavailable, %llu publications "
+            "(%llu delta), point p50 %.2e s, topk patched %zu rebuilt %zu\n",
             static_cast<unsigned long long>(result.stats.ok),
             static_cast<unsigned long long>(result.stats.shed),
             static_cast<unsigned long long>(result.stats.unavailable),
             static_cast<unsigned long long>(result.publications),
+            static_cast<unsigned long long>(
+                result.pub_stats.delta_publications),
             percentile(p50_copy, 0.50), result.topk_patched,
             result.topk_rebuilt);
         json += workload_json(mode, result);

@@ -171,6 +171,7 @@ LocalId DistanceStore::add_row(VertexId self) {
     rows_.push_back(std::move(row));
     prop_mark_.resize(rows_.size() * num_columns_, 0);
     send_mark_.resize(rows_.size() * num_columns_, 0);
+    touch_stamp_.push_back(touch_epoch_);  // a fresh row is by definition touched
     return static_cast<LocalId>(rows_.size() - 1);
 }
 
@@ -203,6 +204,7 @@ bool DistanceStore::relax(LocalId r, VertexId col, Weight candidate, bool mark_p
         return false;
     }
     row.dist[col] = candidate;
+    touch(r);
     if (mark_prop) {
         std::uint8_t* mark = this->prop_mark(r);
         if (mark[col] != row.prop.epoch) {
@@ -362,6 +364,9 @@ std::size_t DistanceStore::relax_batch_from_row(LocalId r, std::span<const Verte
 void DistanceStore::record_improved(LocalId r, std::span<const VertexId> improved,
                                     bool mark_prop, bool mark_send) {
     Row& row = rows_[r];
+    // All batched sweeps funnel their improvements through here, so one
+    // stamp covers every batch variant.
+    touch(r);
     // Record dirtiness once per improved column, after the sweep.
     if (mark_prop) {
         std::uint8_t* mark = this->prop_mark(r);
@@ -466,6 +471,7 @@ void DistanceStore::mark_invalidated(LocalId r, VertexId col) {
     Row& row = rows_[r];
     AA_ASSERT_MSG(col != row.self, "the zero diagonal cannot be invalidated");
     row.dist[col] = kInfinity;
+    touch(r);
     mark_for_prop(r, col);
     mark_for_send(r, col);
 }
@@ -481,6 +487,7 @@ void DistanceStore::install_row(LocalId r, std::vector<Weight> values) {
     AA_ASSERT(values.size() == num_columns_);
     Row& row = rows_[r];
     row.dist = std::move(values);
+    touch(r);
     AA_ASSERT_MSG(row.dist[row.self] == 0, "migrated row lost its zero diagonal");
 }
 
@@ -490,6 +497,7 @@ std::vector<Weight> DistanceStore::extract_row(LocalId r) {
     std::vector<Weight> values = std::move(row.dist);
     row.dist.assign(num_columns_, kInfinity);
     row.dist[row.self] = 0;
+    touch(r);
     // Dirty state is meaningless for a vacated row.
     clear_dirty(r);
     return values;
@@ -509,10 +517,13 @@ std::vector<Weight> DistanceStore::swap_remove_row(LocalId r) {
         std::copy_n(send_mark_.data() + static_cast<std::size_t>(last) * num_columns_,
                     num_columns_,
                     send_mark_.data() + static_cast<std::size_t>(r) * num_columns_);
+        // The displaced row's touch stamp moves with it.
+        touch_stamp_[r] = touch_stamp_[last];
     }
     rows_.pop_back();
     prop_mark_.resize(rows_.size() * num_columns_);
     send_mark_.resize(rows_.size() * num_columns_);
+    touch_stamp_.resize(rows_.size());
     return values;
 }
 

@@ -34,6 +34,7 @@
 // access, are data races.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -229,6 +230,27 @@ public:
     /// Collect (column, distance) pairs of all finite entries of row r.
     std::vector<DvEntry> finite_entries(LocalId r) const;
 
+    /// Drain the touched-row set: invoke fn(self VertexId) once for every row
+    /// whose values were mutated since the previous drain (relax/invalidate/
+    /// install/extract — anything that can change the row's closeness sum),
+    /// then reset the set. Driver thread only, engine idle (same contract as
+    /// the boundary hook). The serve layer's delta publication reads this to
+    /// re-sum only the touched rows instead of all of them. Stamps are
+    /// epoch-validated like the dirty sets: a drain is O(rows) loads, the
+    /// stamp array is rewritten only when the 32-bit epoch wraps.
+    template <typename Fn>
+    void drain_touched(Fn&& fn) {
+        for (std::size_t r = 0; r < rows_.size(); ++r) {
+            if (touch_stamp_[r] == touch_epoch_) {
+                fn(rows_[r].self);
+            }
+        }
+        if (++touch_epoch_ == 0) {
+            std::fill(touch_stamp_.begin(), touch_stamp_.end(), 0u);
+            touch_epoch_ = 1;
+        }
+    }
+
     /// Whether the explicit SIMD sweeps may run (effective only when the
     /// build enables them via -DAA_ENABLE_SIMD=ON and the CPU has AVX2; the
     /// scalar loop is the reference semantics either way and results are
@@ -262,6 +284,11 @@ private:
     std::uint8_t* prop_mark(LocalId r) { return prop_mark_.data() + r * num_columns_; }
     std::uint8_t* send_mark(LocalId r) { return send_mark_.data() + r * num_columns_; }
 
+    /// Stamp row r as touched since the last drain_touched(). Row-disjoint
+    /// like the rest of the per-row state: concurrent sweeps over distinct
+    /// rows write distinct stamp slots.
+    void touch(LocalId r) { touch_stamp_[r] = touch_epoch_; }
+
     /// Swap/clear the set's buffers and invalidate its marks by bumping the
     /// epoch (memset of the arena slice only on 8-bit wrap). Returns the
     /// drained columns.
@@ -276,6 +303,10 @@ private:
     // is in the prop set iff prop_mark_[r * num_columns_ + c] == prop epoch.
     std::vector<std::uint8_t> prop_mark_;
     std::vector<std::uint8_t> send_mark_;
+    // Touched-row stamps (see drain_touched): row r was mutated since the
+    // last drain iff touch_stamp_[r] == touch_epoch_.
+    std::vector<std::uint32_t> touch_stamp_;
+    std::uint32_t touch_epoch_{1};
 };
 
 }  // namespace aa

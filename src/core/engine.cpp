@@ -125,6 +125,10 @@ void AnytimeEngine::note_structural_change() {
     if (refine_focus_mask_.size() != graph_.num_vertices()) {
         refine_focus_mask_.resize(graph_.num_vertices(), 0);
     }
+    // Structural changes move rows wholesale (add/swap/extract/replace) and
+    // change n, which re-normalizes every closeness score under the
+    // corrected variant — so the next take_changed_rows() must answer "all".
+    serve_rows_all_changed_ = true;
 }
 
 BoundsParams AnytimeEngine::bounds_params() const {
@@ -827,6 +831,33 @@ void AnytimeEngine::visit_rows(
             fn(state.sg.global_id(l), state.store.row(l));
         }
     }
+}
+
+std::span<const Weight> AnytimeEngine::row_view(VertexId v) const {
+    AA_ASSERT(v < ownership_.num_vertices());
+    const RankState& state = ranks_[ownership_.owner(v)];
+    return state.store.row(state.sg.local_id(v));
+}
+
+AnytimeEngine::ChangedRows AnytimeEngine::take_changed_rows() {
+    ChangedRows out;
+    out.all = serve_rows_all_changed_;
+    serve_rows_all_changed_ = false;
+    // Drain even on the conservative answer so the stamps restart from a
+    // clean epoch for the next interval.
+    for (RankState& state : ranks_) {
+        state.store.drain_touched([&](VertexId v) { out.rows.push_back(v); });
+    }
+    if (out.all) {
+        out.rows.clear();
+        return out;
+    }
+    // Each vertex lives in exactly one rank's store, but keep the output
+    // canonical (ascending, unique) regardless of rank iteration order.
+    std::sort(out.rows.begin(), out.rows.end());
+    out.rows.erase(std::unique(out.rows.begin(), out.rows.end()),
+                   out.rows.end());
+    return out;
 }
 
 ClosenessScores AnytimeEngine::closeness() const {

@@ -359,6 +359,26 @@ public:
     void visit_rows(
         const std::function<void(VertexId, std::span<const Weight>)>& fn) const;
 
+    /// Zero-copy observer of one vertex's current DV row. Driver thread
+    /// only; the span is invalidated by the next engine mutation. The delta
+    /// snapshot builder re-sums candidate rows through this instead of
+    /// copying them (distance_row) or walking all rows (visit_rows).
+    std::span<const Weight> row_view(VertexId v) const;
+
+    /// Rows whose values may have changed since the previous call (global
+    /// vertex ids). `all` is the conservative answer after any structural
+    /// change (additions, deletions, reweights, repartition, migration,
+    /// checkpoint restore) — every row must be treated as changed; otherwise
+    /// `rows` is the exact touched set (ascending, deduplicated), drained
+    /// from the per-row stamps every DistanceStore mutation sets. Driver
+    /// thread only, engine idle (boundary-hook contract); draining resets
+    /// the stamps, so each mutation is reported exactly once.
+    struct ChangedRows {
+        bool all{false};
+        std::vector<VertexId> rows;
+    };
+    ChangedRows take_changed_rows();
+
     /// Boundary hook for the serve layer: when set, invoked after
     /// initialize(), after every *completed* rc_step(), and after each
     /// dynamic-update entry point (apply_addition, add_edges, and a
@@ -550,6 +570,9 @@ private:
     bool refine_focus_any_{false};
     /// Wavefront certificate counter (see wavefront_steps()).
     std::int64_t wavefront_k_{-1};
+    /// Conservative changed-rows answer (see take_changed_rows): true from
+    /// construction and after every structural change, cleared by the drain.
+    bool serve_rows_all_changed_{true};
     /// Live min/max edge weight (kInfinity / 0 on an edgeless graph),
     /// recomputed at every structural boundary.
     Weight w_min_{kInfinity};

@@ -1,10 +1,12 @@
 // DemandTracker: a lock-cheap per-vertex query-heat accumulator.
 //
 // The serve layer records which vertices users actually touch (point reads,
-// batch reads, top-k candidate scans); the engine reads the accumulated heat
-// back at every boundary to steer RC refinement toward the hot rows (see
-// refine/planner.hpp). Heat decays exponentially per engine boundary so
-// stale interest fades instead of pinning the schedule forever.
+// batch reads, top-k candidate scans), scaled by the querying tenant's
+// demand weight — a weight-w tenant counts as w queries per query, so its
+// working set pulls refinement proportionally harder; the engine reads the
+// accumulated heat back at every boundary to steer RC refinement toward the
+// hot rows (see refine/planner.hpp). Heat decays exponentially per engine
+// boundary so stale interest fades instead of pinning the schedule forever.
 //
 // Concurrency contract (the reason this is not a plain std::vector<double>):
 //   - record() may run from any number of service reader threads at once —

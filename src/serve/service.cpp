@@ -1,5 +1,6 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
 #include <array>
 #include <string>
 #include <utility>
@@ -35,7 +36,7 @@ QueryService::QueryService(AnytimeEngine& engine, ServeConfig config)
     : engine_(engine),
       config_(config),
       epoch_(std::chrono::steady_clock::now()),
-      tracker_(config.topk_maintained) {
+      tracker_(config.topk_maintained, config.topk_rebuild_churn) {
     if (config_.enable_metrics) {
         metrics_.enable();
         latency_point_ = metrics_.histogram("serve.latency.point", kLatencyBounds);
@@ -48,6 +49,15 @@ QueryService::QueryService(AnytimeEngine& engine, ServeConfig config)
         queries_counter_ = metrics_.counter("serve.queries");
         shed_counter_ = metrics_.counter("serve.shed");
     }
+    // Tenant 0 inherits the service-wide limits, so single-tenant callers
+    // never see a tenant surface at all.
+    TenantConfig default_tenant;
+    default_tenant.max_pending = config_.max_pending;
+    auto tenants =
+        std::make_shared<std::vector<std::shared_ptr<TenantState>>>();
+    tenants->push_back(make_tenant("default", default_tenant));
+    tenants_.store(std::move(tenants));
+
     engine_.set_boundary_hook([this](AnytimeEngine&) { publish(); });
     if (engine_.initialized()) {
         publish();
@@ -65,43 +75,248 @@ double QueryService::wall_now() const {
         .count();
 }
 
+std::shared_ptr<QueryService::TenantState> QueryService::make_tenant(
+    std::string name, TenantConfig config) {
+    auto state = std::make_shared<TenantState>();
+    state->name = std::move(name);
+    state->config = config;
+    if (config_.enable_metrics) {
+        std::lock_guard<std::mutex> lock(metrics_mutex_);
+        const std::string prefix = "serve.tenant." + state->name;
+        state->latency = metrics_.histogram(prefix + ".latency", kLatencyBounds);
+        state->staleness =
+            metrics_.histogram(prefix + ".staleness", kStalenessWallBounds);
+        state->shed_counter = metrics_.counter(prefix + ".shed");
+    }
+    return state;
+}
+
+TenantId QueryService::register_tenant(std::string name, TenantConfig config) {
+    auto state = make_tenant(std::move(name), config);
+    const auto current = tenants_.load();
+    auto next = std::make_shared<std::vector<std::shared_ptr<TenantState>>>(
+        *current);
+    next->push_back(std::move(state));
+    const TenantId id = next->size() - 1;
+    tenants_.store(std::move(next));
+    return id;
+}
+
+std::shared_ptr<QueryService::TenantState> QueryService::tenant_state(
+    TenantId tenant) const {
+    const auto tenants = tenants_.load();
+    AA_ASSERT_MSG(tenants != nullptr && tenant < tenants->size(),
+                  "unknown tenant id");
+    return (*tenants)[tenant];
+}
+
+std::size_t QueryService::num_tenants() const {
+    return tenants_.load()->size();
+}
+
+TenantCounters QueryService::tenant_counters(TenantId tenant) const {
+    const auto state = tenant_state(tenant);
+    TenantCounters out;
+    out.name = state->name;
+    out.config = state->config;
+    out.served = state->served.load(std::memory_order_relaxed);
+    out.shed = state->shed.load(std::memory_order_relaxed);
+    out.slo_misses = state->slo_misses.load(std::memory_order_relaxed);
+    return out;
+}
+
+void QueryService::accumulate_publication_stats(const ResultSnapshot& frozen,
+                                                bool via_delta,
+                                                std::size_t rows_scanned) {
+    ++stats_.publications;
+    if (via_delta) {
+        ++stats_.delta_publications;
+    } else {
+        ++stats_.full_publications;
+    }
+    stats_.changed_rows += frozen.changed.size();
+    stats_.rows_scanned += rows_scanned;
+    const ResultSnapshot* previous = last_published_.get();
+    for (std::size_t c = 0; c < frozen.scores.num_chunks(); ++c) {
+        const bool shared = previous != nullptr &&
+                            c < previous->scores.num_chunks() &&
+                            frozen.scores.chunk(c) == previous->scores.chunk(c);
+        if (shared) {
+            ++stats_.chunks_shared;
+        } else {
+            ++stats_.chunks_copied;
+        }
+    }
+    // The full path materializes both n-length planes before CoW chunking;
+    // the delta path only ever holds the changed rows' values.
+    constexpr std::size_t kValueBytes = sizeof(Weight) + sizeof(std::size_t);
+    if (via_delta) {
+        stats_.published_bytes +=
+            frozen.changed.size() * (kValueBytes + sizeof(VertexId));
+    } else {
+        stats_.published_bytes += frozen.scores.size() * kValueBytes +
+                                  frozen.changed.size() * sizeof(VertexId);
+    }
+}
+
+void QueryService::update_shard_planes(
+    const std::shared_ptr<const ResultSnapshot>& frozen) {
+    const ShardOwnership& ownership = engine_.shard_ownership();
+    const std::size_t n = frozen->scores.size();
+    const std::size_t num_shards = ownership.num_shards();
+    const std::size_t num_planes = num_shards + 1;  // + pseudo-shard
+    // Shard membership moves only when the vertex count does (a migration
+    // re-binds shards to ranks, never vertices to shards), so this is the
+    // only event that invalidates the routing table and the per-shard
+    // trackers' chained state.
+    const bool rebuild = !shard_table_built_ || shard_table_n_ != n ||
+                         shard_members_.size() != num_planes;
+    std::shared_ptr<ShardTable> fresh;
+    std::shared_ptr<const ShardTable> table;
+    if (rebuild) {
+        shard_members_.assign(num_planes, {});
+        for (std::size_t v = 0; v < n; ++v) {
+            const std::size_t s =
+                v < ownership.num_vertices()
+                    ? ownership.shard(static_cast<VertexId>(v))
+                    : num_shards;
+            shard_members_[s].push_back(static_cast<VertexId>(v));
+        }
+        while (shard_trackers_.size() < num_planes) {
+            shard_trackers_.emplace_back(config_.topk_maintained,
+                                         config_.topk_rebuild_churn);
+        }
+        for (IncrementalTopK& tracker : shard_trackers_) {
+            tracker.reset();
+        }
+        shard_changed_scratch_.assign(num_planes, {});
+        shard_table_n_ = n;
+        shard_table_built_ = true;
+
+        fresh = std::make_shared<ShardTable>();
+        fresh->shard_of.resize(n);
+        for (std::size_t s = 0; s < num_planes; ++s) {
+            for (const VertexId v : shard_members_[s]) {
+                fresh->shard_of[v] = static_cast<ShardId>(s);
+            }
+        }
+        fresh->planes.reserve(num_planes);
+        for (std::size_t s = 0; s < num_planes; ++s) {
+            fresh->planes.push_back(
+                std::make_shared<SharedSlot<const ShardView>>());
+        }
+        table = fresh;
+    } else {
+        table = shard_table_.load();
+        for (auto& scratch : shard_changed_scratch_) {
+            scratch.clear();
+        }
+        for (const VertexId v : frozen->changed) {
+            shard_changed_scratch_[table->shard_of[v]].push_back(v);
+        }
+    }
+    for (std::size_t s = 0; s < num_planes; ++s) {
+        IncrementalTopK& tracker = shard_trackers_[s];
+        if (rebuild) {
+            tracker.apply_subset(*frozen, shard_members_[s],
+                                 shard_members_[s]);
+        } else {
+            tracker.apply_subset(*frozen, shard_members_[s],
+                                 shard_changed_scratch_[s]);
+        }
+        auto view = std::make_shared<ShardView>();
+        view->snapshot = frozen;
+        view->topk = tracker.entries();
+        table->planes[s]->store(std::move(view));
+    }
+    if (rebuild) {
+        // Published only after every plane holds a view, so routed readers
+        // never find an empty slot behind a live table entry.
+        shard_table_.store(std::move(fresh));
+    }
+}
+
+void QueryService::refresh_topk_counters() {
+    std::size_t patched = tracker_.patched();
+    std::size_t rebuilt = tracker_.rebuilt();
+    for (const IncrementalTopK& tracker : shard_trackers_) {
+        patched += tracker.patched();
+        rebuilt += tracker.rebuilt();
+    }
+    topk_patched_.store(patched, std::memory_order_relaxed);
+    topk_rebuilt_.store(rebuilt, std::memory_order_relaxed);
+}
+
 void QueryService::publish() {
     const double t0 = wall_now();
-    auto snapshot = build_snapshot(engine_, next_version_,
-                                   last_published_.get(), config_.enable_bounds);
-    snapshot->published_wall = wall_now();
-    std::shared_ptr<const ResultSnapshot> frozen = std::move(snapshot);
+    std::shared_ptr<ResultSnapshot> built;
+    bool via_delta = false;
+    std::size_t rows_scanned = 0;
+    if (config_.delta_publication && !config_.enable_bounds &&
+        last_published_ != nullptr) {
+        if (const auto delta = build_snapshot_delta(engine_, next_version_,
+                                                    *last_published_)) {
+            built = apply_snapshot_delta(*last_published_, *delta);
+            rows_scanned = delta->rows_scanned;
+            via_delta = true;
+        }
+    }
+    if (built == nullptr) {
+        built = build_snapshot(engine_, next_version_, last_published_.get(),
+                               config_.enable_bounds);
+        rows_scanned = built->scores.size();
+    }
+    built->published_wall = wall_now();
+    std::shared_ptr<const ResultSnapshot> frozen = std::move(built);
+    accumulate_publication_stats(*frozen, via_delta, rows_scanned);
 
-    // Order matters: snapshot first (point/batch queries see it), then the
-    // top-k view. A reader catching the gap sees a fresh snapshot with a
-    // one-behind top-k view and falls back to a full selection — consistent
-    // either way.
+    // Shard planes first, then the global slot: a reader routed through a
+    // plane may briefly observe a newer version than the global slot
+    // (per-shard monotone reads), while waiters woken below — who re-check
+    // the global slot — always find the new snapshot already there.
+    if (config_.shard_reads) {
+        update_shard_planes(frozen);
+    }
     store_.publish(frozen);
     ++next_version_;
     last_published_ = frozen;
     publications_.fetch_add(1, std::memory_order_relaxed);
 
-    tracker_.apply(*frozen);
-    auto view = std::make_shared<TopKView>();
-    view->version = frozen->version;
-    view->entries = tracker_.entries();
-    topk_view_.store(std::move(view));
-    topk_patched_.store(tracker_.patched(), std::memory_order_relaxed);
-    topk_rebuilt_.store(tracker_.rebuilt(), std::memory_order_relaxed);
+    if (!config_.shard_reads) {
+        // Unsharded: one global tracker feeds one global top-k view. A
+        // reader catching the store/view gap sees a fresh snapshot with a
+        // one-behind view and falls back to a full selection.
+        tracker_.apply(*frozen);
+        auto view = std::make_shared<TopKView>();
+        view->version = frozen->version;
+        view->entries = tracker_.entries();
+        topk_view_.store(std::move(view));
+    }
+    refresh_topk_counters();
 
     if (engine_.refine_policy() == RefinePolicy::TopKPruned) {
         // Steer refinement at the vertices that decide the top-k answer: the
-        // maintained reserve (the exact top-2k prefix) plus, when bounds are
-        // available, every outsider whose upper bound still reaches into it.
-        // A scheduling hint only — the focus never changes what converges.
+        // maintained reserves (the exact top-2k prefix, per shard when
+        // sharded) plus, when bounds are available, every outsider whose
+        // upper bound still reaches into them. A scheduling hint only — the
+        // focus never changes what converges.
         std::vector<VertexId> focus;
-        focus.reserve(tracker_.reserve().size());
         double weakest_lo = kInfinity;
-        for (const TopKEntry& e : tracker_.reserve()) {
-            focus.push_back(e.vertex);
-            if (frozen->has_bounds && e.vertex < frozen->bound_lo.size()) {
-                weakest_lo = std::min(weakest_lo, frozen->bound_lo[e.vertex]);
+        const auto add_reserve = [&](const IncrementalTopK& tracker) {
+            for (const TopKEntry& e : tracker.reserve()) {
+                focus.push_back(e.vertex);
+                if (frozen->has_bounds && e.vertex < frozen->bound_lo.size()) {
+                    weakest_lo =
+                        std::min(weakest_lo, frozen->bound_lo[e.vertex]);
+                }
             }
+        };
+        if (config_.shard_reads) {
+            for (const IncrementalTopK& tracker : shard_trackers_) {
+                add_reserve(tracker);
+            }
+        } else {
+            add_reserve(tracker_);
         }
         if (frozen->has_bounds && !focus.empty()) {
             for (std::size_t v = 0; v < frozen->bound_hi.size(); ++v) {
@@ -132,6 +347,7 @@ void QueryService::publish() {
         span.attrs.emplace_back("changed",
                                 std::to_string(frozen->changed.size()));
         span.attrs.emplace_back("quiescent", frozen->quiescent ? "1" : "0");
+        span.attrs.emplace_back("delta", via_delta ? "1" : "0");
         metrics_.record_span(std::move(span));
     }
     if (on_publish_) {
@@ -175,8 +391,18 @@ bool QueryService::satisfied(FreshnessPolicy policy,
     return false;
 }
 
+std::shared_ptr<const ResultSnapshot> QueryService::shard_route(
+    VertexId v) const {
+    const auto table = shard_table_.load();
+    if (table == nullptr || v >= table->shard_of.size()) {
+        return nullptr;
+    }
+    const auto view = table->planes[table->shard_of[v]]->load();
+    return view != nullptr ? view->snapshot : nullptr;
+}
+
 std::shared_ptr<const ResultSnapshot> QueryService::admit(
-    FreshnessPolicy policy, QueryStatus& status) {
+    FreshnessPolicy policy, TenantState& tenant, QueryStatus& status) {
     auto current = store_.current();
     const std::uint64_t arrival = current ? current->version : 0;
     if (satisfied(policy, current.get(), arrival)) {
@@ -216,17 +442,20 @@ std::shared_ptr<const ResultSnapshot> QueryService::admit(
     }
 
     // Concurrent mode: bounded wait for the driver thread's publications.
+    // The bound is the querying tenant's alone — shedding here can neither
+    // consume nor release any other tenant's waiting capacity.
     std::unique_lock<std::mutex> lock(wait_mutex_);
     if (closed_) {
         status = QueryStatus::Unavailable;
         return nullptr;
     }
-    if (pending_ >= config_.max_pending) {
+    if (tenant.pending >= tenant.config.max_pending) {
         shed_.fetch_add(1, std::memory_order_relaxed);
+        tenant.shed.fetch_add(1, std::memory_order_relaxed);
         status = QueryStatus::Shed;
         return nullptr;
     }
-    ++pending_;
+    ++tenant.pending;
     wait_cv_.wait(lock, [&] {
         if (closed_) {
             return true;
@@ -234,7 +463,7 @@ std::shared_ptr<const ResultSnapshot> QueryService::admit(
         const auto snapshot = store_.current();
         return satisfied(policy, snapshot.get(), arrival);
     });
-    --pending_;
+    --tenant.pending;
     lock.unlock();
 
     auto snapshot = store_.current();
@@ -254,14 +483,51 @@ ResponseMeta QueryService::make_meta(const ResultSnapshot& snapshot) const {
     meta.sim_seconds = snapshot.sim_seconds;
     meta.quiescent = snapshot.quiescent;
     meta.frac_unknown = snapshot.frac_unknown;
-    meta.staleness_versions = store_.latest_version() - snapshot.version;
+    // A shard plane can run ahead of the global slot mid-publication, so
+    // clamp instead of underflowing: a newer-than-global answer is fresh.
+    const std::uint64_t latest = store_.latest_version();
+    meta.staleness_versions =
+        latest > snapshot.version ? latest - snapshot.version : 0;
     meta.staleness_wall = wall_now() - snapshot.published_wall;
     return meta;
 }
 
-void QueryService::record_query(MetricsRegistry::Handle latency_histogram,
+bool QueryService::certify_topk(const ResultSnapshot& snapshot,
+                                const std::vector<TopKEntry>& entries) {
+    // The *set* is certified once every member's certified lower bound
+    // strictly exceeds every non-member's upper bound: no remaining
+    // refinement can move a non-member above a member. Strictness means a
+    // tie at the k-th score never certifies — correctly, since the set is
+    // genuinely ambiguous there.
+    const std::size_t n = snapshot.bound_lo.size();
+    std::vector<std::uint8_t> member(n, 0);
+    double weakest_member = kInfinity;
+    for (const TopKEntry& e : entries) {
+        if (e.vertex < n) {
+            member[e.vertex] = 1;
+            weakest_member = std::min(weakest_member, snapshot.bound_lo[e.vertex]);
+        }
+    }
+    double strongest_outsider = -kInfinity;
+    for (std::size_t v = 0; v < n; ++v) {
+        if (!member[v]) {
+            strongest_outsider =
+                std::max(strongest_outsider, snapshot.bound_hi[v]);
+        }
+    }
+    return entries.size() >= n || weakest_member > strongest_outsider;
+}
+
+void QueryService::finish_query(TenantState& tenant,
+                                MetricsRegistry::Handle latency_histogram,
                                 double latency_seconds,
                                 const ResponseMeta& meta) {
+    if (meta.status == QueryStatus::Ok) {
+        tenant.served.fetch_add(1, std::memory_order_relaxed);
+        if (meta.staleness_wall > tenant.config.freshness_slo) {
+            tenant.slo_misses.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
     if (!config_.enable_metrics) {
         return;
     }
@@ -269,6 +535,9 @@ void QueryService::record_query(MetricsRegistry::Handle latency_histogram,
     metrics_.add(queries_counter_, 1);
     if (meta.status == QueryStatus::Shed) {
         metrics_.add(shed_counter_, 1);
+        if (tenant.shed_counter != MetricsRegistry::kNullHandle) {
+            metrics_.add(tenant.shed_counter, 1);
+        }
         return;
     }
     if (meta.status != QueryStatus::Ok) {
@@ -278,20 +547,43 @@ void QueryService::record_query(MetricsRegistry::Handle latency_histogram,
     metrics_.observe(staleness_wall_, meta.staleness_wall);
     metrics_.observe(staleness_versions_,
                      static_cast<double>(meta.staleness_versions));
+    if (tenant.latency != MetricsRegistry::kNullHandle) {
+        metrics_.observe(tenant.latency, latency_seconds);
+        metrics_.observe(tenant.staleness, meta.staleness_wall);
+    }
 }
 
-PointResult QueryService::point(VertexId v, FreshnessPolicy policy) {
+PointResult QueryService::point(VertexId v, FreshnessPolicy policy,
+                                TenantId tenant_id) {
     const double t0 = wall_now();
+    const auto tenant = tenant_state(tenant_id);
     if (config_.record_demand) {
-        engine_.demand().record(v);
+        engine_.demand().record(v, tenant->config.demand_weight);
     }
     PointResult result;
     result.vertex = v;
     QueryStatus status = QueryStatus::Unavailable;
-    const auto snapshot = admit(policy, status);
+    std::shared_ptr<const ResultSnapshot> snapshot;
+    if (config_.shard_reads && (policy == FreshnessPolicy::ServeStale ||
+                                policy == FreshnessPolicy::BoundedError)) {
+        // Immediate reads route through the plane owning v (per-shard
+        // monotone reads); anything the planes cannot serve falls back to
+        // the global slot below.
+        snapshot = shard_route(v);
+        if (snapshot != nullptr &&
+            !satisfied(policy, snapshot.get(), snapshot->version)) {
+            snapshot = nullptr;
+        }
+        if (snapshot != nullptr) {
+            status = QueryStatus::Ok;
+        }
+    }
+    if (snapshot == nullptr) {
+        snapshot = admit(policy, *tenant, status);
+    }
     if (snapshot == nullptr) {
         result.meta.status = status;
-        record_query(latency_point_, wall_now() - t0, result.meta);
+        finish_query(*tenant, latency_point_, wall_now() - t0, result.meta);
         return result;
     }
     result.meta = make_meta(*snapshot);
@@ -306,24 +598,44 @@ PointResult QueryService::point(VertexId v, FreshnessPolicy policy) {
     }
     // Vertices newer than the snapshot read as (0, 0): the snapshot simply
     // predates them, which the version on the response makes diagnosable.
-    record_query(latency_point_, wall_now() - t0, result.meta);
+    finish_query(*tenant, latency_point_, wall_now() - t0, result.meta);
     return result;
 }
 
 BatchResult QueryService::batch(std::span<const VertexId> vertices,
-                                FreshnessPolicy policy) {
+                                FreshnessPolicy policy, TenantId tenant_id) {
     const double t0 = wall_now();
+    const auto tenant = tenant_state(tenant_id);
     if (config_.record_demand) {
         for (const VertexId v : vertices) {
-            engine_.demand().record(v);
+            engine_.demand().record(v, tenant->config.demand_weight);
         }
     }
     BatchResult result;
     QueryStatus status = QueryStatus::Unavailable;
-    const auto snapshot = admit(policy, status);
+    std::shared_ptr<const ResultSnapshot> snapshot;
+    if (config_.shard_reads && !vertices.empty() &&
+        (policy == FreshnessPolicy::ServeStale ||
+         policy == FreshnessPolicy::BoundedError)) {
+        // One plane serves the whole batch (its snapshot is full-width), so
+        // the batch stays consistent within a single snapshot. Routed by the
+        // first vertex's shard: that is the vertex whose freshness the
+        // caller most plausibly cares about.
+        snapshot = shard_route(vertices.front());
+        if (snapshot != nullptr &&
+            !satisfied(policy, snapshot.get(), snapshot->version)) {
+            snapshot = nullptr;
+        }
+        if (snapshot != nullptr) {
+            status = QueryStatus::Ok;
+        }
+    }
+    if (snapshot == nullptr) {
+        snapshot = admit(policy, *tenant, status);
+    }
     if (snapshot == nullptr) {
         result.meta.status = status;
-        record_query(latency_batch_, wall_now() - t0, result.meta);
+        finish_query(*tenant, latency_batch_, wall_now() - t0, result.meta);
         return result;
     }
     result.meta = make_meta(*snapshot);
@@ -345,64 +657,88 @@ BatchResult QueryService::batch(std::span<const VertexId> vertices,
             result.bound_hi.push_back(in ? snapshot->bound_hi[v] : 0);
         }
     }
-    record_query(latency_batch_, wall_now() - t0, result.meta);
+    finish_query(*tenant, latency_batch_, wall_now() - t0, result.meta);
     return result;
 }
 
-TopKResult QueryService::topk(std::size_t k, FreshnessPolicy policy) {
+TopKResult QueryService::topk(std::size_t k, FreshnessPolicy policy,
+                              TenantId tenant_id) {
     const double t0 = wall_now();
+    const auto tenant = tenant_state(tenant_id);
     TopKResult result;
     QueryStatus status = QueryStatus::Unavailable;
-    const auto snapshot = admit(policy, status);
-    if (snapshot == nullptr) {
-        result.meta.status = status;
-        record_query(latency_topk_, wall_now() - t0, result.meta);
-        return result;
+    std::shared_ptr<const ResultSnapshot> snapshot;
+    bool merged = false;
+    if (config_.shard_reads && policy == FreshnessPolicy::ServeStale &&
+        k <= config_.topk_maintained) {
+        // Merge the per-shard maintained partials at read time. Sound
+        // because each partial is the exact top-min(K, |shard|) of its
+        // members under the strict total ranking order, so the union
+        // contains the global k-prefix; bit-identical to the full selection.
+        // Requires every plane to hold the same snapshot — mid-publication
+        // disagreement falls back to the global path below.
+        const auto table = shard_table_.load();
+        if (table != nullptr && !table->planes.empty()) {
+            std::vector<std::shared_ptr<const ShardView>> views;
+            views.reserve(table->planes.size());
+            bool consistent = true;
+            for (const auto& plane : table->planes) {
+                auto view = plane->load();
+                if (view == nullptr ||
+                    (!views.empty() &&
+                     view->snapshot != views.front()->snapshot)) {
+                    consistent = false;
+                    break;
+                }
+                views.push_back(std::move(view));
+            }
+            if (consistent) {
+                snapshot = views.front()->snapshot;
+                std::vector<TopKEntry> pool;
+                for (const auto& view : views) {
+                    pool.insert(pool.end(), view->topk.begin(),
+                                view->topk.end());
+                }
+                const std::size_t want = std::min(k, pool.size());
+                std::partial_sort(pool.begin(), pool.begin() + want,
+                                  pool.end(), topk_outranks);
+                pool.resize(want);
+                result.entries = std::move(pool);
+                status = QueryStatus::Ok;
+                merged = true;
+            }
+        }
+    }
+    if (!merged) {
+        snapshot = admit(policy, *tenant, status);
+        if (snapshot == nullptr) {
+            result.meta.status = status;
+            finish_query(*tenant, latency_topk_, wall_now() - t0, result.meta);
+            return result;
+        }
+        const auto view = topk_view_.load();
+        if (!config_.shard_reads && k <= config_.topk_maintained &&
+            view != nullptr && view->version == snapshot->version) {
+            // Served from the incrementally patched ranking; a k-prefix of
+            // the maintained top-K is exactly the top-k of the same snapshot.
+            const std::size_t take = std::min(k, view->entries.size());
+            result.entries.assign(view->entries.begin(),
+                                  view->entries.begin() + take);
+        } else {
+            result.entries = topk_from_snapshot(*snapshot, k);
+        }
     }
     result.meta = make_meta(*snapshot);
-    const auto view = topk_view_.load();
-    if (k <= config_.topk_maintained && view != nullptr &&
-        view->version == snapshot->version) {
-        // Served from the incrementally patched ranking; a k-prefix of the
-        // maintained top-K is exactly the top-k of the same snapshot.
-        const std::size_t take = std::min(k, view->entries.size());
-        result.entries.assign(view->entries.begin(),
-                              view->entries.begin() + take);
-    } else {
-        result.entries = topk_from_snapshot(*snapshot, k);
-    }
     if (config_.record_demand) {
+        const double weight = tenant->config.demand_weight;
         for (const TopKEntry& e : result.entries) {
-            engine_.demand().record(e.vertex);
+            engine_.demand().record(e.vertex, weight);
         }
     }
     if (snapshot->has_bounds && !result.entries.empty()) {
-        // The *set* is certified once every member's certified lower bound
-        // strictly exceeds every non-member's upper bound: no remaining
-        // refinement can move a non-member above a member. Strictness means
-        // a tie at the k-th score never certifies — correctly, since the
-        // set is genuinely ambiguous there.
-        const std::size_t n = snapshot->bound_lo.size();
-        std::vector<std::uint8_t> member(n, 0);
-        double weakest_member = kInfinity;
-        for (const TopKEntry& e : result.entries) {
-            if (e.vertex < n) {
-                member[e.vertex] = 1;
-                weakest_member =
-                    std::min(weakest_member, snapshot->bound_lo[e.vertex]);
-            }
-        }
-        double strongest_outsider = -kInfinity;
-        for (std::size_t v = 0; v < n; ++v) {
-            if (!member[v]) {
-                strongest_outsider =
-                    std::max(strongest_outsider, snapshot->bound_hi[v]);
-            }
-        }
-        result.certified = result.entries.size() >= n ||
-                           weakest_member > strongest_outsider;
+        result.certified = certify_topk(*snapshot, result.entries);
     }
-    record_query(latency_topk_, wall_now() - t0, result.meta);
+    finish_query(*tenant, latency_topk_, wall_now() - t0, result.meta);
     return result;
 }
 

@@ -7,6 +7,31 @@
 // top-k closeness queries against the published snapshots — they never touch
 // engine state and never block the RC loop.
 //
+// Publication is O(changed): when the engine reports which rows it touched
+// since the last boundary (AnytimeEngine::take_changed_rows), the service
+// builds a SnapshotDelta — re-summing only those rows — and applies it to the
+// predecessor's copy-on-write chunks, so a boundary that changed c vertices
+// costs O(c·n) row scans and copies only the chunks containing them. The
+// result is bit-identical in every field to the full build_snapshot path
+// (pinned by lattice tests); the full path remains as the fallback for
+// structural changes, bounds-carrying streams, and `delta_publication=false`.
+// PublicationStats counts both paths' work (rows scanned, bytes published,
+// chunks copied vs shared) so the saving is measurable, not assumed.
+//
+// Sharded reads: with `shard_reads` (default), the service maintains one
+// SharedSlot plane per logical shard of the engine's ShardOwnership map,
+// each holding the latest snapshot plus that shard's incrementally-patched
+// top-k partial. Point and batch reads route through the plane owning the
+// queried vertex; top-k reads merge the per-shard partials at read time
+// (bit-identical to the full selection — the ranking is a strict total
+// order). Planes are updated sequentially by the driver, so the freshness
+// contract is *per-shard* monotone reads: successive reads of the same
+// vertex never go backwards in version, while reads across different shards
+// may briefly observe different versions mid-publication (the classic
+// sharded-store contract). Queries that must wait, and the merged top-k
+// read when plane versions disagree, fall back to the single global
+// snapshot slot, which stays globally monotone.
+//
 // Freshness policies (per query):
 //   ServeStale        — answer from the current snapshot immediately.
 //   WaitForNextStep   — answer from the first snapshot published after the
@@ -17,11 +42,16 @@
 //                       that contains the converged score (Unavailable when
 //                       the service was not configured with enable_bounds).
 //
-// Admission control: queries that have to *wait* occupy a slot in a bounded
-// pending set; when `ServeConfig::max_pending` waiters are already parked,
-// further waiting queries are shed immediately (QueryStatus::Shed) instead
-// of growing an unbounded queue. ServeStale queries never wait and are never
-// shed.
+// Multi-tenant admission: every query is issued on behalf of a tenant
+// (kDefaultTenant unless stated). Each tenant has its own bounded pending
+// set (`TenantConfig::max_pending`): a waiting query from a tenant whose set
+// is full is shed immediately (QueryStatus::Shed) *without* touching any
+// other tenant's capacity — one tenant flooding the service cannot starve
+// another's waiters. Tenants also carry a freshness SLO (served responses
+// staler than `freshness_slo` wall-seconds count as SLO misses, observable
+// per tenant) and a demand weight that scales the vertices they query in the
+// engine's DemandTracker, so hot tenants steer demand-driven refinement
+// harder. ServeStale queries never wait and are never shed.
 //
 // Two execution modes for the waiting policies:
 //   * concurrent (default): the reader blocks on a condition variable until
@@ -34,9 +64,9 @@
 // Every response carries its snapshot version, the engine progress metadata
 // of that snapshot, and a staleness bound (publications that happened after
 // the served snapshot, plus the snapshot's wall-clock age). Serving metrics
-// (latency/staleness histograms, shed counters, publication spans) are
-// recorded in the service's own internally-locked MetricsRegistry under
-// `serve.*` names.
+// (latency/staleness histograms, shed counters, publication spans, and
+// per-tenant serve.tenant.<name>.* series) are recorded in the service's own
+// internally-locked MetricsRegistry under `serve.*` names.
 #pragma once
 
 #include <atomic>
@@ -44,15 +74,18 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/metrics.hpp"
 #include "serve/snapshot.hpp"
 #include "serve/topk.hpp"
+#include "shard/ownership.hpp"
 
 namespace aa {
 
@@ -75,7 +108,7 @@ std::string_view freshness_policy_name(FreshnessPolicy policy);
 enum class QueryStatus {
     /// Served from a snapshot satisfying the policy.
     Ok,
-    /// Rejected by admission control: the pending-query set was full.
+    /// Rejected by admission control: the tenant's pending-query set was full.
     Shed,
     /// The policy cannot be satisfied: service closed while waiting, no
     /// snapshot exists yet under ServeStale, or the synchronous step driver
@@ -83,12 +116,63 @@ enum class QueryStatus {
     Unavailable,
 };
 
+/// Tenant identifier: a dense index assigned by register_tenant(). Tenant 0
+/// always exists and inherits ServeConfig's service-wide limits.
+using TenantId = std::size_t;
+inline constexpr TenantId kDefaultTenant = 0;
+
+/// Per-tenant admission and freshness contract.
+struct TenantConfig {
+    /// Bound on this tenant's concurrently *waiting* queries before its
+    /// further waiting queries are shed. Independent per tenant: exhausting
+    /// one tenant's budget never sheds (or delays) another's queries.
+    std::size_t max_pending{64};
+    /// Freshness SLO in wall-seconds: an Ok response whose staleness_wall
+    /// exceeds this counts as an SLO miss for the tenant (observable via
+    /// tenant_counters / serve.tenant.<name>.staleness). Infinity = no SLO.
+    double freshness_slo{std::numeric_limits<double>::infinity()};
+    /// Weight applied when recording this tenant's queried vertices into the
+    /// engine's DemandTracker: a tenant with weight w counts as w queries per
+    /// query when demand-driven refinement ranks vertices.
+    double demand_weight{1.0};
+};
+
+/// Point-in-time copy of one tenant's identity and counters.
+struct TenantCounters {
+    std::string name;
+    TenantConfig config;
+    std::uint64_t served{0};
+    std::uint64_t shed{0};
+    std::uint64_t slo_misses{0};
+};
+
+/// Accumulated publication work, split by path. `published_bytes` charges the
+/// full path for the planes it materializes (n score + n reachable values,
+/// plus its changed list) and the delta path only for the delta payload —
+/// the honest O(n) vs O(changed) comparison the bench's reduction bar is
+/// measured on. Chunk counters compare each published snapshot's chunk
+/// pointers against its predecessor's (shared = same backing storage).
+struct PublicationStats {
+    std::uint64_t publications{0};
+    std::uint64_t delta_publications{0};
+    std::uint64_t full_publications{0};
+    /// Sum of changed-list lengths across publications.
+    std::size_t changed_rows{0};
+    /// Distance-matrix rows re-summed (full: n per publication).
+    std::size_t rows_scanned{0};
+    std::size_t chunks_copied{0};
+    std::size_t chunks_shared{0};
+    std::size_t published_bytes{0};
+};
+
 struct ServeConfig {
     /// k of the incrementally maintained top-k ranking; top-k queries with
     /// k <= this are served from the patched ranking, larger ones fall back
     /// to a full selection on the snapshot.
     std::size_t topk_maintained{10};
-    /// Bound on concurrently *waiting* queries before shedding.
+    /// Bound on concurrently *waiting* queries of the default tenant before
+    /// shedding (TenantConfig::max_pending of tenant 0; additional tenants
+    /// bring their own).
     std::size_t max_pending{64};
     /// Policy used by the no-policy query overloads.
     FreshnessPolicy default_policy{FreshnessPolicy::ServeStale};
@@ -97,13 +181,27 @@ struct ServeConfig {
     /// Capture certified closeness intervals (refine/bounds.hpp) into every
     /// snapshot. Required by the BoundedError policy and by top-k
     /// certification; costs one interval computation per row per
-    /// publication, so off by default.
+    /// publication, so off by default. Disables delta publication (the
+    /// wavefront certificate tightens unchanged rows' bounds every step).
     bool enable_bounds{false};
-    /// Feed queried vertices into the engine's DemandTracker so the
-    /// QueryHeat refinement policy can steer RC work toward them. Recording
-    /// is wait-free and, under the default Uniform policy, has no effect on
-    /// the engine schedule.
+    /// Feed queried vertices into the engine's DemandTracker (scaled by the
+    /// querying tenant's demand_weight) so the QueryHeat refinement policy
+    /// can steer RC work toward them. Recording is wait-free and, under the
+    /// default Uniform policy, has no effect on the engine schedule.
     bool record_demand{true};
+    /// Publish O(changed) snapshot deltas against the previous snapshot when
+    /// the engine can report touched rows; falls back to the full rebuild
+    /// whenever a delta is inapplicable. Results are bit-identical either
+    /// way (lattice-tested); off = always full (the bench baseline).
+    bool delta_publication{true};
+    /// Maintain per-shard snapshot planes aligned to the engine's
+    /// ShardOwnership and route immediate reads through them (per-shard
+    /// monotone reads); off = every read goes through the single global
+    /// snapshot slot.
+    bool shard_reads{true};
+    /// Churn fraction above which the incremental top-k rebuilds instead of
+    /// patching (see IncrementalTopK); identical entries either way.
+    double topk_rebuild_churn{0.5};
 };
 
 /// Response metadata shared by every query shape.
@@ -172,7 +270,9 @@ public:
 
     // ---- driver side (the thread stepping the engine) ---------------------
 
-    /// Build and publish a snapshot of the engine's current state. Invoked
+    /// Build and publish a snapshot of the engine's current state — through
+    /// an O(changed) delta against the previous snapshot when applicable,
+    /// through the full rebuild otherwise (identical results). Invoked
     /// automatically at engine boundaries through the hook; callable
     /// directly for an extra out-of-band publication.
     void publish();
@@ -189,20 +289,40 @@ public:
     /// possible. Only for single-threaded use.
     void set_step_driver(std::function<bool()> driver);
 
+    /// Register a tenant; returns its id for the per-tenant query overloads.
+    /// Driver thread only (readers may query concurrently; registrations
+    /// must not race each other).
+    TenantId register_tenant(std::string name, TenantConfig config);
+
     /// Wake all waiters with QueryStatus::Unavailable and refuse future
     /// waiting; ServeStale queries keep being served. Idempotent.
     void close();
 
     // ---- reader side (any thread) -----------------------------------------
 
-    PointResult point(VertexId v, FreshnessPolicy policy);
-    PointResult point(VertexId v) { return point(v, config_.default_policy); }
-    BatchResult batch(std::span<const VertexId> vertices, FreshnessPolicy policy);
-    BatchResult batch(std::span<const VertexId> vertices) {
-        return batch(vertices, config_.default_policy);
+    PointResult point(VertexId v, FreshnessPolicy policy, TenantId tenant);
+    PointResult point(VertexId v, FreshnessPolicy policy) {
+        return point(v, policy, kDefaultTenant);
     }
-    TopKResult topk(std::size_t k, FreshnessPolicy policy);
-    TopKResult topk(std::size_t k) { return topk(k, config_.default_policy); }
+    PointResult point(VertexId v) {
+        return point(v, config_.default_policy, kDefaultTenant);
+    }
+    BatchResult batch(std::span<const VertexId> vertices,
+                      FreshnessPolicy policy, TenantId tenant);
+    BatchResult batch(std::span<const VertexId> vertices,
+                      FreshnessPolicy policy) {
+        return batch(vertices, policy, kDefaultTenant);
+    }
+    BatchResult batch(std::span<const VertexId> vertices) {
+        return batch(vertices, config_.default_policy, kDefaultTenant);
+    }
+    TopKResult topk(std::size_t k, FreshnessPolicy policy, TenantId tenant);
+    TopKResult topk(std::size_t k, FreshnessPolicy policy) {
+        return topk(k, policy, kDefaultTenant);
+    }
+    TopKResult topk(std::size_t k) {
+        return topk(k, config_.default_policy, kDefaultTenant);
+    }
 
     /// The latest snapshot (wait-free; null before the first publication).
     std::shared_ptr<const ResultSnapshot> snapshot() const {
@@ -214,9 +334,17 @@ public:
 
     std::uint64_t publications() const;
     std::uint64_t shed_count() const;
-    /// Incremental top-k maintenance counters (see IncrementalTopK).
+    /// Incremental top-k maintenance counters, summed across the per-shard
+    /// trackers (or the single global tracker when shard_reads is off).
     std::size_t topk_patched() const;
     std::size_t topk_rebuilt() const;
+    /// Accumulated publication work counters. Mutated on the driver thread
+    /// during publish(); read it from the driver thread or after the driver
+    /// has gone idle.
+    PublicationStats publication_stats() const { return stats_; }
+    std::size_t num_tenants() const;
+    /// Counter snapshot of one tenant (any thread).
+    TenantCounters tenant_counters(TenantId tenant) const;
     /// Seconds since service construction on the service's wall clock (the
     /// epoch of ResultSnapshot::published_wall).
     double wall_now() const;
@@ -231,39 +359,96 @@ private:
         std::vector<TopKEntry> entries;
     };
 
+    /// One shard's published plane: the snapshot it was cut from plus the
+    /// shard's maintained top-k partial. Immutable once stored.
+    struct ShardView {
+        std::shared_ptr<const ResultSnapshot> snapshot;
+        std::vector<TopKEntry> topk;
+    };
+
+    /// Routing table for sharded reads: vertex -> plane. Rebuilt only when
+    /// the vertex count changes (shard membership is stable under migration
+    /// — moves re-bind shards to ranks, not vertices to shards).
+    struct ShardTable {
+        std::vector<ShardId> shard_of;
+        std::vector<std::shared_ptr<SharedSlot<const ShardView>>> planes;
+    };
+
+    struct TenantState {
+        std::string name;
+        TenantConfig config;
+        /// Waiting queries of this tenant; guarded by wait_mutex_.
+        std::size_t pending{0};
+        std::atomic<std::uint64_t> served{0};
+        std::atomic<std::uint64_t> shed{0};
+        std::atomic<std::uint64_t> slo_misses{0};
+        MetricsRegistry::Handle latency{MetricsRegistry::kNullHandle};
+        MetricsRegistry::Handle staleness{MetricsRegistry::kNullHandle};
+        MetricsRegistry::Handle shed_counter{MetricsRegistry::kNullHandle};
+    };
+
+    std::shared_ptr<TenantState> make_tenant(std::string name,
+                                             TenantConfig config);
+    std::shared_ptr<TenantState> tenant_state(TenantId tenant) const;
+
     /// Resolve the snapshot a query with `policy` should be served from;
-    /// handles waiting, the step driver and admission control. Null result
-    /// means the query ends with `status` (Shed / Unavailable).
+    /// handles waiting, the step driver and per-tenant admission control.
+    /// Null result means the query ends with `status` (Shed / Unavailable).
     std::shared_ptr<const ResultSnapshot> admit(FreshnessPolicy policy,
+                                                TenantState& tenant,
                                                 QueryStatus& status);
     static bool satisfied(FreshnessPolicy policy,
                           const ResultSnapshot* snapshot,
                           std::uint64_t arrival_version);
+    /// The shard plane snapshot owning `v`, or null when sharded routing
+    /// cannot serve it (no table yet, vertex newer than the table).
+    std::shared_ptr<const ResultSnapshot> shard_route(VertexId v) const;
     ResponseMeta make_meta(const ResultSnapshot& snapshot) const;
-    void record_query(MetricsRegistry::Handle latency_histogram,
+    /// Certify `entries` as the converged top-k set from a bounds-carrying
+    /// snapshot (see TopKResult::certified).
+    static bool certify_topk(const ResultSnapshot& snapshot,
+                             const std::vector<TopKEntry>& entries);
+    void finish_query(TenantState& tenant,
+                      MetricsRegistry::Handle latency_histogram,
                       double latency_seconds, const ResponseMeta& meta);
+    void accumulate_publication_stats(const ResultSnapshot& frozen,
+                                      bool via_delta,
+                                      std::size_t rows_scanned);
+    void update_shard_planes(
+        const std::shared_ptr<const ResultSnapshot>& frozen);
+    void refresh_topk_counters();
 
     AnytimeEngine& engine_;
     ServeConfig config_;
     std::chrono::steady_clock::time_point epoch_;
     SnapshotStore store_;
     SharedSlot<const TopKView> topk_view_;
+    SharedSlot<const ShardTable> shard_table_;
+    SharedSlot<const std::vector<std::shared_ptr<TenantState>>> tenants_;
 
     // Driver-thread-only state (publication path).
     std::uint64_t next_version_{1};
     std::shared_ptr<const ResultSnapshot> last_published_;
     IncrementalTopK tracker_;
+    /// Per-shard members (ascending) + trackers, index num_shards = the
+    /// pseudo-shard for vertices beyond the ownership map. Rebuilt (and
+    /// trackers reset) when the vertex count changes.
+    std::vector<std::vector<VertexId>> shard_members_;
+    std::vector<IncrementalTopK> shard_trackers_;
+    std::vector<std::vector<VertexId>> shard_changed_scratch_;
+    std::size_t shard_table_n_{0};
+    bool shard_table_built_{false};
+    PublicationStats stats_;
     std::function<void(const ResultSnapshot&)> on_publish_;
     std::function<bool()> step_driver_;
 
     // Waiting / admission state.
     mutable std::mutex wait_mutex_;
     std::condition_variable wait_cv_;
-    std::size_t pending_{0};
     bool closed_{false};
     std::atomic<std::uint64_t> shed_{0};
     std::atomic<std::uint64_t> publications_{0};
-    // Mirrors of the tracker's counters, readable from any thread.
+    // Mirrors of the trackers' counters, readable from any thread.
     std::atomic<std::size_t> topk_patched_{0};
     std::atomic<std::size_t> topk_rebuilt_{0};
 

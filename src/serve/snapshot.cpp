@@ -55,6 +55,40 @@ CowScores CowScores::build(const std::vector<Weight>& closeness,
     return out;
 }
 
+CowScores CowScores::patch(const CowScores& previous,
+                           std::span<const VertexId> changed,
+                           std::span<const Weight> closeness,
+                           std::span<const std::size_t> reachable) {
+    AA_ASSERT_MSG(changed.size() == closeness.size() &&
+                      changed.size() == reachable.size(),
+                  "delta planes must be parallel to the changed list");
+    CowScores out;
+    out.size_ = previous.size_;
+    out.chunks_.reserve(previous.chunks_.size());
+    std::size_t next = 0;  // cursor into the ascending changed list
+    for (std::size_t c = 0; c < previous.chunks_.size(); ++c) {
+        const std::size_t lo = c * kChunkSize;
+        const std::size_t hi = std::min(lo + kChunkSize, out.size_);
+        if (next >= changed.size() ||
+            static_cast<std::size_t>(changed[next]) >= hi) {
+            out.chunks_.push_back(previous.chunks_[c]);  // untouched: share
+            continue;
+        }
+        auto chunk = std::make_shared<Chunk>(*previous.chunks_[c]);
+        while (next < changed.size() &&
+               static_cast<std::size_t>(changed[next]) < hi) {
+            const std::size_t at = static_cast<std::size_t>(changed[next]) - lo;
+            chunk->closeness[at] = closeness[next];
+            chunk->reachable[at] = reachable[next];
+            ++next;
+        }
+        out.chunks_.push_back(std::move(chunk));
+    }
+    AA_ASSERT_MSG(next == changed.size(),
+                  "changed vertex beyond the previous snapshot's planes");
+    return out;
+}
+
 CowScores CowScores::from(const ClosenessScores& scores) {
     return build(scores.closeness, scores.reachable, nullptr, {});
 }
@@ -98,7 +132,7 @@ std::shared_ptr<ResultSnapshot> build_snapshot(const AnytimeEngine& engine,
     // One pass per row, summing in column order — the identical order
     // closeness_from_matrix uses, so scores agree bit-for-bit with the
     // full_distance_matrix() path for the same engine state.
-    std::size_t unknown_entries = 0;
+    std::size_t total_reachable = 0;
     engine.visit_rows([&](VertexId v, std::span<const Weight> row) {
         Weight sum = 0;
         std::size_t reached = 0;
@@ -108,7 +142,7 @@ std::shared_ptr<ResultSnapshot> build_snapshot(const AnytimeEngine& engine,
                 ++reached;
             }
         }
-        unknown_entries += row.size() - reached;
+        total_reachable += reached;
         reachable[v] = reached;
         closeness[v] = closeness_score(sum, reached, n, variant);
         if (with_bounds) {
@@ -119,9 +153,13 @@ std::shared_ptr<ResultSnapshot> build_snapshot(const AnytimeEngine& engine,
             snapshot->bound_exact[v] = interval.exact ? 1 : 0;
         }
     });
+    // unknown entries = n*n - total_reachable (every row spans n columns):
+    // the same integer the per-row (row.size - reached) accumulation yields,
+    // kept in this closed form so the delta path can maintain it exactly.
+    snapshot->total_reachable = total_reachable;
     snapshot->frac_unknown =
-        n > 0 ? static_cast<double>(unknown_entries) / (static_cast<double>(n) *
-                                                        static_cast<double>(n))
+        n > 0 ? static_cast<double>(n * n - total_reachable) /
+                    (static_cast<double>(n) * static_cast<double>(n))
               : 0.0;
 
     if (previous == nullptr) {
@@ -143,6 +181,82 @@ std::shared_ptr<ResultSnapshot> build_snapshot(const AnytimeEngine& engine,
         CowScores::build(closeness, reachable,
                          previous != nullptr ? &previous->scores : nullptr,
                          snapshot->changed);
+    return snapshot;
+}
+
+std::unique_ptr<SnapshotDelta> build_snapshot_delta(AnytimeEngine& engine,
+                                                    std::uint64_t version,
+                                                    const ResultSnapshot& previous) {
+    if (previous.has_bounds) {
+        // The wavefront certificate tightens bounds of *unchanged* rows on
+        // every step, so a bounds-carrying stream has no O(changed) delta.
+        return nullptr;
+    }
+    const std::size_t n = engine.num_vertices();
+    if (n == 0 || n != previous.scores.size()) {
+        return nullptr;  // structural mismatch: the full path re-derives all
+    }
+    // Draining commits us: the stamps reset here, so from this point the
+    // delta must be produced (or the caller must fall back to a *full*
+    // build, which re-derives every row and needs no stamps).
+    AnytimeEngine::ChangedRows touched = engine.take_changed_rows();
+    if (touched.all) {
+        return nullptr;
+    }
+
+    auto delta = std::make_unique<SnapshotDelta>();
+    delta->version = version;
+    delta->rc_step = engine.rc_steps_completed();
+    delta->sim_seconds = engine.sim_seconds();
+    delta->quiescent = engine.quiescent();
+    delta->total_reachable = previous.total_reachable;
+    delta->rows_scanned = touched.rows.size();
+    const ClosenessVariant variant = engine.config().closeness_variant;
+    for (const VertexId v : touched.rows) {
+        const std::span<const Weight> row = engine.row_view(v);
+        Weight sum = 0;
+        std::size_t reached = 0;
+        for (const Weight d : row) {
+            if (d < kInfinity) {
+                sum += d;
+                ++reached;
+            }
+        }
+        const Weight score = closeness_score(sum, reached, n, variant);
+        // Touched rows whose published values kept their exact bits are
+        // filtered here, so `changed` matches the full path's bit-compare
+        // over all rows: untouched rows cannot have changed (no store
+        // mutation, same n, same column-order summation).
+        if (same_bits(score, previous.scores.closeness(v)) &&
+            reached == previous.scores.reachable(v)) {
+            continue;
+        }
+        delta->changed.push_back(v);
+        delta->closeness.push_back(score);
+        delta->reachable.push_back(reached);
+        delta->total_reachable += reached;
+        delta->total_reachable -= previous.scores.reachable(v);
+    }
+    return delta;
+}
+
+std::shared_ptr<ResultSnapshot> apply_snapshot_delta(
+    const ResultSnapshot& previous, const SnapshotDelta& delta) {
+    auto snapshot = std::make_shared<ResultSnapshot>();
+    snapshot->version = delta.version;
+    snapshot->rc_step = delta.rc_step;
+    snapshot->sim_seconds = delta.sim_seconds;
+    snapshot->quiescent = delta.quiescent;
+    snapshot->total_reachable = delta.total_reachable;
+    const std::size_t n = previous.scores.size();
+    // Same closed form (and therefore the same bits) as build_snapshot.
+    snapshot->frac_unknown =
+        n > 0 ? static_cast<double>(n * n - delta.total_reachable) /
+                    (static_cast<double>(n) * static_cast<double>(n))
+              : 0.0;
+    snapshot->changed = delta.changed;
+    snapshot->scores = CowScores::patch(previous.scores, delta.changed,
+                                        delta.closeness, delta.reachable);
     return snapshot;
 }
 

@@ -70,6 +70,19 @@ public:
                            const CowScores* previous,
                            std::span<const VertexId> changed);
 
+    /// Copy-on-write patch — the O(changed) publication path. Requires the
+    /// new planes to have the same vertex count as `previous`: chunks
+    /// containing a changed vertex are copied from `previous` and overwritten
+    /// at exactly the changed positions, every other chunk pointer is shared.
+    /// Produces chunk-for-chunk identical content (and the identical
+    /// share/copy pattern) to build() over the fully materialized planes, so
+    /// the delta and full publication paths are bit-indistinguishable.
+    /// `changed` ascending; `closeness`/`reachable` parallel to it.
+    static CowScores patch(const CowScores& previous,
+                           std::span<const VertexId> changed,
+                           std::span<const Weight> closeness,
+                           std::span<const std::size_t> reachable);
+
     /// Adopt plain planes with every chunk freshly owned (no sharing) —
     /// test fixtures and adapters.
     static CowScores from(const ClosenessScores& scores);
@@ -108,6 +121,11 @@ struct ResultSnapshot {
     /// (which also needs the exact matrix to exclude truly unreachable
     /// pairs); on connected graphs the two coincide at quiescence (both 0).
     double frac_unknown{0};
+    /// Sum of reachable counts over all rows — the integer frac_unknown is
+    /// derived from (unknown entries = n*n - total_reachable). Carried on
+    /// the snapshot so the delta path can maintain it exactly (add the
+    /// changed rows' reachable deltas) instead of re-scanning all rows.
+    std::size_t total_reachable{0};
     /// Wall-clock publication time in seconds on the publisher's clock
     /// (QueryService's epoch); responses derive their staleness bound from
     /// it. 0 for snapshots built outside a service.
@@ -143,6 +161,48 @@ std::shared_ptr<ResultSnapshot> build_snapshot(const AnytimeEngine& engine,
                                                std::uint64_t version,
                                                const ResultSnapshot* previous,
                                                bool with_bounds = false);
+
+/// The O(changed) publication payload: everything a predecessor snapshot
+/// needs to become the next one. Only rows the engine actually mutated since
+/// `previous` are re-summed and carried; a boundary that changed c rows costs
+/// O(c * n) row scans + O(c) payload instead of O(n^2) + O(n).
+struct SnapshotDelta {
+    std::uint64_t version{0};
+    std::size_t rc_step{0};
+    double sim_seconds{0};
+    bool quiescent{false};
+    /// Vertices whose (closeness, reachable) bits differ from `previous` —
+    /// exactly the list build_snapshot would have produced (touched but
+    /// bit-unchanged rows are filtered out). Ascending.
+    std::vector<VertexId> changed;
+    /// New values, parallel to `changed`.
+    std::vector<Weight> closeness;
+    std::vector<std::size_t> reachable;
+    /// Updated ResultSnapshot::total_reachable after applying the delta.
+    std::size_t total_reachable{0};
+    /// Rows actually re-summed to produce this delta (touched rows before
+    /// the bit-unchanged filter) — the delta path's work measure.
+    std::size_t rows_scanned{0};
+};
+
+/// Build the delta from `previous` to the engine's current boundary by
+/// re-summing only the rows the engine reports as touched
+/// (AnytimeEngine::take_changed_rows — which this call drains). Returns null
+/// when a delta is not applicable and the caller must fall back to
+/// build_snapshot: no identical-n predecessor (structural changes
+/// re-normalize every score), a bounds-carrying predecessor (the wavefront
+/// certificate tightens for *unchanged* rows every step), or a conservative
+/// "all rows changed" report. Driver thread only, engine idle.
+std::unique_ptr<SnapshotDelta> build_snapshot_delta(AnytimeEngine& engine,
+                                                    std::uint64_t version,
+                                                    const ResultSnapshot& previous);
+
+/// Materialize the successor snapshot from `previous` + `delta`. Bit-identical
+/// in every field (scores, changed list, frac_unknown, metadata) to
+/// build_snapshot at the same boundary; only chunks containing changed
+/// vertices are copied. published_wall is left 0 for the caller to stamp.
+std::shared_ptr<ResultSnapshot> apply_snapshot_delta(
+    const ResultSnapshot& previous, const SnapshotDelta& delta);
 
 /// Single-slot snapshot holder. One writer (the RC/driver thread) swaps
 /// snapshots in; any number of readers copy the current `shared_ptr` out.

@@ -22,6 +22,21 @@ std::vector<TopKEntry> topk_from_snapshot(const ResultSnapshot& snapshot,
     return entries;
 }
 
+std::vector<TopKEntry> topk_from_subset(const ResultSnapshot& snapshot,
+                                        std::span<const VertexId> members,
+                                        std::size_t k) {
+    std::vector<TopKEntry> entries;
+    entries.reserve(members.size());
+    for (const VertexId v : members) {
+        entries.push_back({v, snapshot.scores.closeness(v)});
+    }
+    const std::size_t want = std::min(k, entries.size());
+    std::partial_sort(entries.begin(), entries.begin() + want, entries.end(),
+                      topk_outranks);
+    entries.resize(want);
+    return entries;
+}
+
 std::vector<TopKEntry> topk_sharded(const ResultSnapshot& snapshot,
                                     const ShardOwnership& ownership,
                                     std::size_t k) {
@@ -54,13 +69,33 @@ std::vector<TopKEntry> topk_sharded(const ResultSnapshot& snapshot,
     return pool;
 }
 
-IncrementalTopK::IncrementalTopK(std::size_t k) : k_(k) {}
+IncrementalTopK::IncrementalTopK(std::size_t k, double rebuild_churn)
+    : k_(k), rebuild_churn_(rebuild_churn) {}
 
 void IncrementalTopK::apply(const ResultSnapshot& snapshot) {
+    advance(snapshot, /*full=*/true, {}, snapshot.changed);
+}
+
+void IncrementalTopK::apply_subset(const ResultSnapshot& snapshot,
+                                   std::span<const VertexId> members,
+                                   std::span<const VertexId> changed) {
+    advance(snapshot, /*full=*/false, members, changed);
+}
+
+void IncrementalTopK::reset() {
+    version_ = 0;
+    last_n_ = 0;
+    entries_.clear();
+    reserve_.clear();
+}
+
+void IncrementalTopK::advance(const ResultSnapshot& snapshot, bool full,
+                              std::span<const VertexId> members,
+                              std::span<const VertexId> changed) {
     AA_ASSERT_MSG(version_ == 0 || snapshot.version > version_,
                   "snapshots must be applied in version order");
     const CowScores& scores = snapshot.scores;
-    const std::size_t n = scores.size();
+    const std::size_t n = full ? scores.size() : members.size();
     const std::size_t want = std::min(k_, n);
     // The maintained exact prefix is deeper than what is served: demotions
     // that stay within the reserve patch instead of rebuilding.
@@ -68,11 +103,21 @@ void IncrementalTopK::apply(const ResultSnapshot& snapshot) {
 
     // Patch only across a direct successor: the changed list is relative to
     // the immediately previous snapshot, so a skipped version breaks the
-    // chain of "unchanged vertices kept their exact bits".
+    // chain of "unchanged vertices kept their exact bits". It must also
+    // describe the same tracked universe (last_n_ == n for the subset case
+    // is guaranteed by the caller resetting on membership changes).
     const bool chainable =
         version_ != 0 && snapshot.version == version_ + 1 && want > 0;
+    // Past the churn threshold a patch would sort nearly the whole universe
+    // anyway; hand the work to the rebuild path (identical entries).
+    const bool churny =
+        n > 0 && static_cast<double>(changed.size()) >=
+                     rebuild_churn_ * static_cast<double>(n);
     bool done = false;
-    if (chainable) {
+    if (chainable && changed.empty()) {
+        // Nothing tracked changed: the maintained state carries over as-is.
+        done = true;
+    } else if (chainable && !churny) {
         // Previous reserve was exact, so any vertex outside reserve_ that is
         // not in `changed` still sorts after the previous R-th entry's key.
         const bool had_outsiders = last_n_ > reserve_.size();
@@ -80,11 +125,11 @@ void IncrementalTopK::apply(const ResultSnapshot& snapshot) {
             had_outsiders ? reserve_.back() : TopKEntry{};
 
         std::vector<TopKEntry> candidates;
-        candidates.reserve(reserve_.size() + snapshot.changed.size());
+        candidates.reserve(reserve_.size() + changed.size());
         for (const TopKEntry& e : reserve_) {
             candidates.push_back({e.vertex, scores.closeness(e.vertex)});
         }
-        for (const VertexId v : snapshot.changed) {
+        for (const VertexId v : changed) {
             candidates.push_back({v, scores.closeness(v)});
         }
         std::sort(candidates.begin(), candidates.end(),
@@ -114,7 +159,8 @@ void IncrementalTopK::apply(const ResultSnapshot& snapshot) {
         }
     }
     if (!done) {
-        reserve_ = topk_from_snapshot(snapshot, depth);
+        reserve_ = full ? topk_from_snapshot(snapshot, depth)
+                        : topk_from_subset(snapshot, members, depth);
         entries_.assign(reserve_.begin(),
                         reserve_.begin() +
                             std::min(want, reserve_.size()));

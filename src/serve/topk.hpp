@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -59,6 +60,14 @@ inline bool topk_outranks(const TopKEntry& a, const TopKEntry& b) {
 std::vector<TopKEntry> topk_from_snapshot(const ResultSnapshot& snapshot,
                                           std::size_t k);
 
+/// Selection restricted to `members` (any order, unique): the k-prefix of the
+/// ranking over just those vertices. The per-shard trackers rebuild through
+/// this, and the global k-prefix is contained in the union of per-shard
+/// k-prefixes (the merge-at-read argument, see topk_sharded).
+std::vector<TopKEntry> topk_from_subset(const ResultSnapshot& snapshot,
+                                        std::span<const VertexId> members,
+                                        std::size_t k);
+
 /// Shard-decomposed selection: one partial top-k per logical shard, merged at
 /// read. Bit-identical to topk_from_snapshot (pinned by tests): the ranking
 /// is a strict total order and the global k-prefix is contained in the union
@@ -77,13 +86,37 @@ std::vector<TopKEntry> topk_sharded(const ResultSnapshot& snapshot,
 /// copies.
 class IncrementalTopK {
 public:
-    explicit IncrementalTopK(std::size_t k);
+    /// `rebuild_churn` bounds the patch path by churn fraction: when more
+    /// than rebuild_churn * n tracked vertices changed in one snapshot, the
+    /// O(n) rebuild is cheaper than sorting a candidate set of nearly n, so
+    /// apply() rebuilds outright (entries are bit-identical either way —
+    /// the threshold moves work, never results). 1.0 restores the historical
+    /// always-try-to-patch behaviour; ServeConfig::topk_rebuild_churn is the
+    /// service-level knob.
+    explicit IncrementalTopK(std::size_t k, double rebuild_churn = 1.0);
 
     /// Advance to `snapshot`. Patches when the snapshot is the direct
     /// successor of the last one applied and the patch is provably exact;
     /// rebuilds otherwise. Entries afterwards are bit-identical to
     /// topk_from_snapshot(snapshot, k).
     void apply(const ResultSnapshot& snapshot);
+
+    /// Advance over the fixed subset `members` (ascending, unique): the
+    /// tracker maintains the top-k of just those vertices — the per-shard
+    /// decomposition. `changed` must be the members whose scores changed in
+    /// this snapshot (ascending; a subset of snapshot.changed). The patch /
+    /// rebuild discipline and its soundness argument are the full-range
+    /// ones with n = members.size(); the membership must not change between
+    /// chained snapshots (call reset() when it does — the service resets on
+    /// growth). Entries afterwards are bit-identical to
+    /// topk_from_subset(snapshot, members, k).
+    void apply_subset(const ResultSnapshot& snapshot,
+                      std::span<const VertexId> members,
+                      std::span<const VertexId> changed);
+
+    /// Forget the maintained state (membership changed); the next apply is
+    /// a rebuild.
+    void reset();
 
     std::size_t k() const { return k_; }
     /// Version of the last snapshot applied (0 before the first).
@@ -98,7 +131,14 @@ public:
     std::size_t rebuilt() const { return rebuilt_; }
 
 private:
+    /// Shared core of apply / apply_subset: `full` selects the whole
+    /// snapshot; otherwise `members`/`changed` scope the tracked universe.
+    void advance(const ResultSnapshot& snapshot, bool full,
+                 std::span<const VertexId> members,
+                 std::span<const VertexId> changed);
+
     std::size_t k_;
+    double rebuild_churn_;
     std::uint64_t version_{0};
     /// Vertex count of the last snapshot applied: outsiders (vertices beyond
     /// reserve_) exist iff last_n_ > reserve_.size(), which is what decides

@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -17,9 +19,11 @@
 #include "core/quality.hpp"
 #include "core/strategies.hpp"
 #include "graph/generators.hpp"
+#include "refine/demand.hpp"
 #include "serve/service.hpp"
 #include "serve/snapshot.hpp"
 #include "serve/topk.hpp"
+#include "shard/migration.hpp"
 
 namespace aa {
 namespace {
@@ -478,14 +482,21 @@ TEST(Serve, ConcurrentReadersDuringConvergence) {
     std::vector<std::thread> readers;
     for (int t = 0; t < 4; ++t) {
         readers.emplace_back([&, t] {
+            // Reads route through per-shard planes, so version monotonicity
+            // is promised per vertex (per shard), not across vertices: the
+            // anchor pins one vertex per reader for the monotone check while
+            // the roving queries exercise the rest of the surface.
+            const VertexId anchor = static_cast<VertexId>(t);
             std::uint64_t last_version = 0;
             VertexId v = static_cast<VertexId>(t);
             while (!stop.load(std::memory_order_relaxed)) {
-                const auto p = service.point(v % 140, FreshnessPolicy::ServeStale);
+                const auto p = service.point(anchor, FreshnessPolicy::ServeStale);
                 ASSERT_EQ(p.meta.status, QueryStatus::Ok);
-                // Published versions are monotone from any reader's view.
+                // Successive reads of the same vertex never go backwards.
                 ASSERT_GE(p.meta.version, last_version);
                 last_version = p.meta.version;
+                const auto q = service.point(v % 140, FreshnessPolicy::ServeStale);
+                ASSERT_EQ(q.meta.status, QueryStatus::Ok);
                 const auto top = service.topk(5, FreshnessPolicy::ServeStale);
                 ASSERT_EQ(top.meta.status, QueryStatus::Ok);
                 ASSERT_EQ(top.entries.size(), 5u);
@@ -540,13 +551,18 @@ TEST(Serve, ConcurrentReadersWithThreadedBackend) {
     std::vector<std::thread> readers;
     for (int t = 0; t < 4; ++t) {
         readers.emplace_back([&, t] {
+            // Per-shard monotone reads: the version check anchors on one
+            // fixed vertex per reader (see ConcurrentReadersDuringConvergence).
+            const VertexId anchor = static_cast<VertexId>(t);
             std::uint64_t last_version = 0;
             VertexId v = static_cast<VertexId>(t);
             while (!stop.load(std::memory_order_relaxed)) {
-                const auto p = service.point(v % 140, FreshnessPolicy::ServeStale);
+                const auto p = service.point(anchor, FreshnessPolicy::ServeStale);
                 ASSERT_EQ(p.meta.status, QueryStatus::Ok);
                 ASSERT_GE(p.meta.version, last_version);
                 last_version = p.meta.version;
+                const auto q = service.point(v % 140, FreshnessPolicy::ServeStale);
+                ASSERT_EQ(q.meta.status, QueryStatus::Ok);
                 const auto top = service.topk(5, FreshnessPolicy::ServeStale);
                 ASSERT_EQ(top.meta.status, QueryStatus::Ok);
                 served.fetch_add(1, std::memory_order_relaxed);
@@ -615,6 +631,282 @@ TEST(Serve, ConcurrentWaitForQuiescenceServesExactScores) {
     EXPECT_NEAR(got.closeness, exact.closeness[1], 1e-9);
 }
 
+TEST(Serve, DeltaVsFullLatticeBitIdentical) {
+    // The O(changed) delta publication path (with sharded planes) against
+    // the full-rebuild path: bit-identical snapshots — scores, reachable,
+    // changed list, frac_unknown, total_reachable, metadata — and identical
+    // top-k at every checkpoint, across ranks × backend × wire format ×
+    // sync/async RC, with a mid-RC addition, a deletion and a shard
+    // migration in flight. Two engines run the identical deterministic
+    // schedule; only the serving configuration differs.
+    for (const std::uint32_t ranks : {2u, 4u, 8u}) {
+        for (const BackendKind backend :
+             {BackendKind::Sequential, BackendKind::Threaded}) {
+            for (const BoundaryWireFormat wire :
+                 {BoundaryWireFormat::V1Aos, BoundaryWireFormat::V2Soa}) {
+                for (const bool rc_async : {false, true}) {
+                    SCOPED_TRACE(std::string("ranks=") +
+                                 std::to_string(ranks) + " backend=" +
+                                 (backend == BackendKind::Threaded ? "thr"
+                                                                   : "seq") +
+                                 (wire == BoundaryWireFormat::V1Aos
+                                      ? " v1aos"
+                                      : " v2soa") +
+                                 (rc_async ? " async" : " sync"));
+                    const auto make_engine = [&] {
+                        Rng rng(21);
+                        auto g = barabasi_albert(72, 2, rng);
+                        EngineConfig config = serve_config(ranks);
+                        config.backend = backend;
+                        config.wire_format = wire;
+                        config.rc_async = rc_async;
+                        auto engine = std::make_unique<AnytimeEngine>(
+                            std::move(g), config);
+                        engine->initialize();
+                        return engine;
+                    };
+                    auto ea = make_engine();  // delta + sharded (defaults)
+                    auto eb = make_engine();  // full + unsharded baseline
+                    ServeConfig full_cfg;
+                    full_cfg.delta_publication = false;
+                    full_cfg.shard_reads = false;
+                    QueryService sa(*ea);
+                    QueryService sb(*eb, full_cfg);
+
+                    const auto compare = [&] {
+                        const auto a = sa.snapshot();
+                        const auto b = sb.snapshot();
+                        ASSERT_NE(a, nullptr);
+                        ASSERT_NE(b, nullptr);
+                        ASSERT_EQ(a->version, b->version);
+                        EXPECT_EQ(a->rc_step, b->rc_step);
+                        EXPECT_EQ(a->quiescent, b->quiescent);
+                        EXPECT_EQ(a->frac_unknown, b->frac_unknown);
+                        EXPECT_EQ(a->total_reachable, b->total_reachable);
+                        EXPECT_EQ(a->changed, b->changed);
+                        ASSERT_EQ(a->scores.size(), b->scores.size());
+                        for (std::size_t v = 0; v < a->scores.size(); ++v) {
+                            ASSERT_EQ(a->scores.closeness(v),
+                                      b->scores.closeness(v))
+                                << "vertex " << v;
+                            ASSERT_EQ(a->scores.reachable(v),
+                                      b->scores.reachable(v))
+                                << "vertex " << v;
+                        }
+                        const auto ta = sa.topk(5, FreshnessPolicy::ServeStale);
+                        const auto tb = sb.topk(5, FreshnessPolicy::ServeStale);
+                        ASSERT_EQ(ta.meta.status, QueryStatus::Ok);
+                        ASSERT_EQ(tb.meta.status, QueryStatus::Ok);
+                        EXPECT_EQ(ta.entries, tb.entries);
+                    };
+                    const auto drive = [&](const auto& op) {
+                        op(*ea);
+                        op(*eb);
+                        compare();
+                    };
+
+                    drive([](AnytimeEngine& e) { e.run_rc_steps(2); });
+                    drive([](AnytimeEngine& e) {  // mid-RC addition
+                        GrowthConfig gc;
+                        gc.num_new = 6;
+                        Rng rng(31);
+                        const auto batch =
+                            grow_batch(e.num_vertices(), gc, rng);
+                        RoundRobinPS strategy;
+                        e.apply_addition(batch, strategy);
+                    });
+                    drive([](AnytimeEngine& e) { e.run_rc_steps(1); });
+                    drive([](AnytimeEngine& e) {  // deletion mid-settle
+                        const auto& nbs = e.graph().neighbors(0);
+                        ASSERT_FALSE(nbs.empty());
+                        ShrinkBatch batch;
+                        batch.deletions.push_back({0, nbs.front().to, 0.0});
+                        e.apply_deletion(batch);
+                    });
+                    drive([&](AnytimeEngine& e) {  // migration in flight
+                        const ShardOwnership& own = e.shard_ownership();
+                        const ShardId s = own.shard(0);
+                        const RankId from = own.rank_of(s);
+                        const RankId to = (from + 1) % ranks;
+                        const std::vector<ShardMove> moves{{s, from, to}};
+                        e.migrate_shards(moves);
+                    });
+                    drive([](AnytimeEngine& e) { e.run_to_quiescence(); });
+                    // Quiescent republication: the delta is empty and the
+                    // streams must still agree bit-for-bit.
+                    sa.publish();
+                    sb.publish();
+                    compare();
+                    EXPECT_GT(sa.publication_stats().delta_publications, 0u);
+                    EXPECT_EQ(sb.publication_stats().delta_publications, 0u);
+                }
+            }
+        }
+    }
+}
+
+TEST(Serve, TopkChurnThresholdBoundary) {
+    // Pin the ServeConfig::topk_rebuild_churn boundary exactly: churn
+    // strictly below the threshold patches, churn at the threshold rebuilds
+    // — with bit-identical entries either way.
+    const std::size_t n = 10;
+    const auto make = [&](std::uint64_t version,
+                          const std::vector<Weight>& scores,
+                          std::vector<VertexId> changed) {
+        ResultSnapshot s;
+        s.version = version;
+        ClosenessScores plain;
+        plain.closeness = scores;
+        plain.reachable.assign(n, n);
+        s.scores = CowScores::from(plain);
+        s.changed = std::move(changed);
+        return s;
+    };
+    std::vector<Weight> scores;
+    for (std::size_t v = 0; v < n; ++v) {
+        scores.push_back(1.0 - 0.05 * static_cast<Weight>(v));
+    }
+
+    IncrementalTopK tracker(3, 0.5);  // rebuild at >= 5 changed of 10
+    ResultSnapshot s1 = make(1, scores, {});
+    tracker.apply(s1);
+    EXPECT_EQ(tracker.rebuilt(), 1u);
+
+    // 4 changed < threshold: patch. The perturbed vertices stay at the
+    // bottom of the ranking, so the patch is provably exact.
+    for (std::size_t v = 6; v < 10; ++v) {
+        scores[v] -= 0.01;
+    }
+    ResultSnapshot s2 = make(2, scores, {6, 7, 8, 9});
+    tracker.apply(s2);
+    EXPECT_EQ(tracker.entries(), topk_from_snapshot(s2, 3));
+    EXPECT_EQ(tracker.patched(), 1u);
+    EXPECT_EQ(tracker.rebuilt(), 1u);
+
+    // 5 changed == threshold: rebuild outright, identical entries.
+    for (std::size_t v = 5; v < 10; ++v) {
+        scores[v] -= 0.01;
+    }
+    ResultSnapshot s3 = make(3, scores, {5, 6, 7, 8, 9});
+    tracker.apply(s3);
+    EXPECT_EQ(tracker.entries(), topk_from_snapshot(s3, 3));
+    EXPECT_EQ(tracker.patched(), 1u);
+    EXPECT_EQ(tracker.rebuilt(), 2u);
+}
+
+TEST(Serve, PublicationStatsDeltaReduction) {
+    // Two identical engines, one service publishing deltas and one full
+    // rebuilds: the delta stream publishes the same bits while scanning
+    // fewer rows and shipping fewer bytes once convergence localizes change.
+    const auto make_engine = [] {
+        Rng rng(23);
+        auto g = barabasi_albert(300, 2, rng);
+        auto engine = std::make_unique<AnytimeEngine>(std::move(g),
+                                                      serve_config(4));
+        engine->initialize();
+        return engine;
+    };
+    auto ea = make_engine();
+    auto eb = make_engine();
+    ServeConfig full_cfg;
+    full_cfg.delta_publication = false;
+    full_cfg.shard_reads = false;
+    QueryService sa(*ea);
+    QueryService sb(*eb, full_cfg);
+    ea->run_to_quiescence();
+    eb->run_to_quiescence();
+    sa.publish();  // quiescent republication: an empty delta
+    sb.publish();
+
+    const PublicationStats a = sa.publication_stats();
+    const PublicationStats b = sb.publication_stats();
+    EXPECT_EQ(a.publications, b.publications);
+    EXPECT_GT(a.delta_publications, 0u);
+    EXPECT_EQ(b.delta_publications, 0u);
+    EXPECT_EQ(b.full_publications, b.publications);
+    EXPECT_EQ(a.changed_rows, b.changed_rows);
+    EXPECT_LT(a.rows_scanned, b.rows_scanned);
+    EXPECT_LT(a.published_bytes, b.published_bytes);
+    // Same bits regardless of the cheaper path.
+    const auto sna = sa.snapshot();
+    const auto snb = sb.snapshot();
+    ASSERT_EQ(sna->scores.size(), snb->scores.size());
+    for (std::size_t v = 0; v < sna->scores.size(); ++v) {
+        ASSERT_EQ(sna->scores.closeness(v), snb->scores.closeness(v));
+    }
+}
+
+TEST(Serve, TenantAdmissionIsolation) {
+    Fixture f(60, 4);
+    TenantConfig starved;
+    starved.max_pending = 0;
+    const TenantId alpha = f.service.register_tenant("alpha", starved);
+    TenantConfig roomy;
+    roomy.max_pending = 4;
+    const TenantId beta = f.service.register_tenant("beta", roomy);
+
+    // Alpha has no waiting capacity: its waiting query sheds at once...
+    const auto shed = f.service.point(1, FreshnessPolicy::WaitForNextStep, alpha);
+    EXPECT_EQ(shed.meta.status, QueryStatus::Shed);
+    // ...without consuming beta's capacity or blocking beta's waiter.
+    std::atomic<bool> done{false};
+    PointResult got;
+    std::thread waiter([&] {
+        got = f.service.point(2, FreshnessPolicy::WaitForNextStep, beta);
+        done.store(true, std::memory_order_release);
+    });
+    while (!done.load(std::memory_order_acquire)) {
+        f.service.publish();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    waiter.join();
+    EXPECT_EQ(got.meta.status, QueryStatus::Ok);
+
+    const auto ca = f.service.tenant_counters(alpha);
+    EXPECT_EQ(ca.shed, 1u);
+    EXPECT_EQ(ca.served, 0u);
+    const auto cb = f.service.tenant_counters(beta);
+    EXPECT_EQ(cb.shed, 0u);
+    EXPECT_EQ(cb.served, 1u);
+    // The default tenant was never involved.
+    EXPECT_EQ(f.service.tenant_counters(kDefaultTenant).shed, 0u);
+    EXPECT_EQ(f.service.num_tenants(), 3u);
+}
+
+TEST(Serve, TenantFreshnessSloAccounting) {
+    Fixture f(60, 4);
+    TenantConfig strict;
+    strict.freshness_slo = 0.0;  // every served response is late
+    const TenantId tight = f.service.register_tenant("tight", strict);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    const auto r = f.service.point(1, FreshnessPolicy::ServeStale, tight);
+    ASSERT_EQ(r.meta.status, QueryStatus::Ok);
+    EXPECT_GT(r.meta.staleness_wall, 0.0);
+    const auto c = f.service.tenant_counters(tight);
+    EXPECT_EQ(c.served, 1u);
+    EXPECT_EQ(c.slo_misses, 1u);
+    // The default tenant has no SLO: no misses however stale the answer.
+    const auto ok = f.service.point(1, FreshnessPolicy::ServeStale);
+    ASSERT_EQ(ok.meta.status, QueryStatus::Ok);
+    EXPECT_EQ(f.service.tenant_counters(kDefaultTenant).slo_misses, 0u);
+}
+
+TEST(Serve, TenantDemandWeightScalesHeat) {
+    Fixture f(60, 4);
+    TenantConfig heavy;
+    heavy.demand_weight = 5.0;
+    const TenantId whale = f.service.register_tenant("whale", heavy);
+    const double before = f.engine.demand().heat(7);
+    const auto base = f.service.point(7, FreshnessPolicy::ServeStale);
+    ASSERT_EQ(base.meta.status, QueryStatus::Ok);
+    const double after_default = f.engine.demand().heat(7);
+    const auto weighted = f.service.point(7, FreshnessPolicy::ServeStale, whale);
+    ASSERT_EQ(weighted.meta.status, QueryStatus::Ok);
+    const double after_whale = f.engine.demand().heat(7);
+    EXPECT_NEAR(after_default - before, 1.0, 1e-6);
+    EXPECT_NEAR(after_whale - after_default, 5.0, 1e-6);
+}
+
 TEST(Serve, ConcurrentCloseUnblocksWaiters) {
     Fixture f(60, 4);
     PointResult got;
@@ -628,6 +920,122 @@ TEST(Serve, ConcurrentCloseUnblocksWaiters) {
     // ServeStale keeps working after close.
     const auto stale = f.service.point(0, FreshnessPolicy::ServeStale);
     EXPECT_EQ(stale.meta.status, QueryStatus::Ok);
+}
+
+TEST(Serve, ConcurrentShardedReadersServeConsistentMerges) {
+    // Readers hammer the sharded read paths — per-shard point planes and the
+    // merged top-k — while the driver steps, grows and converges the engine.
+    // Every merged top-k must be a strictly ranked prefix from one snapshot,
+    // and per-vertex versions must never go backwards.
+    Rng rng(17);
+    auto g = barabasi_albert(160, 2, rng);
+    AnytimeEngine engine(std::move(g), serve_config(8));
+    engine.initialize();
+    QueryService service(engine);
+    ASSERT_TRUE(service.config().shard_reads);
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::size_t> served{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 4; ++t) {
+        readers.emplace_back([&, t] {
+            const VertexId anchor = static_cast<VertexId>(t * 11);
+            std::uint64_t last_version = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+                const auto p = service.point(anchor, FreshnessPolicy::ServeStale);
+                ASSERT_EQ(p.meta.status, QueryStatus::Ok);
+                ASSERT_GE(p.meta.version, last_version);
+                last_version = p.meta.version;
+                const auto top = service.topk(6, FreshnessPolicy::ServeStale);
+                ASSERT_EQ(top.meta.status, QueryStatus::Ok);
+                ASSERT_EQ(top.entries.size(), 6u);
+                for (std::size_t i = 1; i < top.entries.size(); ++i) {
+                    // Strict ranking order implies no duplicates and no
+                    // cross-snapshot mixing in the merged result.
+                    ASSERT_TRUE(topk_outranks(top.entries[i - 1],
+                                              top.entries[i]));
+                }
+                served.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+
+    engine.run_rc_steps(3);
+    GrowthConfig gc;
+    gc.num_new = 16;
+    Rng brng(19);
+    const auto batch = grow_batch(engine.num_vertices(), gc, brng);
+    RoundRobinPS strategy;
+    engine.apply_addition(batch, strategy);
+    engine.run_to_quiescence();
+
+    while (served.load(std::memory_order_relaxed) < 80) {
+        std::this_thread::yield();
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& thread : readers) {
+        thread.join();
+    }
+    EXPECT_TRUE(service.snapshot()->quiescent);
+}
+
+TEST(Serve, ConcurrentTenantSheddingKeepsOtherTenantsServed) {
+    // A tenant flooding waiting queries far beyond its own budget gets shed;
+    // a well-behaved tenant's waiters are all served meanwhile — per-tenant
+    // admission keeps the blast radius per tenant, even under contention.
+    Fixture f(70, 4);
+    TenantConfig tiny;
+    tiny.max_pending = 1;
+    const TenantId noisy = f.service.register_tenant("noisy", tiny);
+    TenantConfig roomy;
+    roomy.max_pending = 64;
+    const TenantId quiet = f.service.register_tenant("quiet", roomy);
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::size_t> flood_exited{0};
+    std::vector<std::thread> flood;
+    for (int t = 0; t < 4; ++t) {
+        flood.emplace_back([&] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                const auto r =
+                    f.service.point(1, FreshnessPolicy::WaitForNextStep, noisy);
+                // While the service is open, a flood query is either served
+                // or shed — never erroneously unavailable.
+                ASSERT_NE(r.meta.status, QueryStatus::Unavailable);
+            }
+            flood_exited.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+
+    std::atomic<std::size_t> quiet_served{0};
+    std::thread quiet_reader([&] {
+        for (int i = 0; i < 20; ++i) {
+            const auto r =
+                f.service.point(2, FreshnessPolicy::WaitForNextStep, quiet);
+            ASSERT_EQ(r.meta.status, QueryStatus::Ok);
+            quiet_served.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+
+    while (quiet_served.load(std::memory_order_relaxed) < 20) {
+        f.service.publish();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    stop.store(true, std::memory_order_relaxed);
+    // Parked flood waiters need one more publication each to wake and exit.
+    while (flood_exited.load(std::memory_order_relaxed) < 4) {
+        f.service.publish();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    for (auto& thread : flood) {
+        thread.join();
+    }
+    quiet_reader.join();
+
+    EXPECT_EQ(quiet_served.load(), 20u);
+    EXPECT_EQ(f.service.tenant_counters(quiet).shed, 0u);
+    // Four flooders against a budget of one: shedding must have happened.
+    EXPECT_GT(f.service.tenant_counters(noisy).shed, 0u);
 }
 
 }  // namespace

@@ -32,6 +32,11 @@
 //   verify                            check against exact sequential APSP
 //   serve-policy stale|next-step|quiescence|bounded-error
 //                                     freshness for query/topk
+//   serve-shards on|off               route reads through per-shard snapshot
+//                                     planes (rebuilds the serve layer)
+//   tenant <name> [max-pending] [slo] define a tenant (admission limit,
+//                                     freshness SLO wall-seconds) and make it
+//                                     the issuer of later query/topk commands
 //   query <v> [policy]                point closeness query via the serve
 //                                     layer (answers from the latest
 //                                     published snapshot)
@@ -48,12 +53,16 @@
 // published at the last engine boundary rather than touching engine state,
 // and report which snapshot version answered. Waiting policies run the
 // service in synchronous mode — an unsatisfied query steps the engine inline.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/baseline.hpp"
 #include "core/closeness.hpp"
@@ -92,6 +101,10 @@ const char kHelpText[] =
     "  verify                            check against exact sequential APSP\n"
     "  serve-policy stale|next-step|quiescence|bounded-error\n"
     "                                    freshness for query/topk\n"
+    "  serve-shards on|off               per-shard read planes (rebuilds the\n"
+    "                                    serve layer; tenant counters reset)\n"
+    "  tenant <name> [max-pending] [slo] define a tenant and make it the\n"
+    "                                    issuer of later query/topk commands\n"
     "  query <v> [policy]                point query via the serve layer\n"
     "  topk [k] [policy]                 top-k query via the serve layer\n"
     "  refine-policy uniform|heat|topk   RC worklist-ordering policy\n"
@@ -121,12 +134,25 @@ bool parse_policy(const std::string& name, FreshnessPolicy& policy) {
     return true;
 }
 
+/// One scenario-defined tenant. `id` is only valid for the currently
+/// attached service (register_tenant ids are per-service); attach_service
+/// re-registers every definition and refreshes the ids.
+struct TenantDef {
+    std::string name;
+    TenantConfig config;
+    TenantId id{kDefaultTenant};
+};
+
 struct Runner {
     EngineConfig config;
     std::uint64_t seed{42};
     std::unique_ptr<AnytimeEngine> engine;
     std::unique_ptr<QueryService> service;
     FreshnessPolicy policy{FreshnessPolicy::ServeStale};
+    bool serve_shards{true};
+    std::vector<TenantDef> tenant_defs;
+    std::string active_tenant_name{"default"};
+    TenantId active_tenant{kDefaultTenant};
     DynamicGraph mirror;  // for `verify`
     RoundRobinPS round_robin;
     std::unique_ptr<CutEdgePS> cut_edge;
@@ -173,9 +199,25 @@ struct Runner {
         ServeConfig sc;
         sc.enable_metrics = false;  // the engine timeline is the record here
         sc.enable_bounds = true;    // bounded-error queries need intervals
+        sc.shard_reads = serve_shards;
         service = std::make_unique<QueryService>(*engine, sc);
         service->set_step_driver(
             [this] { return engine->run_rc_steps(1) > 0; });
+        // register_tenant ids belong to one service instance: re-register
+        // every scenario-defined tenant and refresh the stored ids.
+        for (TenantDef& def : tenant_defs) {
+            def.id = service->register_tenant(def.name, def.config);
+        }
+        active_tenant = tenant_id(active_tenant_name);
+    }
+
+    TenantId tenant_id(const std::string& name) const {
+        for (const TenantDef& def : tenant_defs) {
+            if (def.name == name) {
+                return def.id;
+            }
+        }
+        return kDefaultTenant;
     }
 
     bool handle(const std::string& line) {
@@ -475,6 +517,101 @@ struct Runner {
             }
             std::printf("serve policy: %s\n",
                         std::string(freshness_policy_name(policy)).c_str());
+        } else if (command == "serve-shards") {
+            std::string value;
+            in >> value;
+            if (value != "on" && value != "off") {
+                std::fprintf(stderr,
+                             "error: serve-shards must be on or off, got "
+                             "'%s'\n",
+                             value.c_str());
+                return false;
+            }
+            serve_shards = value == "on";
+            if (engine) {
+                attach_service();  // rebuild the serve layer over the engine
+            }
+            std::printf("serve shards: %s\n", value.c_str());
+        } else if (command == "tenant") {
+            std::string name;
+            if (!(in >> name)) {
+                std::fprintf(stderr,
+                             "error: usage: tenant <name> [max-pending] "
+                             "[slo]\n");
+                return false;
+            }
+            const auto it = std::find_if(
+                tenant_defs.begin(), tenant_defs.end(),
+                [&](const TenantDef& def) { return def.name == name; });
+            std::string token;
+            if (in >> token) {
+                if (name == "default" || it != tenant_defs.end()) {
+                    std::fprintf(stderr,
+                                 "error: tenant '%s' is already defined; "
+                                 "re-select it without arguments\n",
+                                 name.c_str());
+                    return false;
+                }
+                TenantDef def;
+                def.name = name;
+                char* end = nullptr;
+                const unsigned long long pending =
+                    std::strtoull(token.c_str(), &end, 10);
+                if (token.empty() || end != token.c_str() + token.size()) {
+                    std::fprintf(stderr,
+                                 "error: tenant max-pending must be a "
+                                 "non-negative integer, got '%s'\n",
+                                 token.c_str());
+                    return false;
+                }
+                def.config.max_pending = static_cast<std::size_t>(pending);
+                if (in >> token) {
+                    const double slo = std::strtod(token.c_str(), &end);
+                    if (end != token.c_str() + token.size() || !(slo >= 0)) {
+                        std::fprintf(stderr,
+                                     "error: tenant slo must be a "
+                                     "non-negative number of wall-seconds, "
+                                     "got '%s'\n",
+                                     token.c_str());
+                        return false;
+                    }
+                    def.config.freshness_slo = slo;
+                }
+                if (service) {
+                    def.id = service->register_tenant(def.name, def.config);
+                }
+                tenant_defs.push_back(def);
+            } else if (name != "default" && it == tenant_defs.end()) {
+                std::fprintf(stderr,
+                             "error: unknown tenant '%s' (define it first: "
+                             "tenant <name> [max-pending] [slo])\n",
+                             name.c_str());
+                return false;
+            }
+            active_tenant_name = name;
+            active_tenant = tenant_id(name);
+            if (service) {
+                const TenantCounters tc =
+                    service->tenant_counters(active_tenant);
+                char slo_text[32];
+                if (tc.config.freshness_slo ==
+                    std::numeric_limits<double>::infinity()) {
+                    std::snprintf(slo_text, sizeof slo_text, "inf");
+                } else {
+                    std::snprintf(slo_text, sizeof slo_text, "%.3gs",
+                                  tc.config.freshness_slo);
+                }
+                std::printf("[%8.4fs] tenant %s (active): max-pending %zu, "
+                            "slo %s, served %llu, shed %llu, slo-misses "
+                            "%llu\n",
+                            engine->sim_seconds(), name.c_str(),
+                            tc.config.max_pending, slo_text,
+                            static_cast<unsigned long long>(tc.served),
+                            static_cast<unsigned long long>(tc.shed),
+                            static_cast<unsigned long long>(tc.slo_misses));
+            } else {
+                std::printf("tenant %s (active)\n", name.c_str());
+            }
         } else if (command == "query") {
             require_engine(command);
             std::size_t v = 0;
@@ -488,7 +625,7 @@ struct Runner {
                 return false;
             }
             const auto result = service->point(static_cast<VertexId>(v),
-                                               query_policy);
+                                               query_policy, active_tenant);
             if (result.meta.status != QueryStatus::Ok) {
                 std::fprintf(stderr, "error: query for %zu not served\n", v);
                 return false;
@@ -521,7 +658,7 @@ struct Runner {
             if (in >> name && !parse_policy(name, query_policy)) {
                 return false;
             }
-            const auto result = service->topk(k, query_policy);
+            const auto result = service->topk(k, query_policy, active_tenant);
             if (result.meta.status != QueryStatus::Ok) {
                 std::fprintf(stderr, "error: top-%zu query not served\n", k);
                 return false;
